@@ -1,0 +1,60 @@
+//! Engine throughput: instances executed per second of host CPU under
+//! the canonical strategies, plus the declarative oracle as a baseline
+//! (the oracle does no scheduling/propagation bookkeeping, so the gap
+//! is the price of optimized execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decisionflow::engine::run_unit_time;
+use decisionflow::snapshot::complete_snapshot;
+use dflowgen::{generate, PatternParams};
+
+fn bench_engine_strategies(c: &mut Criterion) {
+    let params = PatternParams {
+        nb_nodes: 64,
+        nb_rows: 4,
+        pct_enabled: 75,
+        ..Default::default()
+    };
+    let flow = generate(params, 123).expect("valid");
+    let mut group = c.benchmark_group("engine_instance_64n");
+    for strat in ["PCE0", "NCE0", "PCE100", "PSE100", "PSC40"] {
+        let strategy = strat.parse().unwrap();
+        group.bench_function(strat, |b| {
+            b.iter(|| {
+                let out = run_unit_time(&flow.schema, strategy, &flow.sources).unwrap();
+                std::hint::black_box(out.time_units)
+            });
+        });
+    }
+    group.bench_function("oracle_complete_snapshot", |b| {
+        b.iter(|| {
+            let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+            std::hint::black_box(snap.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_schema_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_generation");
+    for nodes in [64usize, 256] {
+        let params = PatternParams {
+            nb_nodes: nodes,
+            nb_rows: 4,
+            pct_enabled: 75,
+            ..Default::default()
+        };
+        group.bench_function(format!("generate_{nodes}n"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let flow = generate(params, seed).unwrap();
+                std::hint::black_box(flow.schema.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_strategies, bench_schema_generation);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Propagation Algorithm cost: the paper claims the prequalifier's
+//! cost is *linear in the size of the decision flow, regardless of task
+//! execution order* (§4). This bench scales `nb_nodes` and reports both
+//! wall time per instance and the engine's own `propagation_steps`
+//! counter; linear scaling shows as flat time-per-node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decisionflow::engine::run_unit_time;
+use dflowgen::{generate, PatternParams};
+
+fn bench_propagation_linearity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_linearity");
+    for nodes in [32usize, 64, 128, 256, 512] {
+        let params = PatternParams {
+            nb_nodes: nodes,
+            nb_rows: 4,
+            pct_enabled: 50,
+            ..Default::default()
+        };
+        let flow = generate(params, 42).expect("valid");
+        let strategy = "PCE0".parse().unwrap();
+        // Report steps/node once so the bench log captures the metric.
+        let out = run_unit_time(&flow.schema, strategy, &flow.sources).unwrap();
+        eprintln!(
+            "nb_nodes={nodes}: propagation_steps={} ({:.2} per node+edge)",
+            out.metrics.propagation_steps,
+            out.metrics.propagation_steps as f64
+                / (flow.schema.len() + flow.schema.edge_count()) as f64
+        );
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let out = run_unit_time(&flow.schema, strategy, &flow.sources).unwrap();
+                std::hint::black_box(out.metrics.work)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling_orders(c: &mut Criterion) {
+    // Propagation cost must be order-independent: earliest vs cheapest
+    // scheduling should not change the asymptotics.
+    let params = PatternParams {
+        nb_nodes: 256,
+        nb_rows: 8,
+        pct_enabled: 50,
+        ..Default::default()
+    };
+    let flow = generate(params, 7).expect("valid");
+    let mut group = c.benchmark_group("propagation_order_independence");
+    for strat in ["PCE0", "PCC0", "PCE100", "PSE100"] {
+        let strategy = strat.parse().unwrap();
+        group.bench_function(strat, |b| {
+            b.iter(|| {
+                let out = run_unit_time(&flow.schema, strategy, &flow.sources).unwrap();
+                std::hint::black_box(out.metrics.propagation_steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_propagation_linearity,
+    bench_scheduling_orders
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Simulation-substrate speed: events/second of the desim kernel and
+//! units/second of the simulated database (these bound how large the
+//! Figure 9 experiments can be).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use desim::{Model, Scheduler, SimTime, Simulation};
+use simdb::{DbConfig, DbEvent, QueryJob, SimDb};
+
+struct Pingers {
+    remaining: u64,
+}
+
+impl Model for Pingers {
+    type Event = ();
+    fn handle(&mut self, _: (), s: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.schedule_in(SimTime::from_micros(10), ());
+        }
+    }
+}
+
+fn bench_kernel_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("desim_kernel");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("chained_events_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Pingers { remaining: n });
+            sim.prime(SimTime::ZERO, ());
+            sim.run();
+            std::hint::black_box(sim.events_dispatched())
+        });
+    });
+    group.finish();
+}
+
+struct Batch {
+    db: SimDb,
+    done: u64,
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Kick,
+    Db(DbEvent),
+}
+
+impl Model for Batch {
+    type Event = Ev;
+    fn handle(&mut self, ev: Ev, s: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Kick => {
+                for id in 0..64 {
+                    let _ = self.db.submit(QueryJob { id, cost: 8 }, s, &Ev::Db);
+                }
+            }
+            Ev::Db(e) => {
+                if self.db.handle(e, s, &Ev::Db).is_some() {
+                    self.done += 1;
+                }
+            }
+        }
+    }
+}
+
+fn bench_simdb_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simdb");
+    let units = 64u64 * 8;
+    group.throughput(Throughput::Elements(units));
+    group.bench_function("batch_64q_x8u", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Batch {
+                db: SimDb::new(DbConfig::default(), 5),
+                done: 0,
+            });
+            sim.prime(SimTime::ZERO, Ev::Kick);
+            sim.run();
+            std::hint::black_box(sim.model().done)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_events, bench_simdb_units);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 5(b): Work vs `nb_rows` for strategies {PCC0, PCE0, NCC0,
+//! NCE0}, `%enabled = 75`.
+
+use decisionflow::engine::Strategy;
+use dflow_bench::harness::{f1, ResultTable};
+use dflowgen::PatternParams;
+use dflowperf::unit_sweep;
+
+fn main() {
+    let reps = 30;
+    let strategies: Vec<Strategy> = ["PCC0", "PCE0", "NCC0", "NCE0"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut t = ResultTable::new(
+        "Figure 5(b) — Work vs nb_rows (%enabled=75)",
+        &["nb_rows", "PCC0", "PCE0", "NCC0", "NCE0"],
+    );
+    for rows in 2..=8 {
+        let params = PatternParams {
+            nb_rows: rows,
+            pct_enabled: 75,
+            ..Default::default()
+        };
+        let works: Vec<f64> = strategies
+            .iter()
+            .map(|&s| unit_sweep(params, s, reps, 0xF16B).mean_work)
+            .collect();
+        t.row(vec![
+            rows.to_string(),
+            f1(works[0]),
+            f1(works[1]),
+            f1(works[2]),
+            f1(works[3]),
+        ]);
+    }
+    t.emit("fig5b.csv");
+}

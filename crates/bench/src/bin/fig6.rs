@@ -1,0 +1,52 @@
+//! Figure 6: minimizing response time with maximal parallelism,
+//! `nb_rows = 4`, `%enabled` sweeping 10–100.
+//!
+//! (a) TimeInUnits and (b) Work for {PC*100, PS*100, PCE0}. The paper's
+//! `*` wildcard covers both scheduling heuristics, whose results are
+//! close at 100% parallelism; we report their average for the starred
+//! series (and each heuristic separately in the CSV).
+//!
+//! Expected shape: PC*100 cuts response time ~60% vs PCE0 at
+//! `%enabled = 75` with little extra work; PS*100 gains at most ~10%
+//! more time but pays significant extra work at low `%enabled`.
+
+use dflow_bench::harness::{f1, ResultTable};
+use dflowgen::PatternParams;
+use dflowperf::unit_sweep;
+
+fn main() {
+    let reps = 30;
+    let mut t = ResultTable::new(
+        "Figure 6 — TimeInUnits and Work vs %enabled (nb_rows=4)",
+        &[
+            "%enabled", "T:PC*100", "T:PS*100", "T:PCE0", "W:PC*100", "W:PS*100", "W:PCE0",
+        ],
+    );
+    for pct in (10..=100).step_by(10) {
+        let params = PatternParams {
+            nb_rows: 4,
+            pct_enabled: pct,
+            ..Default::default()
+        };
+        let seed = 0xF166;
+        let pce100 = unit_sweep(params, "PCE100".parse().unwrap(), reps, seed);
+        let pcc100 = unit_sweep(params, "PCC100".parse().unwrap(), reps, seed);
+        let pse100 = unit_sweep(params, "PSE100".parse().unwrap(), reps, seed);
+        let psc100 = unit_sweep(params, "PSC100".parse().unwrap(), reps, seed);
+        let pce0 = unit_sweep(params, "PCE0".parse().unwrap(), reps, seed);
+        let pc_t = 0.5 * (pce100.mean_time + pcc100.mean_time);
+        let ps_t = 0.5 * (pse100.mean_time + psc100.mean_time);
+        let pc_w = 0.5 * (pce100.mean_work + pcc100.mean_work);
+        let ps_w = 0.5 * (pse100.mean_work + psc100.mean_work);
+        t.row(vec![
+            pct.to_string(),
+            f1(pc_t),
+            f1(ps_t),
+            f1(pce0.mean_time),
+            f1(pc_w),
+            f1(ps_w),
+            f1(pce0.mean_work),
+        ]);
+    }
+    t.emit("fig6.csv");
+}

@@ -1,0 +1,53 @@
+//! Figure 7: effect of the degree of parallelism (`%Permitted`) on
+//! response time (a) and work (b) for {PCC*, PCE*, PSC*, PSE*},
+//! `nb_rows = 4`, `%enabled = 75`.
+//!
+//! Expected shape: Earliest beats Cheapest on time whenever propagation
+//! is on, with the largest gains at 40–80% parallelism; both heuristics
+//! consume about the same work.
+
+use dflow_bench::harness::{f1, ResultTable};
+use dflowgen::PatternParams;
+use dflowperf::unit_sweep;
+
+fn main() {
+    let reps = 30;
+    let params = PatternParams {
+        nb_rows: 4,
+        pct_enabled: 75,
+        ..Default::default()
+    };
+    let mut t = ResultTable::new(
+        "Figure 7 — TimeInUnits / Work vs %Permitted (nb_rows=4, %enabled=75)",
+        &[
+            "%Permitted",
+            "T:PCC",
+            "T:PCE",
+            "T:PSC",
+            "T:PSE",
+            "W:PCC",
+            "W:PCE",
+            "W:PSC",
+            "W:PSE",
+        ],
+    );
+    for p in [0u8, 20, 40, 60, 80, 100] {
+        let seed = 0xF167;
+        let pcc = unit_sweep(params, format!("PCC{p}").parse().unwrap(), reps, seed);
+        let pce = unit_sweep(params, format!("PCE{p}").parse().unwrap(), reps, seed);
+        let psc = unit_sweep(params, format!("PSC{p}").parse().unwrap(), reps, seed);
+        let pse = unit_sweep(params, format!("PSE{p}").parse().unwrap(), reps, seed);
+        t.row(vec![
+            p.to_string(),
+            f1(pcc.mean_time),
+            f1(pce.mean_time),
+            f1(psc.mean_time),
+            f1(pse.mean_time),
+            f1(pcc.mean_work),
+            f1(pce.mean_work),
+            f1(psc.mean_work),
+            f1(pse.mean_work),
+        ]);
+    }
+    t.emit("fig7.csv");
+}

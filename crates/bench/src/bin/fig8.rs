@@ -1,0 +1,69 @@
+//! Figure 8: guideline maps — minimal TimeInUnits for a bound on Work,
+//! with the execution program achieving it.
+//!
+//! (a) `nb_rows = 4`, `%enabled ∈ {10, 25, 50, 75, 100}`;
+//! (b) `%enabled = 75`, `nb_rows ∈ {1, 2, 4, 8, 16}`.
+//!
+//! Each frontier point reads: "with a work budget of `work` units, the
+//! best response time is `minT`, obtained by `program`".
+
+use dflow_bench::harness::{f1, ResultTable};
+use dflowgen::PatternParams;
+use dflowperf::{guideline_for_pattern, portfolio};
+
+fn emit_map(title: &str, csv: &str, patterns: &[(String, PatternParams)]) {
+    let strategies = portfolio(&[20, 40, 60, 80, 100]);
+    let mut t = ResultTable::new(title, &["pattern", "work<=", "minT", "program"]);
+    for (label, params) in patterns {
+        let map = guideline_for_pattern(*params, &strategies, 15, 0xF168);
+        for p in map.frontier() {
+            t.row(vec![
+                label.clone(),
+                f1(p.work),
+                f1(p.time_units),
+                p.strategy.to_string(),
+            ]);
+        }
+    }
+    t.emit(csv);
+}
+
+fn main() {
+    let a: Vec<(String, PatternParams)> = [10u32, 25, 50, 75, 100]
+        .iter()
+        .map(|&pct| {
+            (
+                format!("%enabled={pct}"),
+                PatternParams {
+                    nb_rows: 4,
+                    pct_enabled: pct,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    emit_map(
+        "Figure 8(a) — guideline map, %enabled varying (nb_rows=4)",
+        "fig8a.csv",
+        &a,
+    );
+
+    let b: Vec<(String, PatternParams)> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&rows| {
+            (
+                format!("nb_rows={rows}"),
+                PatternParams {
+                    nb_rows: rows,
+                    pct_enabled: 75,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    emit_map(
+        "Figure 8(b) — guideline map, nb_rows varying (%enabled=75)",
+        "fig8b.csv",
+        &b,
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 9(a): the empirical `Db` function — database response time
+//! per unit of processing vs global multiprogramming level (Gmpl).
+//!
+//! Expected shape: ≈ the zero-load unit demand (12.5 ms with Table 1
+//! parameters) at Gmpl = 1, rising roughly linearly once the 4 CPUs
+//! saturate, into the ~100 ms range by Gmpl = 35.
+
+use dflow_bench::harness::{f1, f2, ResultTable};
+use simdb::{measure_db_function, measure_db_function_open, DbConfig};
+
+fn main() {
+    let cfg = DbConfig::default();
+    let levels: Vec<u32> = (1..=35).step_by(2).collect();
+    let points = measure_db_function(cfg, levels, 0x9A);
+    let mut t = ResultTable::new(
+        "Figure 9(a) — UnitTime vs Gmpl (simulated database, Table 1 params)",
+        &["Gmpl", "UnitTime(ms)"],
+    );
+    for p in &points {
+        t.row(vec![format!("{:.0}", p.gmpl), f1(p.unit_time_ms)]);
+    }
+    t.emit("fig9a.csv");
+
+    // Companion curve: the same database calibrated under open Poisson
+    // unit arrivals (used by the fig9b analytic model; see
+    // EXPERIMENTS.md for why open calibration matters).
+    let rates: Vec<f64> = (1..=13).map(|i| i as f64 * 30.0).collect();
+    let open = measure_db_function_open(cfg, rates, 0x9A);
+    let mut t2 = ResultTable::new(
+        "Figure 9(a) companion — open-arrival calibration of the same database",
+        &["mean Gmpl", "UnitTime(ms)"],
+    );
+    for p in &open {
+        t2.row(vec![f2(p.gmpl), f1(p.unit_time_ms)]);
+    }
+    t2.emit("fig9a_open.csv");
+}

@@ -1,0 +1,117 @@
+//! Table 1: simulation parameters.
+//!
+//! Prints the parameter inventory of the reproduction side by side with
+//! the paper's values, confirming the defaults match.
+
+use dflow_bench::harness::ResultTable;
+use dflowgen::PatternParams;
+use simdb::DbConfig;
+
+fn main() {
+    let p = PatternParams::default();
+    let d = DbConfig::default();
+    let mut t = ResultTable::new(
+        "Table 1 — simulation parameters (paper vs this implementation)",
+        &["parameter", "paper", "here", "description"],
+    );
+    let mut row = |name: &str, paper: &str, here: String, desc: &str| {
+        t.row(vec![name.into(), paper.into(), here, desc.into()]);
+    };
+    row(
+        "nb_nodes",
+        "64",
+        p.nb_nodes.to_string(),
+        "# of internal nodes",
+    );
+    row(
+        "nb_rows",
+        "[1,16]",
+        format!("{} (sweep)", p.nb_rows),
+        "# of schema rows",
+    );
+    row(
+        "%enabled",
+        "[10,100]",
+        format!("{} (sweep)", p.pct_enabled),
+        "% of enabled nodes",
+    );
+    row(
+        "%enabler",
+        "50",
+        p.pct_enabler.to_string(),
+        "% of potential enablers",
+    );
+    row(
+        "%enabling_hop",
+        "50",
+        p.pct_enabling_hop.to_string(),
+        "max enabling edge hop (% of columns)",
+    );
+    row(
+        "Min_pred",
+        "1",
+        p.min_pred.to_string(),
+        "min predicates per condition",
+    );
+    row(
+        "Max_pred",
+        "4",
+        p.max_pred.to_string(),
+        "max predicates per condition",
+    );
+    row(
+        "%added_data_edges",
+        "[-25,+25]",
+        p.pct_added_data_edges.to_string(),
+        "% of data edges added to skeleton",
+    );
+    row(
+        "%data_hop",
+        "50",
+        p.pct_data_hop.to_string(),
+        "max data edge hop (% of columns)",
+    );
+    row(
+        "module_cost",
+        "[1,5]",
+        format!("[{},{}]", p.module_cost.0, p.module_cost.1),
+        "units of cost per module",
+    );
+    row(
+        "num_CPUs",
+        "4",
+        d.num_cpus.to_string(),
+        "# of CPUs in the database",
+    );
+    row(
+        "num_disks",
+        "10",
+        d.num_disks.to_string(),
+        "# of disks in the database",
+    );
+    row(
+        "unit_CPU_cost",
+        "1",
+        d.unit_cpu_cost.to_string(),
+        "units of CPU per execution unit",
+    );
+    row(
+        "unit_IO_cost",
+        "1",
+        d.unit_io_pages.to_string(),
+        "IO pages per unit execution",
+    );
+    row(
+        "%IO_hit",
+        "50",
+        format!("{:.0}", d.io_hit_prob * 100.0),
+        "probability of buffer hit",
+    );
+    row(
+        "IO_delay",
+        "5",
+        format!("{:.0}", d.io_delay_ms),
+        "IO delay (ms)",
+    );
+    t.emit("table1.csv");
+}

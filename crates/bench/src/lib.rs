@@ -1,0 +1,9 @@
+//! # dflow-bench — experiment harnesses
+//!
+//! One binary per table/figure of Hull et al. (ICDE 2000); see
+//! `src/bin/`. Shared plumbing (CSV emission, common parameter grids)
+//! lives here.
+
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,118 @@
+//! Per-instance execution metrics.
+//!
+//! The paper's two primary measures (§5):
+//!
+//! * **Work** — total units of processing performed for the instance.
+//!   Work is committed at *launch* time: queries are not cancelled once
+//!   sent to the database, so speculative or late-discovered-unneeded
+//!   executions still count.
+//! * **TimeInUnits** — response time in abstract units of processing
+//!   (infinite-resource setting). The `TimeInSeconds` variant is
+//!   measured by the finite-resource driver in `dflowperf`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::Cost;
+
+/// Counters accumulated while executing one decision-flow instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceMetrics {
+    /// Units of processing committed (sum of launched task costs).
+    pub work: Cost,
+    /// Number of tasks launched.
+    pub launched: u32,
+    /// Tasks that completed and stabilized to VALUE.
+    pub useful_completions: u32,
+    /// Speculative completions whose condition later failed — the
+    /// value was discarded (wasted work, in units).
+    pub wasted_completions: u32,
+    /// Units of processing spent on tasks that ended up discarded.
+    pub wasted_work: Cost,
+    /// Attributes whose condition was decided *before* all referenced
+    /// attributes stabilized (eager/short-circuit decisions — only
+    /// nonzero under the `P` option).
+    pub eager_decisions: u32,
+    /// Attributes detected unneeded by backward propagation.
+    pub unneeded_detected: u32,
+    /// Attributes that stabilized DISABLED.
+    pub disabled: u32,
+    /// Propagation algorithm steps (edge visits + condition
+    /// re-evaluation node visits); the linearity bench tracks this.
+    pub propagation_steps: u64,
+}
+
+impl InstanceMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of committed work that was discarded (0 when no work).
+    pub fn waste_ratio(&self) -> f64 {
+        if self.work == 0 {
+            0.0
+        } else {
+            self.wasted_work as f64 / self.work as f64
+        }
+    }
+
+    /// Merge counters from another instance (for aggregate reporting).
+    pub fn accumulate(&mut self, other: &InstanceMetrics) {
+        self.work += other.work;
+        self.launched += other.launched;
+        self.useful_completions += other.useful_completions;
+        self.wasted_completions += other.wasted_completions;
+        self.wasted_work += other.wasted_work;
+        self.eager_decisions += other.eager_decisions;
+        self.unneeded_detected += other.unneeded_detected;
+        self.disabled += other.disabled;
+        self.propagation_steps += other.propagation_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waste_ratio_handles_zero() {
+        assert_eq!(InstanceMetrics::new().waste_ratio(), 0.0);
+        let m = InstanceMetrics {
+            work: 10,
+            wasted_work: 4,
+            ..Default::default()
+        };
+        assert!((m.waste_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = InstanceMetrics {
+            work: 5,
+            launched: 2,
+            useful_completions: 2,
+            ..Default::default()
+        };
+        let b = InstanceMetrics {
+            work: 7,
+            launched: 3,
+            wasted_completions: 1,
+            wasted_work: 2,
+            eager_decisions: 4,
+            unneeded_detected: 1,
+            disabled: 2,
+            propagation_steps: 100,
+            useful_completions: 2,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.work, 12);
+        assert_eq!(a.launched, 5);
+        assert_eq!(a.useful_completions, 4);
+        assert_eq!(a.wasted_completions, 1);
+        assert_eq!(a.wasted_work, 2);
+        assert_eq!(a.eager_decisions, 4);
+        assert_eq!(a.unneeded_detected, 1);
+        assert_eq!(a.disabled, 2);
+        assert_eq!(a.propagation_steps, 100);
+    }
+}

@@ -1,0 +1,241 @@
+//! Execution strategies: the four optimization options of §5.
+//!
+//! A strategy is named by a character sequence, e.g. `PSE80`:
+//!
+//! * `P` (Propagation) / `N` (Naive) — run the Propagation Algorithm
+//!   (eager condition evaluation + forward/backward propagation and
+//!   unneeded-attribute pruning), or evaluate conditions only once all
+//!   their referenced attributes are stable and never prune;
+//! * `S` (Speculative) / `C` (Conservative) — admit READY attributes
+//!   (inputs stable, condition undecided) to the candidate pool, or
+//!   only READY+ENABLED ones;
+//! * `E` (topologically-Earliest first) / `C` (Cheapest first) — the
+//!   scheduling heuristic;
+//! * `0`–`100` — `%Permitted`, the fraction of the candidate pool
+//!   launched per scheduling round (`0` = strictly one task in flight).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling heuristic (§4, "Optimizations in the Scheduling Phase").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Heuristic {
+    /// Choose candidates that are topologically earliest in the
+    /// dependency graph — maximizes propagation opportunities.
+    Earliest,
+    /// Choose candidates with the shortest estimated execution cost.
+    Cheapest,
+}
+
+/// A complete execution strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Strategy {
+    /// `P`: eager propagation + unneeded pruning; `N`: naive.
+    pub propagate: bool,
+    /// `S`: speculative candidates allowed; `C`: conservative.
+    pub speculative: bool,
+    /// Scheduling heuristic.
+    pub heuristic: Heuristic,
+    /// `%Permitted` ∈ 0..=100.
+    pub permitted: u8,
+}
+
+impl Strategy {
+    /// Construct, clamping `permitted` to 100.
+    pub fn new(propagate: bool, speculative: bool, heuristic: Heuristic, permitted: u8) -> Self {
+        Strategy {
+            propagate,
+            speculative,
+            heuristic,
+            permitted: permitted.min(100),
+        }
+    }
+
+    /// The paper's baseline-best sequential program `PCE0`.
+    pub fn pce0() -> Self {
+        "PCE0".parse().expect("static strategy string")
+    }
+
+    /// Number of tasks allowed in flight given the current candidate
+    /// pool size and tasks already running: `max(1, ⌈p% · (pool +
+    /// in_flight)⌉)`. `permitted = 0` therefore means strictly
+    /// sequential execution; `100` launches the whole pool.
+    pub fn concurrency_cap(&self, pool: usize, in_flight: usize) -> usize {
+        let n = pool + in_flight;
+        if n == 0 {
+            return 1;
+        }
+        let cap = (self.permitted as f64 / 100.0 * n as f64).ceil() as usize;
+        cap.max(1)
+    }
+
+    /// All 8 option combinations at a fixed `%Permitted` (used by
+    /// experiment sweeps).
+    pub fn all_at(permitted: u8) -> Vec<Strategy> {
+        let mut out = Vec::with_capacity(8);
+        for propagate in [true, false] {
+            for speculative in [false, true] {
+                for heuristic in [Heuristic::Earliest, Heuristic::Cheapest] {
+                    out.push(Strategy::new(propagate, speculative, heuristic, permitted));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.propagate { 'P' } else { 'N' },
+            if self.speculative { 'S' } else { 'C' },
+            match self.heuristic {
+                Heuristic::Earliest => 'E',
+                Heuristic::Cheapest => 'C',
+            },
+            self.permitted
+        )
+    }
+}
+
+/// Failure to parse a strategy string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError(String);
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid strategy string {:?} (expected e.g. \"PSE80\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parse strings like `PSE80`, `NCC0`, `pce100` (case-insensitive;
+    /// a trailing `%` is tolerated: `PSE80%`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let raw = s.trim().trim_end_matches('%');
+        let err = || ParseStrategyError(s.to_string());
+        let mut chars = raw.chars();
+        let propagate = match chars.next().map(|c| c.to_ascii_uppercase()) {
+            Some('P') => true,
+            Some('N') => false,
+            _ => return Err(err()),
+        };
+        let speculative = match chars.next().map(|c| c.to_ascii_uppercase()) {
+            Some('S') => true,
+            Some('C') => false,
+            _ => return Err(err()),
+        };
+        let heuristic = match chars.next().map(|c| c.to_ascii_uppercase()) {
+            Some('E') => Heuristic::Earliest,
+            Some('C') => Heuristic::Cheapest,
+            _ => return Err(err()),
+        };
+        let rest: String = chars.collect();
+        let permitted: u8 = rest.parse().map_err(|_| err())?;
+        if permitted > 100 {
+            return Err(err());
+        }
+        Ok(Strategy {
+            propagate,
+            speculative,
+            heuristic,
+            permitted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_combos() {
+        for p in [0u8, 40, 80, 100] {
+            for s in Strategy::all_at(p) {
+                let parsed: Strategy = s.to_string().parse().unwrap();
+                assert_eq!(parsed, s);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_examples_from_paper() {
+        let s: Strategy = "PSE80%".parse().unwrap();
+        assert!(s.propagate && s.speculative);
+        assert_eq!(s.heuristic, Heuristic::Earliest);
+        assert_eq!(s.permitted, 80);
+
+        let s: Strategy = "NCC0".parse().unwrap();
+        assert!(!s.propagate && !s.speculative);
+        assert_eq!(s.heuristic, Heuristic::Cheapest);
+        assert_eq!(s.permitted, 0);
+
+        let s: Strategy = "pce100".parse().unwrap();
+        assert!(s.propagate && !s.speculative);
+        assert_eq!(s.heuristic, Heuristic::Earliest);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "", "P", "PS", "XSE80", "PXE80", "PSX80", "PSE", "PSE101", "PSE-1", "PSEabc",
+        ] {
+            assert!(bad.parse::<Strategy>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn concurrency_cap_semantics() {
+        let seq = Strategy::new(true, false, Heuristic::Earliest, 0);
+        assert_eq!(seq.concurrency_cap(10, 0), 1);
+        assert_eq!(seq.concurrency_cap(10, 1), 1, "0% = strictly one in flight");
+
+        let full = Strategy::new(true, false, Heuristic::Earliest, 100);
+        assert_eq!(full.concurrency_cap(10, 0), 10);
+        assert_eq!(full.concurrency_cap(7, 3), 10);
+
+        let half = Strategy::new(true, false, Heuristic::Earliest, 50);
+        assert_eq!(half.concurrency_cap(4, 0), 2);
+        assert_eq!(half.concurrency_cap(3, 1), 2);
+        // Never zero, even with tiny pools.
+        assert_eq!(half.concurrency_cap(1, 0), 1);
+        let tiny = Strategy::new(true, false, Heuristic::Earliest, 1);
+        assert_eq!(tiny.concurrency_cap(1, 0), 1);
+        assert_eq!(tiny.concurrency_cap(0, 0), 1);
+    }
+
+    #[test]
+    fn clamped_constructor() {
+        let s = Strategy::new(true, true, Heuristic::Cheapest, 250);
+        assert_eq!(s.permitted, 100);
+    }
+
+    #[test]
+    fn all_at_yields_eight_distinct() {
+        let all = Strategy::all_at(40);
+        assert_eq!(all.len(), 8);
+        let set: std::collections::HashSet<String> = all.iter().map(|s| s.to_string()).collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Strategy::pce0().to_string(), "PCE0");
+        assert_eq!(
+            Strategy::new(false, true, Heuristic::Cheapest, 100).to_string(),
+            "NSC100"
+        );
+    }
+}

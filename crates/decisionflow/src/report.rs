@@ -1,0 +1,371 @@
+//! Execution reporting: snapshots as (nested) relations.
+//!
+//! §2 observes that terminal snapshots "can provide a basis for
+//! reporting on the behavior of a decision flow": collecting one tuple
+//! per executed instance yields a relation over which manual or
+//! automated mining can discover refinements to the flow. This module
+//! implements that collection: an [`ExecutionRecord`] per instance, an
+//! append-only [`ExecutionLog`], and simple aggregate summaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{InstanceMetrics, InstanceRuntime};
+use crate::state::AttrState;
+use crate::value::Value;
+
+/// One attribute's final disposition in a record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttrOutcome {
+    /// Attribute name.
+    pub name: String,
+    /// Terminal (or last-observed) state.
+    pub state: AttrState,
+    /// Stable value, when stable.
+    pub value: Option<Value>,
+}
+
+/// The snapshot tuple of one executed instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionRecord {
+    /// Strategy string (e.g. `PSE80`).
+    pub strategy: String,
+    /// Response time, in the driver's unit (units of processing for the
+    /// unit-time executor).
+    pub time: u64,
+    /// Per-attribute outcomes, in schema declaration order.
+    pub attrs: Vec<AttrOutcome>,
+    /// Engine counters.
+    pub metrics: InstanceMetrics,
+}
+
+impl ExecutionRecord {
+    /// Extract a record from a finished runtime.
+    pub fn from_runtime(rt: &InstanceRuntime, time: u64) -> ExecutionRecord {
+        let schema = rt.schema();
+        let attrs = schema
+            .attr_ids()
+            .map(|a| AttrOutcome {
+                name: schema.attr(a).name.clone(),
+                state: rt.state(a),
+                value: rt.stable_value(a).cloned(),
+            })
+            .collect();
+        ExecutionRecord {
+            strategy: rt.strategy().to_string(),
+            time,
+            attrs,
+            metrics: rt.metrics().clone(),
+        }
+    }
+
+    /// Outcome for a named attribute.
+    pub fn outcome(&self, name: &str) -> Option<&AttrOutcome> {
+        self.attrs.iter().find(|o| o.name == name)
+    }
+}
+
+/// A mining finding over an [`ExecutionLog`] — a suggested refinement
+/// to the decision-flow schema (§2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Refinement {
+    /// The attribute is disabled in nearly all instances: consider
+    /// demoting it (and its exclusive upstream) out of the flow.
+    MostlyDisabled {
+        /// Attribute name.
+        attr: String,
+        /// Observed disabled rate.
+        rate: f64,
+    },
+    /// The attribute's enabling condition almost never fails: consider
+    /// dropping the guard (but it did fire at least once).
+    MostlyEnabled {
+        /// Attribute name.
+        attr: String,
+        /// Observed enabled rate.
+        rate: f64,
+    },
+    /// Speculation discards a large share of the work on this
+    /// workload: prefer a conservative strategy.
+    HighSpeculationWaste {
+        /// Wasted work / total work.
+        waste_ratio: f64,
+    },
+}
+
+/// An append-only log of execution records — the nested relation of §2.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExecutionLog {
+    records: Vec<ExecutionRecord>,
+}
+
+impl ExecutionLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, r: ExecutionRecord) {
+        self.records.push(r);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ExecutionRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records were collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of instances in which `attr` stabilized DISABLED —
+    /// exactly the statistic a designer would mine to simplify a flow
+    /// ("this promo module almost never fires").
+    pub fn disabled_rate(&self, attr: &str) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .records
+            .iter()
+            .filter(|r| {
+                r.outcome(attr)
+                    .is_some_and(|o| o.state == AttrState::Disabled)
+            })
+            .count();
+        hits as f64 / self.records.len() as f64
+    }
+
+    /// Mean work across records.
+    pub fn mean_work(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.metrics.work as f64)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Mean response time across records.
+    pub fn mean_time(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.time as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Mine the log for possible refinements to the decision flow —
+    /// §2: "Manual and automated data mining techniques can be
+    /// performed on this relation, to discover possible refinements".
+    ///
+    /// Heuristics implemented (thresholds are deliberately simple;
+    /// sophisticated mining plugs in on top of [`ExecutionLog::records`]):
+    ///
+    /// * an attribute disabled in ≥ `rate_threshold` of instances is a
+    ///   candidate for demotion (its whole subtree rarely matters);
+    /// * an attribute enabled in ≥ `rate_threshold` of instances is a
+    ///   candidate for dropping its enabling condition (dead guard);
+    /// * flows whose wasted work exceeds 25% of total suggest turning
+    ///   speculation off for this workload.
+    pub fn suggest_refinements(&self, rate_threshold: f64) -> Vec<Refinement> {
+        let mut out = Vec::new();
+        if self.records.is_empty() {
+            return out;
+        }
+        let first = &self.records[0];
+        for a in &first.attrs {
+            // Skip attributes that are sources in practice (always VALUE
+            // with zero-cost): heuristically, state V in all records AND
+            // never launched is indistinguishable here, so we only use
+            // state statistics.
+            let dis = self.disabled_rate(&a.name);
+            let ena = self
+                .records
+                .iter()
+                .filter(|r| {
+                    r.outcome(&a.name)
+                        .is_some_and(|o| o.state == AttrState::Value)
+                })
+                .count() as f64
+                / self.records.len() as f64;
+            if dis >= rate_threshold {
+                out.push(Refinement::MostlyDisabled {
+                    attr: a.name.clone(),
+                    rate: dis,
+                });
+            } else if ena >= rate_threshold && dis > 0.0 {
+                out.push(Refinement::MostlyEnabled {
+                    attr: a.name.clone(),
+                    rate: ena,
+                });
+            }
+        }
+        let total_work: u64 = self.records.iter().map(|r| r.metrics.work).sum();
+        let total_waste: u64 = self.records.iter().map(|r| r.metrics.wasted_work).sum();
+        if total_work > 0 && total_waste as f64 / total_work as f64 > 0.25 {
+            out.push(Refinement::HighSpeculationWaste {
+                waste_ratio: total_waste as f64 / total_work as f64,
+            });
+        }
+        out
+    }
+
+    /// Render as CSV (attribute states only, one row per instance) for
+    /// external mining tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if let Some(first) = self.records.first() {
+            out.push_str("strategy,time,work");
+            for a in &first.attrs {
+                out.push(',');
+                out.push_str(&a.name);
+            }
+            out.push('\n');
+            for r in &self.records {
+                out.push_str(&format!("{},{},{}", r.strategy, r.time, r.metrics.work));
+                for a in &r.attrs {
+                    out.push(',');
+                    out.push_str(match a.state {
+                        AttrState::Value => "V",
+                        AttrState::Disabled => "D",
+                        _ => "?",
+                    });
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_unit_time, Strategy};
+    use crate::expr::{CmpOp, Expr};
+    use crate::schema::SchemaBuilder;
+    use crate::snapshot::SourceValues;
+    use crate::task::Task;
+    use std::sync::Arc;
+
+    fn run_one(income: i64) -> ExecutionRecord {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("income");
+        let q = b.attr(
+            "offer",
+            Task::const_query(2, "gold"),
+            vec![],
+            Expr::cmp_const(s, CmpOp::Gt, 100i64),
+        );
+        let t = b.synthesis("decision", vec![q], Expr::Lit(true), |v| v[0].clone());
+        b.mark_target(t);
+        let schema = Arc::new(b.build().unwrap());
+        let mut sv = SourceValues::new();
+        sv.set(s, income);
+        let strategy: Strategy = "PCE0".parse().unwrap();
+        let out = run_unit_time(&schema, strategy, &sv).unwrap();
+        ExecutionRecord::from_runtime(&out.runtime, out.time_units)
+    }
+
+    #[test]
+    fn record_captures_states_and_values() {
+        let r = run_one(500);
+        assert_eq!(r.strategy, "PCE0");
+        let offer = r.outcome("offer").unwrap();
+        assert_eq!(offer.state, AttrState::Value);
+        assert_eq!(offer.value, Some(Value::str("gold")));
+        assert!(r.outcome("missing").is_none());
+    }
+
+    #[test]
+    fn log_aggregates() {
+        let mut log = ExecutionLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.mean_work(), 0.0);
+        assert_eq!(log.disabled_rate("offer"), 0.0);
+        for income in [10, 50, 500, 1000] {
+            log.push(run_one(income));
+        }
+        assert_eq!(log.len(), 4);
+        assert!((log.disabled_rate("offer") - 0.5).abs() < 1e-12);
+        // Two instances ran the offer query (work 2), two skipped it.
+        assert!((log.mean_work() - 1.0).abs() < 1e-12);
+        assert!(log.mean_time() >= 0.0);
+        assert_eq!(log.records().len(), 4);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut log = ExecutionLog::new();
+        log.push(run_one(500));
+        log.push(run_one(10));
+        let csv = log.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("strategy,time,work,income,offer,decision"));
+        assert!(lines[1].contains(",V,"), "enabled instance: offer=V");
+        assert!(lines[2].contains(",D,"), "disabled instance: offer=D");
+    }
+
+    #[test]
+    fn empty_log_yields_empty_csv() {
+        assert_eq!(ExecutionLog::new().to_csv(), "");
+        assert!(ExecutionLog::new().suggest_refinements(0.9).is_empty());
+    }
+
+    #[test]
+    fn mining_flags_mostly_disabled_attr() {
+        let mut log = ExecutionLog::new();
+        // offer fires only for incomes > 100; feed mostly poor customers.
+        for income in [10, 20, 30, 40, 50, 60, 70, 80, 90, 500] {
+            log.push(run_one(income));
+        }
+        let found = log.suggest_refinements(0.8);
+        assert!(
+            found.iter().any(|r| matches!(
+                r,
+                Refinement::MostlyDisabled { attr, rate } if attr == "offer" && *rate >= 0.8
+            )),
+            "expected MostlyDisabled(offer): {found:?}"
+        );
+    }
+
+    #[test]
+    fn mining_flags_mostly_enabled_attr() {
+        let mut log = ExecutionLog::new();
+        for income in [500, 600, 700, 800, 900, 1000, 1100, 1200, 1300, 10] {
+            log.push(run_one(income));
+        }
+        let found = log.suggest_refinements(0.8);
+        assert!(
+            found.iter().any(|r| matches!(
+                r,
+                Refinement::MostlyEnabled { attr, rate } if attr == "offer" && *rate >= 0.8
+            )),
+            "expected MostlyEnabled(offer): {found:?}"
+        );
+    }
+
+    #[test]
+    fn mining_does_not_flag_balanced_attrs() {
+        let mut log = ExecutionLog::new();
+        for income in [10, 500, 20, 600, 30, 700] {
+            log.push(run_one(income));
+        }
+        let found = log.suggest_refinements(0.9);
+        assert!(
+            !found
+                .iter()
+                .any(|r| matches!(r, Refinement::MostlyDisabled { attr, .. } | Refinement::MostlyEnabled { attr, .. } if attr == "offer")),
+            "balanced attribute must not be flagged: {found:?}"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Modular schema construction and flattening.
+//!
+//! Users specify decision flows modularly (Figure 1(a)): tasks are
+//! grouped into *modules*, each guarded by its own enabling condition.
+//! Execution works on the *flattened* schema (Figure 1(b)): the
+//! enabling condition of a module is combined — with "and" — into the
+//! enabling condition of every task and submodule within it, which
+//! gives the engine maximal freedom in task ordering.
+//!
+//! [`ModularBuilder`] performs the flattening on the fly: it keeps a
+//! stack of the enclosing modules' conditions and conjoins them into
+//! each declared attribute. The result is an ordinary flat [`Schema`].
+
+use super::{AttrId, Schema, SchemaBuilder, SchemaError};
+use crate::expr::Expr;
+use crate::task::{Cost, Task};
+use crate::value::Value;
+
+/// Metadata about one module scope, retained for documentation and
+/// introspection (the flattened schema itself no longer needs it).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// Module name (dotted path of the enclosing scopes).
+    pub path: String,
+    /// The module's own (un-flattened) enabling condition.
+    pub enabling: Expr,
+    /// Attributes declared directly inside this module.
+    pub members: Vec<AttrId>,
+}
+
+/// What a module may contain (kept for API completeness; the builder
+/// flattens eagerly, so items are recorded rather than interpreted).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModuleItem {
+    /// An attribute declared in the module.
+    Attr(AttrId),
+    /// A nested module, by index into the builder's module table.
+    Sub(usize),
+}
+
+struct Scope {
+    module_idx: usize,
+    cond: Expr,
+}
+
+/// Builds a flat [`Schema`] from a modular specification.
+pub struct ModularBuilder {
+    inner: SchemaBuilder,
+    stack: Vec<Scope>,
+    modules: Vec<Module>,
+}
+
+impl Default for ModularBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModularBuilder {
+    /// Start an empty modular schema.
+    pub fn new() -> Self {
+        ModularBuilder {
+            inner: SchemaBuilder::new(),
+            stack: Vec::new(),
+            modules: Vec::new(),
+        }
+    }
+
+    /// Declare a source attribute (sources live outside any module: they
+    /// are inputs to the whole flow and are never gated).
+    pub fn source(&mut self, name: impl Into<String>) -> AttrId {
+        self.inner.source(name)
+    }
+
+    /// Open a module guarded by `enabling`. Everything declared until
+    /// the matching [`end_module`](Self::end_module) gets the guard
+    /// conjoined into its own condition — including nested modules.
+    pub fn begin_module(&mut self, name: impl Into<String>, enabling: Expr) -> usize {
+        let name = name.into();
+        let path = match self.stack.last() {
+            Some(s) => format!("{}.{}", self.modules[s.module_idx].path, name),
+            None => name,
+        };
+        let idx = self.modules.len();
+        self.modules.push(Module {
+            path,
+            enabling: enabling.clone(),
+            members: Vec::new(),
+        });
+        self.stack.push(Scope {
+            module_idx: idx,
+            cond: enabling,
+        });
+        idx
+    }
+
+    /// Close the innermost open module. Panics when none is open.
+    pub fn end_module(&mut self) {
+        self.stack
+            .pop()
+            .expect("end_module without a matching begin_module");
+    }
+
+    /// The conjunction of all enclosing module conditions (flattening
+    /// context applied to declarations made right now).
+    fn ambient(&self) -> Expr {
+        let mut cond = Expr::Lit(true);
+        for s in &self.stack {
+            cond = cond.and(s.cond.clone());
+        }
+        cond
+    }
+
+    /// Declare an attribute inside the current module nest; its
+    /// effective enabling condition is `ambient ∧ enabling`.
+    pub fn attr(
+        &mut self,
+        name: impl Into<String>,
+        task: Task,
+        inputs: Vec<AttrId>,
+        enabling: Expr,
+    ) -> AttrId {
+        let flat = self.ambient().and(enabling);
+        let id = self.inner.attr(name, task, inputs, flat);
+        if let Some(s) = self.stack.last() {
+            self.modules[s.module_idx].members.push(id);
+        }
+        id
+    }
+
+    /// Declare a query attribute.
+    pub fn query(
+        &mut self,
+        name: impl Into<String>,
+        cost: Cost,
+        inputs: Vec<AttrId>,
+        enabling: Expr,
+        func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> AttrId {
+        self.attr(name, Task::query(cost, func), inputs, enabling)
+    }
+
+    /// Declare a synthesis attribute.
+    pub fn synthesis(
+        &mut self,
+        name: impl Into<String>,
+        inputs: Vec<AttrId>,
+        enabling: Expr,
+        func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> AttrId {
+        self.attr(name, Task::synthesis(func), inputs, enabling)
+    }
+
+    /// Mark a target attribute.
+    pub fn mark_target(&mut self, a: AttrId) {
+        self.inner.mark_target(a);
+    }
+
+    /// The module table (for documentation / introspection).
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Validate and freeze. Panics if modules are still open — that is
+    /// a structural bug in the caller, not a data error.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        assert!(
+            self.stack.is_empty(),
+            "build() with {} unclosed module(s)",
+            self.stack.len()
+        );
+        self.inner.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+
+    #[test]
+    fn module_condition_is_anded_into_members() {
+        let mut b = ModularBuilder::new();
+        let cart = b.source("cart");
+        let gate = Expr::cmp_const(cart, CmpOp::Gt, 0i64);
+        b.begin_module("boys_coat", gate.clone());
+        let own = Expr::Lit(true);
+        let hit = b.query("hit_list", 1, vec![cart], own, |_| Value::Int(1));
+        b.end_module();
+        let t = b.synthesis("out", vec![hit], Expr::Lit(true), |v| v[0].clone());
+        b.mark_target(t);
+        let modules = b.modules().to_vec();
+        let schema = b.build().unwrap();
+        // The flattened condition of hit_list is exactly the module gate.
+        let hid = schema.lookup("hit_list").unwrap();
+        assert_eq!(schema.attr(hid).enabling, gate);
+        assert_eq!(modules.len(), 1);
+        assert_eq!(modules[0].path, "boys_coat");
+        assert_eq!(modules[0].members, vec![hid]);
+    }
+
+    #[test]
+    fn nested_modules_conjoin_all_guards() {
+        let mut b = ModularBuilder::new();
+        let s = b.source("s");
+        let g1 = Expr::cmp_const(s, CmpOp::Gt, 0i64);
+        let g2 = Expr::cmp_const(s, CmpOp::Lt, 100i64);
+        let own = Expr::cmp_const(s, CmpOp::Ne, 50i64);
+        b.begin_module("outer", g1.clone());
+        b.begin_module("inner", g2.clone());
+        let q = b.query("q", 1, vec![], own.clone(), |_| Value::Null);
+        b.end_module();
+        b.end_module();
+        b.mark_target(q);
+        let modules = b.modules().to_vec();
+        let schema = b.build().unwrap();
+        let qd = schema.attr(schema.lookup("q").unwrap());
+        // Effective condition: g1 ∧ g2 ∧ own (flattened And).
+        assert_eq!(qd.enabling, Expr::And(vec![g1, g2, own]));
+        assert_eq!(modules[1].path, "outer.inner");
+    }
+
+    #[test]
+    fn attrs_outside_modules_keep_their_condition() {
+        let mut b = ModularBuilder::new();
+        let s = b.source("s");
+        let own = Expr::cmp_const(s, CmpOp::Ge, 1i64);
+        let q = b.query("q", 1, vec![], own.clone(), |_| Value::Null);
+        b.mark_target(q);
+        let schema = b.build().unwrap();
+        assert_eq!(schema.attr(schema.lookup("q").unwrap()).enabling, own);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed module")]
+    fn unclosed_module_panics_on_build() {
+        let mut b = ModularBuilder::new();
+        b.begin_module("m", Expr::Lit(true));
+        let q = b.query("q", 1, vec![], Expr::Lit(true), |_| Value::Null);
+        b.mark_target(q);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching")]
+    fn end_without_begin_panics() {
+        let mut b = ModularBuilder::new();
+        b.end_module();
+    }
+}

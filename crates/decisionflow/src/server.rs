@@ -1,0 +1,403 @@
+//! The execution module of §3 (paper Figure 2), materialized as a
+//! multi-threaded server.
+//!
+//! ```text
+//!   schema repository ─┐
+//!                      ▼
+//!   submit(sources) ─▶ runtime flow instances ─▶ candidate pools
+//!                      ▲            │ prequalifier + scheduler
+//!                      │            ▼
+//!                 completions ◀─ worker pool ("external servers")
+//! ```
+//!
+//! The engine "works in a multi-thread fashion, so that parallel
+//! processing of multiple flow instances, and multiple tasks within
+//! one instance is possible". Here:
+//!
+//! * the **schema repository** is a registry of named, immutable
+//!   `Arc<Schema>`s;
+//! * each submitted instance owns a mutex-guarded [`InstanceRuntime`];
+//! * launched tasks are dispatched to a fixed pool of worker threads —
+//!   the pool size plays the role of the external server's finite
+//!   multiprogramming level;
+//! * every completion re-enters the three-phase loop (evaluate →
+//!   prequalify → schedule) under the instance lock; new launches go
+//!   back to the pool.
+//!
+//! The scheduler and the Propagation Algorithm are exactly the ones
+//! used by the simulation drivers; this module only adds the threading
+//! harness, so correctness-vs-oracle carries over (and is re-asserted
+//! by this module's tests under real concurrency).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::engine::{scheduler, InstanceRuntime, Strategy};
+use crate::report::ExecutionRecord;
+use crate::schema::{AttrId, Schema};
+use crate::snapshot::{SnapshotError, SourceValues};
+
+/// Result of one instance executed by the server.
+#[derive(Clone, Debug)]
+pub struct InstanceResult {
+    /// Terminal snapshot record (states, values, metrics).
+    pub record: ExecutionRecord,
+    /// Wall-clock latency from submission to target stabilization.
+    pub elapsed: Duration,
+}
+
+/// Handle to a submitted instance.
+pub struct InstanceHandle {
+    rx: Receiver<InstanceResult>,
+}
+
+impl std::fmt::Debug for InstanceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceHandle").finish_non_exhaustive()
+    }
+}
+
+impl InstanceHandle {
+    /// Block until the instance completes.
+    pub fn wait(self) -> InstanceResult {
+        self.rx
+            .recv()
+            .expect("server dropped before instance completion")
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<InstanceResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(size: usize) -> WorkerPool {
+        assert!(size > 0, "worker pool needs at least one thread");
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dflow-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    fn spawn(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(job)
+            .expect("workers alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain remaining jobs and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+struct Instance {
+    runtime: Mutex<InstanceRuntime>,
+    started: Instant,
+    done_tx: Sender<InstanceResult>,
+}
+
+/// The multi-threaded decision-flow execution server.
+pub struct EngineServer {
+    schemas: RwLock<HashMap<String, Arc<Schema>>>,
+    pool: Arc<WorkerPool>,
+    strategy: Strategy,
+}
+
+/// Errors from [`EngineServer::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No schema registered under this name.
+    UnknownSchema(String),
+    /// Source bindings invalid for the schema.
+    Sources(SnapshotError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownSchema(n) => write!(f, "unknown schema {n:?}"),
+            SubmitError::Sources(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl EngineServer {
+    /// Start a server with `workers` task-execution threads, running
+    /// every instance under `strategy`.
+    pub fn new(workers: usize, strategy: Strategy) -> EngineServer {
+        EngineServer {
+            schemas: RwLock::new(HashMap::new()),
+            pool: Arc::new(WorkerPool::new(workers)),
+            strategy,
+        }
+    }
+
+    /// Register (or replace) a schema in the repository.
+    pub fn register(&self, name: impl Into<String>, schema: Arc<Schema>) {
+        self.schemas.write().insert(name.into(), schema);
+    }
+
+    /// Registered schema names.
+    pub fn schema_names(&self) -> Vec<String> {
+        self.schemas.read().keys().cloned().collect()
+    }
+
+    /// Submit a new flow instance; returns immediately with a handle.
+    pub fn submit(
+        &self,
+        schema_name: &str,
+        sources: SourceValues,
+    ) -> Result<InstanceHandle, SubmitError> {
+        let schema = self
+            .schemas
+            .read()
+            .get(schema_name)
+            .cloned()
+            .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))?;
+        let runtime =
+            InstanceRuntime::new(schema, self.strategy, &sources).map_err(SubmitError::Sources)?;
+        let (done_tx, done_rx) = unbounded();
+        let inst = Arc::new(Instance {
+            runtime: Mutex::new(runtime),
+            started: Instant::now(),
+            done_tx,
+        });
+        // Kick off the first scheduling round.
+        Self::pump(&self.pool, &inst);
+        Ok(InstanceHandle { rx: done_rx })
+    }
+
+    /// One scheduling round under the instance lock; dispatches the
+    /// selected tasks to the worker pool.
+    fn pump(pool: &Arc<WorkerPool>, inst: &Arc<Instance>) {
+        let mut launches: Vec<(AttrId, Vec<crate::value::Value>)> = Vec::new();
+        let mut finished: Option<InstanceResult> = None;
+        {
+            let mut rt = inst.runtime.lock();
+            if rt.is_complete() {
+                finished = Some(InstanceResult {
+                    record: ExecutionRecord::from_runtime(&rt, 0),
+                    elapsed: inst.started.elapsed(),
+                });
+            } else {
+                let schema = Arc::clone(rt.schema());
+                let in_flight = rt.in_flight_count();
+                let cands = rt.candidates();
+                for a in scheduler::select(&schema, rt.strategy(), cands, in_flight) {
+                    let inputs = rt.launch(a);
+                    launches.push((a, inputs));
+                }
+            }
+        }
+        if let Some(result) = finished {
+            // Ignore send failure: the caller may have dropped the handle.
+            let _ = inst.done_tx.send(result);
+            return;
+        }
+        for (attr, inputs) in launches {
+            let pool2 = Arc::clone(pool);
+            let inst2 = Arc::clone(inst);
+            pool.spawn(Box::new(move || {
+                // Execute the (foreign or synthesis) task body on the
+                // worker thread — this is the "external system" call.
+                let value = {
+                    let rt = inst2.runtime.lock();
+                    let schema = Arc::clone(rt.schema());
+                    drop(rt);
+                    schema.attr(attr).task.compute(&inputs)
+                };
+                {
+                    let mut rt = inst2.runtime.lock();
+                    rt.complete(attr, value);
+                }
+                Self::pump(&pool2, &inst2);
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::schema::SchemaBuilder;
+    use crate::snapshot::complete_snapshot;
+    use crate::state::AttrState;
+    use crate::task::Task;
+    use crate::value::Value;
+
+    /// Fan-out/fan-in schema with a gated branch; task bodies sleep a
+    /// little so true concurrency is exercised.
+    fn slow_schema(sleep_us: u64) -> Arc<Schema> {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let mut mids = Vec::new();
+        for i in 0..6 {
+            let m = b.attr(
+                format!("m{i}"),
+                Task::query(1, move |ins: &[Value]| {
+                    std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+                    Value::Int(ins[0].as_f64().unwrap_or(0.0) as i64 + i)
+                }),
+                vec![s],
+                if i % 2 == 0 {
+                    Expr::Lit(true)
+                } else {
+                    Expr::cmp_const(s, CmpOp::Gt, 50i64)
+                },
+            );
+            mids.push(m);
+        }
+        let t = b.synthesis("t", mids, Expr::Lit(true), |ins| {
+            Value::Int(ins.iter().filter_map(Value::as_f64).map(|f| f as i64).sum())
+        });
+        b.mark_target(t);
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn single_instance_completes_and_matches_oracle() {
+        let schema = slow_schema(50);
+        let server = EngineServer::new(4, "PSE100".parse().unwrap());
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let snap = complete_snapshot(&schema, &sv).unwrap();
+        let result = server.submit("flow", sv).unwrap().wait();
+        let t = result.record.outcome("t").unwrap();
+        assert_eq!(t.state, AttrState::Value);
+        assert_eq!(
+            t.value.as_ref(),
+            Some(snap.value(schema.lookup("t").unwrap()))
+        );
+    }
+
+    #[test]
+    fn many_concurrent_instances_all_correct() {
+        let schema = slow_schema(20);
+        let server = EngineServer::new(8, "PSE100".parse().unwrap());
+        server.register("flow", Arc::clone(&schema));
+        let mut handles = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..40i64 {
+            let mut sv = SourceValues::new();
+            sv.set(schema.lookup("s").unwrap(), i * 5);
+            let snap = complete_snapshot(&schema, &sv).unwrap();
+            expected.push(snap.value(schema.lookup("t").unwrap()).clone());
+            handles.push(server.submit("flow", sv).unwrap());
+        }
+        for (h, exp) in handles.into_iter().zip(expected) {
+            let r = h.wait();
+            assert_eq!(r.record.outcome("t").unwrap().value.as_ref(), Some(&exp));
+        }
+    }
+
+    #[test]
+    fn disabled_target_completes_immediately() {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.attr(
+            "t",
+            Task::const_query(1, 1i64),
+            vec![],
+            Expr::cmp_const(s, CmpOp::Gt, 100i64),
+        );
+        b.mark_target(t);
+        let schema = Arc::new(b.build().unwrap());
+        let server = EngineServer::new(2, "PCE0".parse().unwrap());
+        server.register("gated", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        let r = server.submit("gated", sv).unwrap().wait();
+        assert_eq!(r.record.outcome("t").unwrap().state, AttrState::Disabled);
+        assert_eq!(r.record.metrics.work, 0);
+    }
+
+    #[test]
+    fn unknown_schema_rejected() {
+        let server = EngineServer::new(1, "PCE0".parse().unwrap());
+        assert_eq!(
+            server.submit("ghost", SourceValues::new()).unwrap_err(),
+            SubmitError::UnknownSchema("ghost".into())
+        );
+        assert!(server.schema_names().is_empty());
+    }
+
+    #[test]
+    fn bad_sources_rejected() {
+        let schema = slow_schema(1);
+        let server = EngineServer::new(1, "PCE0".parse().unwrap());
+        server.register("flow", schema);
+        let err = server.submit("flow", SourceValues::new()).unwrap_err();
+        assert!(matches!(err, SubmitError::Sources(_)));
+    }
+
+    #[test]
+    fn strategies_differ_but_agree_on_semantics() {
+        let schema = slow_schema(10);
+        for strat in ["PCE0", "NCE100", "PSC40"] {
+            let server = EngineServer::new(4, strat.parse().unwrap());
+            server.register("flow", Arc::clone(&schema));
+            let mut sv = SourceValues::new();
+            sv.set(schema.lookup("s").unwrap(), 10i64);
+            let snap = complete_snapshot(&schema, &sv).unwrap();
+            let r = server.submit("flow", sv).unwrap().wait();
+            assert_eq!(
+                r.record.outcome("t").unwrap().value.as_ref(),
+                Some(snap.value(schema.lookup("t").unwrap())),
+                "strategy {strat}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_handle_does_not_wedge_server() {
+        let schema = slow_schema(10);
+        let server = EngineServer::new(2, "PCE100".parse().unwrap());
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 10i64);
+        drop(server.submit("flow", sv).unwrap()); // handle dropped
+                                                  // Server still works for the next instance.
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 10i64);
+        let r = server.submit("flow", sv).unwrap().wait();
+        assert!(r.record.outcome("t").is_some());
+    }
+}

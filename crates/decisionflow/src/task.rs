@@ -1,0 +1,161 @@
+//! Tasks: the units of computation that produce attribute values.
+//!
+//! The paper distinguishes *foreign* tasks (external: database queries,
+//! web-server routines) from *synthesis* tasks (user-defined functions or
+//! business rules). For the execution engine the difference is the cost
+//! model: foreign tasks have a nonzero estimated cost in *units of
+//! processing* and are dispatched to the external server; synthesis
+//! tasks are evaluated inline by the engine.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// A computable task body: stable inputs (⊥ for disabled ones) in the
+/// order declared by the attribute's `inputs` list, producing the
+/// attribute value.
+///
+/// Bodies must be deterministic functions of their inputs — the
+/// declarative semantics (unique complete snapshot, §2) depends on it.
+pub type TaskFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// Estimated execution cost, in the paper's abstract *units of
+/// processing*. One unit corresponds to one CPU slice plus its page
+/// accesses on the simulated database.
+pub type Cost = u64;
+
+/// The task that computes an attribute.
+#[derive(Clone)]
+pub enum Task {
+    /// A source attribute: its value is supplied when the instance is
+    /// created; it starts in state VALUE.
+    Source,
+    /// A foreign task — in this paper, a database query — with an
+    /// estimated cost in units of processing.
+    Query {
+        /// Estimated units of processing.
+        cost: Cost,
+        /// Deterministic body mapping stable inputs to the result.
+        func: TaskFn,
+    },
+    /// A synthesis task evaluated by the engine itself (user-defined
+    /// function or compiled business rules). Synthesis may still carry a
+    /// cost for scheduling experiments; it defaults to zero.
+    Synthesis {
+        /// Estimated units of processing (usually 0: engine-local).
+        cost: Cost,
+        /// Deterministic body.
+        func: TaskFn,
+    },
+}
+
+impl Task {
+    /// A query task with the given cost and body.
+    pub fn query(cost: Cost, func: impl Fn(&[Value]) -> Value + Send + Sync + 'static) -> Task {
+        Task::Query {
+            cost,
+            func: Arc::new(func),
+        }
+    }
+
+    /// A free synthesis task.
+    pub fn synthesis(func: impl Fn(&[Value]) -> Value + Send + Sync + 'static) -> Task {
+        Task::Synthesis {
+            cost: 0,
+            func: Arc::new(func),
+        }
+    }
+
+    /// A synthesis task with an explicit scheduling cost.
+    pub fn synthesis_with_cost(
+        cost: Cost,
+        func: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> Task {
+        Task::Synthesis {
+            cost,
+            func: Arc::new(func),
+        }
+    }
+
+    /// A query returning a constant (handy in tests and examples).
+    pub fn const_query(cost: Cost, v: impl Into<Value>) -> Task {
+        let v = v.into();
+        Task::query(cost, move |_| v.clone())
+    }
+
+    /// Is this a source attribute's pseudo-task?
+    pub fn is_source(&self) -> bool {
+        matches!(self, Task::Source)
+    }
+
+    /// Estimated cost in units of processing (sources cost nothing).
+    pub fn cost(&self) -> Cost {
+        match self {
+            Task::Source => 0,
+            Task::Query { cost, .. } | Task::Synthesis { cost, .. } => *cost,
+        }
+    }
+
+    /// Evaluate the task body on stable input values. Panics on sources,
+    /// which have no body.
+    pub fn compute(&self, inputs: &[Value]) -> Value {
+        match self {
+            Task::Source => panic!("source attributes are not computed"),
+            Task::Query { func, .. } | Task::Synthesis { func, .. } => func(inputs),
+        }
+    }
+}
+
+impl fmt::Debug for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Task::Source => write!(f, "Source"),
+            Task::Query { cost, .. } => write!(f, "Query(cost={cost})"),
+            Task::Synthesis { cost, .. } => write!(f, "Synthesis(cost={cost})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_accessors() {
+        assert_eq!(Task::Source.cost(), 0);
+        assert_eq!(Task::const_query(5, 1i64).cost(), 5);
+        assert_eq!(Task::synthesis(|_| Value::Null).cost(), 0);
+        assert_eq!(Task::synthesis_with_cost(2, |_| Value::Null).cost(), 2);
+    }
+
+    #[test]
+    fn compute_passes_inputs_in_order() {
+        let t = Task::query(1, |ins| {
+            Value::Int(
+                ins[0].as_f64().unwrap_or(0.0) as i64 * 10 + ins[1].as_f64().unwrap_or(0.0) as i64,
+            )
+        });
+        let v = t.compute(&[Value::Int(3), Value::Int(4)]);
+        assert_eq!(v, Value::Int(34));
+    }
+
+    #[test]
+    fn const_query_clones_value() {
+        let t = Task::const_query(1, "hello");
+        assert_eq!(t.compute(&[]), Value::str("hello"));
+        assert_eq!(t.compute(&[Value::Null]), Value::str("hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not computed")]
+    fn source_has_no_body() {
+        Task::Source.compute(&[]);
+    }
+
+    #[test]
+    fn debug_omits_closures() {
+        assert_eq!(format!("{:?}", Task::const_query(3, 0i64)), "Query(cost=3)");
+        assert_eq!(format!("{:?}", Task::Source), "Source");
+    }
+}

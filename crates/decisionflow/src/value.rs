@@ -1,0 +1,291 @@
+//! Attribute values.
+//!
+//! Decision-flow attributes carry dynamically typed values. The null
+//! value ⊥ ([`Value::Null`]) doubles as the result of a *disabled*
+//! attribute: tasks must be able to execute even when some inputs are
+//! null (§2 of the paper).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed attribute value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// The null value ⊥ — uninformative input, or a disabled attribute.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A homogeneous-or-not list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True iff this value is ⊥.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for use in rule actions: `Bool` maps directly; `Null`
+    /// is false; numbers are true iff nonzero; strings/lists iff
+    /// nonempty.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(v) => !v.is_empty(),
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` (and `Bool` as 0/1) coerce to
+    /// `f64`; everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Compare two non-null values for ordering, if they are comparable
+    /// (numeric with numeric, string with string, bool with bool).
+    pub fn partial_cmp_val(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (List(_), _) | (_, List(_)) => None,
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality in the condition language: `Null` equals nothing
+    /// (including `Null`); numerics compare by value across Int/Float.
+    pub fn loose_eq(&self, other: &Value) -> Option<bool> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a == b),
+            (Bool(a), Bool(b)) => Some(a == b),
+            (List(a), List(b)) => Some(a == b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Some(a == b),
+                _ => Some(false),
+            },
+        }
+    }
+
+    /// A stable 64-bit fingerprint of the value, used by synthetic
+    /// workloads to derive downstream values deterministically.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, x: u64) -> u64 {
+            // splitmix64 step
+            let mut z = h ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        match self {
+            Value::Null => 0x6e75_6c6c, // "null"
+            Value::Bool(b) => mix(1, *b as u64),
+            Value::Int(i) => mix(2, *i as u64),
+            Value::Float(f) => mix(3, f.to_bits()),
+            Value::Str(s) => {
+                let mut h = 4u64;
+                for b in s.as_bytes() {
+                    h = mix(h, *b as u64);
+                }
+                h
+            }
+            Value::List(vs) => {
+                let mut h = 5u64;
+                for v in vs {
+                    h = mix(h, v.fingerprint());
+                }
+                h
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn null_is_default_and_detectable() {
+        assert!(Value::default().is_null());
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::List(vec![]).truthy());
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(2).partial_cmp_val(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).partial_cmp_val(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Int(2).loose_eq(&Value::Float(2.0)), Some(true));
+    }
+
+    #[test]
+    fn null_comparisons_are_undefined() {
+        assert_eq!(Value::Null.partial_cmp_val(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).partial_cmp_val(&Value::Null), None);
+        assert_eq!(Value::Null.loose_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_incomparable_types() {
+        assert_eq!(Value::str("a").partial_cmp_val(&Value::Int(1)), None);
+        assert_eq!(Value::str("a").loose_eq(&Value::Int(1)), Some(false));
+        assert_eq!(
+            Value::List(vec![Value::Int(1)]).partial_cmp_val(&Value::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert_eq!(
+            Value::str("abc").partial_cmp_val(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_is_stable() {
+        let a = Value::Int(1).fingerprint();
+        let b = Value::Int(2).fingerprint();
+        let c = Value::Float(1.0).fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c, "Int(1) and Float(1.0) fingerprint differently");
+        assert_eq!(Value::Int(1).fingerprint(), a, "deterministic");
+        let l1 = Value::List(vec![Value::Int(1), Value::Int(2)]).fingerprint();
+        let l2 = Value::List(vec![Value::Int(2), Value::Int(1)]).fingerprint();
+        assert_ne!(l1, l2, "order matters");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "⊥");
+        assert_eq!(Value::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+    }
+}

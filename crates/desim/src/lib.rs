@@ -1,0 +1,71 @@
+//! # desim — a small discrete-event simulation kernel
+//!
+//! This crate replaces the role CSIM-18 plays in Hull et al. (ICDE 2000):
+//! a virtual clock, a deterministic event calendar, FCFS multi-server
+//! service centers, random variates, and statistics accumulators. The
+//! simulated database of the `simdb` crate is built entirely on these
+//! primitives.
+//!
+//! ## Design
+//!
+//! * **Event-routine style.** A simulation is a [`Model`] that reacts to
+//!   events and schedules new ones via the [`Scheduler`]. No coroutines,
+//!   no `RefCell` webs — just a heap-owned model stepped by the executor.
+//! * **Integer time.** [`SimTime`] is nanoseconds in a `u64`; equal
+//!   timestamps break ties FIFO, so runs are bit-for-bit reproducible.
+//! * **Reusable stations.** [`ServiceCenter`] answers "when does this job
+//!   complete?" and leaves event scheduling to the model, so one station
+//!   type serves CPUs, disks, or anything else.
+//!
+//! ## Example
+//!
+//! ```
+//! use desim::{Model, Scheduler, SimTime, Simulation};
+//!
+//! /// M/D/1-ish: jobs arrive every 10ms, each needs 4ms of service.
+//! struct OneServer {
+//!     busy_until: SimTime,
+//!     served: u32,
+//! }
+//!
+//! enum Ev { Arrival, Departure }
+//!
+//! impl Model for OneServer {
+//!     type Event = Ev;
+//!     fn handle(&mut self, ev: Ev, s: &mut Scheduler<Ev>) {
+//!         match ev {
+//!             Ev::Arrival => {
+//!                 let start = self.busy_until.max(s.now());
+//!                 let done = start + SimTime::from_millis(4);
+//!                 self.busy_until = done;
+//!                 s.schedule_at(done, Ev::Departure);
+//!                 if self.served < 9 {
+//!                     s.schedule_in(SimTime::from_millis(10), Ev::Arrival);
+//!                 }
+//!             }
+//!             Ev::Departure => self.served += 1,
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(OneServer { busy_until: SimTime::ZERO, served: 0 });
+//! sim.prime(SimTime::ZERO, Ev::Arrival);
+//! sim.run();
+//! assert_eq!(sim.model().served, 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod calendar;
+mod queue;
+mod rng;
+mod sim;
+mod stats;
+mod time;
+
+pub use calendar::{Calendar, EventId};
+pub use queue::{Admission, ServiceCenter};
+pub use rng::{bernoulli, exp_time, uniform_inclusive};
+pub use sim::{Model, RunOutcome, Scheduler, Simulation};
+pub use stats::{Tally, TimeWeighted};
+pub use time::SimTime;

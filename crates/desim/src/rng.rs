@@ -1,0 +1,110 @@
+//! Random variate generation for simulations.
+//!
+//! Only the distributions the database model needs: uniform, Bernoulli,
+//! exponential (inter-arrival times), and discrete uniform ranges. All
+//! sampling goes through a caller-supplied `Rng`, so simulations stay
+//! reproducible under a fixed seed.
+
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// Sample an exponentially distributed duration with the given mean,
+/// by inverse-transform sampling. Mean of zero yields zero.
+pub fn exp_time<R: Rng + ?Sized>(rng: &mut R, mean: SimTime) -> SimTime {
+    if mean == SimTime::ZERO {
+        return SimTime::ZERO;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let x = -u.ln(); // Exp(1)
+    SimTime::from_secs_f64(x * mean.as_secs_f64())
+}
+
+/// Sample `true` with probability `p` (clamped to \[0,1\]).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f64>() < p
+    }
+}
+
+/// Sample an integer uniformly from `lo..=hi` (inclusive). Panics if
+/// `lo > hi`.
+pub fn uniform_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    assert!(lo <= hi, "uniform_inclusive: lo {lo} > hi {hi}");
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_time_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = SimTime::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exp_time(&mut rng, mean).as_secs_f64()).sum();
+        let sample_mean = total / n as f64;
+        assert!(
+            (sample_mean - 0.1).abs() < 0.005,
+            "sample mean {sample_mean} too far from 0.1"
+        );
+    }
+
+    #[test]
+    fn exp_time_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(exp_time(&mut rng, SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+        assert!(!bernoulli(&mut rng, -3.0));
+        assert!(bernoulli(&mut rng, 4.0));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..50_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / 50_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let x = uniform_inclusive(&mut rng, 1, 5);
+            assert!((1..=5).contains(&x));
+            saw_lo |= x == 1;
+            saw_hi |= x == 5;
+        }
+        assert!(saw_lo && saw_hi);
+        assert_eq!(uniform_inclusive(&mut rng, 9, 9), 9);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let sample = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10)
+                .map(|_| exp_time(&mut rng, SimTime::from_millis(5)).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(42), sample(42));
+        assert_ne!(sample(42), sample(43));
+    }
+}

@@ -1,0 +1,175 @@
+//! Virtual simulation time.
+//!
+//! Time is kept as an integer number of nanoseconds so that the event
+//! calendar is exact: two events scheduled at the same instant compare
+//! equal, and accumulating many small delays never drifts the clock the
+//! way `f64` arithmetic would.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point (or span) of virtual time, in nanoseconds.
+///
+/// `SimTime` is used both for absolute timestamps and for durations; the
+/// arithmetic operators are saturating-free (they panic on overflow in
+/// debug builds, like the integer they wrap).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds of virtual time.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds of virtual time.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds of virtual time.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from nanoseconds of virtual time.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from fractional seconds. Sub-nanosecond precision is
+    /// truncated. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9) as u64)
+    }
+
+    /// Construct from fractional milliseconds (truncated to nanoseconds).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// This time expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Multiply a duration by an integer scale factor.
+    pub fn scaled(self, k: u64) -> SimTime {
+        SimTime(self.0 * k)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_nanos(11).as_nanos(), 11);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((t.as_millis_f64() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_garbage() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a + b, SimTime::from_millis(14));
+        assert_eq!(a - b, SimTime::from_millis(6));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(b.scaled(3), SimTime::from_millis(12));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(14));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+}

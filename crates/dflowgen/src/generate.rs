@@ -1,0 +1,367 @@
+//! Schema-pattern generation (§5, "Experiment Environment").
+//!
+//! Generation follows the paper's recipe:
+//!
+//! 1. build a **dataflow skeleton** from `nb_nodes` and `nb_rows`: one
+//!    source feeding the first node of every row, chains along each
+//!    row, last nodes feeding one target (paper Figure 4);
+//! 2. optionally add (or delete) data edges, bounded by `%data_hop`;
+//! 3. attach **enabling conditions**: conjunctions or disjunctions of
+//!    `[Min_pred, Max_pred]` predicates over *enabler* attributes
+//!    within `%enabling_hop` columns;
+//! 4. assign query costs uniformly in `module_cost`.
+//!
+//! The paper calibrates conditions so that "at the end of the execution
+//! `%enabled` percent of the enabling conditions will be true". We
+//! achieve this **exactly**: outcomes are planned up front (a quota of
+//! `round(%enabled · nb_nodes)` randomly chosen nodes) and each
+//! condition is constructed to realize its planned outcome under the
+//! canonical instance's realized attribute values, which we compute in
+//! column (topological) order as we build. Every task body is a
+//! deterministic hash of its inputs, so the engine reproduces the
+//! planned snapshot bit-for-bit — a property the test suite checks
+//! against the declarative oracle.
+
+use std::sync::Arc;
+
+use decisionflow::expr::{CmpOp, Expr};
+use decisionflow::schema::{AttrId, Schema, SchemaBuilder, SchemaError};
+use decisionflow::snapshot::SourceValues;
+use decisionflow::value::Value;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{InvalidParams, PatternParams};
+
+/// A generated decision flow: schema plus its canonical instance.
+#[derive(Clone)]
+pub struct GeneratedFlow {
+    /// The generated (validated) schema.
+    pub schema: Arc<Schema>,
+    /// Canonical source bindings realizing the planned `%enabled`.
+    pub sources: SourceValues,
+    /// Parameters used.
+    pub params: PatternParams,
+    /// Generation seed.
+    pub seed: u64,
+    /// Number of internal nodes planned (and realized) enabled.
+    pub planned_enabled: usize,
+}
+
+/// Generation failure.
+#[derive(Debug)]
+pub enum GenError {
+    /// Bad parameters.
+    Params(InvalidParams),
+    /// Internal bug: the generated schema failed validation.
+    Schema(SchemaError),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::Params(e) => write!(f, "{e}"),
+            GenError::Schema(e) => write!(f, "generated schema invalid (bug): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+impl From<InvalidParams> for GenError {
+    fn from(e: InvalidParams) -> Self {
+        GenError::Params(e)
+    }
+}
+impl From<SchemaError> for GenError {
+    fn from(e: SchemaError) -> Self {
+        GenError::Schema(e)
+    }
+}
+
+fn mix(h: u64, x: u64) -> u64 {
+    let mut z = h ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic task body: a pseudo-random float in [0, 100) derived
+/// from a per-node salt and the stable input values.
+fn node_value(salt: u64, inputs: &[Value]) -> Value {
+    let mut h = mix(0xD6C1_5ABE, salt);
+    for v in inputs {
+        h = mix(h, v.fingerprint());
+    }
+    Value::Float((h % 10_000) as f64 / 100.0)
+}
+
+/// Where a data edge originates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NodeRef {
+    Source,
+    Node(usize), // slot in column-major order
+}
+
+/// Build one predicate over `(attr, realized value)` that evaluates to
+/// `want` under the canonical instance. Thresholds are sampled so they
+/// are not degenerate (strictly inside the value's feasible interval).
+fn make_pred(rng: &mut StdRng, attr: AttrId, realized: &Value, want: bool) -> Expr {
+    match realized.as_f64() {
+        None => {
+            // Realized ⊥ (the enabler is disabled in the canonical
+            // instance): null tests decide exactly.
+            if want {
+                Expr::IsNull(attr)
+            } else {
+                Expr::Not(Box::new(Expr::IsNull(attr)))
+            }
+        }
+        Some(v) => {
+            let u: f64 = rng.gen_range(0.05..0.95);
+            // Two predicate shapes, chosen at random, with the
+            // threshold placed on the correct side of the value.
+            if rng.gen_bool(0.5) {
+                // attr < t : true iff v < t.
+                let t = if want {
+                    v + (100.0 - v) * u + 0.005
+                } else {
+                    v * u
+                };
+                Expr::cmp_const(attr, CmpOp::Lt, t)
+            } else {
+                // attr >= t : true iff v >= t.
+                let t = if want {
+                    v * u
+                } else {
+                    v + (100.0 - v) * u + 0.005
+                };
+                Expr::cmp_const(attr, CmpOp::Ge, t)
+            }
+        }
+    }
+}
+
+/// Generate a decision flow from `params` with the given `seed`.
+pub fn generate(params: PatternParams, seed: u64) -> Result<GeneratedFlow, GenError> {
+    params.validate()?;
+    let mut rng = StdRng::seed_from_u64(mix(0xF10E, seed));
+    let n = params.nb_nodes;
+    let rows = params.nb_rows;
+    let cols = params.columns();
+
+    // ---- Grid in column-major order ------------------------------------
+    // slot -> (row, col); (row, col) -> slot.
+    let mut slot_pos: Vec<(usize, usize)> = Vec::with_capacity(n);
+    let mut grid: Vec<Vec<Option<usize>>> = vec![vec![None; cols]; rows];
+    for c in 0..cols {
+        for (r, row) in grid.iter_mut().enumerate() {
+            if c < params.row_len(r) {
+                row[c] = Some(slot_pos.len());
+                slot_pos.push((r, c));
+            }
+        }
+    }
+    debug_assert_eq!(slot_pos.len(), n);
+
+    // ---- Planned outcomes and enabler eligibility ----------------------
+    let quota = ((params.pct_enabled as f64 / 100.0) * n as f64).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut planned_enabled = vec![false; n];
+    for &s in order.iter().take(quota) {
+        planned_enabled[s] = true;
+    }
+    let enabler_quota = ((params.pct_enabler as f64 / 100.0) * n as f64).round() as usize;
+    order.shuffle(&mut rng);
+    let mut is_enabler = vec![false; n];
+    for &s in order.iter().take(enabler_quota) {
+        is_enabler[s] = true;
+    }
+
+    // ---- Data edges -----------------------------------------------------
+    // in_edges[slot] = data inputs of that node.
+    let mut in_edges: Vec<Vec<NodeRef>> = vec![Vec::new(); n];
+    for (s, &(r, c)) in slot_pos.iter().enumerate() {
+        if c == 0 {
+            in_edges[s].push(NodeRef::Source);
+        } else if let Some(prev) = grid[r][c - 1] {
+            in_edges[s].push(NodeRef::Node(prev));
+        }
+    }
+    let skeleton_edges = n + rows; // row edges + source fans + target fans
+    let data_hop = ((params.pct_data_hop as f64 / 100.0) * cols as f64).ceil() as usize;
+    let data_hop = data_hop.max(1);
+    if params.pct_added_data_edges > 0 {
+        let n_add =
+            ((params.pct_added_data_edges as f64 / 100.0) * skeleton_edges as f64).round() as usize;
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < n_add && attempts < n_add * 20 {
+            attempts += 1;
+            let dst = rng.gen_range(0..n);
+            let (_, dc) = slot_pos[dst];
+            if dc == 0 {
+                continue;
+            }
+            let lo = dc.saturating_sub(data_hop);
+            // Pick a source node in an earlier column within the hop.
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&s| {
+                    let (_, c) = slot_pos[s];
+                    c >= lo && c < dc
+                })
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let src = candidates[rng.gen_range(0..candidates.len())];
+            if in_edges[dst].contains(&NodeRef::Node(src)) {
+                continue;
+            }
+            in_edges[dst].push(NodeRef::Node(src));
+            added += 1;
+        }
+    } else if params.pct_added_data_edges < 0 {
+        let n_del = (((-params.pct_added_data_edges) as f64 / 100.0) * skeleton_edges as f64)
+            .round() as usize;
+        // Delete random row-chain edges (never the source fan-out or the
+        // target fan-in, which define the flow's shape).
+        let mut deletable: Vec<usize> = (0..n)
+            .filter(|&s| slot_pos[s].1 > 0 && !in_edges[s].is_empty())
+            .collect();
+        deletable.shuffle(&mut rng);
+        for s in deletable.into_iter().take(n_del) {
+            in_edges[s].clear();
+        }
+    }
+
+    // ---- Declare attributes in column-major order ----------------------
+    let mut b = SchemaBuilder::new();
+    let source = b.source("source");
+    let source_val = Value::Float((mix(seed, 0xBEEF) % 10_000) as f64 / 100.0);
+
+    let enab_hop = ((params.pct_enabling_hop as f64 / 100.0) * cols as f64).ceil() as usize;
+    let enab_hop = enab_hop.max(1);
+
+    let mut attr_of: Vec<Option<AttrId>> = vec![None; n];
+    let mut realized: Vec<Value> = vec![Value::Null; n];
+
+    for s in 0..n {
+        let (_, c) = slot_pos[s];
+        // Inputs (all in earlier columns: already declared).
+        let inputs: Vec<AttrId> = in_edges[s]
+            .iter()
+            .map(|&e| match e {
+                NodeRef::Source => source,
+                NodeRef::Node(p) => attr_of[p].expect("column order"),
+            })
+            .collect();
+        let realized_inputs: Vec<Value> = in_edges[s]
+            .iter()
+            .map(|&e| match e {
+                NodeRef::Source => source_val.clone(),
+                NodeRef::Node(p) => realized[p].clone(),
+            })
+            .collect();
+
+        // Enabling condition: k predicates over enablers within the hop.
+        let k = rng.gen_range(params.min_pred..=params.max_pred);
+        let conjunctive = rng.gen_bool(0.5);
+        let want = planned_enabled[s];
+        // Candidate refs: enabler nodes in columns [c-hop, c-1].
+        let lo = c.saturating_sub(enab_hop);
+        let candidates: Vec<usize> = (0..s)
+            .filter(|&p| {
+                let (_, pc) = slot_pos[p];
+                is_enabler[p] && pc >= lo && pc < c
+            })
+            .collect();
+        // Which predicates must be true? Conjunction: all true for a
+        // true outcome, ≥1 false otherwise. Disjunction: dual.
+        let flips = rng.gen_range(1..=k);
+        let pred_truths: Vec<bool> = match (conjunctive, want) {
+            (true, true) => vec![true; k],    // conjunction true: all true
+            (false, false) => vec![false; k], // disjunction false: all false
+            (true, false) => {
+                // Conjunction false: at least one false predicate.
+                let mut v = vec![true; k];
+                for t in v.iter_mut().take(flips) {
+                    *t = false;
+                }
+                v.shuffle(&mut rng);
+                v
+            }
+            (false, true) => {
+                // Disjunction true: at least one true predicate.
+                let mut v = vec![false; k];
+                for t in v.iter_mut().take(flips) {
+                    *t = true;
+                }
+                v.shuffle(&mut rng);
+                v
+            }
+        };
+        let preds: Vec<Expr> = pred_truths
+            .iter()
+            .map(|&pt| {
+                if candidates.is_empty() {
+                    make_pred(&mut rng, source, &source_val, pt)
+                } else {
+                    let p = candidates[rng.gen_range(0..candidates.len())];
+                    make_pred(&mut rng, attr_of[p].expect("declared"), &realized[p], pt)
+                }
+            })
+            .collect();
+        let enabling = if conjunctive {
+            Expr::And(preds)
+        } else {
+            Expr::Or(preds)
+        };
+
+        // Task: deterministic hash of inputs, cost uniform in range.
+        let cost = rng.gen_range(params.module_cost.0..=params.module_cost.1);
+        let salt = mix(seed, s as u64 + 1);
+        let (r, cc) = slot_pos[s];
+        let id = b.query(format!("n{r}_{cc}"), cost, inputs, enabling, move |ins| {
+            node_value(salt, ins)
+        });
+        attr_of[s] = Some(id);
+        realized[s] = if want {
+            node_value(salt, &realized_inputs)
+        } else {
+            Value::Null
+        };
+    }
+
+    // ---- Target ----------------------------------------------------------
+    let target_inputs: Vec<AttrId> = (0..rows)
+        .filter_map(|r| {
+            let last = params.row_len(r).checked_sub(1)?;
+            grid[r][last].and_then(|s| attr_of[s])
+        })
+        .collect();
+    let tcost = rng.gen_range(params.module_cost.0..=params.module_cost.1);
+    let tsalt = mix(seed, 0x7A_26E7);
+    let target = b.query(
+        "target",
+        tcost,
+        target_inputs,
+        Expr::Lit(true),
+        move |ins| node_value(tsalt, ins),
+    );
+    b.mark_target(target);
+
+    let schema = Arc::new(b.build()?);
+    let mut sources = SourceValues::new();
+    sources.set(source, source_val);
+
+    Ok(GeneratedFlow {
+        schema,
+        sources,
+        params,
+        seed,
+        planned_enabled: quota,
+    })
+}

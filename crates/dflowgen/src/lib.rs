@@ -1,0 +1,261 @@
+//! # dflowgen — synthetic decision-flow schema patterns
+//!
+//! Implements the schema-pattern generator of §5 of Hull et al. (ICDE
+//! 2000), parameterized exactly by the first ten rows of the paper's
+//! Table 1: grid skeleton (`nb_nodes` × `nb_rows`), enabling-condition
+//! structure (`%enabler`, `%enabling_hop`, `Min/Max_pred`), data-edge
+//! perturbation (`%added_data_edges`, `%data_hop`), per-task cost
+//! (`module_cost`), and — crucially — `%enabled`, the fraction of
+//! conditions true at the end of execution, which this generator
+//! realizes *exactly* on the canonical instance.
+//!
+//! ```
+//! use dflowgen::{generate, PatternParams};
+//! use decisionflow::snapshot::complete_snapshot;
+//!
+//! let params = PatternParams { nb_nodes: 16, nb_rows: 4, pct_enabled: 50, ..Default::default() };
+//! let flow = generate(params, 7).unwrap();
+//! let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+//! // Exactly 8 of the 16 internal nodes are enabled.
+//! let enabled = flow.schema.attr_ids()
+//!     .filter(|&a| !flow.schema.is_source(a) && !flow.schema.attr(a).target)
+//!     .filter(|&a| snap.state(a) == decisionflow::snapshot::FinalState::Value)
+//!     .count();
+//! assert_eq!(enabled, 8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod generate;
+mod params;
+
+pub use generate::{generate, GenError, GeneratedFlow};
+pub use params::{InvalidParams, PatternParams};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decisionflow::snapshot::{complete_snapshot, FinalState};
+
+    fn enabled_internal(flow: &GeneratedFlow) -> usize {
+        let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+        flow.schema
+            .attr_ids()
+            .filter(|&a| !flow.schema.is_source(a) && !flow.schema.attr(a).target)
+            .filter(|&a| snap.state(a) == FinalState::Value)
+            .count()
+    }
+
+    #[test]
+    fn default_pattern_generates_and_validates() {
+        let flow = generate(PatternParams::default(), 1).unwrap();
+        // 64 internal + source + target.
+        assert_eq!(flow.schema.len(), 66);
+        assert_eq!(flow.schema.sources().len(), 1);
+        assert_eq!(flow.schema.targets().len(), 1);
+    }
+
+    #[test]
+    fn planned_enabled_realized_exactly() {
+        for pct in [10, 25, 50, 75, 100] {
+            let params = PatternParams {
+                pct_enabled: pct,
+                ..Default::default()
+            };
+            let flow = generate(params, 42).unwrap();
+            let expect = ((pct as f64 / 100.0) * 64.0).round() as usize;
+            assert_eq!(flow.planned_enabled, expect);
+            assert_eq!(
+                enabled_internal(&flow),
+                expect,
+                "realized %enabled must equal the plan at pct={pct}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PatternParams::default();
+        let a = generate(p, 5).unwrap();
+        let b = generate(p, 5).unwrap();
+        let c = generate(p, 6).unwrap();
+        let snap_a = complete_snapshot(&a.schema, &a.sources).unwrap();
+        let snap_b = complete_snapshot(&b.schema, &b.sources).unwrap();
+        assert_eq!(snap_a, snap_b, "same seed, same flow");
+        // Different seeds nearly surely differ in some condition.
+        let cond_a = format!(
+            "{}",
+            a.schema.attr(a.schema.lookup("n0_1").unwrap()).enabling
+        );
+        let cond_c = format!(
+            "{}",
+            c.schema.attr(c.schema.lookup("n0_1").unwrap()).enabling
+        );
+        assert_ne!(cond_a, cond_c);
+    }
+
+    #[test]
+    fn skeleton_shape_matches_figure4() {
+        let params = PatternParams {
+            nb_nodes: 16,
+            nb_rows: 4,
+            pct_added_data_edges: 0,
+            ..Default::default()
+        };
+        let flow = generate(params, 3).unwrap();
+        let s = &flow.schema;
+        let src = s.sources()[0];
+        // Source feeds exactly the first node of each row.
+        let firsts: Vec<String> = s
+            .data_consumers(src)
+            .iter()
+            .map(|&a| s.attr(a).name.clone())
+            .collect();
+        assert_eq!(firsts, vec!["n0_0", "n1_0", "n2_0", "n3_0"]);
+        // Target consumes the last node of each row.
+        let tgt = s.targets()[0];
+        let tin: Vec<String> = s
+            .attr(tgt)
+            .inputs
+            .iter()
+            .map(|&a| s.attr(a).name.clone())
+            .collect();
+        assert_eq!(tin, vec!["n0_3", "n1_3", "n2_3", "n3_3"]);
+        // Row chains: n0_1 consumes n0_0.
+        let n00 = s.lookup("n0_0").unwrap();
+        let chain: Vec<String> = s
+            .data_consumers(n00)
+            .iter()
+            .map(|&a| s.attr(a).name.clone())
+            .collect();
+        assert!(chain.contains(&"n0_1".to_string()));
+    }
+
+    #[test]
+    fn costs_within_module_cost_range() {
+        let flow = generate(PatternParams::default(), 9).unwrap();
+        for a in flow.schema.attr_ids() {
+            if flow.schema.is_source(a) {
+                continue;
+            }
+            let c = flow.schema.cost(a);
+            assert!((1..=5).contains(&c), "cost {c} outside module_cost");
+        }
+    }
+
+    #[test]
+    fn enabling_hop_respected() {
+        let params = PatternParams {
+            nb_nodes: 64,
+            nb_rows: 4,
+            pct_enabling_hop: 25, // 4 columns of 16
+            ..Default::default()
+        };
+        let flow = generate(params, 11).unwrap();
+        let s = &flow.schema;
+        let col_of = |name: &str| -> Option<usize> {
+            name.strip_prefix('n')
+                .and_then(|rest| rest.split_once('_'))
+                .map(|(_, c)| c.parse().unwrap())
+        };
+        let hop = 4usize;
+        for a in s.attr_ids() {
+            let Some(ac) = col_of(&s.attr(a).name) else {
+                continue;
+            };
+            for &r in s.enabling_refs(a) {
+                if s.is_source(r) {
+                    continue; // source fallback is always allowed
+                }
+                let rc = col_of(&s.attr(r).name).expect("ref is a node");
+                assert!(rc < ac, "enabling edges point backward in columns");
+                assert!(
+                    ac - rc <= hop,
+                    "hop {} > {} for {}",
+                    ac - rc,
+                    hop,
+                    s.attr(a).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn added_edges_increase_edge_count() {
+        let base = generate(PatternParams::default(), 13).unwrap();
+        let more = generate(
+            PatternParams {
+                pct_added_data_edges: 25,
+                ..Default::default()
+            },
+            13,
+        )
+        .unwrap();
+        let data_edges = |f: &GeneratedFlow| -> usize {
+            f.schema
+                .attr_ids()
+                .map(|a| f.schema.attr(a).inputs.len())
+                .sum()
+        };
+        assert!(
+            data_edges(&more) > data_edges(&base),
+            "+25% must add data edges"
+        );
+        // And the realized %enabled still holds exactly.
+        assert_eq!(enabled_internal(&more), 48);
+    }
+
+    #[test]
+    fn deleted_edges_decrease_edge_count() {
+        let base = generate(PatternParams::default(), 13).unwrap();
+        let fewer = generate(
+            PatternParams {
+                pct_added_data_edges: -25,
+                ..Default::default()
+            },
+            13,
+        )
+        .unwrap();
+        let data_edges = |f: &GeneratedFlow| -> usize {
+            f.schema
+                .attr_ids()
+                .map(|a| f.schema.attr(a).inputs.len())
+                .sum()
+        };
+        assert!(data_edges(&fewer) < data_edges(&base));
+        assert_eq!(enabled_internal(&fewer), 48);
+    }
+
+    #[test]
+    fn single_row_chain_generates() {
+        let params = PatternParams {
+            nb_nodes: 16,
+            nb_rows: 1,
+            ..Default::default()
+        };
+        let flow = generate(params, 17).unwrap();
+        assert_eq!(flow.schema.len(), 18);
+        assert_eq!(enabled_internal(&flow), 12); // 75% of 16
+    }
+
+    #[test]
+    fn ragged_grid_generates() {
+        let params = PatternParams {
+            nb_nodes: 64,
+            nb_rows: 7,
+            ..Default::default()
+        };
+        let flow = generate(params, 19).unwrap();
+        assert_eq!(flow.schema.len(), 66);
+        assert_eq!(enabled_internal(&flow), 48);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let params = PatternParams {
+            nb_rows: 0,
+            ..Default::default()
+        };
+        assert!(matches!(generate(params, 1), Err(GenError::Params(_))));
+    }
+}

@@ -1,0 +1,183 @@
+//! Schema-pattern parameters (the first ten rows of Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling synthetic decision-flow schema generation.
+///
+/// Field names follow Table 1 of the paper; defaults are the paper's
+/// fixed values (`nb_nodes = 64`, `%enabler = 50`, hops at 50%,
+/// predicates in [1, 4], module cost in [1, 5]). The swept parameters
+/// (`nb_rows`, `%enabled`) default to the values of Figure 5(a)
+/// (`nb_rows = 4`, `%enabled = 75`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatternParams {
+    /// Number of internal nodes (`nb_nodes`).
+    pub nb_nodes: usize,
+    /// Number of schema rows (`nb_rows`); the skeleton has
+    /// `⌈nb_nodes / nb_rows⌉` columns — the schema *diameter*.
+    pub nb_rows: usize,
+    /// Percentage of internal nodes whose enabling condition ends up
+    /// true at the end of execution (`%enabled`).
+    pub pct_enabled: u32,
+    /// Percentage of internal nodes eligible as *enablers*, i.e. whose
+    /// values appear in at least one enabling condition (`%enabler`).
+    pub pct_enabler: u32,
+    /// Maximum enabling-edge hop, as a percentage of the number of
+    /// columns (`%enabling_hop`).
+    pub pct_enabling_hop: u32,
+    /// Minimum predicates per enabling condition (`Min_pred`).
+    pub min_pred: usize,
+    /// Maximum predicates per enabling condition (`Max_pred`).
+    pub max_pred: usize,
+    /// Percentage of data edges added to (positive) or deleted from
+    /// (negative) the skeleton (`%added_data_edges`).
+    pub pct_added_data_edges: i32,
+    /// Maximum added-data-edge hop, as a percentage of the number of
+    /// columns (`%data_hop`).
+    pub pct_data_hop: u32,
+    /// Inclusive range of per-task cost in units of processing
+    /// (`module_cost`).
+    pub module_cost: (u64, u64),
+}
+
+impl Default for PatternParams {
+    fn default() -> Self {
+        PatternParams {
+            nb_nodes: 64,
+            nb_rows: 4,
+            pct_enabled: 75,
+            pct_enabler: 50,
+            pct_enabling_hop: 50,
+            min_pred: 1,
+            max_pred: 4,
+            pct_added_data_edges: 0,
+            pct_data_hop: 50,
+            module_cost: (1, 5),
+        }
+    }
+}
+
+/// Parameter validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidParams(pub String);
+
+impl std::fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid pattern parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
+
+impl PatternParams {
+    /// Number of columns of the skeleton grid (the schema diameter of
+    /// the paper: `nb_nodes / nb_rows`, rounded up for ragged grids).
+    pub fn columns(&self) -> usize {
+        self.nb_nodes.div_ceil(self.nb_rows)
+    }
+
+    /// Length of row `r` (rows differ by at most one node when
+    /// `nb_rows` does not divide `nb_nodes`).
+    pub fn row_len(&self, r: usize) -> usize {
+        let base = self.nb_nodes / self.nb_rows;
+        let extra = self.nb_nodes % self.nb_rows;
+        base + usize::from(r < extra)
+    }
+
+    /// Check ranges.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        if self.nb_nodes == 0 {
+            return Err(InvalidParams("nb_nodes must be positive".into()));
+        }
+        if self.nb_rows == 0 || self.nb_rows > self.nb_nodes {
+            return Err(InvalidParams(format!(
+                "nb_rows {} outside [1, nb_nodes]",
+                self.nb_rows
+            )));
+        }
+        if self.pct_enabled > 100 || self.pct_enabler > 100 {
+            return Err(InvalidParams("percentages must be ≤ 100".into()));
+        }
+        if self.pct_enabling_hop > 100 || self.pct_data_hop > 100 {
+            return Err(InvalidParams("hop percentages must be ≤ 100".into()));
+        }
+        if self.min_pred == 0 || self.min_pred > self.max_pred {
+            return Err(InvalidParams(format!(
+                "predicate range [{}, {}] invalid",
+                self.min_pred, self.max_pred
+            )));
+        }
+        if self.pct_added_data_edges < -100 || self.pct_added_data_edges > 100 {
+            return Err(InvalidParams(
+                "%added_data_edges outside [-100, 100]".into(),
+            ));
+        }
+        if self.module_cost.0 > self.module_cost.1 {
+            return Err(InvalidParams("module_cost range inverted".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_match_table1() {
+        let p = PatternParams::default();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.nb_nodes, 64);
+        assert_eq!(p.pct_enabler, 50);
+        assert_eq!(p.min_pred, 1);
+        assert_eq!(p.max_pred, 4);
+        assert_eq!(p.module_cost, (1, 5));
+        assert_eq!(p.columns(), 16, "64 nodes / 4 rows");
+    }
+
+    #[test]
+    fn ragged_rows_cover_all_nodes() {
+        let p = PatternParams {
+            nb_nodes: 64,
+            nb_rows: 5,
+            ..Default::default()
+        };
+        let total: usize = (0..5).map(|r| p.row_len(r)).sum();
+        assert_eq!(total, 64);
+        assert_eq!(p.columns(), 13);
+        // Rows differ by at most one.
+        let lens: Vec<usize> = (0..5).map(|r| p.row_len(r)).collect();
+        assert_eq!(lens.iter().max().unwrap() - lens.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn single_row_is_a_chain() {
+        let p = PatternParams {
+            nb_rows: 1,
+            ..Default::default()
+        };
+        assert_eq!(p.columns(), 64);
+        assert_eq!(p.row_len(0), 64);
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let bad = |f: fn(&mut PatternParams)| {
+            let mut p = PatternParams::default();
+            f(&mut p);
+            p.validate().is_err()
+        };
+        assert!(bad(|p| p.nb_nodes = 0));
+        assert!(bad(|p| p.nb_rows = 0));
+        assert!(bad(|p| p.nb_rows = 1000));
+        assert!(bad(|p| p.pct_enabled = 101));
+        assert!(bad(|p| p.min_pred = 0));
+        assert!(bad(|p| {
+            p.min_pred = 5;
+            p.max_pred = 4
+        }));
+        assert!(bad(|p| p.pct_added_data_edges = 150));
+        assert!(bad(|p| p.module_cost = (5, 1)));
+        assert!(bad(|p| p.pct_data_hop = 101));
+    }
+}

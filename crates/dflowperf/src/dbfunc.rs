@@ -1,0 +1,135 @@
+//! The empirical `Db` function: Gmpl → response time per unit of
+//! processing.
+//!
+//! The analytical model of §5 takes `Db` as an input, "empirically
+//! determined for each database" (Figure 9(a)). This module wraps a set
+//! of measured points into a monotone piecewise-linear function with
+//! linear extrapolation above the last measured level.
+
+use serde::{Deserialize, Serialize};
+use simdb::DbPoint;
+
+/// Monotone piecewise-linear interpolation of measured `Db` points.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DbFunction {
+    /// (gmpl, unit_time_ms), sorted by gmpl, strictly increasing gmpl.
+    points: Vec<(f64, f64)>,
+}
+
+impl DbFunction {
+    /// Build from measured points. Requires at least one point; points
+    /// are sorted and the unit times are made monotone non-decreasing
+    /// (isotonic clamp) so the fixed-point solver is well behaved.
+    pub fn from_points(raw: &[DbPoint]) -> DbFunction {
+        assert!(!raw.is_empty(), "Db function needs at least one point");
+        let mut pts: Vec<(f64, f64)> = raw.iter().map(|p| (p.gmpl, p.unit_time_ms)).collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite gmpl"));
+        pts.dedup_by(|a, b| a.0 == b.0);
+        // Isotonic clamp: measurement noise can produce tiny dips.
+        for i in 1..pts.len() {
+            if pts[i].1 < pts[i - 1].1 {
+                pts[i].1 = pts[i - 1].1;
+            }
+        }
+        DbFunction { points: pts }
+    }
+
+    /// Response time per unit of processing at multiprogramming level
+    /// `gmpl`, in milliseconds.
+    pub fn unit_time_ms(&self, gmpl: f64) -> f64 {
+        let pts = &self.points;
+        if gmpl <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if gmpl <= x1 {
+                return y0 + (y1 - y0) * (gmpl - x0) / (x1 - x0);
+            }
+        }
+        // Extrapolate with the slope of the last segment (or flat if
+        // only one point was measured).
+        let n = pts.len();
+        if n == 1 {
+            return pts[0].1;
+        }
+        let (x0, y0) = pts[n - 2];
+        let (x1, y1) = pts[n - 1];
+        y1 + (y1 - y0) / (x1 - x0) * (gmpl - x1)
+    }
+
+    /// Measured anchor points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(u32, f64)]) -> Vec<DbPoint> {
+        v.iter()
+            .map(|&(g, t)| DbPoint {
+                gmpl: g as f64,
+                unit_time_ms: t,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interpolates_between_anchors() {
+        let f = DbFunction::from_points(&pts(&[(1, 10.0), (11, 30.0)]));
+        assert!((f.unit_time_ms(6.0) - 20.0).abs() < 1e-9);
+        assert!((f.unit_time_ms(1.0) - 10.0).abs() < 1e-9);
+        assert!((f.unit_time_ms(11.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_below_first_point() {
+        let f = DbFunction::from_points(&pts(&[(4, 12.0), (8, 20.0)]));
+        assert_eq!(f.unit_time_ms(0.5), 12.0);
+        assert_eq!(f.unit_time_ms(-3.0), 12.0);
+    }
+
+    #[test]
+    fn extrapolates_last_slope() {
+        let f = DbFunction::from_points(&pts(&[(1, 10.0), (2, 12.0), (4, 20.0)]));
+        // Last segment slope: (20-12)/(4-2)=4 per gmpl.
+        assert!((f.unit_time_ms(6.0) - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_is_flat() {
+        let f = DbFunction::from_points(&pts(&[(5, 14.0)]));
+        assert_eq!(f.unit_time_ms(1.0), 14.0);
+        assert_eq!(f.unit_time_ms(50.0), 14.0);
+    }
+
+    #[test]
+    fn isotonic_clamp_fixes_noise_dips() {
+        let f = DbFunction::from_points(&pts(&[(1, 10.0), (2, 9.5), (3, 15.0)]));
+        assert!(f.unit_time_ms(2.0) >= 10.0);
+        // Monotone overall.
+        let mut last = 0.0;
+        for g in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 5.0] {
+            let v = f.unit_time_ms(g);
+            assert!(v >= last, "Db must be non-decreasing");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let f = DbFunction::from_points(&pts(&[(8, 20.0), (1, 10.0)]));
+        assert_eq!(f.points()[0].0, 1.0);
+        assert!((f.unit_time_ms(4.5) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        DbFunction::from_points(&[]);
+    }
+}

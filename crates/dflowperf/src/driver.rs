@@ -1,0 +1,440 @@
+//! Finite-resource execution: decision-flow instances against the
+//! simulated database under an open Poisson arrival stream.
+//!
+//! This is the paper's final experimental setting (§5, "An Analytical
+//! Model for Finite Database Resources"): instances arrive at `Th`
+//! per second, every launched task becomes a query on the shared
+//! [`SimDb`], and response time is measured in **seconds** (well,
+//! milliseconds here) rather than abstract units. The engine logic is
+//! exactly the same [`InstanceRuntime`] used by the unit-time executor
+//! — only the clock and the contention model differ.
+
+use std::collections::HashMap;
+
+use decisionflow::engine::{scheduler, InstanceRuntime, Strategy};
+use decisionflow::schema::AttrId;
+use decisionflow::value::Value;
+use desim::{exp_time, Model, Scheduler, SimTime, Simulation, Tally};
+use dflowgen::GeneratedFlow;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::{DbConfig, DbEvent, QueryJob, SimDb};
+
+/// Open-load experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Instance arrival rate, per second (the paper's `Th`).
+    pub arrival_rate_per_sec: f64,
+    /// Number of instances to run in total.
+    pub total_instances: usize,
+    /// Instances excluded from statistics at the start (warmup).
+    pub warmup_instances: usize,
+    /// RNG seed (arrivals + database stochastics).
+    pub seed: u64,
+    /// Share query results across instances (the paper's concluding
+    /// question: "how to optimize when several decision flows will be
+    /// executed based on overlapping data"). When enabled, a query
+    /// whose (attribute, input values) pair was already answered is
+    /// served from a shared cache instead of hitting the database.
+    pub shared_query_cache: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            arrival_rate_per_sec: 10.0,
+            total_instances: 300,
+            warmup_instances: 50,
+            seed: 1,
+            shared_query_cache: false,
+        }
+    }
+}
+
+/// Measured outcome of an open-load run.
+#[derive(Clone, Debug)]
+pub struct LoadOutcome {
+    /// Per-instance response times, milliseconds (post-warmup).
+    pub responses_ms: Tally,
+    /// Per-instance work, units of processing (post-warmup).
+    pub work_units: Tally,
+    /// Time-averaged global multiprogramming level of the database.
+    pub mean_gmpl: f64,
+    /// Mean database response time per unit of processing (ms) over
+    /// the run — the realized `UnitTime`.
+    pub mean_unit_time_ms: f64,
+    /// Instances completed.
+    pub completed: usize,
+    /// Queries answered from the shared cache (0 unless enabled).
+    pub cache_hits: u64,
+    /// Total virtual time of the run.
+    pub makespan: SimTime,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Arrive,
+    Db(DbEvent),
+}
+
+struct InstSlot {
+    rt: InstanceRuntime,
+    arrived: SimTime,
+    done: bool,
+}
+
+struct Driver<'a> {
+    flows: &'a [GeneratedFlow],
+    strategy: Strategy,
+    db: SimDb,
+    insts: Vec<InstSlot>,
+    /// job id → (instance index, attribute, precomputed result value).
+    jobs: HashMap<u64, (usize, AttrId, Value)>,
+    next_job: u64,
+    cfg: LoadConfig,
+    rng: StdRng,
+    responses: Tally,
+    works: Tally,
+    completed: usize,
+    /// (flow replica, attribute, input fingerprint) → cached result.
+    cache: HashMap<(usize, u32, u64), Value>,
+    cache_hits: u64,
+}
+
+fn inputs_fingerprint(inputs: &[Value]) -> u64 {
+    let mut h = 0xCAFE_F00Du64;
+    for v in inputs {
+        h = h.rotate_left(17) ^ v.fingerprint();
+    }
+    h
+}
+
+impl Driver<'_> {
+    /// Launch everything the scheduler allows for instance `i`;
+    /// zero-cost tasks complete inline, possibly enabling more
+    /// launches, so iterate to quiescence.
+    fn pump(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
+        loop {
+            if self.insts[i].done {
+                return;
+            }
+            let slot = &mut self.insts[i];
+            let schema = std::sync::Arc::clone(slot.rt.schema());
+            let in_flight = slot.rt.in_flight_count();
+            let cands = slot.rt.candidates();
+            let picks = scheduler::select(&schema, self.strategy, cands, in_flight);
+            if picks.is_empty() {
+                break;
+            }
+            let mut immediate = Vec::new();
+            for a in picks {
+                let flow_idx = i % self.flows.len();
+                let slot = &mut self.insts[i];
+                let inputs = slot.rt.launch(a);
+                let schema = slot.rt.schema();
+                let value = schema.attr(a).task.compute(&inputs);
+                let cost = schema.cost(a);
+                if self.cfg.shared_query_cache {
+                    let key = (flow_idx, a.index() as u32, inputs_fingerprint(&inputs));
+                    if let Some(hit) = self.cache.get(&key) {
+                        // Overlapping data: the answer is known; skip
+                        // the database round-trip entirely.
+                        self.cache_hits += 1;
+                        immediate.push((a, hit.clone()));
+                        continue;
+                    }
+                    self.cache.insert(key, value.clone());
+                }
+                let id = self.next_job;
+                self.next_job += 1;
+                let job = QueryJob { id, cost };
+                match self.db.submit(job, sched, &Ev::Db) {
+                    Some(_c) => immediate.push((a, value)),
+                    None => {
+                        self.jobs.insert(id, (i, a, value));
+                    }
+                }
+            }
+            for (a, v) in immediate {
+                self.insts[i].rt.complete(a, v);
+            }
+            self.check_done(i, sched);
+        }
+        self.check_done(i, sched);
+    }
+
+    fn check_done(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
+        let slot = &mut self.insts[i];
+        if !slot.done && slot.rt.is_complete() {
+            slot.done = true;
+            let resp = sched.now().saturating_sub(slot.arrived);
+            if i >= self.cfg.warmup_instances {
+                self.responses.add(resp.as_millis_f64());
+                self.works.add(slot.rt.metrics().work as f64);
+            }
+            self.completed += 1;
+            if self.completed == self.cfg.total_instances {
+                sched.stop();
+            }
+        }
+    }
+}
+
+impl Model for Driver<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrive => {
+                let i = self.insts.len();
+                let flow = &self.flows[i % self.flows.len()];
+                let rt = InstanceRuntime::new(
+                    std::sync::Arc::clone(&flow.schema),
+                    self.strategy,
+                    &flow.sources,
+                )
+                .expect("generated flows bind all sources");
+                self.insts.push(InstSlot {
+                    rt,
+                    arrived: sched.now(),
+                    done: false,
+                });
+                if self.insts.len() < self.cfg.total_instances {
+                    let mean = SimTime::from_secs_f64(1.0 / self.cfg.arrival_rate_per_sec);
+                    let gap = exp_time(&mut self.rng, mean);
+                    sched.schedule_in(gap, Ev::Arrive);
+                }
+                self.pump(i, sched);
+            }
+            Ev::Db(dbev) => {
+                if let Some(c) = self.db.handle(dbev, sched, &Ev::Db) {
+                    let (i, attr, value) = self
+                        .jobs
+                        .remove(&c.job.id)
+                        .expect("completion for unknown job");
+                    self.insts[i].rt.complete(attr, value);
+                    self.check_done(i, sched);
+                    self.pump(i, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Run an open-load experiment: Poisson arrivals over the given flow
+/// replicas (round-robin), one shared simulated database.
+pub fn run_open_load(
+    flows: &[GeneratedFlow],
+    strategy: Strategy,
+    db_cfg: DbConfig,
+    cfg: LoadConfig,
+) -> LoadOutcome {
+    assert!(!flows.is_empty(), "need at least one flow");
+    assert!(cfg.total_instances > 0, "need at least one instance");
+    assert!(
+        cfg.warmup_instances < cfg.total_instances,
+        "warmup must leave instances to measure"
+    );
+    assert!(
+        cfg.arrival_rate_per_sec > 0.0,
+        "arrival rate must be positive"
+    );
+    let driver = Driver {
+        flows,
+        strategy,
+        db: SimDb::new(db_cfg, cfg.seed.wrapping_mul(0x9E37_79B9)),
+        insts: Vec::with_capacity(cfg.total_instances),
+        jobs: HashMap::new(),
+        next_job: 0,
+        cfg,
+        rng: StdRng::seed_from_u64(cfg.seed),
+        responses: Tally::new(),
+        works: Tally::new(),
+        completed: 0,
+        cache: HashMap::new(),
+        cache_hits: 0,
+    };
+    let mut sim = Simulation::new(driver);
+    sim.prime(SimTime::ZERO, Ev::Arrive);
+    // A stop is requested when the last instance completes; Exhausted
+    // can only happen if every instance finished with no events left
+    // (e.g. all targets disabled at init).
+    let _ = sim.run();
+    let makespan = sim.now();
+    let d = sim.into_model();
+    assert_eq!(
+        d.completed, d.cfg.total_instances,
+        "run ended before all instances completed"
+    );
+    LoadOutcome {
+        responses_ms: d.responses,
+        work_units: d.works,
+        mean_gmpl: d.db.mean_gmpl(),
+        mean_unit_time_ms: d.db.unit_times().mean() * 1e3,
+        completed: d.completed,
+        cache_hits: d.cache_hits,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dflowgen::{generate, PatternParams};
+
+    fn flows(n: u64, params: PatternParams) -> Vec<GeneratedFlow> {
+        (0..n)
+            .map(|i| generate(params, 1000 + i).unwrap())
+            .collect()
+    }
+
+    fn small() -> PatternParams {
+        PatternParams {
+            nb_nodes: 16,
+            nb_rows: 4,
+            pct_enabled: 75,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn completes_all_instances() {
+        let fl = flows(4, small());
+        let out = run_open_load(
+            &fl,
+            "PCE100".parse().unwrap(),
+            DbConfig::default(),
+            LoadConfig {
+                arrival_rate_per_sec: 5.0,
+                total_instances: 40,
+                warmup_instances: 10,
+                seed: 3,
+                shared_query_cache: false,
+            },
+        );
+        assert_eq!(out.completed, 40);
+        assert_eq!(out.responses_ms.count(), 30, "post-warmup instances");
+        assert!(out.responses_ms.mean() > 0.0);
+        assert!(out.mean_gmpl > 0.0);
+        assert!(out.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let fl = flows(2, small());
+        let cfg = LoadConfig {
+            arrival_rate_per_sec: 5.0,
+            total_instances: 20,
+            warmup_instances: 5,
+            seed: 9,
+            shared_query_cache: false,
+        };
+        let a = run_open_load(&fl, "PSE100".parse().unwrap(), DbConfig::default(), cfg);
+        let b = run_open_load(&fl, "PSE100".parse().unwrap(), DbConfig::default(), cfg);
+        assert_eq!(a.responses_ms.mean(), b.responses_ms.mean());
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn higher_load_raises_response_time() {
+        let fl = flows(3, small());
+        let base = LoadConfig {
+            arrival_rate_per_sec: 2.0,
+            total_instances: 60,
+            warmup_instances: 15,
+            seed: 5,
+            shared_query_cache: false,
+        };
+        let quiet = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), base);
+        let busy = run_open_load(
+            &fl,
+            "PCE100".parse().unwrap(),
+            DbConfig::default(),
+            LoadConfig {
+                arrival_rate_per_sec: 25.0,
+                ..base
+            },
+        );
+        assert!(
+            busy.responses_ms.mean() > quiet.responses_ms.mean(),
+            "contention must raise response: {} vs {}",
+            busy.responses_ms.mean(),
+            quiet.responses_ms.mean()
+        );
+        assert!(busy.mean_gmpl > quiet.mean_gmpl);
+    }
+
+    #[test]
+    fn parallel_strategy_beats_sequential_at_light_load() {
+        let fl = flows(3, small());
+        let cfg = LoadConfig {
+            arrival_rate_per_sec: 1.0,
+            total_instances: 30,
+            warmup_instances: 5,
+            seed: 12,
+            shared_query_cache: false,
+        };
+        let seq = run_open_load(&fl, "PCE0".parse().unwrap(), DbConfig::default(), cfg);
+        let par = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), cfg);
+        assert!(
+            par.responses_ms.mean() < seq.responses_ms.mean(),
+            "parallelism wins when the DB is idle: {} vs {}",
+            par.responses_ms.mean(),
+            seq.responses_ms.mean()
+        );
+    }
+
+    #[test]
+    fn shared_cache_offloads_the_database() {
+        // One flow replica + identical sources per instance: every
+        // query after the first instance is answerable from cache.
+        let fl = flows(1, small());
+        let base = LoadConfig {
+            arrival_rate_per_sec: 6.0,
+            total_instances: 80,
+            warmup_instances: 20,
+            seed: 77,
+            shared_query_cache: false,
+        };
+        let cold = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), base);
+        let cached = run_open_load(
+            &fl,
+            "PCE100".parse().unwrap(),
+            DbConfig::default(),
+            LoadConfig {
+                shared_query_cache: true,
+                ..base
+            },
+        );
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cached.cache_hits > 0, "overlapping data must hit the cache");
+        assert!(
+            cached.mean_gmpl < cold.mean_gmpl,
+            "cache offloads the DB: gmpl {} vs {}",
+            cached.mean_gmpl,
+            cold.mean_gmpl
+        );
+        assert!(
+            cached.responses_ms.mean() < cold.responses_ms.mean(),
+            "cache cuts response time: {} vs {}",
+            cached.responses_ms.mean(),
+            cold.responses_ms.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must leave")]
+    fn bad_warmup_rejected() {
+        let fl = flows(1, small());
+        run_open_load(
+            &fl,
+            "PCE0".parse().unwrap(),
+            DbConfig::default(),
+            LoadConfig {
+                total_instances: 5,
+                warmup_instances: 5,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Guideline maps (Figure 8): for a bound on Work, the minimum
+//! achievable TimeInUnits and the execution program achieving it.
+//!
+//! A guideline map is built from a sweep of strategies over a schema
+//! pattern: each strategy contributes a `(Work, TimeInUnits)` point;
+//! the map is the lower envelope — "given a fixed amount of work that
+//! can be performed, what is the best response time possible and how
+//! can we obtain it?" (§4, Optimization Goals).
+
+use decisionflow::engine::Strategy;
+use serde::{Deserialize, Serialize};
+
+/// One strategy's average performance on a pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StrategyPoint {
+    /// The execution program.
+    pub strategy: Strategy,
+    /// Mean work, units of processing per instance.
+    pub work: f64,
+    /// Mean response time, units of processing.
+    pub time_units: f64,
+}
+
+/// The lower envelope of strategy points: minT as a function of the
+/// Work budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GuidelineMap {
+    /// Pareto frontier, sorted by ascending work; time strictly
+    /// decreases along it.
+    frontier: Vec<StrategyPoint>,
+}
+
+impl GuidelineMap {
+    /// Build from an arbitrary set of measured strategy points.
+    pub fn from_points(mut points: Vec<StrategyPoint>) -> GuidelineMap {
+        points.retain(|p| p.work.is_finite() && p.time_units.is_finite());
+        points.sort_by(|a, b| {
+            a.work
+                .partial_cmp(&b.work)
+                .expect("finite")
+                .then(a.time_units.partial_cmp(&b.time_units).expect("finite"))
+        });
+        let mut frontier: Vec<StrategyPoint> = Vec::new();
+        for p in points {
+            match frontier.last() {
+                Some(last) if p.time_units >= last.time_units => {
+                    // Dominated: costs more work, no faster.
+                }
+                _ => {
+                    // Same work as the previous point? keep the faster.
+                    if let Some(last) = frontier.last_mut() {
+                        if (last.work - p.work).abs() < f64::EPSILON {
+                            *last = p;
+                            continue;
+                        }
+                    }
+                    frontier.push(p);
+                }
+            }
+        }
+        GuidelineMap { frontier }
+    }
+
+    /// The Pareto frontier (ascending work, descending time).
+    pub fn frontier(&self) -> &[StrategyPoint] {
+        &self.frontier
+    }
+
+    /// Minimum achievable TimeInUnits within a Work budget, and the
+    /// program achieving it. `None` when no strategy fits the budget
+    /// ("no implementation can guarantee a work limit of 25 units with
+    /// schemas of 8 rows", Figure 8(b)).
+    pub fn min_time_for_work(&self, work_budget: f64) -> Option<StrategyPoint> {
+        self.frontier
+            .iter()
+            .take_while(|p| p.work <= work_budget)
+            .last()
+            .copied()
+    }
+}
+
+/// A tuning recommendation: the program minimizing *predicted*
+/// TimeInSeconds at a target throughput (§5, second application of
+/// Equation (6) — the procedure of Figure 9(b) graphs (a)–(c)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    /// The chosen program and its unit-time profile.
+    pub point: StrategyPoint,
+    /// Predicted response time, milliseconds.
+    pub predicted_ms: f64,
+    /// Unit time at the operating point, milliseconds.
+    pub unit_time_ms: f64,
+}
+
+/// Combine a guideline map with the analytic model: for each frontier
+/// program, solve the (Lmpl-corrected) Equation (6) and predict
+/// `minT(W) × UnitTime(W)`; return the feasible minimum. `None` when
+/// every frontier program saturates the database at `th_per_sec`.
+pub fn recommend_program(
+    db: &crate::DbFunction,
+    map: &GuidelineMap,
+    th_per_sec: f64,
+) -> Option<Recommendation> {
+    let mut best: Option<Recommendation> = None;
+    for p in map.frontier() {
+        let lmpl = (p.work / p.time_units).max(1.0);
+        let Some(u) = crate::solve_unit_time_with_lmpl(db, th_per_sec, p.work, lmpl).stable_ms()
+        else {
+            continue;
+        };
+        let predicted = u * p.time_units;
+        if best.as_ref().is_none_or(|b| predicted < b.predicted_ms) {
+            best = Some(Recommendation {
+                point: *p,
+                predicted_ms: predicted,
+                unit_time_ms: u,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(s: &str, work: f64, time: f64) -> StrategyPoint {
+        StrategyPoint {
+            strategy: s.parse().unwrap(),
+            work,
+            time_units: time,
+        }
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points() {
+        let map = GuidelineMap::from_points(vec![
+            sp("PCE0", 40.0, 40.0),
+            sp("PCE100", 42.0, 18.0),
+            sp("PSE100", 55.0, 15.0),
+            sp("NCE0", 60.0, 60.0),   // dominated: more work, slower
+            sp("NSC100", 70.0, 16.0), // dominated by PSE100
+        ]);
+        let works: Vec<f64> = map.frontier().iter().map(|p| p.work).collect();
+        assert_eq!(works, vec![40.0, 42.0, 55.0]);
+        // Times strictly decrease along the frontier.
+        let times: Vec<f64> = map.frontier().iter().map(|p| p.time_units).collect();
+        assert!(times.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn budget_lookup_picks_best_affordable() {
+        let map = GuidelineMap::from_points(vec![
+            sp("PCE0", 40.0, 40.0),
+            sp("PCE100", 42.0, 18.0),
+            sp("PSE100", 55.0, 15.0),
+        ]);
+        assert_eq!(map.min_time_for_work(39.0), None, "nothing fits");
+        let p = map.min_time_for_work(41.0).unwrap();
+        assert_eq!(p.strategy.to_string(), "PCE0");
+        let p = map.min_time_for_work(50.0).unwrap();
+        assert_eq!(p.strategy.to_string(), "PCE100");
+        let p = map.min_time_for_work(1000.0).unwrap();
+        assert_eq!(p.strategy.to_string(), "PSE100");
+        assert_eq!(p.time_units, 15.0);
+    }
+
+    #[test]
+    fn equal_work_keeps_faster_point() {
+        let map =
+            GuidelineMap::from_points(vec![sp("PCE100", 40.0, 30.0), sp("PCC100", 40.0, 20.0)]);
+        assert_eq!(map.frontier().len(), 1);
+        assert_eq!(map.frontier()[0].time_units, 20.0);
+        assert_eq!(map.frontier()[0].strategy.to_string(), "PCC100");
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let map =
+            GuidelineMap::from_points(vec![sp("PCE0", f64::NAN, 1.0), sp("PCE100", 10.0, 5.0)]);
+        assert_eq!(map.frontier().len(), 1);
+    }
+
+    #[test]
+    fn empty_map_returns_none() {
+        let map = GuidelineMap::from_points(vec![]);
+        assert!(map.frontier().is_empty());
+        assert_eq!(map.min_time_for_work(100.0), None);
+    }
+
+    fn flat_db() -> crate::DbFunction {
+        crate::DbFunction::from_points(&[
+            simdb::DbPoint {
+                gmpl: 1.0,
+                unit_time_ms: 10.0,
+            },
+            simdb::DbPoint {
+                gmpl: 10.0,
+                unit_time_ms: 10.0,
+            },
+            simdb::DbPoint {
+                gmpl: 30.0,
+                unit_time_ms: 30.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn recommendation_prefers_time_at_light_load() {
+        // Flat Db at light load: prediction ∝ minT, so the fastest
+        // frontier program wins regardless of its extra work.
+        let map = GuidelineMap::from_points(vec![
+            sp("PCE0", 40.0, 40.0),
+            sp("PCE100", 42.0, 18.0),
+            sp("PSE100", 55.0, 15.0),
+        ]);
+        let r = recommend_program(&flat_db(), &map, 0.1).unwrap();
+        assert_eq!(r.point.strategy.to_string(), "PSE100");
+        assert!((r.predicted_ms - 150.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn recommendation_avoids_saturating_programs() {
+        // At a throughput where only the small-work program is stable,
+        // the recommendation must fall back to it.
+        let db = crate::DbFunction::from_points(&[
+            simdb::DbPoint {
+                gmpl: 1.0,
+                unit_time_ms: 10.0,
+            },
+            simdb::DbPoint {
+                gmpl: 2.0,
+                unit_time_ms: 40.0,
+            }, // steep
+        ]);
+        let map = GuidelineMap::from_points(vec![sp("PCE0", 3.0, 3.0), sp("PSE100", 500.0, 1.0)]);
+        let r = recommend_program(&db, &map, 2.0).unwrap();
+        assert_eq!(r.point.strategy.to_string(), "PCE0");
+        // And when nothing is feasible: None.
+        assert!(recommend_program(&db, &map, 10_000.0).is_none());
+    }
+}

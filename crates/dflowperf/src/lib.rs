@@ -1,0 +1,49 @@
+//! # dflowperf — performance toolkit for decision flows
+//!
+//! Everything §5 of Hull et al. (ICDE 2000) needs beyond the engine
+//! itself:
+//!
+//! * [`unit_sweep`] / [`guideline_for_pattern`] — infinite-resource
+//!   experiment sweeps (Figures 5–7) and guideline maps (Figure 8);
+//! * [`DbFunction`] — the empirical `Db` curve (Figure 9(a)),
+//!   interpolated from `simdb` measurements;
+//! * [`solve_unit_time`], [`max_work_for_throughput`],
+//!   [`predict_response_ms`] — the analytical model, Equations (1)–(6);
+//! * [`run_open_load`] — the finite-resource driver: Poisson instance
+//!   arrivals over a shared simulated database, measuring
+//!   TimeInSeconds (Figure 9(b), graph (d)).
+//!
+//! ```
+//! use dflowperf::{DbFunction, solve_unit_time, max_work_for_throughput};
+//! use simdb::DbPoint;
+//!
+//! let db = DbFunction::from_points(&[
+//!     DbPoint { gmpl: 1.0, unit_time_ms: 12.5 },
+//!     DbPoint { gmpl: 16.0, unit_time_ms: 45.0 },
+//! ]);
+//! // At 10 instances/second, how much work per instance can the DB afford?
+//! let bound = max_work_for_throughput(&db, 10.0, 10_000);
+//! assert!(bound > 0);
+//! // And the predicted unit time when each instance performs 20 units:
+//! let u = solve_unit_time(&db, 10.0, 20.0).stable_ms().unwrap();
+//! assert!(u >= 12.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dbfunc;
+mod driver;
+mod guideline;
+mod model;
+mod sweep;
+
+pub use dbfunc::DbFunction;
+pub use driver::{run_open_load, LoadConfig, LoadOutcome};
+pub use guideline::{recommend_program, GuidelineMap, Recommendation, StrategyPoint};
+pub use model::{
+    max_work_for_throughput, predict_response_ms, solve_unit_time, solve_unit_time_with_lmpl,
+    stable_gmpl, UnitTimeSolution,
+};
+pub use sweep::{
+    guideline_for_pattern, portfolio, unit_sweep, unit_sweep_with_options, SweepResult,
+};

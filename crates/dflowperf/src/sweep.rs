@@ -1,0 +1,213 @@
+//! Unit-time experiment sweeps: average Work and TimeInUnits of a
+//! strategy over replicated schema patterns.
+//!
+//! The paper's Figures 5–8 plot per-strategy averages over generated
+//! schemas of a given pattern. A sweep generates `reps` flows (seeds
+//! `base_seed..base_seed+reps`), runs each under the strategy with the
+//! infinite-resource unit-time executor, and averages.
+
+use decisionflow::engine::{run_unit_time_with_options, RuntimeOptions, Strategy};
+use decisionflow::snapshot::complete_snapshot;
+use dflowgen::{generate, PatternParams};
+use serde::{Deserialize, Serialize};
+
+use crate::guideline::{GuidelineMap, StrategyPoint};
+
+/// Averaged outcome of one (pattern, strategy) cell.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The strategy measured.
+    pub strategy: Strategy,
+    /// Mean Work (units of processing per instance).
+    pub mean_work: f64,
+    /// Mean TimeInUnits.
+    pub mean_time: f64,
+    /// Mean wasted work (speculation discarded), units.
+    pub mean_wasted: f64,
+    /// Mean number of attributes detected unneeded.
+    pub mean_unneeded: f64,
+    /// Replications.
+    pub reps: u32,
+}
+
+impl SweepResult {
+    /// Convert to a guideline-map point.
+    pub fn point(&self) -> StrategyPoint {
+        StrategyPoint {
+            strategy: self.strategy,
+            work: self.mean_work,
+            time_units: self.mean_time,
+        }
+    }
+}
+
+/// Run one (pattern, strategy) cell over `reps` replicated flows.
+///
+/// Every execution is checked against the declarative oracle — a sweep
+/// whose engine diverges from the complete snapshot panics, so the
+/// performance numbers in every figure are backed by verified-correct
+/// runs.
+pub fn unit_sweep(
+    params: PatternParams,
+    strategy: Strategy,
+    reps: u32,
+    base_seed: u64,
+) -> SweepResult {
+    unit_sweep_with_options(params, strategy, reps, base_seed, RuntimeOptions::default())
+}
+
+/// [`unit_sweep`] with engine ablation options (e.g. backward
+/// propagation disabled).
+pub fn unit_sweep_with_options(
+    params: PatternParams,
+    strategy: Strategy,
+    reps: u32,
+    base_seed: u64,
+    options: RuntimeOptions,
+) -> SweepResult {
+    assert!(reps > 0, "at least one replication");
+    let mut work = 0.0;
+    let mut time = 0.0;
+    let mut wasted = 0.0;
+    let mut unneeded = 0.0;
+    for i in 0..reps {
+        let flow = generate(params, base_seed + i as u64).expect("valid pattern");
+        let out = run_unit_time_with_options(&flow.schema, strategy, &flow.sources, options)
+            .expect("engine progress");
+        let snap = complete_snapshot(&flow.schema, &flow.sources).expect("oracle");
+        assert!(
+            out.runtime.agrees_with(&snap),
+            "strategy {strategy} diverged from declarative semantics on seed {}",
+            base_seed + i as u64
+        );
+        work += out.metrics.work as f64;
+        time += out.time_units as f64;
+        wasted += out.metrics.wasted_work as f64;
+        unneeded += out.metrics.unneeded_detected as f64;
+    }
+    let n = reps as f64;
+    SweepResult {
+        strategy,
+        mean_work: work / n,
+        mean_time: time / n,
+        mean_wasted: wasted / n,
+        mean_unneeded: unneeded / n,
+        reps,
+    }
+}
+
+/// Build the guideline map of a pattern (Figure 8) from a strategy set.
+pub fn guideline_for_pattern(
+    params: PatternParams,
+    strategies: &[Strategy],
+    reps: u32,
+    base_seed: u64,
+) -> GuidelineMap {
+    let points = strategies
+        .iter()
+        .map(|&s| unit_sweep(params, s, reps, base_seed).point())
+        .collect();
+    GuidelineMap::from_points(points)
+}
+
+/// The paper's canonical strategy portfolio for guideline maps:
+/// sequential PCE0 plus every P-option program at the given parallelism
+/// levels.
+pub fn portfolio(levels: &[u8]) -> Vec<Strategy> {
+    let mut out = vec![Strategy::pce0()];
+    for &p in levels {
+        for spec in [false, true] {
+            for heur in ["E", "C"] {
+                let s: Strategy = format!("P{}{}{}", if spec { 'S' } else { 'C' }, heur, p)
+                    .parse()
+                    .expect("well-formed strategy string");
+                out.push(s);
+            }
+        }
+    }
+    out.sort_by_key(|s| s.to_string());
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PatternParams {
+        PatternParams {
+            nb_nodes: 16,
+            nb_rows: 4,
+            pct_enabled: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let s: Strategy = "PCE0".parse().unwrap();
+        let a = unit_sweep(small(), s, 5, 100);
+        let b = unit_sweep(small(), s, 5, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn propagation_never_does_more_work_sequentially() {
+        let p = unit_sweep(small(), "PCE0".parse().unwrap(), 10, 7);
+        let n = unit_sweep(small(), "NCE0".parse().unwrap(), 10, 7);
+        assert!(
+            p.mean_work <= n.mean_work + 1e-9,
+            "P work {} must not exceed N work {}",
+            p.mean_work,
+            n.mean_work
+        );
+        assert!(p.mean_unneeded > 0.0, "pruning should fire at 50% enabled");
+    }
+
+    #[test]
+    fn parallelism_reduces_time_not_work_conservative() {
+        let seq = unit_sweep(small(), "PCE0".parse().unwrap(), 10, 7);
+        let par = unit_sweep(small(), "PCE100".parse().unwrap(), 10, 7);
+        assert!(par.mean_time < seq.mean_time);
+        assert!(
+            (par.mean_work - seq.mean_work).abs() < 3.0,
+            "conservative parallelism leaves work nearly unchanged: {} vs {}",
+            par.mean_work,
+            seq.mean_work
+        );
+    }
+
+    #[test]
+    fn speculation_adds_work() {
+        let cons = unit_sweep(small(), "PCE100".parse().unwrap(), 10, 7);
+        let spec = unit_sweep(small(), "PSE100".parse().unwrap(), 10, 7);
+        assert!(spec.mean_work >= cons.mean_work);
+        assert!(spec.mean_time <= cons.mean_time + 1e-9);
+        assert!(
+            spec.mean_wasted > 0.0,
+            "at 50% enabled some speculation wastes"
+        );
+    }
+
+    #[test]
+    fn guideline_map_has_nonempty_frontier() {
+        let map = guideline_for_pattern(small(), &portfolio(&[100]), 5, 11);
+        assert!(!map.frontier().is_empty());
+        // The cheapest-work point is the sequential conservative one.
+        let first = map.frontier()[0];
+        assert!(!first.strategy.speculative);
+    }
+
+    #[test]
+    fn portfolio_contains_canonical_programs() {
+        let p = portfolio(&[40, 100]);
+        let names: Vec<String> = p.iter().map(|s| s.to_string()).collect();
+        for expect in ["PCE0", "PCE40", "PSC100", "PSE100", "PCC40"] {
+            assert!(names.contains(&expect.to_string()), "missing {expect}");
+        }
+        // No duplicates.
+        let mut sorted = names.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,142 @@
+//! Database simulation parameters (the last six rows of Table 1).
+
+use desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Service-time distribution of the CPU and disk servers.
+///
+/// \[ACL87\]-style studies (and CSIM models generally) draw service
+/// demands from a distribution; `Exponential` reproduces the smooth
+/// load curve of the paper's Figure 9(a). `Deterministic` is useful in
+/// tests that assert exact virtual timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ServiceDist {
+    /// Exponentially distributed service times with the configured mean.
+    #[default]
+    Exponential,
+    /// Constant service times equal to the configured mean.
+    Deterministic,
+}
+
+/// Physical parameters of the simulated database server.
+///
+/// Defaults reproduce Table 1 of the paper: 4 CPUs, 10 disks, one unit
+/// of CPU cost and one IO page per unit of processing, 50% buffer hit
+/// probability, 5 ms IO delay. `cpu_slice_ms` — the CPU service time of
+/// one unit of CPU cost — is not listed in Table 1; 10 ms makes the
+/// empirical `Db` function span the 10–100 ms range shown in Figure
+/// 9(a) over Gmpl ∈ [1, 35].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DbConfig {
+    /// Number of CPU servers (`num_CPUs`).
+    pub num_cpus: usize,
+    /// Number of disk servers (`num_disks`).
+    pub num_disks: usize,
+    /// Units of CPU consumed per unit of processing (`unit_CPU_cost`).
+    pub unit_cpu_cost: u32,
+    /// IO pages accessed per unit of processing (`unit_IO_cost`).
+    pub unit_io_pages: u32,
+    /// Probability an accessed page hits the buffer pool (`%IO_hit`).
+    pub io_hit_prob: f64,
+    /// Disk service time per page miss, in milliseconds (`IO_delay`).
+    pub io_delay_ms: f64,
+    /// CPU service time of one unit of CPU cost, in milliseconds.
+    pub cpu_slice_ms: f64,
+    /// Service-time distribution of CPUs and disks.
+    pub service_dist: ServiceDist,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            num_cpus: 4,
+            num_disks: 10,
+            unit_cpu_cost: 1,
+            unit_io_pages: 1,
+            io_hit_prob: 0.5,
+            io_delay_ms: 5.0,
+            cpu_slice_ms: 10.0,
+            service_dist: ServiceDist::Exponential,
+        }
+    }
+}
+
+impl DbConfig {
+    /// CPU service time of one unit of processing.
+    pub fn cpu_service(&self) -> SimTime {
+        SimTime::from_millis_f64(self.cpu_slice_ms * self.unit_cpu_cost as f64)
+    }
+
+    /// Disk service time of one page miss.
+    pub fn io_service(&self) -> SimTime {
+        SimTime::from_millis_f64(self.io_delay_ms)
+    }
+
+    /// Expected service demand of one unit of processing, in
+    /// milliseconds, at zero load (no queueing): CPU plus expected IO.
+    pub fn unit_demand_ms(&self) -> f64 {
+        self.cpu_slice_ms * self.unit_cpu_cost as f64
+            + self.unit_io_pages as f64 * (1.0 - self.io_hit_prob) * self.io_delay_ms
+    }
+
+    /// Sanity-check parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cpus == 0 {
+            return Err("num_cpus must be positive".into());
+        }
+        if self.num_disks == 0 {
+            return Err("num_disks must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.io_hit_prob) {
+            return Err(format!("io_hit_prob {} outside [0,1]", self.io_hit_prob));
+        }
+        if self.io_delay_ms < 0.0 || self.cpu_slice_ms <= 0.0 {
+            return Err("service times must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = DbConfig::default();
+        assert_eq!(c.num_cpus, 4);
+        assert_eq!(c.num_disks, 10);
+        assert_eq!(c.unit_cpu_cost, 1);
+        assert_eq!(c.unit_io_pages, 1);
+        assert!((c.io_hit_prob - 0.5).abs() < 1e-12);
+        assert!((c.io_delay_ms - 5.0).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn unit_demand_is_cpu_plus_expected_io() {
+        let c = DbConfig::default();
+        // 10ms CPU + 1 page × 0.5 miss × 5ms = 12.5ms.
+        assert!((c.unit_demand_ms() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_times() {
+        let c = DbConfig::default();
+        assert_eq!(c.cpu_service(), SimTime::from_millis(10));
+        assert_eq!(c.io_service(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let bad = |f: fn(&mut DbConfig)| {
+            let mut c = DbConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.num_cpus = 0));
+        assert!(bad(|c| c.io_hit_prob = 1.5));
+        assert!(bad(|c| c.cpu_slice_ms = 0.0));
+        assert!(bad(|c| c.num_disks = 0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Decision flows as text: the schema DSL.
+//!
+//! Run with: `cargo run --example dsl_flow`
+//!
+//! Schemas are specifications (the Vortex declarative-workflow
+//! lineage): this example defines a loan pre-approval flow entirely in
+//! the textual schema language, binds its one external query to a Rust
+//! function, and executes it for a few applicants.
+
+use decision_flows::prelude::*;
+
+const LOAN_FLOW: &str = r#"
+# Loan pre-approval decision flow.
+source applicant_id
+source requested_amount
+source annual_income
+
+# Quick affordability screen: no external calls needed.
+synth affordable(requested_amount, annual_income) when true
+    = requested_amount <= annual_income * 0.4
+
+# The credit bureau dip costs real money and latency: only for
+# affordable requests.
+query credit_score(applicant_id) cost 6 when affordable
+    = extern credit_bureau
+
+# Risk banding from the score; runs even if the bureau returned null
+# (isnull fallback), because a decision must be made regardless.
+synth risk_band(credit_score) when affordable
+    = if isnull(credit_score) then "unknown"
+      else if credit_score >= 720 then "prime"
+      else if credit_score >= 620 then "near_prime"
+      else "subprime"
+
+# The target: pre-approval decision with an offered rate.
+synth decision(risk_band, requested_amount) when true
+    = if risk_band == "prime" then "approve at 5.1%"
+      else if risk_band == "near_prime" then "approve at 7.9%"
+      else if risk_band == "unknown" then "manual review"
+      else coalesce(null, "decline")
+
+target decision
+"#;
+
+fn main() {
+    let mut externs = ExternRegistry::new();
+    externs.register("credit_bureau", |inputs: &[Value]| {
+        // Synthetic bureau: derive a score from the applicant id;
+        // every 11th applicant has no file (⊥).
+        let id = inputs[0].as_f64().unwrap_or(0.0) as i64;
+        if id % 11 == 0 {
+            Value::Null
+        } else {
+            Value::Int(550 + (id * 37) % 300)
+        }
+    });
+
+    let schema = parse_schema(LOAN_FLOW, &externs).expect("flow parses");
+    println!(
+        "parsed {} attributes, {} dependency edges from {} lines of schema text\n",
+        schema.len(),
+        schema.edge_count(),
+        LOAN_FLOW.lines().count()
+    );
+
+    // Conservative strategy so the affordability screen really does
+    // gate the bureau call (speculation would prefetch it).
+    let strategy: Strategy = "PCE100".parse().unwrap();
+    for (id, amount, income) in [
+        (1003i64, 20_000.0, 90_000.0), // prime score
+        (1000, 18_000.0, 70_000.0),    // near-prime score
+        (811, 9_000.0, 40_000.0),      // subprime score
+        (1012, 10_000.0, 80_000.0),    // no bureau file: manual review
+        (1002, 50_000.0, 60_000.0),    // not affordable: bureau never called
+    ] {
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("applicant_id").unwrap(), id);
+        sv.set(schema.lookup("requested_amount").unwrap(), amount);
+        sv.set(schema.lookup("annual_income").unwrap(), income);
+
+        let snap = complete_snapshot(&schema, &sv).unwrap();
+        let out = run_unit_time(&schema, strategy, &sv).unwrap();
+        assert!(out.runtime.agrees_with(&snap));
+
+        let decision = out
+            .runtime
+            .stable_value(schema.lookup("decision").unwrap())
+            .cloned()
+            .unwrap_or(Value::Null);
+        let bureau = schema.lookup("credit_score").unwrap();
+        let bureau_note = match out.runtime.state(bureau) {
+            AttrState::Disabled => "not called (screened out)",
+            AttrState::Value if out.runtime.stable_value(bureau).is_some_and(Value::is_null) => {
+                "called, no file"
+            }
+            AttrState::Value => "called",
+            _ => "pending",
+        };
+        println!(
+            "applicant {id:>4}: {decision:<18} (work={} units, bureau {bureau_note})",
+            out.metrics.work
+        );
+    }
+}

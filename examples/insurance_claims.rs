@@ -1,0 +1,182 @@
+//! Insurance-claims triage: a customer-care decision flow (the paper
+//! names insurance claims processing as a core application of decision
+//! flows alongside e-commerce and call centers).
+//!
+//! Run with: `cargo run --example insurance_claims`
+//!
+//! The flow triages an incoming auto claim:
+//!
+//! * cheap screening queries (policy status, claim history) gate the
+//!   expensive ones (fraud scoring, adjuster search);
+//! * the fraud model is a *speculative* win: its inputs are ready
+//!   immediately but its gate (claim amount above the franchise) needs
+//!   a policy-lookup round-trip first — the `S` option overlaps them;
+//! * the triage decision itself is a weighted business-rule set.
+//!
+//! The example measures response time under all four P-option
+//! strategies at full parallelism to show the speculation trade-off.
+
+use std::sync::Arc;
+
+use decision_flows::prelude::*;
+
+fn build() -> Arc<Schema> {
+    let mut b = SchemaBuilder::new();
+    let policy_id = b.source("policy_id");
+    let claim_amount = b.source("claim_amount");
+    let incident_zip = b.source("incident_zip");
+
+    // Policy lookup: slowish master-data dip.
+    let policy = b.query("policy_lookup", 6, vec![policy_id], Expr::Lit(true), |v| {
+        let id = v[0].as_f64().unwrap_or(0.0) as i64;
+        // Synthetic policy table: status, deductible, franchise limit.
+        Value::List(vec![
+            Value::Bool(id % 7 != 0), // active?
+            Value::Float(500.0),      // deductible
+            Value::Float(2_000.0),    // franchise limit
+        ])
+    });
+    let active = b.synthesis(
+        "policy_active",
+        vec![policy],
+        Expr::Lit(true),
+        |v| match &v[0] {
+            Value::List(p) => p[0].clone(),
+            _ => Value::Bool(false),
+        },
+    );
+    let franchise = b.synthesis(
+        "franchise_limit",
+        vec![policy],
+        Expr::Lit(true),
+        |v| match &v[0] {
+            Value::List(p) => p[2].clone(),
+            _ => Value::Null,
+        },
+    );
+
+    // Claim history: cheap, gates everything downstream.
+    let history = b.query(
+        "claim_history",
+        2,
+        vec![policy_id],
+        Expr::Truthy(active),
+        |v| {
+            let id = v[0].as_f64().unwrap_or(0.0) as i64;
+            Value::Int(id % 4) // prior claims in the last 3 years
+        },
+    );
+
+    // Fraud scoring: expensive; only worthwhile for claims above the
+    // franchise. Its *data* inputs (amount, zip, history) stabilize
+    // before the franchise limit returns, so it is a prime speculative
+    // candidate.
+    let fraud = b.query(
+        "fraud_score",
+        8,
+        vec![claim_amount, incident_zip, history],
+        Expr::cmp_attrs(claim_amount, CmpOp::Gt, franchise),
+        |v| {
+            let amount = v[0].as_f64().unwrap_or(0.0);
+            let priors = v[2].as_f64().unwrap_or(0.0);
+            Value::Float((amount / 10_000.0 * 40.0 + priors * 15.0).min(100.0))
+        },
+    );
+
+    // Adjuster search: needed only for non-trivial claims.
+    let adjuster = b.query(
+        "adjuster_search",
+        4,
+        vec![incident_zip],
+        Expr::cmp_const(claim_amount, CmpOp::Gt, 1_000.0),
+        |v| {
+            Value::str(format!(
+                "adjuster-{}",
+                v[0].as_f64().unwrap_or(0.0) as i64 % 9
+            ))
+        },
+    );
+
+    // Triage decision: weighted rules over (fraud, history, amount).
+    // Rule conditions index the task's inputs: 0=fraud 1=history 2=amount.
+    let inp = AttrId::from_index;
+    let rules = RuleSet::new(
+        vec![
+            Rule::emit(Expr::cmp_const(inp(0), CmpOp::Ge, 70.0), "investigate").weighted(5.0),
+            Rule::emit(Expr::cmp_const(inp(2), CmpOp::Le, 500.0), "auto_approve").weighted(4.0),
+            Rule::emit(Expr::cmp_const(inp(1), CmpOp::Ge, 3i64), "manual_review").weighted(3.0),
+            Rule::emit(Expr::Lit(true), "standard_handling").weighted(1.0),
+        ],
+        CombiningPolicy::HighestWeight,
+        "standard_handling",
+    );
+    let triage = b.attr(
+        "triage",
+        rules.into_task(),
+        vec![fraud, history, claim_amount],
+        Expr::Truthy(active),
+    );
+
+    // Target: the routed claim decision.
+    let routed = b.synthesis("routing", vec![triage, adjuster], Expr::Lit(true), |v| {
+        if v[0].is_null() {
+            Value::str("reject: policy inactive")
+        } else {
+            Value::str(format!("{} via {}", v[0], v[1]))
+        }
+    });
+    b.mark_target(routed);
+    Arc::new(b.build().expect("claims flow is well-formed"))
+}
+
+fn main() {
+    let schema = build();
+    let claims = [
+        (
+            "small claim, active policy",
+            11i64,
+            400.0,
+            55,
+            "auto approval path",
+        ),
+        (
+            "large suspicious claim",
+            13,
+            9_500.0,
+            55,
+            "fraud model gates",
+        ),
+        ("inactive policy", 14, 3_000.0, 20, "screened out early"),
+    ];
+
+    for (label, pid, amount, zip, note) in claims {
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("policy_id").unwrap(), pid);
+        sv.set(schema.lookup("claim_amount").unwrap(), amount);
+        sv.set(schema.lookup("incident_zip").unwrap(), zip as i64);
+        let snap = complete_snapshot(&schema, &sv).unwrap();
+
+        println!("claim: {label} ({note})");
+        for strat in ["PCE100", "PSE100", "PCC100", "PSC100"] {
+            let strategy: Strategy = strat.parse().unwrap();
+            let out = run_unit_time(&schema, strategy, &sv).unwrap();
+            assert!(out.runtime.agrees_with(&snap), "oracle agreement");
+            let target = schema.lookup("routing").unwrap();
+            println!(
+                "  [{strat}] time={:>2}  work={:>2}  wasted={:>2}  -> {}",
+                out.time_units,
+                out.metrics.work,
+                out.metrics.wasted_work,
+                out.runtime
+                    .stable_value(target)
+                    .map(|v| v.to_string())
+                    .unwrap_or_default()
+            );
+        }
+        println!();
+    }
+
+    println!("speculation overlaps the fraud model with the policy lookup when");
+    println!("the claim is large (time drops), but burns its cost when the gate");
+    println!("turns out closed (wasted work on the small claim).");
+}

@@ -1,0 +1,353 @@
+//! The paper's running example (Figure 1): selecting and generating
+//! promo images for a web-based clothing storefront.
+//!
+//! Run with: `cargo run --example promo_storefront`
+//!
+//! Demonstrates:
+//! * modular schema specification and flattening (`ModularBuilder`);
+//! * database "dips" as foreign query tasks over synthetic tables;
+//! * a business-rule synthesis task for the give_promo? decision;
+//! * eager condition evaluation (the `db_load < 95` short-circuit);
+//! * backward propagation: when the customer has no expendable income
+//!   the whole promo pipeline is pruned without executing a query;
+//! * the execution log as a mining relation (§2).
+
+use std::sync::Arc;
+
+use decision_flows::decisionflow::report::{ExecutionLog, ExecutionRecord};
+use decision_flows::prelude::*;
+
+struct Storefront {
+    schema: Arc<Schema>,
+}
+
+fn build() -> Storefront {
+    let mut b = ModularBuilder::new();
+
+    // ---- Sources: the instance inputs of Figure 1 -----------------------
+    let cart_boy_items = b.source("cart_boy_items"); // # boy's items in cart
+    let cart_child_items = b.source("cart_child_items"); // # child's items
+    let bought_boy_before = b.source("bought_boy_item_prev_2y"); // bool
+    let home_zip = b.source("home_zip");
+    let db_load = b.source("db_load"); // % load on inventory DB
+    let session_promos = b.source("promos_given_this_session");
+    let income = b.source("monthly_income");
+    let expenses = b.source("monthly_expenses");
+
+    // ---- Module: boy's coat promo ---------------------------------------
+    // Enabling (Figure 1): at least one boy's item in the cart, OR at
+    // least one child's item AND a boy's purchase in the last 2 years.
+    let boys_gate = Expr::cmp_const(cart_boy_items, CmpOp::Gt, 0i64).or(Expr::cmp_const(
+        cart_child_items,
+        CmpOp::Gt,
+        0i64,
+    )
+    .and(Expr::Truthy(bought_boy_before)));
+    b.begin_module("boys_coat_promo", boys_gate);
+
+    // Database dip: current climate at the customer's home.
+    let climate = b.query("home_climate", 2, vec![home_zip], Expr::Lit(true), |v| {
+        // Synthetic weather table keyed by zip prefix.
+        match v[0].as_f64().map(|z| (z as i64) % 3) {
+            Some(0) => Value::str("cold"),
+            Some(1) => Value::str("mild"),
+            _ => Value::str("warm"),
+        }
+    });
+
+    // Hit list of appropriate coats with match scores.
+    let hit_list = b.query(
+        "coat_hit_list",
+        5,
+        vec![climate, cart_boy_items],
+        Expr::Lit(true),
+        |v| {
+            let cold = matches!(&v[0], Value::Str(s) if s.as_ref() == "cold");
+            let mut coats = vec![("parka", 88i64), ("raincoat", 61)];
+            if cold {
+                coats.push(("down_jacket", 93));
+            }
+            Value::List(
+                coats
+                    .into_iter()
+                    .map(|(n, s)| Value::List(vec![Value::str(n), Value::Int(s)]))
+                    .collect(),
+            )
+        },
+    );
+
+    // Synthesis: best match score (so the inventory gate can read it).
+    let best_score = b.synthesis("best_score", vec![hit_list], Expr::Lit(true), |v| {
+        let Value::List(coats) = &v[0] else {
+            return Value::Null;
+        };
+        coats
+            .iter()
+            .filter_map(|c| match c {
+                Value::List(pair) => pair.get(1).and_then(Value::as_f64),
+                _ => None,
+            })
+            .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a.max(s))))
+            .map(|s| Value::Int(s as i64))
+            .unwrap_or(Value::Null)
+    });
+
+    // Inventory check, gated exactly as in Figure 1: "at least one coat
+    // has score > 80 OR db load < 95%". Eager evaluation can decide
+    // this from db_load alone, before the hit list is even computed.
+    let inventory = b.query(
+        "inventory_check",
+        3,
+        vec![hit_list],
+        Expr::cmp_const(best_score, CmpOp::Gt, 80i64).or(Expr::cmp_const(
+            db_load,
+            CmpOp::Lt,
+            95i64,
+        )),
+        |v| {
+            let Value::List(coats) = &v[0] else {
+                return Value::List(vec![]);
+            };
+            // Synthetic inventory: every second coat is in stock.
+            Value::List(coats.iter().step_by(2).cloned().collect())
+        },
+    );
+
+    // Price/profit listing, gated on availability.
+    let available = b.synthesis(
+        "coats_available",
+        vec![inventory],
+        Expr::Lit(true),
+        |v| match &v[0] {
+            Value::List(c) => Value::Int(c.len() as i64),
+            _ => Value::Int(0),
+        },
+    );
+    let priced = b.query(
+        "priced_promos",
+        2,
+        vec![inventory],
+        Expr::cmp_const(available, CmpOp::Gt, 0i64),
+        |v| match &v[0] {
+            Value::List(coats) if !coats.is_empty() => Value::List(
+                coats
+                    .iter()
+                    .map(|c| Value::List(vec![c.clone(), Value::Float(59.99), Value::Float(18.0)]))
+                    .collect(),
+            ),
+            _ => Value::Null,
+        },
+    );
+    b.end_module();
+
+    // ---- Decision module --------------------------------------------------
+    let expendable = b.synthesis(
+        "customer_expendable_income",
+        vec![income, expenses],
+        Expr::Lit(true),
+        |v| {
+            let inc = v[0].as_f64().unwrap_or(0.0);
+            let exp = v[1].as_f64().unwrap_or(0.0);
+            Value::Float((inc - exp).max(0.0))
+        },
+    );
+    let promo_hits = b.synthesis(
+        "promo_hit_list",
+        vec![priced],
+        Expr::Lit(true),
+        |v| match &v[0] {
+            Value::List(l) => Value::List(l.clone()),
+            _ => Value::List(vec![]),
+        },
+    );
+
+    // give_promo?: business rules, gated on expendable income > 0
+    // (Figure 1: the presentation side is DISABLED when income is 0).
+    let rules = RuleSet::new(
+        vec![
+            // Too many promos this session: back off.
+            Rule::emit(
+                Expr::cmp_const(AttrId::from_index(1), CmpOp::Gt, 3i64),
+                false,
+            )
+            .weighted(3.0),
+            // Something to promote and budget to spend: go.
+            Rule::emit(Expr::Truthy(AttrId::from_index(0)), true).weighted(2.0),
+        ],
+        CombiningPolicy::HighestWeight,
+        false,
+    );
+    let give_promo = b.attr(
+        "give_promo",
+        rules.into_task(),
+        vec![promo_hits, session_promos],
+        Expr::cmp_const(expendable, CmpOp::Gt, 0i64),
+    );
+
+    // ---- Presentation module ----------------------------------------------
+    b.begin_module("presentation", Expr::Truthy(give_promo));
+    let images = b.query(
+        "image_retrievals",
+        3,
+        vec![promo_hits],
+        Expr::Lit(true),
+        |v| match &v[0] {
+            Value::List(l) => Value::str(format!("{} product images", l.len())),
+            _ => Value::Null,
+        },
+    );
+    let text = b.query(
+        "text_selection",
+        2,
+        vec![promo_hits],
+        Expr::Lit(true),
+        |_| Value::str("Warm coats for the season!"),
+    );
+    b.end_module();
+
+    // Target: assembled promo block for the next web page (enabled only
+    // when give_promo? = true, like the gray node of Figure 1).
+    let mut bb = b;
+    let assembly = bb.attr(
+        "image_and_text_assembly",
+        Task::synthesis(|v: &[Value]| Value::str(format!("page-block[{} | {}]", v[0], v[1]))),
+        vec![images, text],
+        Expr::Truthy(give_promo),
+    );
+    bb.mark_target(assembly);
+
+    Storefront {
+        schema: Arc::new(bb.build().expect("figure-1 flow is well-formed")),
+    }
+}
+
+struct Customer {
+    label: &'static str,
+    boy_items: i64,
+    child_items: i64,
+    bought_before: bool,
+    zip: i64,
+    db_load: i64,
+    session_promos: i64,
+    income: f64,
+    expenses: f64,
+}
+
+fn sources_for(s: &Storefront, c: &Customer) -> SourceValues {
+    let mut sv = SourceValues::new();
+    let set = |sv: &mut SourceValues, name: &str, v: Value| {
+        sv.set(s.schema.lookup(name).unwrap(), v);
+    };
+    set(&mut sv, "cart_boy_items", Value::Int(c.boy_items));
+    set(&mut sv, "cart_child_items", Value::Int(c.child_items));
+    set(
+        &mut sv,
+        "bought_boy_item_prev_2y",
+        Value::Bool(c.bought_before),
+    );
+    set(&mut sv, "home_zip", Value::Int(c.zip));
+    set(&mut sv, "db_load", Value::Int(c.db_load));
+    set(
+        &mut sv,
+        "promos_given_this_session",
+        Value::Int(c.session_promos),
+    );
+    set(&mut sv, "monthly_income", Value::Float(c.income));
+    set(&mut sv, "monthly_expenses", Value::Float(c.expenses));
+    sv
+}
+
+fn main() {
+    let store = build();
+    println!(
+        "flattened schema: {} attributes, {} dependency edges\n",
+        store.schema.len(),
+        store.schema.edge_count()
+    );
+
+    let customers = [
+        Customer {
+            label: "family shopper, cold climate, money to spend",
+            boy_items: 1,
+            child_items: 2,
+            bought_before: true,
+            zip: 30,
+            db_load: 60,
+            session_promos: 1,
+            income: 5200.0,
+            expenses: 3100.0,
+        },
+        Customer {
+            label: "no boy/child items in cart (promo module disabled)",
+            boy_items: 0,
+            child_items: 0,
+            bought_before: false,
+            zip: 11,
+            db_load: 60,
+            session_promos: 0,
+            income: 4000.0,
+            expenses: 1000.0,
+        },
+        Customer {
+            label: "no expendable income (backward propagation prunes)",
+            boy_items: 2,
+            child_items: 1,
+            bought_before: true,
+            zip: 30,
+            db_load: 60,
+            session_promos: 0,
+            income: 1800.0,
+            expenses: 2400.0,
+        },
+        Customer {
+            label: "promo-fatigued (rules say no)",
+            boy_items: 1,
+            child_items: 0,
+            bought_before: false,
+            zip: 31,
+            db_load: 60,
+            session_promos: 5,
+            income: 9000.0,
+            expenses: 2000.0,
+        },
+    ];
+
+    let strategy: Strategy = "PSE100".parse().unwrap();
+    let mut log = ExecutionLog::new();
+    for c in &customers {
+        let sv = sources_for(&store, c);
+        let snap = complete_snapshot(&store.schema, &sv).unwrap();
+        let out = run_unit_time(&store.schema, strategy, &sv).unwrap();
+        assert!(out.runtime.agrees_with(&snap));
+        let target = store.schema.lookup("image_and_text_assembly").unwrap();
+        println!("customer: {}", c.label);
+        println!(
+            "  -> {}",
+            out.runtime
+                .stable_value(target)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "(no promo)".into())
+        );
+        println!(
+            "  work={} units, time={} units, unneeded pruned={}, eager decisions={}",
+            out.metrics.work,
+            out.time_units,
+            out.metrics.unneeded_detected,
+            out.metrics.eager_decisions
+        );
+        log.push(ExecutionRecord::from_runtime(&out.runtime, out.time_units));
+    }
+
+    println!("\n--- execution log as a mining relation (§2) ---");
+    println!(
+        "give_promo disabled rate: {:.0}%  | inventory_check disabled rate: {:.0}%",
+        log.disabled_rate("give_promo") * 100.0,
+        log.disabled_rate("inventory_check") * 100.0
+    );
+    println!(
+        "mean work {:.1} units, mean time {:.1} units",
+        log.mean_work(),
+        log.mean_time()
+    );
+    println!("\ncsv sample:\n{}", log.to_csv());
+}

@@ -1,0 +1,115 @@
+//! Quickstart: build a small decision flow, execute it under two
+//! strategies, and check both against the declarative semantics.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! The flow decides which shipping offer to show a customer:
+//!
+//! ```text
+//! cart_total (source) ──────────┐
+//! loyalty_tier (source) ─────┐  │
+//!                            ▼  ▼
+//!   free_ship_eligible?  (synthesis)
+//!        │ enabling              │ enabling (negated)
+//!        ▼                       ▼
+//!   express_quote (query)   standard_quote (query)
+//!        └──────────┬────────────┘
+//!                   ▼
+//!            offer (target, synthesis)
+//! ```
+
+use std::sync::Arc;
+
+use decision_flows::prelude::*;
+
+fn build_schema() -> (Arc<Schema>, AttrId) {
+    let mut b = SchemaBuilder::new();
+    let cart_total = b.source("cart_total");
+    let loyalty = b.source("loyalty_tier");
+
+    // Synthesis: free shipping for carts over $100 or gold members.
+    let eligible = b.synthesis(
+        "free_ship_eligible",
+        vec![cart_total, loyalty],
+        Expr::Lit(true),
+        |v| {
+            let total = v[0].as_f64().unwrap_or(0.0);
+            let gold = matches!(&v[1], Value::Str(s) if s.as_ref() == "gold");
+            Value::Bool(total > 100.0 || gold)
+        },
+    );
+
+    // Two mutually exclusive quotes; each is a (simulated) database
+    // query with a cost in units of processing. Only one will run.
+    let express = b.query(
+        "express_quote",
+        4,
+        vec![cart_total],
+        Expr::Truthy(eligible),
+        |v| Value::Float(v[0].as_f64().unwrap_or(0.0) * 0.0), // free!
+    );
+    let standard = b.query(
+        "standard_quote",
+        2,
+        vec![cart_total],
+        Expr::Not(Box::new(Expr::Truthy(eligible))),
+        |v| Value::Float(5.0 + v[0].as_f64().unwrap_or(0.0) * 0.01),
+    );
+
+    // Target: whichever quote stabilized with a value wins.
+    let offer = b.synthesis("offer", vec![express, standard], Expr::Lit(true), |v| {
+        if !v[0].is_null() {
+            Value::str(format!(
+                "express shipping at ${:.2}",
+                v[0].as_f64().unwrap()
+            ))
+        } else if !v[1].is_null() {
+            Value::str(format!(
+                "standard shipping at ${:.2}",
+                v[1].as_f64().unwrap()
+            ))
+        } else {
+            Value::str("no offer")
+        }
+    });
+    b.mark_target(offer);
+    (Arc::new(b.build().expect("well-formed flow")), offer)
+}
+
+fn main() {
+    let (schema, offer) = build_schema();
+
+    for (cart, tier) in [(250.0, "silver"), (40.0, "silver"), (40.0, "gold")] {
+        let mut sources = SourceValues::new();
+        sources.set(schema.lookup("cart_total").unwrap(), cart);
+        sources.set(schema.lookup("loyalty_tier").unwrap(), tier);
+
+        // The declarative oracle: the unique complete snapshot.
+        let snapshot = complete_snapshot(&schema, &sources).expect("sources bound");
+
+        println!("cart=${cart:.0} tier={tier}:");
+        for strat in ["PCE0", "PSE100"] {
+            let strategy: Strategy = strat.parse().unwrap();
+            let out = run_unit_time(&schema, strategy, &sources).expect("no stall");
+            assert!(
+                out.runtime.agrees_with(&snapshot),
+                "every strategy implements the same declarative semantics"
+            );
+            println!(
+                "  [{strat:>6}] {:<36} work={:>2} units  time={:>2} units  launched={} wasted={}",
+                out.runtime
+                    .stable_value(offer)
+                    .map(|v| v.to_string())
+                    .unwrap_or_default(),
+                out.metrics.work,
+                out.time_units,
+                out.metrics.launched,
+                out.metrics.wasted_completions,
+            );
+        }
+    }
+
+    println!();
+    println!("note: only one of the two quote queries ever runs — the other is");
+    println!("disabled by its enabling condition, and the engine never pays for it.");
+}

@@ -1,0 +1,22 @@
+//! # decision-flows — facade crate
+//!
+//! Re-exports the full reproduction of *"Optimization Techniques for
+//! Data-Intensive Decision Flows"* (Hull, Llirbat, Kumar, Zhou, Dong,
+//! Su — ICDE 2000):
+//!
+//! * [`decisionflow`] — the decision-flow model and optimized engine;
+//! * [`dflowgen`] — Table 1 schema-pattern generator;
+//! * [`dflowperf`] — analytical model, guideline maps, load driver;
+//! * [`simdb`] — the simulated database server;
+//! * [`desim`] — the discrete-event simulation kernel.
+//!
+//! See `examples/quickstart.rs` for a guided tour and the `dflow-bench`
+//! crate for the per-figure experiment harnesses.
+
+pub use decisionflow;
+pub use desim;
+pub use dflowgen;
+pub use dflowperf;
+pub use simdb;
+
+pub use decisionflow::prelude;

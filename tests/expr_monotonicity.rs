@@ -1,0 +1,142 @@
+//! The property that makes eager condition evaluation sound (§4):
+//! Kleene evaluation is **monotone under refinement**. If a condition
+//! evaluates to a definite True/False over a partial snapshot, it
+//! evaluates to the same answer over every refinement — in particular
+//! over the complete snapshot. Were this false, the prequalifier could
+//! disable an attribute whose condition later turned true.
+
+use decision_flows::prelude::{AttrId, CmpOp, Expr, Tri, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum EPlan {
+    Lit(bool),
+    Truthy(usize),
+    IsNull(usize),
+    Cmp(usize, u8, i64),
+    CmpAttrs(usize, u8, usize),
+    Not(Box<EPlan>),
+    And(Vec<EPlan>),
+    Or(Vec<EPlan>),
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<EPlan> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(EPlan::Lit),
+        (0usize..8).prop_map(EPlan::Truthy),
+        (0usize..8).prop_map(EPlan::IsNull),
+        (0usize..8, 0u8..6, -20i64..120).prop_map(|(a, o, t)| EPlan::Cmp(a, o, t)),
+        (0usize..8, 0u8..6, 0usize..8).prop_map(|(a, o, b)| EPlan::CmpAttrs(a, o, b)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            3 => leaf,
+            1 => arb_expr(depth - 1).prop_map(|e| EPlan::Not(Box::new(e))),
+            1 => prop::collection::vec(arb_expr(depth - 1), 1..4).prop_map(EPlan::And),
+            1 => prop::collection::vec(arb_expr(depth - 1), 1..4).prop_map(EPlan::Or),
+        ]
+        .boxed()
+    }
+}
+
+fn op(o: u8) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][o as usize % 6]
+}
+
+fn compile(p: &EPlan) -> Expr {
+    let a = |i: usize| AttrId::from_index(i % 8);
+    match p {
+        EPlan::Lit(b) => Expr::Lit(*b),
+        EPlan::Truthy(i) => Expr::Truthy(a(*i)),
+        EPlan::IsNull(i) => Expr::IsNull(a(*i)),
+        EPlan::Cmp(i, o, t) => Expr::cmp_const(a(*i), op(*o), *t),
+        EPlan::CmpAttrs(i, o, j) => Expr::cmp_attrs(a(*i), op(*o), a(*j)),
+        EPlan::Not(e) => Expr::Not(Box::new(compile(e))),
+        EPlan::And(es) => Expr::And(es.iter().map(compile).collect()),
+        EPlan::Or(es) => Expr::Or(es.iter().map(compile).collect()),
+    }
+}
+
+fn value_of(code: u8) -> Value {
+    match code % 5 {
+        0 => Value::Null,
+        1 => Value::Int((code as i64 * 7) % 100 - 10),
+        2 => Value::Float((code as f64 * 3.3) % 100.0),
+        3 => Value::Bool(code.is_multiple_of(2)),
+        _ => Value::str(format!("s{}", code % 5)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Reveal the 8 attribute values one at a time in a random order;
+    /// once the expression decides, it must never change its mind.
+    #[test]
+    fn decided_verdicts_survive_refinement(
+        plan in arb_expr(3),
+        codes in prop::array::uniform8(any::<u8>()),
+        order in Just(()).prop_perturb(|_, mut rng| {
+            let mut idx: Vec<usize> = (0..8).collect();
+            for i in (1..8usize).rev() {
+                let j = (rng.next_u32() as usize) % (i + 1);
+                idx.swap(i, j);
+            }
+            idx
+        }),
+    ) {
+        let expr = compile(&plan);
+        let mut env: Vec<Option<Value>> = vec![None; 8];
+        let mut decided: Option<Tri> = None;
+        for &i in &order {
+            let verdict = expr.eval(env.as_slice());
+            if let Some(d) = decided {
+                prop_assert_eq!(verdict, d, "verdict changed after refinement");
+            } else if verdict.is_decided() {
+                decided = Some(verdict);
+            }
+            env[i] = Some(value_of(codes[i]));
+        }
+        // Fully stable environment: must be decided and consistent.
+        let fin = expr.eval(env.as_slice());
+        prop_assert!(fin.is_decided(), "stable env must decide");
+        if let Some(d) = decided {
+            prop_assert_eq!(fin, d);
+        }
+    }
+
+    /// Evaluation over a stable environment equals eval_complete.
+    #[test]
+    fn stable_eval_matches_complete(plan in arb_expr(3), codes in prop::array::uniform8(any::<u8>())) {
+        let expr = compile(&plan);
+        let env: Vec<Option<Value>> = codes.iter().map(|&c| Some(value_of(c))).collect();
+        let tri = expr.eval(env.as_slice());
+        let b = expr.eval_complete(env.as_slice());
+        prop_assert_eq!(tri.as_bool(), Some(b));
+    }
+
+    /// De Morgan duality holds under Kleene semantics at every stage of
+    /// refinement: ¬(A ∧ B) ≡ ¬A ∨ ¬B.
+    #[test]
+    fn de_morgan_under_partial_envs(a in arb_expr(2), b in arb_expr(2),
+                                    codes in prop::array::uniform8(prop::option::of(any::<u8>()))) {
+        let ea = compile(&a);
+        let eb = compile(&b);
+        let lhs = Expr::Not(Box::new(Expr::And(vec![ea.clone(), eb.clone()])));
+        let rhs = Expr::Or(vec![
+            Expr::Not(Box::new(ea)),
+            Expr::Not(Box::new(eb)),
+        ]);
+        let env: Vec<Option<Value>> = codes.iter().map(|c| c.map(value_of)).collect();
+        prop_assert_eq!(lhs.eval(env.as_slice()), rhs.eval(env.as_slice()));
+    }
+}

@@ -1,0 +1,186 @@
+//! Finite-resource integration: decision flows over the simulated
+//! database, Little's-law consistency, and analytic-model accuracy at
+//! the operating points the paper validates.
+
+use decision_flows::dflowgen::{generate, PatternParams};
+use decision_flows::dflowperf::{
+    max_work_for_throughput, run_open_load, solve_unit_time, solve_unit_time_with_lmpl, unit_sweep,
+    DbFunction, LoadConfig,
+};
+use decision_flows::prelude::Strategy;
+use decision_flows::simdb::{measure_db_function_open, DbConfig};
+
+fn pattern() -> PatternParams {
+    PatternParams {
+        nb_nodes: 64,
+        nb_rows: 4,
+        pct_enabled: 75,
+        ..Default::default()
+    }
+}
+
+fn flows(n: u64) -> Vec<decision_flows::dflowgen::GeneratedFlow> {
+    (0..n)
+        .map(|i| generate(pattern(), 7_000 + i).unwrap())
+        .collect()
+}
+
+fn calibrate() -> DbFunction {
+    let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 30.0).collect();
+    DbFunction::from_points(&measure_db_function_open(DbConfig::default(), rates, 0x71))
+}
+
+#[test]
+fn littles_law_holds_in_open_load() {
+    let fl = flows(4);
+    let st: Strategy = "PCE100".parse().unwrap();
+    let out = run_open_load(
+        &fl,
+        st,
+        DbConfig::default(),
+        LoadConfig {
+            arrival_rate_per_sec: 2.0,
+            total_instances: 250,
+            warmup_instances: 50,
+            seed: 21,
+            shared_query_cache: false,
+        },
+    );
+    // Unit-level Little's law: mean units in system = unit arrival rate
+    // × mean unit response. Unit arrival rate = Th × mean work.
+    let th = 2.0;
+    let expected_gmpl = th * out.work_units.mean() * out.mean_unit_time_ms / 1000.0;
+    let rel = (out.mean_gmpl - expected_gmpl).abs() / expected_gmpl;
+    assert!(
+        rel < 0.25,
+        "Little's law: measured Gmpl {:.2} vs Th×Work×UnitTime {:.2} ({:.0}% off)",
+        out.mean_gmpl,
+        expected_gmpl,
+        rel * 100.0
+    );
+}
+
+#[test]
+fn analytic_model_accurate_for_sequential_program() {
+    let db = calibrate();
+    // Use the same seeds for the sweep and the measured flows so the
+    // prediction describes exactly the population being measured.
+    let fl = flows(8);
+    let st: Strategy = "PCE0".parse().unwrap();
+    let th = 2.0;
+    let sweep = unit_sweep(pattern(), st, 8, 7_000);
+    let u = solve_unit_time(&db, th, sweep.mean_work)
+        .stable_ms()
+        .unwrap();
+    let predicted = u * sweep.mean_time;
+    let out = run_open_load(
+        &fl,
+        st,
+        DbConfig::default(),
+        LoadConfig {
+            arrival_rate_per_sec: th,
+            total_instances: 300,
+            warmup_instances: 60,
+            seed: 9,
+            shared_query_cache: false,
+        },
+    );
+    let measured = out.responses_ms.mean();
+    let err = (predicted - measured).abs() / measured;
+    assert!(
+        err < 0.20,
+        "sequential prediction {predicted:.0}ms vs measured {measured:.0}ms ({:.0}% off)",
+        err * 100.0
+    );
+}
+
+#[test]
+fn lmpl_corrected_model_accurate_for_parallel_program() {
+    let db = calibrate();
+    let fl = flows(8);
+    let st: Strategy = "PCC100".parse().unwrap();
+    let th = 2.0;
+    let sweep = unit_sweep(pattern(), st, 8, 7_000);
+    let lmpl = (sweep.mean_work / sweep.mean_time).max(1.0);
+    let u = solve_unit_time_with_lmpl(&db, th, sweep.mean_work, lmpl)
+        .stable_ms()
+        .unwrap();
+    let predicted = u * sweep.mean_time;
+    let out = run_open_load(
+        &fl,
+        st,
+        DbConfig::default(),
+        LoadConfig {
+            arrival_rate_per_sec: th,
+            total_instances: 300,
+            warmup_instances: 60,
+            seed: 9,
+            shared_query_cache: false,
+        },
+    );
+    let measured = out.responses_ms.mean();
+    let err = (predicted - measured).abs() / measured;
+    assert!(
+        err < 0.25,
+        "Lmpl-corrected prediction {predicted:.0}ms vs measured {measured:.0}ms ({:.0}% off)",
+        err * 100.0
+    );
+    // And the plain Equation (6) under-predicts for bursty programs.
+    let plain = solve_unit_time(&db, th, sweep.mean_work)
+        .stable_ms()
+        .unwrap()
+        * sweep.mean_time;
+    assert!(
+        plain < measured,
+        "plain model underestimates parallel programs"
+    );
+}
+
+#[test]
+fn work_bound_separates_feasible_from_saturated() {
+    let db = calibrate();
+    let bound = max_work_for_throughput(&db, 10.0, 100_000);
+    assert!(bound > 0);
+    // Just inside the bound: solvable. Just outside: saturated.
+    assert!(solve_unit_time(&db, 10.0, bound as f64)
+        .stable_ms()
+        .is_some());
+    assert!(solve_unit_time(&db, 10.0, (bound + 1) as f64)
+        .stable_ms()
+        .is_none());
+    // The bound scales inversely with throughput (Gmpl = Th·W·u).
+    let bound5 = max_work_for_throughput(&db, 5.0, 100_000);
+    let ratio = bound5 as f64 / bound as f64;
+    assert!(
+        (ratio - 2.0).abs() < 0.25,
+        "halving Th should roughly double the bound: {ratio:.2}"
+    );
+}
+
+#[test]
+fn response_time_explodes_past_saturation() {
+    let fl = flows(2);
+    let st: Strategy = "PCE0".parse().unwrap();
+    let mk = |th: f64| {
+        run_open_load(
+            &fl,
+            st,
+            DbConfig::default(),
+            LoadConfig {
+                arrival_rate_per_sec: th,
+                total_instances: 150,
+                warmup_instances: 30,
+                seed: 4,
+                shared_query_cache: false,
+            },
+        )
+        .responses_ms
+        .mean()
+    };
+    let stable = mk(1.0);
+    let saturated = mk(8.0); // offered ≈ 1000 units/s > 400 units/s capacity
+    assert!(
+        saturated > stable * 3.0,
+        "saturation must blow up response: {stable:.0}ms -> {saturated:.0}ms"
+    );
+}
