@@ -24,4 +24,7 @@ pub mod unit_exec;
 pub use metrics::InstanceMetrics;
 pub use runtime::{InstanceRuntime, RuntimeOptions, Stalled};
 pub use strategy::{Heuristic, ParseStrategyError, Strategy};
-pub use unit_exec::{run_unit_time, run_unit_time_with_options, ExecError, UnitOutcome};
+pub use unit_exec::{
+    run_unit_time, run_unit_time_recorded, run_unit_time_recorded_with_options,
+    run_unit_time_with_options, ExecError, UnitOutcome,
+};

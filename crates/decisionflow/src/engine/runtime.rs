@@ -42,6 +42,7 @@ use std::sync::Arc;
 use crate::engine::metrics::InstanceMetrics;
 use crate::engine::strategy::Strategy;
 use crate::expr::{AttrView, Tri, ValueEnv};
+use crate::journal::{Event, JournalSink};
 use crate::schema::{AttrId, Schema};
 use crate::snapshot::{CompleteSnapshot, FinalState, SnapshotError, SourceValues};
 use crate::state::AttrState;
@@ -85,6 +86,9 @@ pub struct InstanceRuntime {
     /// Newly stable attributes awaiting propagation.
     stable_queue: VecDeque<AttrId>,
     metrics: InstanceMetrics,
+    /// Flight recorder for the journal subsystem. `None` (the default)
+    /// keeps the hot path at a single branch per event site.
+    sink: Option<Box<dyn JournalSink>>,
 }
 
 /// The runtime cannot make progress although targets are unstable —
@@ -138,6 +142,30 @@ impl InstanceRuntime {
         sources: &SourceValues,
         options: RuntimeOptions,
     ) -> Result<Self, SnapshotError> {
+        Self::build(schema, strategy, sources, options, None)
+    }
+
+    /// Like [`InstanceRuntime::with_options`], additionally recording
+    /// every engine control decision into `sink` — including the
+    /// eager decisions made during initialization, which is why the
+    /// sink must be supplied at construction.
+    pub fn with_options_recorded(
+        schema: Arc<Schema>,
+        strategy: Strategy,
+        sources: &SourceValues,
+        options: RuntimeOptions,
+        sink: Box<dyn JournalSink>,
+    ) -> Result<Self, SnapshotError> {
+        Self::build(schema, strategy, sources, options, Some(sink))
+    }
+
+    fn build(
+        schema: Arc<Schema>,
+        strategy: Strategy,
+        sources: &SourceValues,
+        options: RuntimeOptions,
+        sink: Option<Box<dyn JournalSink>>,
+    ) -> Result<Self, SnapshotError> {
         sources.validate(&schema)?;
         let n = schema.len();
         let mut rt = InstanceRuntime {
@@ -158,6 +186,7 @@ impl InstanceRuntime {
             in_pool: vec![false; n],
             stable_queue: VecDeque::new(),
             metrics: InstanceMetrics::new(),
+            sink,
             schema,
         };
         rt.initialize(sources);
@@ -217,6 +246,22 @@ impl InstanceRuntime {
             }
         }
         self.drain_propagation();
+    }
+
+    /// Forward an event to the journal sink, if one is attached. Call
+    /// sites guard with [`InstanceRuntime::recording`] before building
+    /// events that clone values.
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(event);
+        }
+    }
+
+    /// Is a journal sink attached?
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.sink.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -334,6 +379,10 @@ impl InstanceRuntime {
         self.in_flight[a.index()] = true;
         self.metrics.launched += 1;
         self.metrics.work += self.schema.cost(a);
+        if self.recording() {
+            let cost = self.schema.cost(a);
+            self.emit(Event::Launch { attr: a, cost });
+        }
         self.input_values(a)
     }
 
@@ -364,6 +413,12 @@ impl InstanceRuntime {
             self.in_flight[i],
             "completion for task not in flight: {a:?}"
         );
+        if self.recording() {
+            self.emit(Event::Complete {
+                attr: a,
+                value: v.clone(),
+            });
+        }
         self.in_flight[i] = false;
         // The task has produced its value: its inputs are no longer
         // needed on account of `a`.
@@ -435,6 +490,13 @@ impl InstanceRuntime {
             self.state[i]
         );
         self.state[i] = st;
+        if self.recording() {
+            self.emit(Event::Stabilized {
+                attr: a,
+                state: st,
+                value: v.clone(),
+            });
+        }
         self.values[i] = v;
         if self.target_alive[i] {
             self.target_alive[i] = false;
@@ -513,6 +575,14 @@ impl InstanceRuntime {
     fn decide_cond(&mut self, c: AttrId, verdict: bool) {
         let i = c.index();
         debug_assert_eq!(self.cond[i], Tri::Unknown);
+        if self.recording() {
+            let eager = self.pending_refs[i] > 0;
+            self.emit(Event::CondDecided {
+                attr: c,
+                verdict,
+                eager,
+            });
+        }
         self.cond[i] = Tri::from_bool(verdict);
         // The condition is settled: its referenced attributes are no
         // longer needed on account of `c`.
@@ -585,6 +655,7 @@ impl InstanceRuntime {
             // check excludes it) and need not stabilize. Its own
             // dependencies are released in turn.
             self.metrics.unneeded_detected += 1;
+            self.emit(Event::Unneeded { attr: r });
             if !std::mem::replace(&mut self.enab_edges_dead[i], true) {
                 for &x in self.schema.enabling_refs(r) {
                     self.metrics.propagation_steps += 1;

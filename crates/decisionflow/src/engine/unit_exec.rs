@@ -19,6 +19,7 @@ use crate::engine::metrics::InstanceMetrics;
 use crate::engine::runtime::{InstanceRuntime, RuntimeOptions, Stalled};
 use crate::engine::scheduler;
 use crate::engine::strategy::Strategy;
+use crate::journal::{Event, Journal, JournalWriter, SharedJournalWriter};
 use crate::schema::{AttrId, Schema};
 use crate::snapshot::{SnapshotError, SourceValues};
 use crate::value::Value;
@@ -110,10 +111,57 @@ pub fn run_unit_time_with_options(
     sources: &SourceValues,
     options: RuntimeOptions,
 ) -> Result<UnitOutcome, ExecError> {
-    let mut rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
+    let rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
+    drive(schema, strategy, rt, None)
+}
+
+/// [`run_unit_time`] with a flight recorder attached: returns the
+/// outcome together with the [`Journal`] of every control decision.
+/// `ReplayEngine::replay` on that journal reproduces the outcome's
+/// `ExecutionRecord` exactly.
+pub fn run_unit_time_recorded(
+    schema: &Arc<Schema>,
+    strategy: Strategy,
+    sources: &SourceValues,
+) -> Result<(UnitOutcome, Journal), ExecError> {
+    run_unit_time_recorded_with_options(schema, strategy, sources, RuntimeOptions::default())
+}
+
+/// [`run_unit_time_recorded`] with ablation options (recorded in the
+/// journal so replay applies them too).
+pub fn run_unit_time_recorded_with_options(
+    schema: &Arc<Schema>,
+    strategy: Strategy,
+    sources: &SourceValues,
+    options: RuntimeOptions,
+) -> Result<(UnitOutcome, Journal), ExecError> {
+    let recorder = SharedJournalWriter::new(JournalWriter::new(schema, strategy, sources));
+    recorder.set_disable_backward(options.disable_backward);
+    let rt = InstanceRuntime::with_options_recorded(
+        Arc::clone(schema),
+        strategy,
+        sources,
+        options,
+        Box::new(recorder.clone()),
+    )?;
+    let outcome = drive(schema, strategy, rt, Some(&recorder))?;
+    let journal = recorder.snapshot(outcome.time_units);
+    Ok((outcome, journal))
+}
+
+/// The three-phase loop against the unit-time calendar, optionally
+/// recording scheduling rounds into `recorder` (launches, completions
+/// and propagation events are emitted by the runtime itself).
+fn drive(
+    schema: &Arc<Schema>,
+    strategy: Strategy,
+    mut rt: InstanceRuntime,
+    recorder: Option<&SharedJournalWriter>,
+) -> Result<UnitOutcome, ExecError> {
     let mut calendar: BinaryHeap<Completion> = BinaryHeap::new();
     let mut now = 0u64;
     let mut seq = 0u64;
+    let mut round = 0u32;
 
     loop {
         if rt.is_complete() {
@@ -123,7 +171,24 @@ pub fn run_unit_time_with_options(
             break;
         }
         // Scheduling phase: launch what %Permitted allows.
-        let picks = scheduler::select(schema, strategy, rt.candidates(), rt.in_flight_count());
+        let candidates = rt.candidates();
+        let in_flight = rt.in_flight_count();
+        let picks = if let Some(rec) = recorder {
+            // Journal the round (pool + picks) before the launches it
+            // causes, so replay re-derives the same frame order.
+            let picks = scheduler::select(schema, strategy, candidates.clone(), in_flight);
+            if !candidates.is_empty() {
+                rec.record(Event::Round {
+                    round,
+                    candidates,
+                    picked: picks.clone(),
+                });
+                round += 1;
+            }
+            picks
+        } else {
+            scheduler::select(schema, strategy, candidates, in_flight)
+        };
         for a in picks {
             let inputs = rt.launch(a);
             let value = schema.attr(a).task.compute(&inputs);

@@ -1,0 +1,173 @@
+//! Structured replay-divergence reports.
+//!
+//! When [`ReplayEngine`](super::ReplayEngine) finds that re-execution
+//! disagrees with the journal — or that the journal cannot legally
+//! drive the engine at all — it returns a [`Divergence`] pinpointing
+//! the first disagreement instead of panicking. Divergences are
+//! serializable so incident tooling can ship them around.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::frame::{Clock, Frame};
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// The first point at which a replay disagreed with its journal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Logical clock of the offending frame; `None` for header-level
+    /// problems (version, schema, strategy, sources).
+    pub clock: Option<Clock>,
+    /// What went wrong.
+    pub kind: DivergenceKind,
+}
+
+/// Classification of a replay divergence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DivergenceKind {
+    /// The journal was written by an incompatible schema version.
+    VersionMismatch {
+        /// Version stamped in the journal.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The journal was captured against a different schema.
+    SchemaFingerprintMismatch {
+        /// Fingerprint stamped in the journal.
+        journal: u64,
+        /// Fingerprint of the schema offered for replay.
+        schema: u64,
+    },
+    /// The journal's strategy string does not parse.
+    BadStrategy {
+        /// The raw strategy string.
+        raw: String,
+    },
+    /// A journal source binding names no source attribute.
+    BadSources {
+        /// The underlying binding error, rendered.
+        detail: String,
+    },
+    /// The live candidate pool differs from the recorded one.
+    CandidateMismatch {
+        /// Pool recorded at capture.
+        recorded: Vec<AttrId>,
+        /// Pool computed during replay.
+        replayed: Vec<AttrId>,
+    },
+    /// The scheduler picked different tasks than recorded.
+    PickMismatch {
+        /// Picks recorded at capture.
+        recorded: Vec<AttrId>,
+        /// Picks computed during replay.
+        replayed: Vec<AttrId>,
+    },
+    /// A recorded completion targets a task that is not in flight.
+    CompletionNotInFlight {
+        /// The offending attribute.
+        attr: AttrId,
+    },
+    /// Re-running the task produced a different value than recorded
+    /// (nondeterministic task body, or a tampered journal).
+    ValueMismatch {
+        /// The attribute whose value differs.
+        attr: AttrId,
+        /// Value recorded at capture.
+        recorded: Value,
+        /// Value recomputed during replay.
+        replayed: Value,
+    },
+    /// The engine-emitted frame stream deviated from the journal.
+    FrameMismatch {
+        /// Frame recorded at capture (`None` = journal ended early).
+        recorded: Option<Box<Frame>>,
+        /// Frame emitted by replay (`None` = replay emitted nothing).
+        replayed: Option<Box<Frame>>,
+    },
+    /// A frame that only the engine can emit appeared where a driver
+    /// event (round / completion) was required.
+    UnexpectedFrame {
+        /// The offending recorded frame.
+        recorded: Box<Frame>,
+    },
+    /// The journal ended with targets still unstable — a truncated or
+    /// partial capture cannot be a complete flight record.
+    IncompleteJournal {
+        /// Names of the targets left unstable.
+        unstable_targets: Vec<String>,
+    },
+}
+
+impl Divergence {
+    /// Header-level divergence (no frame position).
+    pub(crate) fn header(kind: DivergenceKind) -> Divergence {
+        Divergence { clock: None, kind }
+    }
+
+    /// Divergence at a frame position.
+    pub(crate) fn at(clock: Clock, kind: DivergenceKind) -> Divergence {
+        Divergence {
+            clock: Some(clock),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.clock {
+            Some(c) => write!(f, "replay diverged at clock {c}: ")?,
+            None => write!(f, "replay rejected journal: ")?,
+        }
+        match &self.kind {
+            DivergenceKind::VersionMismatch { found, supported } => {
+                write!(f, "journal schema version {found}, supported {supported}")
+            }
+            DivergenceKind::SchemaFingerprintMismatch { journal, schema } => write!(
+                f,
+                "schema fingerprint {journal:#018x} does not match offered schema {schema:#018x}"
+            ),
+            DivergenceKind::BadStrategy { raw } => {
+                write!(f, "unparseable strategy {raw:?}")
+            }
+            DivergenceKind::BadSources { detail } => {
+                write!(f, "source bindings invalid: {detail}")
+            }
+            DivergenceKind::CandidateMismatch { recorded, replayed } => write!(
+                f,
+                "candidate pool mismatch: recorded {recorded:?}, replayed {replayed:?}"
+            ),
+            DivergenceKind::PickMismatch { recorded, replayed } => write!(
+                f,
+                "scheduler pick mismatch: recorded {recorded:?}, replayed {replayed:?}"
+            ),
+            DivergenceKind::CompletionNotInFlight { attr } => {
+                write!(f, "completion for {attr:?} which is not in flight")
+            }
+            DivergenceKind::ValueMismatch {
+                attr,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "task value mismatch for {attr:?}: recorded {recorded}, replayed {replayed}"
+            ),
+            DivergenceKind::FrameMismatch { recorded, replayed } => write!(
+                f,
+                "frame stream mismatch: recorded {recorded:?}, replayed {replayed:?}"
+            ),
+            DivergenceKind::UnexpectedFrame { recorded } => write!(
+                f,
+                "engine-only frame where a driver event was required: {recorded:?}"
+            ),
+            DivergenceKind::IncompleteJournal { unstable_targets } => {
+                write!(f, "journal ends with unstable targets {unstable_targets:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}

@@ -1,0 +1,144 @@
+//! Journal capture: sinks that turn emitted events into frames.
+//!
+//! [`JournalWriter`] is the single-threaded recorder; the cloneable
+//! [`SharedJournalWriter`] wraps it in a mutex for the multi-threaded
+//! server path (events there are already serialized by the instance
+//! lock, so contention is nil). Both stamp events with the journal's
+//! monotonic logical clock in arrival order.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::strategy::Strategy;
+use crate::journal::frame::{Clock, Event, Frame};
+use crate::journal::{schema_fingerprint, Journal, JournalSink, SCHEMA_VERSION};
+use crate::schema::Schema;
+use crate::snapshot::SourceValues;
+use crate::value::Value;
+
+/// Accumulates frames for one instance execution.
+#[derive(Debug)]
+pub struct JournalWriter {
+    strategy: String,
+    disable_backward: bool,
+    fingerprint: u64,
+    sources: Vec<(String, Value)>,
+    frames: Vec<Frame>,
+    clock: Clock,
+}
+
+impl JournalWriter {
+    /// Start a journal for one instance of `schema` under `strategy`.
+    ///
+    /// `sources` must be the exact bindings the instance runs with;
+    /// they are embedded in the journal so replay needs nothing else.
+    pub fn new(schema: &Schema, strategy: Strategy, sources: &SourceValues) -> JournalWriter {
+        let mut bound: Vec<(String, Value)> = Vec::with_capacity(schema.sources().len());
+        for &s in schema.sources() {
+            if let Some(v) = sources.get(s) {
+                bound.push((schema.attr(s).name.clone(), v.clone()));
+            }
+        }
+        JournalWriter {
+            strategy: strategy.to_string(),
+            disable_backward: false,
+            fingerprint: schema_fingerprint(schema),
+            sources: bound,
+            frames: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Record that backward propagation was disabled (ablation runs).
+    pub fn set_disable_backward(&mut self, disabled: bool) {
+        self.disable_backward = disabled;
+    }
+
+    /// Frames recorded so far.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Next clock value (= number of frames recorded).
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Freeze the frames recorded so far into a [`Journal`], stamping
+    /// the driver-reported response time (`time` is in the driver's
+    /// unit — processing units for the unit-time executor, 0 for the
+    /// server). Non-consuming, because recording may legitimately
+    /// continue past the snapshot point: on the server, speculative
+    /// stragglers can land after the result is sent.
+    pub fn snapshot(&self, time: u64) -> Journal {
+        Journal {
+            version: SCHEMA_VERSION,
+            strategy: self.strategy.clone(),
+            disable_backward: self.disable_backward,
+            schema_fingerprint: self.fingerprint,
+            sources: self.sources.clone(),
+            time,
+            frames: self.frames.clone(),
+        }
+    }
+}
+
+impl JournalSink for JournalWriter {
+    fn record(&mut self, event: Event) {
+        let clock = self.clock;
+        self.clock += 1;
+        self.frames.push(Frame { clock, event });
+    }
+}
+
+/// Cloneable, thread-safe handle over a [`JournalWriter`].
+///
+/// The engine side holds one clone as its `JournalSink`; the driver
+/// side keeps another to extract the journal when the instance
+/// finishes.
+#[derive(Clone, Debug)]
+pub struct SharedJournalWriter(Arc<Mutex<JournalWriter>>);
+
+impl SharedJournalWriter {
+    /// Wrap a writer for shared use.
+    pub fn new(writer: JournalWriter) -> SharedJournalWriter {
+        SharedJournalWriter(Arc::new(Mutex::new(writer)))
+    }
+
+    /// Number of frames recorded so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().frames.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone of the frame at `index`, if recorded.
+    pub fn frame(&self, index: usize) -> Option<Frame> {
+        self.0.lock().frames.get(index).cloned()
+    }
+
+    /// Record a driver event directly (scheduling rounds).
+    pub fn record(&self, event: Event) {
+        self.0.lock().record(event);
+    }
+
+    /// See [`JournalWriter::set_disable_backward`].
+    pub fn set_disable_backward(&self, disabled: bool) {
+        self.0.lock().set_disable_backward(disabled);
+    }
+
+    /// Snapshot the journal at this instant (frames cloned).
+    pub fn snapshot(&self, time: u64) -> Journal {
+        self.0.lock().snapshot(time)
+    }
+}
+
+impl JournalSink for SharedJournalWriter {
+    fn record(&mut self, event: Event) {
+        self.0.lock().record(event);
+    }
+}

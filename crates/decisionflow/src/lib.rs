@@ -71,6 +71,7 @@
 //! | [`snapshot`] | declarative semantics: the complete snapshot oracle |
 //! | [`state`] | the 7-state attribute automaton (paper Figure 3) |
 //! | [`engine`] | prequalifier (Propagation Algorithm), scheduler, executor |
+//! | [`journal`] | deterministic capture/replay flight recorder + divergence detection |
 //! | [`rules`] | business-rule synthesis framework |
 //! | [`report`] | execution audit trail → nested-relation export |
 //! | [`server`] | the multi-threaded execution module of §3 (Figure 2) |
@@ -81,6 +82,7 @@
 pub mod dsl;
 pub mod engine;
 pub mod expr;
+pub mod journal;
 pub mod report;
 pub mod rules;
 pub mod schema;
@@ -94,13 +96,18 @@ pub mod value;
 pub mod prelude {
     pub use crate::dsl::{parse_schema, DslError, ExternRegistry};
     pub use crate::engine::{
-        run_unit_time, run_unit_time_with_options, ExecError, Heuristic, InstanceMetrics,
-        InstanceRuntime, RuntimeOptions, Strategy, UnitOutcome,
+        run_unit_time, run_unit_time_recorded, run_unit_time_with_options, ExecError, Heuristic,
+        InstanceMetrics, InstanceRuntime, RuntimeOptions, Strategy, UnitOutcome,
     };
     pub use crate::expr::{CmpOp, Expr, Term, Tri};
+    pub use crate::journal::{
+        Divergence, DivergenceKind, Journal, JournalError, JournalSink, ReplayEngine, ReplayOutcome,
+    };
     pub use crate::rules::{CombiningPolicy, Rule, RuleAction, RuleSet};
     pub use crate::schema::{AttrId, ModularBuilder, Schema, SchemaBuilder, SchemaError};
-    pub use crate::server::{EngineServer, InstanceHandle, InstanceResult, SubmitError};
+    pub use crate::server::{
+        EngineServer, InstanceHandle, InstanceResult, RecordedHandle, ServerGone, SubmitError,
+    };
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;
     pub use crate::task::{Cost, Task};

@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{InstanceMetrics, InstanceRuntime};
+use crate::journal::{Event, Journal};
 use crate::state::AttrState;
 use crate::value::Value;
 
@@ -246,6 +247,74 @@ impl ExecutionLog {
     }
 }
 
+/// Render a journal in the nested-relation audit format of §2: one
+/// outer tuple per instance with a nested `frames` relation, exactly
+/// the shape a designer would mine for flow refinements or feed to an
+/// incident report.
+///
+/// ```text
+/// (strategy: PCE0, version: 1, schema: 0x…, time: 5, frames: {
+///   (clock: 0, event: stable, attr: a0, …),
+///   …
+/// })
+/// ```
+pub fn journal_audit(journal: &Journal) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "(strategy: {}, version: {}, schema: {:#018x}, time: {}, sources: {{",
+        journal.strategy, journal.version, journal.schema_fingerprint, journal.time
+    );
+    for (i, (name, v)) in journal.sources.iter().enumerate() {
+        let _ = write!(out, "{}({name}: {v})", if i > 0 { ", " } else { "" });
+    }
+    out.push_str("}, frames: {\n");
+    for frame in &journal.frames {
+        let _ = write!(
+            out,
+            "  (clock: {}, event: {}",
+            frame.clock,
+            frame.event.tag()
+        );
+        match &frame.event {
+            Event::Round {
+                round,
+                candidates,
+                picked,
+            } => {
+                let _ = write!(
+                    out,
+                    ", round: {round}, candidates: {candidates:?}, picked: {picked:?}"
+                );
+            }
+            Event::Launch { attr, cost } => {
+                let _ = write!(out, ", attr: {attr:?}, cost: {cost}");
+            }
+            Event::Complete { attr, value } => {
+                let _ = write!(out, ", attr: {attr:?}, value: {value}");
+            }
+            Event::CondDecided {
+                attr,
+                verdict,
+                eager,
+            } => {
+                let _ = write!(out, ", attr: {attr:?}, verdict: {verdict}, eager: {eager}");
+            }
+            Event::Unneeded { attr } => {
+                let _ = write!(out, ", attr: {attr:?}");
+            }
+            Event::Stabilized { attr, state, value } => {
+                let _ = write!(out, ", attr: {attr:?}, state: {state:?}, value: {value}");
+            }
+        }
+        out.push_str("),\n");
+    }
+    out.push_str("})\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +421,37 @@ mod tests {
             )),
             "expected MostlyEnabled(offer): {found:?}"
         );
+    }
+
+    #[test]
+    fn journal_audit_renders_nested_relation() {
+        use crate::engine::run_unit_time_recorded;
+        let mut b = SchemaBuilder::new();
+        let s = b.source("income");
+        let q = b.attr(
+            "offer",
+            Task::const_query(2, "gold"),
+            vec![],
+            Expr::cmp_const(s, CmpOp::Gt, 100i64),
+        );
+        let t = b.synthesis("decision", vec![q], Expr::Lit(true), |v| v[0].clone());
+        b.mark_target(t);
+        let schema = Arc::new(b.build().unwrap());
+        let mut sv = SourceValues::new();
+        sv.set(s, 500i64);
+        let (_, journal) =
+            run_unit_time_recorded(&schema, "PCE0".parse::<Strategy>().unwrap(), &sv).unwrap();
+        let audit = journal_audit(&journal);
+        assert!(audit.starts_with("(strategy: PCE0, version: 1,"));
+        assert!(audit.contains("sources: {(income: 500)}"));
+        assert!(audit.contains("event: round"));
+        assert!(audit.contains("event: launch"));
+        assert!(audit.contains("event: complete"));
+        assert!(audit.contains("event: stable"));
+        assert!(audit.trim_end().ends_with("})"));
+        // One line per frame inside the nested relation.
+        let frame_lines = audit.lines().filter(|l| l.starts_with("  (clock:")).count();
+        assert_eq!(frame_lines, journal.frames.len());
     }
 
     #[test]

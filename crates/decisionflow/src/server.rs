@@ -30,6 +30,7 @@
 //! by this module's tests under real concurrency).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +38,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::engine::{scheduler, InstanceRuntime, Strategy};
+use crate::journal::{Journal, JournalWriter, SharedJournalWriter};
 use crate::report::ExecutionRecord;
 use crate::schema::{AttrId, Schema};
 use crate::snapshot::{SnapshotError, SourceValues};
@@ -50,6 +52,19 @@ pub struct InstanceResult {
     pub elapsed: Duration,
 }
 
+/// The server (and its worker pool) was dropped before the instance
+/// completed; its result is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerGone;
+
+impl std::fmt::Display for ServerGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine server dropped before instance completion")
+    }
+}
+
+impl std::error::Error for ServerGone {}
+
 /// Handle to a submitted instance.
 pub struct InstanceHandle {
     rx: Receiver<InstanceResult>,
@@ -62,15 +77,38 @@ impl std::fmt::Debug for InstanceHandle {
 }
 
 impl InstanceHandle {
-    /// Block until the instance completes.
-    pub fn wait(self) -> InstanceResult {
-        self.rx
-            .recv()
-            .expect("server dropped before instance completion")
+    /// Block until the instance completes. Returns [`ServerGone`]
+    /// (instead of panicking) when the server was dropped first.
+    pub fn wait(self) -> Result<InstanceResult, ServerGone> {
+        self.rx.recv().map_err(|_| ServerGone)
     }
 
     /// Non-blocking poll.
     pub fn try_wait(&self) -> Option<InstanceResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Handle to a submitted instance with journal capture enabled.
+pub struct RecordedHandle {
+    rx: Receiver<(InstanceResult, Journal)>,
+}
+
+impl std::fmt::Debug for RecordedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordedHandle").finish_non_exhaustive()
+    }
+}
+
+impl RecordedHandle {
+    /// Block until the instance completes; yields the result together
+    /// with the captured [`Journal`].
+    pub fn wait(self) -> Result<(InstanceResult, Journal), ServerGone> {
+        self.rx.recv().map_err(|_| ServerGone)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<(InstanceResult, Journal)> {
         self.rx.try_recv().ok()
     }
 }
@@ -118,16 +156,38 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Close the channel; workers drain remaining jobs and exit.
         self.tx.take();
+        let me = std::thread::current().id();
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            // A panicking job can make its own worker thread drop the
+            // last pool handle; joining ourselves would deadlock (and
+            // panicking here, mid-unwind, would abort the process).
+            if w.thread().id() != me {
+                let _ = w.join();
+            }
         }
     }
+}
+
+/// Where a finished instance's result goes — with or without the
+/// captured journal.
+enum CompletionTx {
+    Plain(Sender<InstanceResult>),
+    Recorded {
+        tx: Sender<(InstanceResult, Journal)>,
+        recorder: SharedJournalWriter,
+    },
 }
 
 struct Instance {
     runtime: Mutex<InstanceRuntime>,
     started: Instant,
-    done_tx: Sender<InstanceResult>,
+    done_tx: CompletionTx,
+    /// Set once the first completed pump has sent the result, so later
+    /// pumps (racing workers, speculative stragglers) don't resend.
+    finished: Mutex<bool>,
+    /// Scheduling-round counter for journaled instances (only ever
+    /// touched under the runtime lock; atomic for `&self` access).
+    rounds: AtomicU32,
 }
 
 /// The multi-threaded decision-flow execution server.
@@ -178,56 +238,139 @@ impl EngineServer {
         self.schemas.read().keys().cloned().collect()
     }
 
+    fn schema_for(&self, schema_name: &str) -> Result<Arc<Schema>, SubmitError> {
+        self.schemas
+            .read()
+            .get(schema_name)
+            .cloned()
+            .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))
+    }
+
+    fn start(&self, runtime: InstanceRuntime, done_tx: CompletionTx) -> Arc<Instance> {
+        let inst = Arc::new(Instance {
+            runtime: Mutex::new(runtime),
+            started: Instant::now(),
+            done_tx,
+            finished: Mutex::new(false),
+            rounds: AtomicU32::new(0),
+        });
+        // Kick off the first scheduling round.
+        Self::pump(&self.pool, &inst);
+        inst
+    }
+
     /// Submit a new flow instance; returns immediately with a handle.
     pub fn submit(
         &self,
         schema_name: &str,
         sources: SourceValues,
     ) -> Result<InstanceHandle, SubmitError> {
-        let schema = self
-            .schemas
-            .read()
-            .get(schema_name)
-            .cloned()
-            .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))?;
+        let schema = self.schema_for(schema_name)?;
         let runtime =
             InstanceRuntime::new(schema, self.strategy, &sources).map_err(SubmitError::Sources)?;
         let (done_tx, done_rx) = unbounded();
-        let inst = Arc::new(Instance {
-            runtime: Mutex::new(runtime),
-            started: Instant::now(),
-            done_tx,
-        });
-        // Kick off the first scheduling round.
-        Self::pump(&self.pool, &inst);
+        self.start(runtime, CompletionTx::Plain(done_tx));
         Ok(InstanceHandle { rx: done_rx })
+    }
+
+    /// Submit a new flow instance with the flight recorder attached:
+    /// the handle yields the [`Journal`] alongside the result. The
+    /// journal contains the complete completion-delivery order, so
+    /// `ReplayEngine::replay` reproduces this concurrent execution's
+    /// `ExecutionRecord` exactly — single-threaded and without wall
+    /// clocks.
+    pub fn submit_recorded(
+        &self,
+        schema_name: &str,
+        sources: SourceValues,
+    ) -> Result<RecordedHandle, SubmitError> {
+        let schema = self.schema_for(schema_name)?;
+        let recorder =
+            SharedJournalWriter::new(JournalWriter::new(&schema, self.strategy, &sources));
+        let runtime = InstanceRuntime::with_options_recorded(
+            schema,
+            self.strategy,
+            &sources,
+            crate::engine::RuntimeOptions::default(),
+            Box::new(recorder.clone()),
+        )
+        .map_err(SubmitError::Sources)?;
+        let (done_tx, done_rx) = unbounded();
+        self.start(
+            runtime,
+            CompletionTx::Recorded {
+                tx: done_tx,
+                recorder,
+            },
+        );
+        Ok(RecordedHandle { rx: done_rx })
     }
 
     /// One scheduling round under the instance lock; dispatches the
     /// selected tasks to the worker pool.
     fn pump(pool: &Arc<WorkerPool>, inst: &Arc<Instance>) {
         let mut launches: Vec<(AttrId, Vec<crate::value::Value>)> = Vec::new();
-        let mut finished: Option<InstanceResult> = None;
+        let mut finished: Option<(InstanceResult, Option<Journal>)> = None;
         {
             let mut rt = inst.runtime.lock();
             if rt.is_complete() {
-                finished = Some(InstanceResult {
-                    record: ExecutionRecord::from_runtime(&rt, 0),
-                    elapsed: inst.started.elapsed(),
-                });
+                // Racing pumps may observe completion concurrently;
+                // only the first sends (and snapshots the journal, so
+                // journal and record match frame-for-frame).
+                let mut sent = inst.finished.lock();
+                if !*sent {
+                    *sent = true;
+                    let result = InstanceResult {
+                        record: ExecutionRecord::from_runtime(&rt, 0),
+                        elapsed: inst.started.elapsed(),
+                    };
+                    let journal = match &inst.done_tx {
+                        // Journals are wall-clock free: time stays 0,
+                        // matching the record built above.
+                        CompletionTx::Recorded { recorder, .. } => Some(recorder.snapshot(0)),
+                        CompletionTx::Plain(_) => None,
+                    };
+                    finished = Some((result, journal));
+                }
             } else {
                 let schema = Arc::clone(rt.schema());
                 let in_flight = rt.in_flight_count();
                 let cands = rt.candidates();
-                for a in scheduler::select(&schema, rt.strategy(), cands, in_flight) {
-                    let inputs = rt.launch(a);
-                    launches.push((a, inputs));
+                match &inst.done_tx {
+                    CompletionTx::Recorded { recorder, .. } if !cands.is_empty() => {
+                        let picks =
+                            scheduler::select(&schema, rt.strategy(), cands.clone(), in_flight);
+                        let round = inst.rounds.fetch_add(1, Ordering::Relaxed);
+                        recorder.record(crate::journal::Event::Round {
+                            round,
+                            candidates: cands,
+                            picked: picks.clone(),
+                        });
+                        for a in picks {
+                            let inputs = rt.launch(a);
+                            launches.push((a, inputs));
+                        }
+                    }
+                    _ => {
+                        for a in scheduler::select(&schema, rt.strategy(), cands, in_flight) {
+                            let inputs = rt.launch(a);
+                            launches.push((a, inputs));
+                        }
+                    }
                 }
             }
         }
-        if let Some(result) = finished {
+        if let Some((result, journal)) = finished {
             // Ignore send failure: the caller may have dropped the handle.
-            let _ = inst.done_tx.send(result);
+            match (&inst.done_tx, journal) {
+                (CompletionTx::Plain(tx), _) => {
+                    let _ = tx.send(result);
+                }
+                (CompletionTx::Recorded { tx, .. }, Some(j)) => {
+                    let _ = tx.send((result, j));
+                }
+                (CompletionTx::Recorded { .. }, None) => unreachable!("journal snapshotted above"),
+            }
             return;
         }
         for (attr, inputs) in launches {
@@ -299,7 +442,7 @@ mod tests {
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
         let snap = complete_snapshot(&schema, &sv).unwrap();
-        let result = server.submit("flow", sv).unwrap().wait();
+        let result = server.submit("flow", sv).unwrap().wait().unwrap();
         let t = result.record.outcome("t").unwrap();
         assert_eq!(t.state, AttrState::Value);
         assert_eq!(
@@ -323,7 +466,7 @@ mod tests {
             handles.push(server.submit("flow", sv).unwrap());
         }
         for (h, exp) in handles.into_iter().zip(expected) {
-            let r = h.wait();
+            let r = h.wait().unwrap();
             assert_eq!(r.record.outcome("t").unwrap().value.as_ref(), Some(&exp));
         }
     }
@@ -344,7 +487,7 @@ mod tests {
         server.register("gated", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
-        let r = server.submit("gated", sv).unwrap().wait();
+        let r = server.submit("gated", sv).unwrap().wait().unwrap();
         assert_eq!(r.record.outcome("t").unwrap().state, AttrState::Disabled);
         assert_eq!(r.record.metrics.work, 0);
     }
@@ -377,13 +520,61 @@ mod tests {
             let mut sv = SourceValues::new();
             sv.set(schema.lookup("s").unwrap(), 10i64);
             let snap = complete_snapshot(&schema, &sv).unwrap();
-            let r = server.submit("flow", sv).unwrap().wait();
+            let r = server.submit("flow", sv).unwrap().wait().unwrap();
             assert_eq!(
                 r.record.outcome("t").unwrap().value.as_ref(),
                 Some(snap.value(schema.lookup("t").unwrap())),
                 "strategy {strat}"
             );
         }
+    }
+
+    #[test]
+    fn recorded_server_run_replays_deterministically() {
+        use crate::journal::ReplayEngine;
+        let schema = slow_schema(20);
+        let server = EngineServer::new(4, "PSE100".parse().unwrap());
+        server.register("flow", Arc::clone(&schema));
+        for i in 0..6i64 {
+            let mut sv = SourceValues::new();
+            sv.set(schema.lookup("s").unwrap(), i * 25);
+            let snap = complete_snapshot(&schema, &sv).unwrap();
+            let (result, journal) = server.submit_recorded("flow", sv).unwrap().wait().unwrap();
+            // The journal replays the concurrent run single-threaded,
+            // landing on the identical record.
+            let replayed = ReplayEngine::new(Arc::clone(&schema), journal.clone())
+                .unwrap()
+                .replay()
+                .unwrap_or_else(|d| panic!("instance {i}: {d}"));
+            assert_eq!(replayed.record, result.record, "instance {i}");
+            assert_eq!(replayed.journal, journal, "instance {i}");
+            assert!(replayed.runtime.agrees_with(&snap), "instance {i}");
+            // And the journal survives a serialization round trip.
+            let json = journal.to_json();
+            assert_eq!(crate::journal::Journal::from_json(&json).unwrap(), journal);
+        }
+    }
+
+    #[test]
+    fn wait_reports_server_gone_instead_of_panicking() {
+        // A task that kills its worker thread: with a single worker the
+        // instance can never complete and its channel is dropped.
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.attr(
+            "t",
+            Task::query(1, |_ins: &[Value]| panic!("worker down")),
+            vec![s],
+            Expr::Lit(true),
+        );
+        b.mark_target(t);
+        let schema = Arc::new(b.build().unwrap());
+        let server = EngineServer::new(1, "PCE0".parse().unwrap());
+        server.register("doomed", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        let handle = server.submit("doomed", sv).unwrap();
+        assert_eq!(handle.wait().map(|_| ()), Err(ServerGone));
     }
 
     #[test]
@@ -397,7 +588,7 @@ mod tests {
                                                   // Server still works for the next instance.
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 10i64);
-        let r = server.submit("flow", sv).unwrap().wait();
+        let r = server.submit("flow", sv).unwrap().wait().unwrap();
         assert!(r.record.outcome("t").is_some());
     }
 }

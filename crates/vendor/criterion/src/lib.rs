@@ -1,0 +1,228 @@
+//! Minimal `criterion` shim.
+//!
+//! Implements the bench-authoring API this repository uses —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`],
+//! [`criterion_group!`] / [`criterion_main!`] — with a simple
+//! wall-clock median over a fixed number of timed batches. No
+//! statistics engine, no HTML reports; results print to stdout as
+//! `group/bench  median  iters/batch`.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    batches: u32,
+    iters_per_batch: u64,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median batch duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes
+        // roughly 5ms per batch, capped to keep total time bounded.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(5) || iters >= 1 << 20 {
+                self.iters_per_batch = iters;
+                break;
+            }
+            iters *= 2;
+        }
+        let mut samples: Vec<Duration> = (0..self.batches)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_batch {
+                    black_box(routine());
+                }
+                start.elapsed() / self.iters_per_batch as u32
+            })
+            .collect();
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { batches: 7 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(self.batches, &id.to_string(), None, f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Shrink or grow the number of timed batches (compat no-op knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.batches = (n as u32).clamp(3, 50);
+        self
+    }
+
+    /// Compat knob; the shim keeps its own fixed batch budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(
+            self.criterion.batches,
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(
+            self.criterion.batches,
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(batches: u32, label: &str, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        batches,
+        iters_per_batch: 1,
+        last: None,
+    };
+    f(&mut b);
+    match b.last {
+        Some(t) => {
+            let tp = match tp {
+                Some(Throughput::Elements(n)) if t.as_nanos() > 0 => {
+                    format!("  ({:.1} Melem/s)", n as f64 / t.as_nanos() as f64 * 1e3)
+                }
+                Some(Throughput::Bytes(n)) if t.as_nanos() > 0 => {
+                    format!("  ({:.1} MiB/s)", n as f64 / t.as_nanos() as f64 * 953.7)
+                }
+                _ => String::new(),
+            };
+            println!("bench {label:<48} {t:>12.3?}{tp}");
+        }
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring the
+/// real criterion macro's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+}

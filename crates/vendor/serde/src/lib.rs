@@ -1,0 +1,724 @@
+//! Minimal `serde` shim.
+//!
+//! Real serde is unavailable offline, so this crate provides the small
+//! serialization core this repository needs:
+//!
+//! * a self-describing [`Content`] tree (the data model);
+//! * [`Serialize`] / [`Deserialize`] traits mapping types to/from
+//!   `Content`, with derive macros re-exported from `serde_derive`
+//!   (externally-tagged enums, exactly like serde_json's default);
+//! * a [`json`] module rendering `Content` to a canonical JSON string
+//!   and parsing it back, giving byte-for-byte round-trips.
+//!
+//! The derive macros keep the usual spelling —
+//! `#[derive(Serialize, Deserialize)]` — so swapping the real serde
+//! back in is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The self-describing data model every serializable value maps into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when a value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered string-keyed map (struct fields, enum payloads).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// View as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view across `I64`/`U64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(i) => Some(*i),
+            Content::U64(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view across `I64`/`U64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(u) => Some(*u),
+            Content::I64(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Floating view across all numeric contents.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(f) => Some(*f),
+            Content::I64(i) => Some(*i as f64),
+            Content::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of this content's shape (for errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Free-form error.
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+
+    /// "expected X while deserializing T" error.
+    pub fn expected(what: &str, ty: &str) -> Error {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Look up a struct field in a map content (derive helper).
+pub fn map_field<'a>(m: &'a [(String, Content)], key: &str) -> Result<&'a Content, Error> {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field {key:?}")))
+}
+
+/// Types that can render themselves into the [`Content`] data model.
+pub trait Serialize {
+    /// Convert to content.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Convert from content.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let i = c.as_i64().ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let u = c.as_u64().ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(u).map_err(|_| Error::msg(format!("{u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.as_f64().ok_or_else(|| Error::expected("number", "f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(Arc::from)
+            .ok_or_else(|| Error::expected("string", "Arc<str>"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let s = c.as_seq().ok_or_else(|| Error::expected("sequence", "tuple"))?;
+                let expect = [$(stringify!($n)),+].len();
+                if s.len() != expect {
+                    return Err(Error::msg(format!(
+                        "tuple length {} != {expect}", s.len()
+                    )));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+pub mod json {
+    //! Canonical JSON rendering of the [`Content`](super::Content) tree.
+    //!
+    //! Deterministic output (map order preserved, floats via Rust's
+    //! shortest-round-trip formatter), so equal values serialize to
+    //! byte-identical strings.
+
+    use super::{Content, Deserialize, Error, Serialize};
+
+    /// Serialize a value to its canonical JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_content(&value.to_content(), &mut out);
+        out
+    }
+
+    /// Parse a value back from JSON.
+    pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+        T::from_content(&parse(s)?)
+    }
+
+    /// Parse JSON text into a raw [`Content`] tree.
+    pub fn parse(s: &str) -> Result<Content, Error> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::msg(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    fn write_content(c: &Content, out: &mut String) {
+        match c {
+            Content::Null => out.push_str("null"),
+            Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Content::I64(i) => out.push_str(&i.to_string()),
+            Content::U64(u) => out.push_str(&u.to_string()),
+            Content::F64(f) => {
+                if f.is_finite() {
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    // JSON has no NaN/±inf; encode as tagged strings.
+                    out.push_str(if f.is_nan() {
+                        "\"__f64::NaN\""
+                    } else if *f > 0.0 {
+                        "\"__f64::inf\""
+                    } else {
+                        "\"__f64::-inf\""
+                    });
+                }
+            }
+            Content::Str(s) => write_str(s, out),
+            Content::Seq(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_content(v, out);
+                }
+                out.push(']');
+            }
+            Content::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    write_content(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_str(s: &str, out: &mut String) {
+        out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while let Some(b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::msg(format!(
+                    "expected {:?} at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn literal(&mut self, lit: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<Content, Error> {
+            self.skip_ws();
+            match self.peek() {
+                None => Err(Error::msg("unexpected end of input")),
+                Some(b'n') => {
+                    if self.literal("null") {
+                        Ok(Content::Null)
+                    } else {
+                        Err(Error::msg("invalid literal"))
+                    }
+                }
+                Some(b't') => {
+                    if self.literal("true") {
+                        Ok(Content::Bool(true))
+                    } else {
+                        Err(Error::msg("invalid literal"))
+                    }
+                }
+                Some(b'f') => {
+                    if self.literal("false") {
+                        Ok(Content::Bool(false))
+                    } else {
+                        Err(Error::msg("invalid literal"))
+                    }
+                }
+                Some(b'"') => self.string().map(|s| match s.as_str() {
+                    "__f64::NaN" => Content::F64(f64::NAN),
+                    "__f64::inf" => Content::F64(f64::INFINITY),
+                    "__f64::-inf" => Content::F64(f64::NEG_INFINITY),
+                    _ => Content::Str(s),
+                }),
+                Some(b'[') => {
+                    self.eat(b'[')?;
+                    let mut items = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Content::Seq(items));
+                    }
+                    loop {
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => {
+                                self.pos += 1;
+                            }
+                            Some(b']') => {
+                                self.pos += 1;
+                                return Ok(Content::Seq(items));
+                            }
+                            _ => return Err(Error::msg("expected ',' or ']'")),
+                        }
+                    }
+                }
+                Some(b'{') => {
+                    self.eat(b'{')?;
+                    let mut entries = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b'}') {
+                        self.pos += 1;
+                        return Ok(Content::Map(entries));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.skip_ws();
+                        self.eat(b':')?;
+                        let val = self.value()?;
+                        entries.push((key, val));
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => {
+                                self.pos += 1;
+                            }
+                            Some(b'}') => {
+                                self.pos += 1;
+                                return Ok(Content::Map(entries));
+                            }
+                            _ => return Err(Error::msg("expected ',' or '}'")),
+                        }
+                    }
+                }
+                Some(_) => self.number(),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::msg("invalid utf8"))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| Error::msg("invalid \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::msg("invalid codepoint"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(Error::msg("invalid escape")),
+                        }
+                        self.pos += 1;
+                    }
+                    _ => return Err(Error::msg("unterminated string")),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Content, Error> {
+            let start = self.pos;
+            let mut float = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'-' | b'+' | b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' => {
+                        float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::msg("invalid utf8"))?;
+            if text.is_empty() {
+                return Err(Error::msg(format!("expected value at byte {start}")));
+            }
+            if !float {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Content::I64(i));
+                }
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Content::U64(u));
+                }
+            }
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::msg(format!("invalid number {text:?}")))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn scalar_roundtrips() {
+            assert_eq!(to_string(&true), "true");
+            assert!(from_str::<bool>("true").unwrap());
+            assert_eq!(to_string(&-7i64), "-7");
+            assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+            assert_eq!(to_string(&1.5f64), "1.5");
+            assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+            assert_eq!(to_string(&u64::MAX), u64::MAX.to_string());
+            assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+            assert_eq!(to_string("a\"b\n"), "\"a\\\"b\\n\"");
+            assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+        }
+
+        #[test]
+        fn containers_roundtrip() {
+            let v = vec![Some(1i64), None, Some(-3)];
+            let s = to_string(&v);
+            assert_eq!(s, "[1,null,-3]");
+            assert_eq!(from_str::<Vec<Option<i64>>>(&s).unwrap(), v);
+
+            let pairs = vec![("a".to_string(), 1u64), ("b".to_string(), 2)];
+            let s = to_string(&pairs);
+            assert_eq!(from_str::<Vec<(String, u64)>>(&s).unwrap(), pairs);
+        }
+
+        #[test]
+        fn nonfinite_floats_roundtrip() {
+            let v = vec![f64::INFINITY, f64::NEG_INFINITY];
+            let back: Vec<f64> = from_str(&to_string(&v)).unwrap();
+            assert_eq!(back, v);
+            let nan: f64 = from_str(&to_string(&f64::NAN)).unwrap();
+            assert!(nan.is_nan());
+        }
+
+        #[test]
+        fn parse_rejects_garbage() {
+            assert!(parse("").is_err());
+            assert!(parse("{").is_err());
+            assert!(parse("[1,]").is_err());
+            assert!(parse("nul").is_err());
+            assert!(parse("1 2").is_err());
+        }
+
+        #[test]
+        fn whitespace_tolerated() {
+            let c = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+            assert_eq!(
+                c,
+                Content::Map(vec![(
+                    "a".into(),
+                    Content::Seq(vec![Content::I64(1), Content::I64(2)])
+                )])
+            );
+        }
+    }
+}

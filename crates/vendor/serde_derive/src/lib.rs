@@ -1,0 +1,469 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (no syn/quote available in
+//! this environment). Supports the shapes this repository derives:
+//! non-generic structs (named, tuple, unit) and enums (unit, tuple,
+//! and struct variants), with field/variant attributes ignored.
+//! Enums use the externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(inp) => gen_serialize(&inp)
+            .parse()
+            .expect("generated Serialize parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(inp) => gen_deserialize(&inp)
+            .parse()
+            .expect("generated Deserialize parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(trees.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = trees.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    // Generics are not supported by the shim derive.
+    if let Some(TokenTree::Punct(p)) = trees.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match item_kind.as_str() {
+        "struct" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                kind: Kind::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `attr* vis? name: Type,` repeated; returns field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Skip attributes.
+        while matches!(&trees[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 1;
+            if i < trees.len() && matches!(&trees[i], TokenTree::Group(_)) {
+                i += 1;
+            }
+        }
+        // Skip visibility.
+        if matches!(&trees[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = trees.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let fname = match trees.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':', found {other:?}")),
+        }
+        // Skip the type: consume until a top-level ',' (angle depth 0).
+        let mut angle = 0i32;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past ',' (or end)
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// Count top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_token_since_comma = true;
+    for t in &trees {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+            }
+            _ => saw_token_since_comma = true,
+        }
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < trees.len() {
+        while matches!(&trees[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 1;
+            if i < trees.len() && matches!(&trees[i], TokenTree::Group(_)) {
+                i += 1;
+            }
+        }
+        let vname = match trees.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip a possible discriminant `= expr` up to the separator.
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => break,
+                _ => i += 1,
+            }
+        }
+        i += 1; // past ','
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_content(__{f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, non_shorthand_field_patterns, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"sequence\", {name:?}))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::msg(::std::format!(\
+                 \"tuple struct {name}: expected {n} fields, got {{}}\", __s.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::map_field(__m, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"map\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __s = __v.as_seq().ok_or_else(|| \
+                                 ::serde::Error::expected(\"sequence\", {vn:?}))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::msg(::std::format!(\
+                                 \"variant {name}::{vn}: expected {n} fields, got {{}}\", \
+                                 __s.len()))); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::map_field(__m, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __m = __v.as_map().ok_or_else(|| \
+                                 ::serde::Error::expected(\"map\", {vn:?}))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown unit variant {{__other:?}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant {{__other:?}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"variant string or single-entry map\", {name:?})),\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -91,7 +91,7 @@ fn main() {
     let mut log = ExecutionLog::new();
     let mut route_counts: std::collections::BTreeMap<String, usize> = Default::default();
     for h in handles {
-        let r: InstanceResult = h.wait();
+        let r: InstanceResult = h.wait().expect("server alive");
         if let Some(v) = r.record.outcome("route").and_then(|o| o.value.clone()) {
             *route_counts.entry(v.to_string()).or_default() += 1;
         }

@@ -1,0 +1,140 @@
+//! Capture → replay → divergence detection, across all 8 strategies.
+//!
+//! Run with: `cargo run --example replay_audit`
+//!
+//! Demonstrates the execution-journal flight recorder end to end:
+//!
+//! 1. execute one promo-style decision flow under every strategy
+//!    combination, capturing a [`Journal`] of every control decision;
+//! 2. serialize each journal to JSON and load it back (schema-version
+//!    checked) — byte-identical round-trip;
+//! 3. replay each journal and verify the reproduced
+//!    `ExecutionRecord` equals the original, field for field;
+//! 4. tamper with one journal (flip a recorded task value) and show
+//!    the replay engine pinpointing the divergence at its exact
+//!    logical clock;
+//! 5. time-travel: step a journal to an intermediate frame and inspect
+//!    the runtime state mid-flight;
+//! 6. export a journal in the §2 nested-relation audit format.
+
+use std::sync::Arc;
+
+use decision_flows::decisionflow::journal::Event;
+use decision_flows::decisionflow::report::{journal_audit, ExecutionRecord};
+use decision_flows::prelude::*;
+
+/// The give_promo cascade of §4, with a speculative gate in the middle
+/// so conservative and speculative strategies genuinely differ.
+fn build_schema() -> Arc<Schema> {
+    let mut b = SchemaBuilder::new();
+    let income = b.source("expendable_income");
+    let give = b.attr(
+        "give_promo",
+        Task::const_query(2, true),
+        vec![],
+        Expr::cmp_const(income, CmpOp::Gt, 100i64),
+    );
+    let hits = b.attr(
+        "promo_hit_list",
+        Task::const_query(5, vec!["coat", "hat"]),
+        vec![],
+        Expr::Lit(true),
+    );
+    let images = b.attr(
+        "promo_images",
+        Task::query(3, |ins: &[Value]| match &ins[0] {
+            Value::List(items) if !items.is_empty() => items[0].clone(),
+            _ => Value::Null,
+        }),
+        vec![hits],
+        Expr::Truthy(give),
+    );
+    let page = b.attr(
+        "presentation",
+        Task::query(1, |ins: &[Value]| Value::str(format!("page<{}>", ins[0]))),
+        vec![images],
+        Expr::Truthy(give),
+    );
+    b.mark_target(page);
+    Arc::new(b.build().expect("valid schema"))
+}
+
+fn main() {
+    let schema = build_schema();
+    let mut sources = SourceValues::new();
+    sources.set(schema.lookup("expendable_income").unwrap(), 500i64);
+    let snap = complete_snapshot(&schema, &sources).expect("oracle");
+
+    // 1–3: capture, serialize, reload, replay — all 8 combinations.
+    println!("capture → JSON → replay, all 8 strategies at 100% parallelism:");
+    let mut sample = None;
+    for strategy in Strategy::all_at(100) {
+        let (out, journal) =
+            run_unit_time_recorded(&schema, strategy, &sources).expect("execution");
+        let original = ExecutionRecord::from_runtime(&out.runtime, out.time_units);
+
+        let json = journal.to_json();
+        let reloaded = Journal::from_json(&json).expect("version-checked load");
+        assert_eq!(reloaded, journal, "serialization round-trip");
+
+        let replayed = ReplayEngine::new(Arc::clone(&schema), reloaded)
+            .expect("journal header accepted")
+            .replay()
+            .expect("faithful replay");
+        assert_eq!(replayed.record, original, "byte-for-byte reproduction");
+        assert!(replayed.runtime.agrees_with(&snap), "oracle agreement");
+
+        println!(
+            "  {strategy:<7} work={:<3} time={:<3} frames={:<3} json={}B  replay=identical",
+            out.work(),
+            out.time_units,
+            journal.frames.len(),
+            json.len(),
+        );
+        if strategy.speculative && sample.is_none() {
+            sample = Some(journal);
+        }
+    }
+    let journal = sample.expect("a speculative journal");
+
+    // 4: tamper with a recorded completion value.
+    let mut tampered = journal.clone();
+    let idx = tampered
+        .frames
+        .iter()
+        .position(|f| matches!(f.event, Event::Complete { .. }))
+        .expect("a completion");
+    if let Event::Complete { value, .. } = &mut tampered.frames[idx].event {
+        *value = Value::str("forged");
+    }
+    let divergence = ReplayEngine::new(Arc::clone(&schema), tampered)
+        .unwrap()
+        .replay()
+        .expect_err("tampering must be caught");
+    println!("\ntampered journal detected:\n  {divergence}");
+
+    // 5: time travel to the middle of the execution.
+    let engine = ReplayEngine::new(Arc::clone(&schema), journal.clone()).unwrap();
+    let mid = journal.frames.len() as u64 / 2;
+    let rt = engine.step_to(mid).expect("partial replay");
+    println!(
+        "\nstate at logical clock {mid} (of {}):",
+        journal.frames.len()
+    );
+    for a in schema.attr_ids() {
+        println!(
+            "  {:<16} {:?}{}",
+            schema.attr(a).name,
+            rt.state(a),
+            rt.stable_value(a)
+                .map(|v| format!(" = {v}"))
+                .unwrap_or_default()
+        );
+    }
+
+    // 6: the nested-relation audit export.
+    println!(
+        "\nnested-relation audit export:\n{}",
+        journal_audit(&journal)
+    );
+}

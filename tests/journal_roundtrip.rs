@@ -1,0 +1,142 @@
+//! Journal round-trip properties over generated Table 1 flows.
+//!
+//! For random schema patterns and seeds, under **all 8 strategy
+//! combinations × %Permitted ∈ {0, 50, 100}**:
+//!
+//! * capture → replay yields an identical `ExecutionRecord` (and the
+//!   re-captured journal equals the original frame-for-frame);
+//! * the replayed runtime agrees with the `complete_snapshot` oracle;
+//! * journals survive JSON serialization byte-for-byte, and the
+//!   schema-version check rejects tampered versions.
+
+use std::sync::Arc;
+
+use decision_flows::decisionflow::journal::{
+    DivergenceKind, Event, Journal, JournalError, ReplayEngine,
+};
+use decision_flows::decisionflow::report::ExecutionRecord;
+use decision_flows::dflowgen::{generate, PatternParams};
+use decision_flows::prelude::{
+    complete_snapshot, run_unit_time_recorded, Strategy as EngineStrategy,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl proptest::strategy::Strategy<Value = (PatternParams, u64)> {
+    (
+        6usize..28, // nb_nodes
+        2usize..5,  // nb_rows
+        prop::sample::select(vec![0u32, 25, 50, 75, 100]),
+        any::<u64>(), // seed
+    )
+        .prop_map(|(nodes, rows, pct_enabled, seed)| {
+            (
+                PatternParams {
+                    nb_nodes: nodes,
+                    nb_rows: rows.min(nodes),
+                    pct_enabled,
+                    ..Default::default()
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Capture → replay is the identity on execution records, and the
+    /// oracle agrees, for every strategy and parallelism level.
+    #[test]
+    fn capture_replay_identity_all_strategies(params_seed in arb_params()) {
+        let (params, seed) = params_seed;
+        let flow = generate(params, seed).expect("valid pattern");
+        let snap = complete_snapshot(&flow.schema, &flow.sources).expect("sources bound");
+        for permitted in [0u8, 50, 100] {
+            for strategy in EngineStrategy::all_at(permitted) {
+                let (out, journal) =
+                    run_unit_time_recorded(&flow.schema, strategy, &flow.sources)
+                        .unwrap_or_else(|e| panic!("{strategy} failed: {e}"));
+                let original = ExecutionRecord::from_runtime(&out.runtime, out.time_units);
+                let replayed = ReplayEngine::new(Arc::clone(&flow.schema), journal.clone())
+                    .expect("journal header valid")
+                    .replay()
+                    .unwrap_or_else(|d| panic!("{strategy} diverged: {d}"));
+                prop_assert_eq!(&replayed.record, &original, "{} record", strategy);
+                prop_assert_eq!(&replayed.journal, &journal, "{} journal", strategy);
+                prop_assert!(
+                    replayed.runtime.agrees_with(&snap),
+                    "{} replay disagrees with oracle", strategy
+                );
+            }
+        }
+    }
+
+    /// Journals serialize/deserialize through serde byte-for-byte, and
+    /// replaying the deserialized journal still works.
+    #[test]
+    fn journal_json_roundtrip(params_seed in arb_params(),
+                              permitted in prop::sample::select(vec![0u8, 50, 100])) {
+        let (params, seed) = params_seed;
+        let flow = generate(params, seed).expect("valid pattern");
+        let strategy = EngineStrategy::new(true, true, decision_flows::prelude::Heuristic::Earliest, permitted);
+        let (_, journal) = run_unit_time_recorded(&flow.schema, strategy, &flow.sources).unwrap();
+        let json = journal.to_json();
+        let back = Journal::from_json(&json).expect("roundtrip parses");
+        prop_assert_eq!(&back, &journal);
+        prop_assert_eq!(back.to_json(), json, "canonical JSON is byte-stable");
+        let replayed = ReplayEngine::new(Arc::clone(&flow.schema), back)
+            .expect("header valid")
+            .replay()
+            .expect("deserialized journal replays");
+        prop_assert!(replayed.frames_verified == journal.frames.len());
+    }
+
+    /// A perturbed journal produces a structured divergence, never a
+    /// panic: flip one completion value, or truncate the tape.
+    #[test]
+    fn perturbed_journals_diverge_structurally(params_seed in arb_params()) {
+        let (params, seed) = params_seed;
+        let flow = generate(params, seed).expect("valid pattern");
+        let strategy: EngineStrategy = "PSE100".parse().unwrap();
+        let (_, journal) = run_unit_time_recorded(&flow.schema, strategy, &flow.sources).unwrap();
+
+        // Version tamper: rejected at load AND at replay.
+        let mut tampered = journal.clone();
+        tampered.version += 7;
+        prop_assert!(matches!(
+            Journal::from_json(&tampered.to_json()),
+            Err(JournalError::Version { .. })
+        ));
+        prop_assert!(matches!(
+            ReplayEngine::new(Arc::clone(&flow.schema), tampered).unwrap_err().kind,
+            DivergenceKind::VersionMismatch { .. }
+        ));
+
+        // Value tamper on the first completion, if any ran.
+        if let Some(idx) = journal.frames.iter()
+            .position(|f| matches!(f.event, Event::Complete { .. }))
+        {
+            let mut tampered = journal.clone();
+            if let Event::Complete { value, .. } = &mut tampered.frames[idx].event {
+                *value = decision_flows::prelude::Value::str("__tampered__");
+            }
+            let div = ReplayEngine::new(Arc::clone(&flow.schema), tampered)
+                .unwrap()
+                .replay()
+                .expect_err("tampered value must diverge");
+            prop_assert!(div.clock.is_some());
+            prop_assert!(matches!(div.kind, DivergenceKind::ValueMismatch { .. }));
+        }
+
+        // Truncation mid-tape must not replay cleanly (when the tape
+        // had any frames to lose).
+        if journal.frames.len() >= 2 {
+            let mut truncated = journal.clone();
+            truncated.frames.truncate(journal.frames.len() / 2);
+            let res = ReplayEngine::new(Arc::clone(&flow.schema), truncated)
+                .unwrap()
+                .replay();
+            prop_assert!(res.is_err(), "truncated tape replayed cleanly");
+        }
+    }
+}

@@ -50,7 +50,7 @@ fn generated_flows_on_server_match_oracle() {
             oracle.push((flow.schema, snap));
         }
         for (h, (schema, snap)) in handles.into_iter().zip(oracle) {
-            let r = h.wait();
+            let r = h.wait().unwrap();
             check(&r.record, &schema, &snap);
         }
     }
@@ -67,7 +67,7 @@ fn repeated_submissions_of_one_schema_are_independent() {
         .collect();
     let mut works = Vec::new();
     for h in handles {
-        let r = h.wait();
+        let r = h.wait().unwrap();
         check(&r.record, &flow.schema, &snap);
         works.push(r.record.metrics.work);
     }
@@ -99,6 +99,6 @@ fn server_handles_heavier_fanout_than_workers() {
         .map(|_| server.submit("f", flow.sources.clone()).unwrap())
         .collect();
     for h in handles {
-        check(&h.wait().record, &flow.schema, &snap);
+        check(&h.wait().unwrap().record, &flow.schema, &snap);
     }
 }
