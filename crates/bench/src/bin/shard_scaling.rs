@@ -1,0 +1,67 @@
+//! Shard scaling: throughput of the sharded `EngineServer` as the
+//! shard count grows, over Table-1 generated flows.
+//!
+//! A Fig-5-style sweep for the threading harness itself: each row runs
+//! one (shard count × strategy) cell through
+//! `dflowperf::run_server_load` — batched `submit_batch` submissions,
+//! wall-clock latency, per-shard gauges — and reports post-warmup
+//! instances/second, mean response, the deepest per-shard job queue
+//! observed at the end, and how many shards actually executed work.
+
+use decisionflow::engine::Strategy;
+use dflow_bench::harness::{f1, f2, ResultTable};
+use dflowgen::{generate, GeneratedFlow, PatternParams};
+use dflowperf::{run_server_load, ServerLoadConfig};
+
+fn main() {
+    let params = PatternParams {
+        nb_nodes: 32,
+        nb_rows: 4,
+        pct_enabled: 75,
+        ..Default::default()
+    };
+    let flows: Vec<GeneratedFlow> = (0..4)
+        .map(|i| generate(params, 0x5CA1E + i).expect("valid pattern"))
+        .collect();
+    let strategies: Vec<Strategy> = ["PCE0", "PCE100", "PSE100", "NCE100"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut t = ResultTable::new(
+        "Shard scaling — sharded EngineServer over Table-1 flows (nb_nodes=32)",
+        &[
+            "shards",
+            "strategy",
+            "throughput/s",
+            "mean_resp_ms",
+            "shards_used",
+            "max_queue",
+        ],
+    );
+    for &shards in &[1usize, 2, 4, 8] {
+        for &strategy in &strategies {
+            let out = run_server_load(
+                &flows,
+                strategy,
+                ServerLoadConfig {
+                    shards,
+                    workers_per_shard: 2,
+                    batch: 32,
+                    total_instances: 512,
+                    warmup_instances: 64,
+                },
+            )
+            .expect("server build");
+            assert_eq!(out.completed, 512);
+            t.row(vec![
+                shards.to_string(),
+                strategy.to_string(),
+                f1(out.throughput_per_sec),
+                f2(out.responses_ms.mean()),
+                out.shards_used.to_string(),
+                out.stats.max_queue_depth().to_string(),
+            ]);
+        }
+    }
+    t.emit("shard_scaling.csv");
+}

@@ -1,4 +1,4 @@
-//! Per-instance execution metrics.
+//! Per-instance execution metrics and per-shard server gauges.
 //!
 //! The paper's two primary measures (§5):
 //!
@@ -9,6 +9,16 @@
 //! * **TimeInUnits** — response time in abstract units of processing
 //!   (infinite-resource setting). The `TimeInSeconds` variant is
 //!   measured by the finite-resource driver in `dflowperf`.
+//!
+//! Beyond the per-instance counters, this module hosts the live
+//! observability surface of the sharded [`EngineServer`]: each shard
+//! owns a [`ShardGauges`] (lock-free atomics updated on the hot path)
+//! that snapshots into a [`ShardStats`], and the server aggregates the
+//! per-shard snapshots into a [`ServerStats`].
+//!
+//! [`EngineServer`]: crate::server::EngineServer
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +80,153 @@ impl InstanceMetrics {
     }
 }
 
+/// Live counters for one [`EngineServer`] shard, updated atomically on
+/// the submission / dispatch / completion hot paths.
+///
+/// Gauges (`queued_jobs`, `in_flight`) move both ways; the `submitted`
+/// / `completed` counters are monotone. All updates are `Relaxed`: the
+/// numbers are observability, not synchronization.
+///
+/// [`EngineServer`]: crate::server::EngineServer
+#[derive(Debug, Default)]
+pub struct ShardGauges {
+    /// Task executions sent to the shard's worker pool and not yet
+    /// picked up by a worker thread (queue depth).
+    queued_jobs: AtomicUsize,
+    /// Instances submitted to this shard that have not completed.
+    in_flight: AtomicUsize,
+    /// Total instances ever routed to this shard.
+    submitted: AtomicU64,
+    /// Total instances completed on this shard.
+    completed: AtomicU64,
+    /// Instances that died without delivering a result (a panicking
+    /// task body abandoned them).
+    abandoned: AtomicU64,
+}
+
+impl ShardGauges {
+    /// Fresh zeroed gauges.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A task execution entered the shard's job queue.
+    pub fn job_enqueued(&self) {
+        self.queued_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker thread dequeued a task execution.
+    pub fn job_dequeued(&self) {
+        self.queued_jobs.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// An instance was routed to this shard.
+    pub fn instance_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An instance completed on this shard.
+    pub fn instance_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// An instance died without delivering a result (its task body
+    /// panicked); it is no longer in flight.
+    pub fn instance_abandoned(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the gauges into a plain [`ShardStats`] record.
+    pub fn snapshot(&self, shard: usize, workers: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            workers,
+            queued_jobs: self.queued_jobs.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics for one shard of the engine server.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (`0..shard_count`).
+    pub shard: usize,
+    /// Worker threads owned by this shard.
+    pub workers: usize,
+    /// Task executions waiting in the shard's job queue.
+    pub queued_jobs: usize,
+    /// Instances routed to this shard and not yet completed.
+    pub in_flight: usize,
+    /// Total instances ever routed to this shard.
+    pub submitted: u64,
+    /// Total instances completed on this shard.
+    pub completed: u64,
+    /// Instances that died without delivering a result.
+    pub abandoned: u64,
+}
+
+/// Aggregated point-in-time statistics for a sharded engine server:
+/// one [`ShardStats`] per shard plus whole-server totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServerStats {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total worker threads across all shards.
+    pub fn workers(&self) -> usize {
+        self.shards.iter().map(|s| s.workers).sum()
+    }
+
+    /// Total queued task executions across all shards.
+    pub fn queued_jobs(&self) -> usize {
+        self.shards.iter().map(|s| s.queued_jobs).sum()
+    }
+
+    /// Total in-flight instances across all shards.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.in_flight).sum()
+    }
+
+    /// Total instances ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.submitted).sum()
+    }
+
+    /// Total instances completed.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Total instances that died without delivering a result.
+    pub fn abandoned(&self) -> u64 {
+        self.shards.iter().map(|s| s.abandoned).sum()
+    }
+
+    /// Deepest per-shard job queue (0 for an empty server).
+    pub fn max_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queued_jobs).max().unwrap_or(0)
+    }
+
+    /// Shards that have received at least one instance.
+    pub fn shards_used(&self) -> usize {
+        self.shards.iter().filter(|s| s.submitted > 0).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +271,40 @@ mod tests {
         assert_eq!(a.unneeded_detected, 1);
         assert_eq!(a.disabled, 2);
         assert_eq!(a.propagation_steps, 100);
+    }
+
+    #[test]
+    fn gauges_snapshot_and_aggregate() {
+        let g0 = ShardGauges::new();
+        let g1 = ShardGauges::new();
+        g0.instance_submitted();
+        g0.instance_submitted();
+        g0.job_enqueued();
+        g0.job_enqueued();
+        g0.job_dequeued();
+        g0.instance_completed();
+        g1.instance_submitted();
+        let stats = ServerStats {
+            shards: vec![g0.snapshot(0, 3), g1.snapshot(1, 2)],
+        };
+        assert_eq!(stats.shard_count(), 2);
+        assert_eq!(stats.workers(), 5);
+        assert_eq!(stats.queued_jobs(), 1);
+        assert_eq!(stats.in_flight(), 2);
+        assert_eq!(stats.submitted(), 3);
+        assert_eq!(stats.completed(), 1);
+        assert_eq!(stats.max_queue_depth(), 1);
+        assert_eq!(stats.shards_used(), 2);
+        assert_eq!(stats.shards[0].shard, 0);
+        assert_eq!(stats.shards[1].workers, 2);
+    }
+
+    #[test]
+    fn empty_server_stats() {
+        let stats = ServerStats::default();
+        assert_eq!(stats.shard_count(), 0);
+        assert_eq!(stats.max_queue_depth(), 0);
+        assert_eq!(stats.in_flight(), 0);
+        assert_eq!(stats.shards_used(), 0);
     }
 }

@@ -21,7 +21,7 @@ pub mod scheduler;
 pub mod strategy;
 pub mod unit_exec;
 
-pub use metrics::InstanceMetrics;
+pub use metrics::{InstanceMetrics, ServerStats, ShardGauges, ShardStats};
 pub use runtime::{InstanceRuntime, RuntimeOptions, Stalled};
 pub use strategy::{Heuristic, ParseStrategyError, Strategy};
 pub use unit_exec::{

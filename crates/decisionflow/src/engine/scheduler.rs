@@ -30,8 +30,13 @@ pub fn order_candidates(schema: &Schema, heuristic: Heuristic, candidates: &mut 
 }
 
 /// Select the tasks to launch this round: orders the pool by the
-/// heuristic, computes the concurrency cap from `%Permitted`, and
-/// returns the prefix that fits (`cap − in_flight` tasks).
+/// heuristic, computes the launch budget from `%Permitted`, and
+/// returns the prefix that fits.
+///
+/// The budget comes from [`Strategy::launch_budget`], which owns the
+/// cap/select contract: the concurrency cap counts tasks *including*
+/// those already running and may be smaller than `in_flight`, in which
+/// case the budget (and the returned prefix) is empty.
 pub fn select(
     schema: &Schema,
     strategy: Strategy,
@@ -42,8 +47,9 @@ pub fn select(
         return candidates;
     }
     order_candidates(schema, strategy.heuristic, &mut candidates);
-    let cap = strategy.concurrency_cap(candidates.len(), in_flight);
-    let n = cap.saturating_sub(in_flight).min(candidates.len());
+    let n = strategy
+        .launch_budget(candidates.len(), in_flight)
+        .min(candidates.len());
     candidates.truncate(n);
     candidates
 }
@@ -140,6 +146,22 @@ mod tests {
         assert_eq!(select(&schema, st, qs.clone(), 0).len(), 2);
         // cap = ceil(0.5 * 5) = 3, two in flight: launch 1.
         assert_eq!(select(&schema, st, qs.clone(), 2).len(), 1);
+    }
+
+    #[test]
+    fn select_with_in_flight_exceeding_cap_launches_nothing() {
+        // Regression: a draining pool can leave in_flight above the
+        // current cap (here cap = ceil(0.5·(4+9)) = 7 < 9). The prefix
+        // must be empty — the old `cap - in_flight` arithmetic only
+        // survived via saturating_sub; the contract is now explicit in
+        // Strategy::launch_budget.
+        let (schema, qs) = fanout();
+        let st: Strategy = "PCE50".parse().unwrap();
+        assert!(st.concurrency_cap(qs.len(), 9) < 9);
+        assert!(select(&schema, st, qs.clone(), 9).is_empty());
+        // Same at 0%: anything in flight blocks further launches.
+        let seq: Strategy = "PCE0".parse().unwrap();
+        assert!(select(&schema, seq, qs.clone(), 4).is_empty());
     }
 
     #[test]

@@ -58,10 +58,17 @@ impl Strategy {
         "PCE0".parse().expect("static strategy string")
     }
 
-    /// Number of tasks allowed in flight given the current candidate
-    /// pool size and tasks already running: `max(1, ⌈p% · (pool +
-    /// in_flight)⌉)`. `permitted = 0` therefore means strictly
+    /// *Total* number of tasks allowed in flight given the current
+    /// candidate pool size and tasks already running: `max(1, ⌈p% ·
+    /// (pool + in_flight)⌉)`. `permitted = 0` therefore means strictly
     /// sequential execution; `100` launches the whole pool.
+    ///
+    /// **Contract:** the cap counts tasks *including* those already
+    /// running, and it may be *smaller* than `in_flight` — `%Permitted`
+    /// shrinks the cap as the pool drains, while completions arrive
+    /// asynchronously. Callers must never compute `cap - in_flight`
+    /// with plain subtraction; use [`Strategy::launch_budget`], which
+    /// saturates that difference to zero.
     pub fn concurrency_cap(&self, pool: usize, in_flight: usize) -> usize {
         let n = pool + in_flight;
         if n == 0 {
@@ -69,6 +76,17 @@ impl Strategy {
         }
         let cap = (self.permitted as f64 / 100.0 * n as f64).ceil() as usize;
         cap.max(1)
+    }
+
+    /// Number of *new* launches permitted this scheduling round:
+    /// `concurrency_cap(pool, in_flight)` minus the tasks already in
+    /// flight, saturated at zero. This is the single entry point the
+    /// scheduler uses, so an `in_flight` that exceeds the cap (always
+    /// possible under a shrinking pool) yields `0` — never an
+    /// underflowed prefix length.
+    pub fn launch_budget(&self, pool: usize, in_flight: usize) -> usize {
+        self.concurrency_cap(pool, in_flight)
+            .saturating_sub(in_flight)
     }
 
     /// All 8 option combinations at a fixed `%Permitted` (used by
@@ -214,6 +232,31 @@ mod tests {
         let tiny = Strategy::new(true, false, Heuristic::Earliest, 1);
         assert_eq!(tiny.concurrency_cap(1, 0), 1);
         assert_eq!(tiny.concurrency_cap(0, 0), 1);
+    }
+
+    #[test]
+    fn launch_budget_saturates_when_in_flight_exceeds_cap() {
+        // %Permitted shrinks the cap as the pool drains: with one
+        // candidate left and 5 tasks still running, a 50% strategy caps
+        // total flight at ceil(0.5·6)=3 < 5. The budget must be 0, not
+        // a wrapped subtraction.
+        let half = Strategy::new(true, false, Heuristic::Earliest, 50);
+        assert_eq!(half.concurrency_cap(1, 5), 3, "cap below in_flight");
+        assert_eq!(half.launch_budget(1, 5), 0);
+
+        // Sequential: one in flight exhausts the budget regardless of
+        // pool size.
+        let seq = Strategy::new(true, false, Heuristic::Earliest, 0);
+        assert_eq!(seq.launch_budget(10, 0), 1);
+        assert_eq!(seq.launch_budget(10, 1), 0);
+        assert_eq!(seq.launch_budget(10, 7), 0);
+
+        // Full parallelism never exceeds the pool and never goes
+        // negative either.
+        let full = Strategy::new(true, false, Heuristic::Earliest, 100);
+        assert_eq!(full.launch_budget(4, 0), 4);
+        assert_eq!(full.launch_budget(4, 4), 4, "cap = pool + in_flight");
+        assert_eq!(full.launch_budget(0, 3), 0, "empty pool, still running");
     }
 
     #[test]

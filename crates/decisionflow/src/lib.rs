@@ -74,7 +74,7 @@
 //! | [`journal`] | deterministic capture/replay flight recorder + divergence detection |
 //! | [`rules`] | business-rule synthesis framework |
 //! | [`report`] | execution audit trail → nested-relation export |
-//! | [`server`] | the multi-threaded execution module of §3 (Figure 2) |
+//! | [`server`] | the sharded multi-threaded execution module of §3 (Figure 2) |
 //! | [`dsl`] | textual schema language (declarative-workflow lineage) |
 
 #![warn(missing_docs)]
@@ -97,7 +97,8 @@ pub mod prelude {
     pub use crate::dsl::{parse_schema, DslError, ExternRegistry};
     pub use crate::engine::{
         run_unit_time, run_unit_time_recorded, run_unit_time_with_options, ExecError, Heuristic,
-        InstanceMetrics, InstanceRuntime, RuntimeOptions, Strategy, UnitOutcome,
+        InstanceMetrics, InstanceRuntime, RuntimeOptions, ServerStats, ShardStats, Strategy,
+        UnitOutcome,
     };
     pub use crate::expr::{CmpOp, Expr, Term, Tri};
     pub use crate::journal::{
@@ -106,7 +107,8 @@ pub mod prelude {
     pub use crate::rules::{CombiningPolicy, Rule, RuleAction, RuleSet};
     pub use crate::schema::{AttrId, ModularBuilder, Schema, SchemaBuilder, SchemaError};
     pub use crate::server::{
-        EngineServer, InstanceHandle, InstanceResult, RecordedHandle, ServerGone, SubmitError,
+        EngineServer, InstanceHandle, InstanceResult, RecordedHandle, ServerBuildError, ServerGone,
+        SubmitError,
     };
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;

@@ -1,43 +1,66 @@
 //! The execution module of §3 (paper Figure 2), materialized as a
-//! multi-threaded server.
+//! sharded multi-threaded server.
 //!
 //! ```text
-//!   schema repository ─┐
-//!                      ▼
-//!   submit(sources) ─▶ runtime flow instances ─▶ candidate pools
-//!                      ▲            │ prequalifier + scheduler
-//!                      │            ▼
-//!                 completions ◀─ worker pool ("external servers")
+//!                         EngineServer
+//!   submit / submit_batch ──▶ route by hash(instance id) ──┐
+//!          ┌──────────────┬──────────────┬─────────────────┘
+//!          ▼              ▼              ▼
+//!       shard 0        shard 1   …   shard N−1    (N = available cores)
+//!    ┌───────────┐  ┌───────────┐  ┌───────────┐
+//!    │ schemas   │  │ schemas   │  │ schemas   │  registry replica
+//!    │ instances │  │ instances │  │ instances │  live-instance slice
+//!    │ workers   │  │ workers   │  │ workers   │  private thread pool
+//!    └───────────┘  └───────────┘  └───────────┘
+//!          └── per-shard gauges ──▶ ServerStats (aggregated snapshot)
 //! ```
 //!
 //! The engine "works in a multi-thread fashion, so that parallel
 //! processing of multiple flow instances, and multiple tasks within
-//! one instance is possible". Here:
+//! one instance is possible". Flow instances are mutually independent,
+//! so the server shards them across cores instead of funnelling every
+//! submission through one global registry lock, one job channel, and
+//! one worker pool:
 //!
-//! * the **schema repository** is a registry of named, immutable
-//!   `Arc<Schema>`s;
-//! * each submitted instance owns a mutex-guarded [`InstanceRuntime`];
-//! * launched tasks are dispatched to a fixed pool of worker threads —
+//! * the **schema repository** is replicated per shard ([`register`]
+//!   writes every replica; the submission hot path only ever takes its
+//!   own shard's read lock);
+//! * each shard owns a **slice of the instance table** (live
+//!   instances routed to it) and a private pool of worker threads —
 //!   the pool size plays the role of the external server's finite
 //!   multiprogramming level;
+//! * submissions are routed by a multiplicative hash of a monotone
+//!   instance id; [`submit_batch`] groups a whole batch by shard so
+//!   routing and registry-lock acquisition are amortized over the
+//!   batch;
 //! * every completion re-enters the three-phase loop (evaluate →
 //!   prequalify → schedule) under the instance lock; new launches go
-//!   back to the pool.
+//!   back to the owning shard's pool;
+//! * each shard maintains lock-free [`ShardGauges`] (queue depth,
+//!   in-flight instances, submitted/completed/abandoned counters)
+//!   which [`EngineServer::stats`] aggregates into a [`ServerStats`]
+//!   snapshot.
 //!
 //! The scheduler and the Propagation Algorithm are exactly the ones
 //! used by the simulation drivers; this module only adds the threading
 //! harness, so correctness-vs-oracle carries over (and is re-asserted
-//! by this module's tests under real concurrency).
+//! by this module's tests and `tests/server_sharded.rs` under real
+//! concurrency, across shards). Journal capture
+//! ([`submit_recorded`]) works identically on every shard.
+//!
+//! [`register`]: EngineServer::register
+//! [`submit_batch`]: EngineServer::submit_batch
+//! [`submit_recorded`]: EngineServer::submit_recorded
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
 
-use crate::engine::{scheduler, InstanceRuntime, Strategy};
+use crate::engine::{scheduler, InstanceRuntime, ServerStats, ShardGauges, Strategy};
 use crate::journal::{Journal, JournalWriter, SharedJournalWriter};
 use crate::report::ExecutionRecord;
 use crate::schema::{AttrId, Schema};
@@ -50,10 +73,18 @@ pub struct InstanceResult {
     pub record: ExecutionRecord,
     /// Wall-clock latency from submission to target stabilization.
     pub elapsed: Duration,
+    /// Index of the shard that executed the instance.
+    pub shard: usize,
 }
 
-/// The server (and its worker pool) was dropped before the instance
-/// completed; its result is gone.
+/// The instance's result can never arrive. This happens when the
+/// instance was *abandoned* — a panicking task body never delivered
+/// its value, so the flow can never stabilize (workers themselves
+/// survive task panics and keep serving other instances) — or when
+/// the result was already consumed by an earlier poll. Note that
+/// merely dropping the [`EngineServer`] does *not* abandon work:
+/// worker pools drain gracefully, in-flight instances run to
+/// completion, and their handles still yield results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerGone;
 
@@ -83,9 +114,17 @@ impl InstanceHandle {
         self.rx.recv().map_err(|_| ServerGone)
     }
 
-    /// Non-blocking poll.
-    pub fn try_wait(&self) -> Option<InstanceResult> {
-        self.rx.try_recv().ok()
+    /// Non-blocking poll. `Ok(None)` means *not ready yet — keep
+    /// polling*; `Err(ServerGone)` means the result can never arrive
+    /// (instance abandoned, or the result was already taken), so
+    /// pollers must stop. Distinguishing the two is what keeps a poll
+    /// loop from spinning forever on a result that is gone.
+    pub fn try_wait(&self) -> Result<Option<InstanceResult>, ServerGone> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ServerGone),
+        }
     }
 }
 
@@ -107,9 +146,42 @@ impl RecordedHandle {
         self.rx.recv().map_err(|_| ServerGone)
     }
 
-    /// Non-blocking poll.
-    pub fn try_wait(&self) -> Option<(InstanceResult, Journal)> {
-        self.rx.try_recv().ok()
+    /// Non-blocking poll; same contract as
+    /// [`InstanceHandle::try_wait`]: `Ok(None)` = not ready yet,
+    /// `Err(ServerGone)` = the result can never arrive.
+    pub fn try_wait(&self) -> Result<Option<(InstanceResult, Journal)>, ServerGone> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ServerGone),
+        }
+    }
+}
+
+/// Worker-thread spawning failed while building the server. Already
+/// spawned threads are shut down cleanly before this is returned, so a
+/// failed build leaks nothing.
+#[derive(Debug)]
+pub struct ServerBuildError {
+    /// Shard whose pool could not be built.
+    pub shard: usize,
+    /// The underlying spawn failure.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for ServerBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to spawn a worker thread for shard {}: {}",
+            self.shard, self.source
+        )
+    }
+}
+
+impl std::error::Error for ServerBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 
@@ -118,37 +190,70 @@ type Job = Box<dyn FnOnce() + Send>;
 struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    gauges: Arc<ShardGauges>,
 }
 
 impl WorkerPool {
-    fn new(size: usize) -> WorkerPool {
+    /// Spawn `size` worker threads for shard `shard`. On spawn failure
+    /// the already-spawned threads are joined (via the normal `Drop`
+    /// path) and the `io::Error` is propagated instead of aborting the
+    /// process mid-construction.
+    fn new(shard: usize, size: usize, gauges: Arc<ShardGauges>) -> std::io::Result<WorkerPool> {
         assert!(size > 0, "worker pool needs at least one thread");
         let (tx, rx) = unbounded::<Job>();
-        let workers = (0..size)
-            .map(|i| {
-                let rx: Receiver<Job> = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("dflow-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
-        WorkerPool {
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx: Receiver<Job> = rx.clone();
+            let g = Arc::clone(&gauges);
+            let spawned = std::thread::Builder::new()
+                .name(format!("dflow-s{shard}-w{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        g.job_dequeued();
+                        // A panicking task body must not take the
+                        // worker (and a slice of the shard's capacity)
+                        // down with it: catch the unwind and keep
+                        // serving. The caught job drops its
+                        // `Arc<Instance>`, which is what eventually
+                        // surfaces ServerGone on the abandoned
+                        // instance's handle.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    drop(WorkerPool {
+                        tx: Some(tx),
+                        workers,
+                        gauges,
+                    });
+                    return Err(e);
+                }
+            }
+        }
+        Ok(WorkerPool {
             tx: Some(tx),
             workers,
-        }
+            gauges,
+        })
     }
 
-    fn spawn(&self, job: Job) {
-        self.tx
-            .as_ref()
-            .expect("pool alive")
-            .send(job)
-            .expect("workers alive");
+    /// Enqueue a job. Workers survive panicking tasks (the unwind is
+    /// caught), so the channel only disconnects if every worker died
+    /// abnormally (e.g. a teardown race). Even then the caller must
+    /// not panic: `false` means the job was dropped, which releases
+    /// its `Arc<Instance>` — the completion sender goes with it and
+    /// the handle observes [`ServerGone`].
+    fn spawn(&self, job: Job) -> bool {
+        self.gauges.job_enqueued();
+        match self.tx.as_ref().expect("pool alive").send(job) {
+            Ok(()) => true,
+            Err(_) => {
+                self.gauges.job_dequeued();
+                false
+            }
+        }
     }
 }
 
@@ -178,7 +283,12 @@ enum CompletionTx {
     },
 }
 
+/// The shard's slice of the live-instance table: id → schema name.
+type LiveTable = Arc<Mutex<HashMap<u64, String>>>;
+
 struct Instance {
+    id: u64,
+    shard: usize,
     runtime: Mutex<InstanceRuntime>,
     started: Instant,
     done_tx: CompletionTx,
@@ -188,127 +298,16 @@ struct Instance {
     /// Scheduling-round counter for journaled instances (only ever
     /// touched under the runtime lock; atomic for `&self` access).
     rounds: AtomicU32,
-}
-
-/// The multi-threaded decision-flow execution server.
-pub struct EngineServer {
-    schemas: RwLock<HashMap<String, Arc<Schema>>>,
+    /// The owning shard's pool, gauges, and live-table slice.
     pool: Arc<WorkerPool>,
-    strategy: Strategy,
+    gauges: Arc<ShardGauges>,
+    live: LiveTable,
 }
 
-/// Errors from [`EngineServer::submit`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SubmitError {
-    /// No schema registered under this name.
-    UnknownSchema(String),
-    /// Source bindings invalid for the schema.
-    Sources(SnapshotError),
-}
-
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SubmitError::UnknownSchema(n) => write!(f, "unknown schema {n:?}"),
-            SubmitError::Sources(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for SubmitError {}
-
-impl EngineServer {
-    /// Start a server with `workers` task-execution threads, running
-    /// every instance under `strategy`.
-    pub fn new(workers: usize, strategy: Strategy) -> EngineServer {
-        EngineServer {
-            schemas: RwLock::new(HashMap::new()),
-            pool: Arc::new(WorkerPool::new(workers)),
-            strategy,
-        }
-    }
-
-    /// Register (or replace) a schema in the repository.
-    pub fn register(&self, name: impl Into<String>, schema: Arc<Schema>) {
-        self.schemas.write().insert(name.into(), schema);
-    }
-
-    /// Registered schema names.
-    pub fn schema_names(&self) -> Vec<String> {
-        self.schemas.read().keys().cloned().collect()
-    }
-
-    fn schema_for(&self, schema_name: &str) -> Result<Arc<Schema>, SubmitError> {
-        self.schemas
-            .read()
-            .get(schema_name)
-            .cloned()
-            .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))
-    }
-
-    fn start(&self, runtime: InstanceRuntime, done_tx: CompletionTx) -> Arc<Instance> {
-        let inst = Arc::new(Instance {
-            runtime: Mutex::new(runtime),
-            started: Instant::now(),
-            done_tx,
-            finished: Mutex::new(false),
-            rounds: AtomicU32::new(0),
-        });
-        // Kick off the first scheduling round.
-        Self::pump(&self.pool, &inst);
-        inst
-    }
-
-    /// Submit a new flow instance; returns immediately with a handle.
-    pub fn submit(
-        &self,
-        schema_name: &str,
-        sources: SourceValues,
-    ) -> Result<InstanceHandle, SubmitError> {
-        let schema = self.schema_for(schema_name)?;
-        let runtime =
-            InstanceRuntime::new(schema, self.strategy, &sources).map_err(SubmitError::Sources)?;
-        let (done_tx, done_rx) = unbounded();
-        self.start(runtime, CompletionTx::Plain(done_tx));
-        Ok(InstanceHandle { rx: done_rx })
-    }
-
-    /// Submit a new flow instance with the flight recorder attached:
-    /// the handle yields the [`Journal`] alongside the result. The
-    /// journal contains the complete completion-delivery order, so
-    /// `ReplayEngine::replay` reproduces this concurrent execution's
-    /// `ExecutionRecord` exactly — single-threaded and without wall
-    /// clocks.
-    pub fn submit_recorded(
-        &self,
-        schema_name: &str,
-        sources: SourceValues,
-    ) -> Result<RecordedHandle, SubmitError> {
-        let schema = self.schema_for(schema_name)?;
-        let recorder =
-            SharedJournalWriter::new(JournalWriter::new(&schema, self.strategy, &sources));
-        let runtime = InstanceRuntime::with_options_recorded(
-            schema,
-            self.strategy,
-            &sources,
-            crate::engine::RuntimeOptions::default(),
-            Box::new(recorder.clone()),
-        )
-        .map_err(SubmitError::Sources)?;
-        let (done_tx, done_rx) = unbounded();
-        self.start(
-            runtime,
-            CompletionTx::Recorded {
-                tx: done_tx,
-                recorder,
-            },
-        );
-        Ok(RecordedHandle { rx: done_rx })
-    }
-
+impl Instance {
     /// One scheduling round under the instance lock; dispatches the
-    /// selected tasks to the worker pool.
-    fn pump(pool: &Arc<WorkerPool>, inst: &Arc<Instance>) {
+    /// selected tasks to the owning shard's worker pool.
+    fn pump(inst: &Arc<Instance>) {
         let mut launches: Vec<(AttrId, Vec<crate::value::Value>)> = Vec::new();
         let mut finished: Option<(InstanceResult, Option<Journal>)> = None;
         {
@@ -323,6 +322,7 @@ impl EngineServer {
                     let result = InstanceResult {
                         record: ExecutionRecord::from_runtime(&rt, 0),
                         elapsed: inst.started.elapsed(),
+                        shard: inst.shard,
                     };
                     let journal = match &inst.done_tx {
                         // Journals are wall-clock free: time stays 0,
@@ -361,6 +361,8 @@ impl EngineServer {
             }
         }
         if let Some((result, journal)) = finished {
+            inst.live.lock().remove(&inst.id);
+            inst.gauges.instance_completed();
             // Ignore send failure: the caller may have dropped the handle.
             match (&inst.done_tx, journal) {
                 (CompletionTx::Plain(tx), _) => {
@@ -374,9 +376,8 @@ impl EngineServer {
             return;
         }
         for (attr, inputs) in launches {
-            let pool2 = Arc::clone(pool);
             let inst2 = Arc::clone(inst);
-            pool.spawn(Box::new(move || {
+            let dispatched = inst.pool.spawn(Box::new(move || {
                 // Execute the (foreign or synthesis) task body on the
                 // worker thread — this is the "external system" call.
                 let value = {
@@ -389,9 +390,365 @@ impl EngineServer {
                     let mut rt = inst2.runtime.lock();
                     rt.complete(attr, value);
                 }
-                Self::pump(&pool2, &inst2);
+                Self::pump(&inst2);
             }));
+            if !dispatched {
+                // Every worker of this shard is dead; the remaining
+                // launches can never run either. Dropping them (and
+                // this instance's last Arcs with them) surfaces
+                // ServerGone on the handle instead of wedging it.
+                break;
+            }
         }
+    }
+}
+
+impl Drop for Instance {
+    fn drop(&mut self) {
+        // The instance died without delivering — a task body panicked
+        // and the caught unwind released its references. It is no
+        // longer in flight; account for it so the gauges stay honest.
+        if !*self.finished.lock() {
+            self.live.lock().remove(&self.id);
+            self.gauges.instance_abandoned();
+        }
+    }
+}
+
+/// One shard: a schema-registry replica, a slice of the live-instance
+/// table, a private worker pool, and the gauges observing all three.
+struct Shard {
+    index: usize,
+    workers: usize,
+    schemas: RwLock<HashMap<String, Arc<Schema>>>,
+    pool: Arc<WorkerPool>,
+    gauges: Arc<ShardGauges>,
+    live: LiveTable,
+}
+
+impl Shard {
+    fn new(index: usize, workers: usize) -> Result<Shard, ServerBuildError> {
+        let gauges = Arc::new(ShardGauges::new());
+        let pool = WorkerPool::new(index, workers, Arc::clone(&gauges)).map_err(|source| {
+            ServerBuildError {
+                shard: index,
+                source,
+            }
+        })?;
+        Ok(Shard {
+            index,
+            workers,
+            schemas: RwLock::new(HashMap::new()),
+            pool: Arc::new(pool),
+            gauges,
+            live: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    fn schema_for(&self, schema_name: &str) -> Result<Arc<Schema>, SubmitError> {
+        self.schemas
+            .read()
+            .get(schema_name)
+            .cloned()
+            .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))
+    }
+
+    fn start(&self, id: u64, schema_name: &str, runtime: InstanceRuntime, done_tx: CompletionTx) {
+        self.gauges.instance_submitted();
+        self.live.lock().insert(id, schema_name.to_string());
+        let inst = Arc::new(Instance {
+            id,
+            shard: self.index,
+            runtime: Mutex::new(runtime),
+            started: Instant::now(),
+            done_tx,
+            finished: Mutex::new(false),
+            rounds: AtomicU32::new(0),
+            pool: Arc::clone(&self.pool),
+            gauges: Arc::clone(&self.gauges),
+            live: Arc::clone(&self.live),
+        });
+        // Kick off the first scheduling round.
+        Instance::pump(&inst);
+    }
+}
+
+/// The sharded multi-threaded decision-flow execution server.
+pub struct EngineServer {
+    shards: Vec<Shard>,
+    strategy: Strategy,
+    /// Monotone instance-id source; ids are hashed to pick a shard.
+    next_id: AtomicU64,
+}
+
+/// Errors from [`EngineServer::submit`] and
+/// [`EngineServer::submit_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No schema registered under this name.
+    UnknownSchema(String),
+    /// Source bindings invalid for the schema.
+    Sources(SnapshotError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownSchema(n) => write!(f, "unknown schema {n:?}"),
+            SubmitError::Sources(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl EngineServer {
+    /// Default shard count: the machine's available parallelism
+    /// (`1` when it cannot be determined). [`EngineServer::new`] and
+    /// `dflowperf`'s server-load driver both resolve their defaults
+    /// through this.
+    pub fn default_shard_count() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Start a server with `workers` task-execution threads in total,
+    /// running every instance under `strategy`.
+    ///
+    /// The threads are spread over `min(available_parallelism,
+    /// workers)` shards (every shard gets at least one thread), so the
+    /// total external multiprogramming level — the aggregate number of
+    /// concurrent "external system" calls — stays `workers` exactly as
+    /// before sharding.
+    ///
+    /// **Tradeoff:** an instance is pinned to one shard, so the tasks
+    /// *within* one instance can only parallelize up to that shard's
+    /// worker count (here `workers / shards`, i.e. ~1 when `workers`
+    /// ≤ core count). The default optimizes cross-instance throughput
+    /// — the heavy-traffic regime. When per-instance latency via
+    /// intra-instance task parallelism matters more, choose the
+    /// layout explicitly with [`EngineServer::with_shards`] (e.g.
+    /// `with_shards(1, workers, …)` reproduces the pre-sharding
+    /// single-pool behavior).
+    pub fn new(workers: usize, strategy: Strategy) -> Result<EngineServer, ServerBuildError> {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        let nshards = Self::default_shard_count().min(workers);
+        let base = workers / nshards;
+        let extra = workers % nshards;
+        let shards = (0..nshards)
+            .map(|i| Shard::new(i, base + usize::from(i < extra)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EngineServer {
+            shards,
+            strategy,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Start a server with exactly `shards` shards of
+    /// `workers_per_shard` threads each.
+    pub fn with_shards(
+        shards: usize,
+        workers_per_shard: usize,
+        strategy: Strategy,
+    ) -> Result<EngineServer, ServerBuildError> {
+        assert!(shards > 0, "server needs at least one shard");
+        assert!(
+            workers_per_shard > 0,
+            "worker pool needs at least one thread"
+        );
+        let shards = (0..shards)
+            .map(|i| Shard::new(i, workers_per_shard))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EngineServer {
+            shards,
+            strategy,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total worker threads across all shards.
+    pub fn worker_count(&self) -> usize {
+        self.shards.iter().map(|s| s.workers).sum()
+    }
+
+    /// Register (or replace) a schema in the repository. The schema is
+    /// replicated into every shard's registry so submissions never
+    /// cross shard boundaries to resolve it.
+    pub fn register(&self, name: impl Into<String>, schema: Arc<Schema>) {
+        let name = name.into();
+        for shard in &self.shards {
+            shard
+                .schemas
+                .write()
+                .insert(name.clone(), Arc::clone(&schema));
+        }
+    }
+
+    /// Registered schema names.
+    pub fn schema_names(&self) -> Vec<String> {
+        // Every shard holds an identical replica; read the first.
+        self.shards[0].schemas.read().keys().cloned().collect()
+    }
+
+    /// Aggregated point-in-time statistics: one [`ShardStats`] per
+    /// shard (queue depth, in-flight instances, submission counters).
+    ///
+    /// [`ShardStats`]: crate::engine::metrics::ShardStats
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| s.gauges.snapshot(s.index, s.workers))
+                .collect(),
+        }
+    }
+
+    /// The live-instance table: `(instance id, shard, schema name)`
+    /// for every submitted instance that has not completed.
+    pub fn live_instances(&self) -> Vec<(u64, usize, String)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (&id, name) in shard.live.lock().iter() {
+                out.push((id, shard.index, name.clone()));
+            }
+        }
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out
+    }
+
+    /// Route an instance id to a shard (Fibonacci multiplicative hash:
+    /// consecutive ids spread evenly without striding).
+    fn shard_for(&self, id: u64) -> &Shard {
+        let h = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submit a new flow instance; returns immediately with a handle.
+    pub fn submit(
+        &self,
+        schema_name: &str,
+        sources: SourceValues,
+    ) -> Result<InstanceHandle, SubmitError> {
+        let id = self.next_id();
+        let shard = self.shard_for(id);
+        let schema = shard.schema_for(schema_name)?;
+        let runtime =
+            InstanceRuntime::new(schema, self.strategy, &sources).map_err(SubmitError::Sources)?;
+        let (done_tx, done_rx) = unbounded();
+        shard.start(id, schema_name, runtime, CompletionTx::Plain(done_tx));
+        Ok(InstanceHandle { rx: done_rx })
+    }
+
+    /// Submit a batch of flow instances in one call, amortizing
+    /// routing and registry-lock acquisition: the batch is grouped by
+    /// destination shard, each shard's registry read lock is taken
+    /// once per group, and each distinct schema name is resolved at
+    /// most once per shard.
+    ///
+    /// Validation is all-or-nothing: if any entry names an unknown
+    /// schema or binds invalid sources, *no* instance is started and
+    /// the first error is returned. On success the handles come back
+    /// in submission order.
+    pub fn submit_batch(
+        &self,
+        batch: &[(&str, SourceValues)],
+    ) -> Result<Vec<InstanceHandle>, SubmitError> {
+        // Phase 1 — route: assign ids and group entry indices by shard.
+        let ids: Vec<u64> = batch.iter().map(|_| self.next_id()).collect();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &id) in ids.iter().enumerate() {
+            by_shard[self.shard_for(id).index].push(i);
+        }
+        // Phase 2 — validate: per shard, resolve schemas under one
+        // read-lock acquisition (memoized per distinct name) and build
+        // every runtime. Nothing has started yet, so any failure
+        // aborts the whole batch cleanly.
+        let mut runtimes: Vec<Option<InstanceRuntime>> = Vec::new();
+        runtimes.resize_with(batch.len(), || None);
+        for (sidx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let registry = self.shards[sidx].schemas.read();
+            let mut memo: HashMap<&str, Arc<Schema>> = HashMap::new();
+            for &i in indices {
+                let (name, sources) = &batch[i];
+                let schema = match memo.get(name) {
+                    Some(s) => Arc::clone(s),
+                    None => {
+                        let s = registry
+                            .get(*name)
+                            .cloned()
+                            .ok_or_else(|| SubmitError::UnknownSchema(name.to_string()))?;
+                        memo.insert(name, Arc::clone(&s));
+                        s
+                    }
+                };
+                runtimes[i] = Some(
+                    InstanceRuntime::new(schema, self.strategy, sources)
+                        .map_err(SubmitError::Sources)?,
+                );
+            }
+        }
+        // Phase 3 — start everything, handles in submission order.
+        let mut handles = Vec::with_capacity(batch.len());
+        for (i, (name, _)) in batch.iter().enumerate() {
+            let runtime = runtimes[i].take().expect("validated above");
+            let (done_tx, done_rx) = unbounded();
+            self.shard_for(ids[i])
+                .start(ids[i], name, runtime, CompletionTx::Plain(done_tx));
+            handles.push(InstanceHandle { rx: done_rx });
+        }
+        Ok(handles)
+    }
+
+    /// Submit a new flow instance with the flight recorder attached:
+    /// the handle yields the [`Journal`] alongside the result. The
+    /// journal contains the complete completion-delivery order, so
+    /// `ReplayEngine::replay` reproduces this concurrent execution's
+    /// `ExecutionRecord` exactly — single-threaded and without wall
+    /// clocks — no matter which shard executed it.
+    pub fn submit_recorded(
+        &self,
+        schema_name: &str,
+        sources: SourceValues,
+    ) -> Result<RecordedHandle, SubmitError> {
+        let id = self.next_id();
+        let shard = self.shard_for(id);
+        let schema = shard.schema_for(schema_name)?;
+        let recorder =
+            SharedJournalWriter::new(JournalWriter::new(&schema, self.strategy, &sources));
+        let runtime = InstanceRuntime::with_options_recorded(
+            schema,
+            self.strategy,
+            &sources,
+            crate::engine::RuntimeOptions::default(),
+            Box::new(recorder.clone()),
+        )
+        .map_err(SubmitError::Sources)?;
+        let (done_tx, done_rx) = unbounded();
+        shard.start(
+            id,
+            schema_name,
+            runtime,
+            CompletionTx::Recorded {
+                tx: done_tx,
+                recorder,
+            },
+        );
+        Ok(RecordedHandle { rx: done_rx })
     }
 }
 
@@ -437,7 +794,7 @@ mod tests {
     #[test]
     fn single_instance_completes_and_matches_oracle() {
         let schema = slow_schema(50);
-        let server = EngineServer::new(4, "PSE100".parse().unwrap());
+        let server = EngineServer::new(4, "PSE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -449,12 +806,13 @@ mod tests {
             t.value.as_ref(),
             Some(snap.value(schema.lookup("t").unwrap()))
         );
+        assert!(result.shard < server.shard_count());
     }
 
     #[test]
     fn many_concurrent_instances_all_correct() {
         let schema = slow_schema(20);
-        let server = EngineServer::new(8, "PSE100".parse().unwrap());
+        let server = EngineServer::new(8, "PSE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
         let mut handles = Vec::new();
         let mut expected = Vec::new();
@@ -469,6 +827,59 @@ mod tests {
             let r = h.wait().unwrap();
             assert_eq!(r.record.outcome("t").unwrap().value.as_ref(), Some(&exp));
         }
+        let stats = server.stats();
+        assert_eq!(stats.completed(), 40);
+        assert_eq!(stats.in_flight(), 0);
+        assert!(server.live_instances().is_empty());
+    }
+
+    #[test]
+    fn batch_submission_matches_one_by_one() {
+        let schema = slow_schema(10);
+        let server = EngineServer::with_shards(4, 2, "PCE100".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let batch: Vec<(&str, SourceValues)> = (0..24i64)
+            .map(|i| {
+                let mut sv = SourceValues::new();
+                sv.set(schema.lookup("s").unwrap(), i * 9);
+                ("flow", sv)
+            })
+            .collect();
+        let handles = server.submit_batch(&batch).unwrap();
+        assert_eq!(handles.len(), 24);
+        for (h, (_, sv)) in handles.into_iter().zip(&batch) {
+            let snap = complete_snapshot(&schema, sv).unwrap();
+            let r = h.wait().unwrap();
+            assert_eq!(
+                r.record.outcome("t").unwrap().value.as_ref(),
+                Some(snap.value(schema.lookup("t").unwrap()))
+            );
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted(), 24);
+        assert_eq!(stats.completed(), 24);
+        assert!(stats.shards_used() >= 2, "batch must spread across shards");
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let schema = slow_schema(1);
+        let server = EngineServer::with_shards(2, 1, "PCE0".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut good = SourceValues::new();
+        good.set(schema.lookup("s").unwrap(), 5i64);
+        let batch = vec![
+            ("flow", good.clone()),
+            ("ghost", good.clone()),
+            ("flow", good),
+        ];
+        let err = server.submit_batch(&batch).unwrap_err();
+        assert_eq!(err, SubmitError::UnknownSchema("ghost".into()));
+        // Nothing started: the gauges saw no submission.
+        assert_eq!(server.stats().submitted(), 0);
+        assert!(server.live_instances().is_empty());
+        // An empty batch is a no-op.
+        assert!(server.submit_batch(&[]).unwrap().is_empty());
     }
 
     #[test]
@@ -483,7 +894,7 @@ mod tests {
         );
         b.mark_target(t);
         let schema = Arc::new(b.build().unwrap());
-        let server = EngineServer::new(2, "PCE0".parse().unwrap());
+        let server = EngineServer::new(2, "PCE0".parse().unwrap()).unwrap();
         server.register("gated", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
@@ -494,7 +905,7 @@ mod tests {
 
     #[test]
     fn unknown_schema_rejected() {
-        let server = EngineServer::new(1, "PCE0".parse().unwrap());
+        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         assert_eq!(
             server.submit("ghost", SourceValues::new()).unwrap_err(),
             SubmitError::UnknownSchema("ghost".into())
@@ -505,7 +916,7 @@ mod tests {
     #[test]
     fn bad_sources_rejected() {
         let schema = slow_schema(1);
-        let server = EngineServer::new(1, "PCE0".parse().unwrap());
+        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         server.register("flow", schema);
         let err = server.submit("flow", SourceValues::new()).unwrap_err();
         assert!(matches!(err, SubmitError::Sources(_)));
@@ -515,7 +926,7 @@ mod tests {
     fn strategies_differ_but_agree_on_semantics() {
         let schema = slow_schema(10);
         for strat in ["PCE0", "NCE100", "PSC40"] {
-            let server = EngineServer::new(4, strat.parse().unwrap());
+            let server = EngineServer::new(4, strat.parse().unwrap()).unwrap();
             server.register("flow", Arc::clone(&schema));
             let mut sv = SourceValues::new();
             sv.set(schema.lookup("s").unwrap(), 10i64);
@@ -533,7 +944,7 @@ mod tests {
     fn recorded_server_run_replays_deterministically() {
         use crate::journal::ReplayEngine;
         let schema = slow_schema(20);
-        let server = EngineServer::new(4, "PSE100".parse().unwrap());
+        let server = EngineServer::new(4, "PSE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
         for i in 0..6i64 {
             let mut sv = SourceValues::new();
@@ -557,8 +968,8 @@ mod tests {
 
     #[test]
     fn wait_reports_server_gone_instead_of_panicking() {
-        // A task that kills its worker thread: with a single worker the
-        // instance can never complete and its channel is dropped.
+        // A panicking task abandons its instance: the result can never
+        // arrive, and the waiting caller must get an error, not hang.
         let mut b = SchemaBuilder::new();
         let s = b.source("s");
         let t = b.attr(
@@ -569,7 +980,7 @@ mod tests {
         );
         b.mark_target(t);
         let schema = Arc::new(b.build().unwrap());
-        let server = EngineServer::new(1, "PCE0".parse().unwrap());
+        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         server.register("doomed", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
@@ -578,9 +989,99 @@ mod tests {
     }
 
     #[test]
+    fn panicking_task_abandons_instance_but_shard_survives() {
+        // A panicking task must cost exactly its own instance
+        // (ServerGone), never the worker thread: with a single
+        // 1-worker shard, a dead worker would wedge or panic every
+        // later submission, so prove the shard keeps serving.
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.attr(
+            "t",
+            Task::query(1, |_ins: &[Value]| panic!("task body exploded")),
+            vec![s],
+            Expr::Lit(true),
+        );
+        b.mark_target(t);
+        let doomed = Arc::new(b.build().unwrap());
+        let good = slow_schema(1);
+        let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
+        server.register("doomed", Arc::clone(&doomed));
+        server.register("good", Arc::clone(&good));
+        for round in 0..3 {
+            let mut sv = SourceValues::new();
+            sv.set(s, 1i64);
+            assert_eq!(
+                server.submit("doomed", sv).unwrap().wait().map(|_| ()),
+                Err(ServerGone),
+                "round {round}"
+            );
+            // The same lone worker still completes healthy instances.
+            let mut sv = SourceValues::new();
+            sv.set(good.lookup("s").unwrap(), 80i64);
+            let r = server.submit("good", sv).unwrap().wait().unwrap();
+            assert!(r.record.outcome("t").is_some(), "round {round}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.abandoned(), 3, "each panic lost one instance");
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.in_flight(), 0);
+        assert!(server.live_instances().is_empty());
+    }
+
+    #[test]
+    fn try_wait_distinguishes_pending_from_server_gone() {
+        // Pending: a live instance polls as Ok(None), never Err.
+        let schema = slow_schema(200);
+        let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let handle = server.submit("flow", sv).unwrap();
+        let mut result = None;
+        for _ in 0..10_000 {
+            match handle.try_wait() {
+                Ok(Some(r)) => {
+                    result = Some(r);
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_micros(50)),
+                Err(gone) => panic!("live server reported {gone}"),
+            }
+        }
+        assert!(result.is_some(), "instance must complete while polling");
+
+        // Abandoned instance: the poller gets Err(ServerGone), not an
+        // indistinguishable "not ready yet".
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.attr(
+            "t",
+            Task::query(1, |_ins: &[Value]| panic!("worker down")),
+            vec![s],
+            Expr::Lit(true),
+        );
+        b.mark_target(t);
+        let schema = Arc::new(b.build().unwrap());
+        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
+        server.register("doomed", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        let handle = server.submit("doomed", sv).unwrap();
+        let gone = loop {
+            match handle.try_wait() {
+                Ok(Some(_)) => panic!("doomed instance cannot complete"),
+                Ok(None) => std::thread::sleep(Duration::from_micros(50)),
+                Err(gone) => break gone,
+            }
+        };
+        assert_eq!(gone, ServerGone);
+    }
+
+    #[test]
     fn dropped_handle_does_not_wedge_server() {
         let schema = slow_schema(10);
-        let server = EngineServer::new(2, "PCE100".parse().unwrap());
+        let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 10i64);
@@ -590,5 +1091,28 @@ mod tests {
         sv.set(schema.lookup("s").unwrap(), 10i64);
         let r = server.submit("flow", sv).unwrap().wait().unwrap();
         assert!(r.record.outcome("t").is_some());
+    }
+
+    #[test]
+    fn routing_spreads_instances_over_shards() {
+        let server = EngineServer::with_shards(4, 1, "PCE0".parse().unwrap()).unwrap();
+        assert_eq!(server.shard_count(), 4);
+        assert_eq!(server.worker_count(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..64u64 {
+            seen.insert(server.shard_for(id).index);
+        }
+        assert_eq!(seen.len(), 4, "64 sequential ids must reach every shard");
+    }
+
+    #[test]
+    fn build_error_is_displayable() {
+        let err = ServerBuildError {
+            shard: 3,
+            source: std::io::Error::other("no threads left"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("shard 3"), "{msg}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -1,18 +1,29 @@
 //! Finite-resource execution: decision-flow instances against the
-//! simulated database under an open Poisson arrival stream.
+//! simulated database under an open Poisson arrival stream — and
+//! against the real sharded [`EngineServer`].
 //!
-//! This is the paper's final experimental setting (§5, "An Analytical
-//! Model for Finite Database Resources"): instances arrive at `Th`
-//! per second, every launched task becomes a query on the shared
-//! [`SimDb`], and response time is measured in **seconds** (well,
-//! milliseconds here) rather than abstract units. The engine logic is
-//! exactly the same [`InstanceRuntime`] used by the unit-time executor
-//! — only the clock and the contention model differ.
+//! [`run_open_load`] is the paper's final experimental setting (§5,
+//! "An Analytical Model for Finite Database Resources"): instances
+//! arrive at `Th` per second, every launched task becomes a query on
+//! the shared [`SimDb`], and response time is measured in **seconds**
+//! (well, milliseconds here) rather than abstract units. The engine
+//! logic is exactly the same [`InstanceRuntime`] used by the unit-time
+//! executor — only the clock and the contention model differ.
+//!
+//! [`run_server_load`] drives the same generated flows through the
+//! *real* sharded multi-threaded server instead of the virtual-time
+//! simulation: batched submissions, wall-clock latency, and per-shard
+//! queue/in-flight statistics, so Table-1/Fig-5 style sweeps can
+//! exercise the threading harness end to end.
+//!
+//! [`EngineServer`]: decisionflow::server::EngineServer
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
-use decisionflow::engine::{scheduler, InstanceRuntime, Strategy};
+use decisionflow::engine::{scheduler, InstanceRuntime, ServerStats, Strategy};
 use decisionflow::schema::AttrId;
+use decisionflow::server::{EngineServer, ServerBuildError};
 use decisionflow::value::Value;
 use desim::{exp_time, Model, Scheduler, SimTime, Simulation, Tally};
 use dflowgen::GeneratedFlow;
@@ -277,6 +288,140 @@ pub fn run_open_load(
     }
 }
 
+/// Configuration for [`run_server_load`]: closed-loop waves of batched
+/// submissions against the real sharded [`EngineServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerLoadConfig {
+    /// Number of shards (`0` = the machine's available parallelism).
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Instances per `submit_batch` wave; the driver waits for a wave
+    /// before submitting the next, keeping the backlog bounded.
+    pub batch: usize,
+    /// Number of instances to run in total.
+    pub total_instances: usize,
+    /// Instances excluded from statistics at the start (warmup).
+    pub warmup_instances: usize,
+}
+
+impl Default for ServerLoadConfig {
+    fn default() -> Self {
+        ServerLoadConfig {
+            shards: 0,
+            workers_per_shard: 1,
+            batch: 32,
+            total_instances: 256,
+            warmup_instances: 32,
+        }
+    }
+}
+
+/// Measured outcome of a [`run_server_load`] run.
+#[derive(Clone, Debug)]
+pub struct ServerLoadOutcome {
+    /// Per-instance wall-clock response times, milliseconds
+    /// (post-warmup; submission → target stabilization).
+    pub responses_ms: Tally,
+    /// Per-instance work, units of processing (post-warmup).
+    pub work_units: Tally,
+    /// Instances completed.
+    pub completed: usize,
+    /// Distinct shards that executed at least one instance.
+    pub shards_used: usize,
+    /// Wall-clock duration of the whole run, warmup included.
+    pub wall: Duration,
+    /// Post-warmup completed instances per post-warmup wall-clock
+    /// second: server construction and the warmup waves are excluded,
+    /// mirroring the `responses_ms` cut.
+    pub throughput_per_sec: f64,
+    /// Final per-shard statistics snapshot.
+    pub stats: ServerStats,
+}
+
+/// Drive generated flows (round-robin replicas) through the real
+/// sharded [`EngineServer`]: submissions go in `batch`-sized waves via
+/// `submit_batch`, every wave is awaited before the next, and
+/// wall-clock latency, throughput, and the final [`ServerStats`] are
+/// reported. The thread-spawn failure path of server construction is
+/// propagated, not panicked.
+pub fn run_server_load(
+    flows: &[GeneratedFlow],
+    strategy: Strategy,
+    cfg: ServerLoadConfig,
+) -> Result<ServerLoadOutcome, ServerBuildError> {
+    assert!(!flows.is_empty(), "need at least one flow");
+    assert!(cfg.total_instances > 0, "need at least one instance");
+    assert!(
+        cfg.warmup_instances < cfg.total_instances,
+        "warmup must leave instances to measure"
+    );
+    assert!(cfg.batch > 0, "batch must be positive");
+    let shards = if cfg.shards == 0 {
+        EngineServer::default_shard_count()
+    } else {
+        cfg.shards
+    };
+    assert!(
+        cfg.workers_per_shard > 0,
+        "workers_per_shard must be positive"
+    );
+    let server = EngineServer::with_shards(shards, cfg.workers_per_shard, strategy)?;
+    let names: Vec<String> = (0..flows.len()).map(|i| format!("flow{i}")).collect();
+    for (name, flow) in names.iter().zip(flows) {
+        server.register(name, std::sync::Arc::clone(&flow.schema));
+    }
+    let mut responses = Tally::new();
+    let mut works = Tally::new();
+    let mut shards_seen = std::collections::HashSet::new();
+    let mut completed = 0usize;
+    let mut measured = 0usize;
+    let t0 = Instant::now();
+    // Starts when the first wave containing a post-warmup instance is
+    // submitted, so the throughput window covers every measured
+    // instance but neither server construction nor pure-warmup waves.
+    let mut measure_t0: Option<Instant> = None;
+    let mut next = 0usize;
+    while next < cfg.total_instances {
+        let wave = cfg.batch.min(cfg.total_instances - next);
+        if measure_t0.is_none() && next + wave > cfg.warmup_instances {
+            measure_t0 = Some(Instant::now());
+        }
+        let batch: Vec<(&str, decisionflow::snapshot::SourceValues)> = (0..wave)
+            .map(|k| {
+                let i = next + k;
+                let flow = &flows[i % flows.len()];
+                (names[i % flows.len()].as_str(), flow.sources.clone())
+            })
+            .collect();
+        let handles = server
+            .submit_batch(&batch)
+            .expect("registered schemas with bound sources");
+        for (k, h) in handles.into_iter().enumerate() {
+            let r = h.wait().expect("server alive for the whole run");
+            shards_seen.insert(r.shard);
+            if next + k >= cfg.warmup_instances {
+                responses.add(r.elapsed.as_secs_f64() * 1e3);
+                works.add(r.record.metrics.work as f64);
+                measured += 1;
+            }
+            completed += 1;
+        }
+        next += wave;
+    }
+    let wall = t0.elapsed();
+    let measured_wall = measure_t0.map(|t| t.elapsed()).unwrap_or(wall);
+    Ok(ServerLoadOutcome {
+        responses_ms: responses,
+        work_units: works,
+        completed,
+        shards_used: shards_seen.len(),
+        wall,
+        throughput_per_sec: measured as f64 / measured_wall.as_secs_f64().max(1e-9),
+        stats: server.stats(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +564,46 @@ mod tests {
             "cache cuts response time: {} vs {}",
             cached.responses_ms.mean(),
             cold.responses_ms.mean()
+        );
+    }
+
+    #[test]
+    fn server_load_completes_and_spreads_over_shards() {
+        let fl = flows(3, small());
+        let out = run_server_load(
+            &fl,
+            "PSE100".parse().unwrap(),
+            ServerLoadConfig {
+                shards: 4,
+                workers_per_shard: 1,
+                batch: 16,
+                total_instances: 64,
+                warmup_instances: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.completed, 64);
+        assert_eq!(out.responses_ms.count(), 56, "post-warmup instances");
+        assert!(out.shards_used >= 2, "instances must land on ≥2 shards");
+        assert!(out.throughput_per_sec > 0.0);
+        assert_eq!(out.stats.shard_count(), 4);
+        assert_eq!(out.stats.completed(), 64);
+        assert_eq!(out.stats.in_flight(), 0);
+        assert_eq!(out.stats.queued_jobs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must leave")]
+    fn server_load_bad_warmup_rejected() {
+        let fl = flows(1, small());
+        let _ = run_server_load(
+            &fl,
+            "PCE0".parse().unwrap(),
+            ServerLoadConfig {
+                total_instances: 5,
+                warmup_instances: 5,
+                ..Default::default()
+            },
         );
     }
 

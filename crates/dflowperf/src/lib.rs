@@ -11,7 +11,10 @@
 //!   [`predict_response_ms`] — the analytical model, Equations (1)–(6);
 //! * [`run_open_load`] — the finite-resource driver: Poisson instance
 //!   arrivals over a shared simulated database, measuring
-//!   TimeInSeconds (Figure 9(b), graph (d)).
+//!   TimeInSeconds (Figure 9(b), graph (d));
+//! * [`run_server_load`] — the same generated flows driven through the
+//!   real sharded `EngineServer` (batched submission, wall-clock
+//!   latency, per-shard statistics).
 //!
 //! ```
 //! use dflowperf::{DbFunction, solve_unit_time, max_work_for_throughput};
@@ -38,7 +41,9 @@ mod model;
 mod sweep;
 
 pub use dbfunc::DbFunction;
-pub use driver::{run_open_load, LoadConfig, LoadOutcome};
+pub use driver::{
+    run_open_load, run_server_load, LoadConfig, LoadOutcome, ServerLoadConfig, ServerLoadOutcome,
+};
 pub use guideline::{recommend_program, GuidelineMap, Recommendation, StrategyPoint};
 pub use model::{
     max_work_for_throughput, predict_response_ms, solve_unit_time, solve_unit_time_with_lmpl,

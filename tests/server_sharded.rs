@@ -1,0 +1,176 @@
+//! Cross-shard stress for the sharded [`EngineServer`]: every
+//! instance result must equal the declarative oracle regardless of
+//! which shard executed it, batched submission must be semantically
+//! identical to one-by-one submission, journal capture must replay
+//! from any shard, and the aggregated [`ServerStats`] must reconcile.
+
+use std::sync::Arc;
+
+use decision_flows::decisionflow::report::ExecutionRecord;
+use decision_flows::dflowgen::{generate, GeneratedFlow, PatternParams};
+use decision_flows::prelude::*;
+
+fn pattern(nodes: usize, pct: u32) -> PatternParams {
+    PatternParams {
+        nb_nodes: nodes,
+        nb_rows: 4,
+        pct_enabled: pct,
+        ..Default::default()
+    }
+}
+
+/// Compare every target in a server-produced record against the
+/// oracle's complete snapshot.
+fn check(record: &ExecutionRecord, schema: &Schema, snap: &CompleteSnapshot) {
+    for &t in schema.targets() {
+        let name = &schema.attr(t).name;
+        let out = record.outcome(name).expect("target present in record");
+        match snap.state(t) {
+            FinalState::Value => {
+                assert_eq!(out.state, AttrState::Value, "{name} state");
+                assert_eq!(out.value.as_ref(), Some(snap.value(t)), "{name} value");
+            }
+            FinalState::Disabled => {
+                assert_eq!(out.state, AttrState::Disabled, "{name} state");
+            }
+        }
+    }
+}
+
+/// Acceptance: all 8 strategy combinations agree with the
+/// single-threaded oracle while instances execute across ≥ 2 shards.
+#[test]
+fn all_eight_strategies_agree_with_oracle_across_shards() {
+    let flows: Vec<GeneratedFlow> = (0..8u64)
+        .map(|seed| generate(pattern(24, 10 + (seed as u32 * 11) % 90), 7_000 + seed).unwrap())
+        .collect();
+    for strategy in Strategy::all_at(100) {
+        let server = EngineServer::with_shards(4, 2, strategy).unwrap();
+        let mut handles = Vec::new();
+        let mut oracle = Vec::new();
+        for (i, flow) in flows.iter().enumerate() {
+            let name = format!("flow{i}");
+            server.register(&name, Arc::clone(&flow.schema));
+            let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+            // Three replicas per flow so the id hash visits many shards.
+            for _ in 0..3 {
+                handles.push(server.submit(&name, flow.sources.clone()).unwrap());
+                oracle.push((Arc::clone(&flow.schema), snap.clone()));
+            }
+        }
+        let mut shards_seen = std::collections::HashSet::new();
+        for (h, (schema, snap)) in handles.into_iter().zip(oracle) {
+            let r = h.wait().unwrap();
+            shards_seen.insert(r.shard);
+            check(&r.record, &schema, &snap);
+        }
+        assert!(
+            shards_seen.len() >= 2,
+            "strategy {strategy}: expected ≥2 shards, saw {shards_seen:?}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.completed(), 24, "strategy {strategy}");
+        assert_eq!(stats.in_flight(), 0, "strategy {strategy}");
+    }
+}
+
+/// Batched submission is semantically equivalent to one-by-one
+/// submission: same oracle-mandated target values, same completion
+/// accounting — only the routing/lock amortization differs.
+#[test]
+fn batched_submission_equivalent_to_one_by_one() {
+    let flows: Vec<GeneratedFlow> = (0..6u64)
+        .map(|seed| generate(pattern(32, 60), 3_100 + seed).unwrap())
+        .collect();
+    let one_by_one = EngineServer::with_shards(3, 2, "PCE100".parse().unwrap()).unwrap();
+    let batched = EngineServer::with_shards(3, 2, "PCE100".parse().unwrap()).unwrap();
+    let mut batch: Vec<(String, SourceValues)> = Vec::new();
+    for (i, flow) in flows.iter().enumerate() {
+        let name = format!("flow{i}");
+        one_by_one.register(&name, Arc::clone(&flow.schema));
+        batched.register(&name, Arc::clone(&flow.schema));
+        for _ in 0..4 {
+            batch.push((name.clone(), flow.sources.clone()));
+        }
+    }
+    let singles: Vec<_> = batch
+        .iter()
+        .map(|(name, sv)| one_by_one.submit(name, sv.clone()).unwrap())
+        .collect();
+    let borrowed: Vec<(&str, SourceValues)> = batch
+        .iter()
+        .map(|(name, sv)| (name.as_str(), sv.clone()))
+        .collect();
+    let bulk = batched.submit_batch(&borrowed).unwrap();
+    assert_eq!(bulk.len(), singles.len());
+    for ((s, b), (name, _)) in singles.into_iter().zip(bulk).zip(&batch) {
+        let i: usize = name.trim_start_matches("flow").parse().unwrap();
+        let snap = complete_snapshot(&flows[i].schema, &flows[i].sources).unwrap();
+        let rs = s.wait().unwrap();
+        let rb = b.wait().unwrap();
+        check(&rs.record, &flows[i].schema, &snap);
+        check(&rb.record, &flows[i].schema, &snap);
+    }
+    assert_eq!(
+        one_by_one.stats().completed(),
+        batched.stats().completed(),
+        "both servers completed the same load"
+    );
+}
+
+/// Journal capture works per shard: a recorded instance that executed
+/// on a non-zero shard replays byte-for-byte deterministically.
+#[test]
+fn recorded_instance_on_nonzero_shard_replays() {
+    let flow = generate(pattern(24, 70), 11_111).unwrap();
+    let server = EngineServer::with_shards(4, 2, "PSE100".parse().unwrap()).unwrap();
+    server.register("f", Arc::clone(&flow.schema));
+    let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+    let mut nonzero_shard_replayed = false;
+    for i in 0..16 {
+        let (result, journal) = server
+            .submit_recorded("f", flow.sources.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        check(&result.record, &flow.schema, &snap);
+        let replayed = ReplayEngine::new(Arc::clone(&flow.schema), journal.clone())
+            .unwrap()
+            .replay()
+            .unwrap_or_else(|d| panic!("instance {i} on shard {}: {d}", result.shard));
+        assert_eq!(replayed.record, result.record, "instance {i}");
+        assert_eq!(replayed.journal, journal, "instance {i}");
+        if result.shard > 0 {
+            nonzero_shard_replayed = true;
+        }
+    }
+    assert!(
+        nonzero_shard_replayed,
+        "16 submissions across 4 shards must hit a non-zero shard"
+    );
+}
+
+/// The aggregated stats reconcile with the work actually done, and the
+/// live-instance table drains to empty.
+#[test]
+fn server_stats_reconcile_after_burst() {
+    let flow = generate(pattern(32, 75), 2_024).unwrap();
+    let server = EngineServer::with_shards(4, 1, "PCE100".parse().unwrap()).unwrap();
+    server.register("f", Arc::clone(&flow.schema));
+    let batch: Vec<(&str, SourceValues)> = (0..40).map(|_| ("f", flow.sources.clone())).collect();
+    let handles = server.submit_batch(&batch).unwrap();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.shard_count(), 4);
+    assert_eq!(stats.submitted(), 40);
+    assert_eq!(stats.completed(), 40);
+    assert_eq!(stats.abandoned(), 0);
+    assert_eq!(stats.in_flight(), 0);
+    assert_eq!(stats.queued_jobs(), 0);
+    assert!(stats.shards_used() >= 2);
+    assert!(server.live_instances().is_empty());
+    let per_shard: u64 = stats.shards.iter().map(|s| s.completed).sum();
+    assert_eq!(per_shard, 40, "per-shard counters sum to the total");
+}
