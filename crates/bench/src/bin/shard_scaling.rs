@@ -3,7 +3,7 @@
 //!
 //! A Fig-5-style sweep for the threading harness itself: each row runs
 //! one (shard count × strategy) cell through
-//! `dflowperf::run_server_load` — batched `submit_batch` submissions,
+//! `dflowperf::run_server_load` — batched `submit_many` submissions,
 //! wall-clock latency, per-shard gauges — and reports post-warmup
 //! instances/second, mean response, the deepest per-shard job queue
 //! observed at the end, and how many shards actually executed work.

@@ -1,0 +1,766 @@
+//! The unified submission API: one [`Request`] in, one [`Ticket`]
+//! (or [`RunReport`]) out.
+//!
+//! Before this layer existed the public surface had forked into a
+//! combinatorial family — `run_unit_time` vs `run_unit_time_recorded`,
+//! `submit` vs `submit_recorded` vs `submit_batch`, and two handle
+//! types re-implementing the same waits. One execution model deserves
+//! one entry point; everything optional (journaling, strategy
+//! override, deadlines, labels) belongs on the request, not in the
+//! method name:
+//!
+//! * [`Request`] — a builder carrying the schema (by registered name,
+//!   or inline as an `Arc<Schema>` for in-process runs), the
+//!   [`SourceValues`], an optional per-request [`Strategy`] override,
+//!   [`RuntimeOptions`], `record_journal`, and an optional
+//!   deadline/label;
+//! * [`run`] / [`Request::run`] — in-process unit-time execution,
+//!   returning a [`RunReport`] whose `journal` is `Some` iff recording
+//!   was requested;
+//! * [`EngineServer::submit`] / [`EngineServer::submit_many`] — the
+//!   server path, returning [`Ticket`]s with `wait`, `try_wait`,
+//!   `wait_timeout`, and `wait_deadline`; the
+//!   [`InstanceResult::journal`] field makes recording orthogonal
+//!   instead of a parallel type family;
+//! * [`EngineServer::subscribe`] — a bounded [`ServerEvents`] stream
+//!   of [`InstanceEvent`]s (`Submitted` / `Completed` / `Abandoned`,
+//!   each stamped with the shard and a server-wide logical clock), so
+//!   pollers and load drivers react to completions instead of
+//!   spinning on `try_wait`.
+//!
+//! [`EngineServer::submit`]: crate::server::EngineServer::submit
+//! [`EngineServer::submit_many`]: crate::server::EngineServer::submit_many
+//! [`EngineServer::subscribe`]: crate::server::EngineServer::subscribe
+//! [`InstanceResult::journal`]: crate::server::InstanceResult::journal
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use parking_lot::Mutex;
+
+use crate::engine::{unit_exec, ExecError, RuntimeOptions, Strategy, UnitOutcome};
+use crate::journal::Journal;
+use crate::schema::{AttrId, Schema};
+use crate::server::{InstanceResult, ServerGone};
+use crate::snapshot::SourceValues;
+use crate::value::Value;
+
+/// How a [`Request`] identifies the schema to execute.
+#[derive(Clone, Debug)]
+pub(crate) enum RequestTarget {
+    /// A name to resolve against the server's schema registry.
+    Named(String),
+    /// An inline schema — required for in-process [`run`], and
+    /// accepted by the server without a registry lookup.
+    Inline(Arc<Schema>),
+}
+
+/// One execution request: what to run, with which inputs, under which
+/// options. Built fluently and consumed by [`run`] (in-process) or
+/// [`EngineServer::submit`] / [`submit_many`] (server).
+///
+/// ```
+/// use std::sync::Arc;
+/// use decisionflow::api::Request;
+/// use decisionflow::prelude::*;
+///
+/// let mut b = SchemaBuilder::new();
+/// let s = b.source("s");
+/// let t = b.synthesis("t", vec![s], Expr::Lit(true), |v| v[0].clone());
+/// b.mark_target(t);
+/// let schema = Arc::new(b.build().unwrap());
+///
+/// let report = Request::with_schema(Arc::clone(&schema))
+///     .bind(s, 41i64)
+///     .strategy("PSE100".parse().unwrap())
+///     .record_journal(true)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.outcome.runtime.stable_value(t), Some(&Value::Int(41)));
+/// assert!(report.journal.is_some());
+/// ```
+///
+/// [`EngineServer::submit`]: crate::server::EngineServer::submit
+/// [`submit_many`]: crate::server::EngineServer::submit_many
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub(crate) target: RequestTarget,
+    pub(crate) sources: SourceValues,
+    pub(crate) strategy: Option<Strategy>,
+    pub(crate) options: RuntimeOptions,
+    pub(crate) record_journal: bool,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) label: Option<String>,
+}
+
+impl Request {
+    fn with_target(target: RequestTarget) -> Request {
+        Request {
+            target,
+            sources: SourceValues::new(),
+            strategy: None,
+            options: RuntimeOptions::default(),
+            record_journal: false,
+            deadline: None,
+            label: None,
+        }
+    }
+
+    /// Request execution of the schema registered on the server under
+    /// `name`. Only submittable to an
+    /// [`EngineServer`](crate::server::EngineServer); in-process
+    /// [`run`] needs [`Request::with_schema`].
+    pub fn named(name: impl Into<String>) -> Request {
+        Request::with_target(RequestTarget::Named(name.into()))
+    }
+
+    /// Request execution of an inline schema: no registry lookup on
+    /// the server, and the only form [`run`] accepts.
+    pub fn with_schema(schema: Arc<Schema>) -> Request {
+        Request::with_target(RequestTarget::Inline(schema))
+    }
+
+    /// Replace the source bindings wholesale.
+    pub fn sources(mut self, sources: SourceValues) -> Request {
+        self.sources = sources;
+        self
+    }
+
+    /// Bind one source attribute (convenience over [`Request::sources`]).
+    pub fn bind(mut self, attr: AttrId, value: impl Into<Value>) -> Request {
+        self.sources.set(attr, value);
+        self
+    }
+
+    /// Override the execution strategy for this request only. Server
+    /// submissions fall back to the server's strategy when unset;
+    /// in-process [`run`] requires it.
+    pub fn strategy(mut self, strategy: Strategy) -> Request {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Set ablation [`RuntimeOptions`] for this request.
+    pub fn options(mut self, options: RuntimeOptions) -> Request {
+        self.options = options;
+        self
+    }
+
+    /// Attach the flight recorder: the resulting [`RunReport::journal`]
+    /// / [`InstanceResult::journal`] will be `Some`.
+    ///
+    /// [`InstanceResult::journal`]: crate::server::InstanceResult::journal
+    pub fn record_journal(mut self, record: bool) -> Request {
+        self.record_journal = record;
+        self
+    }
+
+    /// Give the instance a wall-clock completion budget, measured from
+    /// submission. The engine never cancels launched work (queries are
+    /// committed once sent, exactly as the paper's Work measure
+    /// assumes); the deadline bounds *waiting*, not execution: it is
+    /// carried onto the [`Ticket`], where [`Ticket::wait_budgeted`]
+    /// honors it directly and [`Ticket::deadline`] exposes it for
+    /// pacers composing their own waits.
+    pub fn deadline(mut self, budget: Duration) -> Request {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Tag the request; the label travels to [`InstanceResult::label`]
+    /// and [`InstanceEvent::Submitted`].
+    ///
+    /// [`InstanceResult::label`]: crate::server::InstanceResult::label
+    pub fn label(mut self, label: impl Into<String>) -> Request {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The registered-schema name this request targets, if any.
+    pub fn schema_name(&self) -> Option<&str> {
+        match &self.target {
+            RequestTarget::Named(n) => Some(n),
+            RequestTarget::Inline(_) => None,
+        }
+    }
+
+    /// The inline schema this request targets, if any.
+    pub fn schema(&self) -> Option<&Arc<Schema>> {
+        match &self.target {
+            RequestTarget::Named(_) => None,
+            RequestTarget::Inline(s) => Some(s),
+        }
+    }
+
+    /// The name shown in live-instance tables: always the registered
+    /// schema name for named requests (so filtering [`LiveInstance`]s
+    /// by schema works whether or not a label is set); inline
+    /// submissions, which have no schema name, fall back to the label
+    /// or `"<inline>"`.
+    pub(crate) fn display_name(&self) -> String {
+        match (&self.target, &self.label) {
+            (RequestTarget::Named(n), _) => n.clone(),
+            (RequestTarget::Inline(_), Some(l)) => l.clone(),
+            (RequestTarget::Inline(_), None) => "<inline>".to_string(),
+        }
+    }
+
+    /// Execute this request in-process — see the free function [`run`].
+    pub fn run(&self) -> Result<RunReport, ExecError> {
+        run(self)
+    }
+}
+
+impl From<(&str, SourceValues)> for Request {
+    fn from((name, sources): (&str, SourceValues)) -> Request {
+        Request::named(name).sources(sources)
+    }
+}
+
+impl From<(String, SourceValues)> for Request {
+    fn from((name, sources): (String, SourceValues)) -> Request {
+        Request::named(name).sources(sources)
+    }
+}
+
+impl From<(Arc<Schema>, SourceValues)> for Request {
+    fn from((schema, sources): (Arc<Schema>, SourceValues)) -> Request {
+        Request::with_schema(schema).sources(sources)
+    }
+}
+
+/// Why a [`Request`] cannot execute in-process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request names a registered schema; resolving names needs a
+    /// server registry. Use [`Request::with_schema`] for [`run`].
+    NamedSchema(String),
+    /// In-process runs have no server default to fall back on; set
+    /// [`Request::strategy`].
+    MissingStrategy,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::NamedSchema(n) => write!(
+                f,
+                "request names registered schema {n:?}; in-process runs need \
+                 Request::with_schema(Arc<Schema>)"
+            ),
+            RequestError::MissingStrategy => write!(
+                f,
+                "in-process runs have no server default strategy; set Request::strategy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Result of an in-process [`run`]: the unit-time outcome plus the
+/// captured journal iff [`Request::record_journal`] was set.
+pub struct RunReport {
+    /// Response time, metrics, and final runtime of the instance.
+    pub outcome: UnitOutcome,
+    /// The flight record — `Some` iff the request asked for one.
+    pub journal: Option<Journal>,
+}
+
+impl std::fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReport")
+            .field("time_units", &self.outcome.time_units)
+            .field("work", &self.outcome.metrics.work)
+            .field(
+                "journal_frames",
+                &self.journal.as_ref().map(|j| j.frames.len()),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// Execute a request in-process under the infinite-resource unit-time
+/// model (the §5 executor). Requires an inline schema
+/// ([`Request::with_schema`]) and an explicit [`Request::strategy`].
+pub fn run(request: &Request) -> Result<RunReport, ExecError> {
+    let schema = match &request.target {
+        RequestTarget::Inline(s) => s,
+        RequestTarget::Named(n) => {
+            return Err(ExecError::Request(RequestError::NamedSchema(n.clone())))
+        }
+    };
+    let strategy = request
+        .strategy
+        .ok_or(ExecError::Request(RequestError::MissingStrategy))?;
+    let (outcome, journal) = unit_exec::execute(
+        schema,
+        strategy,
+        &request.sources,
+        request.options,
+        request.record_journal,
+    )?;
+    Ok(RunReport { outcome, journal })
+}
+
+/// Map a non-blocking receive onto the shared wait contract.
+fn polled<T>(res: Result<T, TryRecvError>) -> Result<Option<T>, ServerGone> {
+    match res {
+        Ok(v) => Ok(Some(v)),
+        Err(TryRecvError::Empty) => Ok(None),
+        Err(TryRecvError::Disconnected) => Err(ServerGone),
+    }
+}
+
+/// Map a timed receive onto the shared wait contract.
+fn timed<T>(res: Result<T, RecvTimeoutError>) -> Result<Option<T>, ServerGone> {
+    match res {
+        Ok(v) => Ok(Some(v)),
+        Err(RecvTimeoutError::Timeout) => Ok(None),
+        Err(RecvTimeoutError::Disconnected) => Err(ServerGone),
+    }
+}
+
+/// Handle to one submitted instance. All waits share a single
+/// contract: `Ok(Some(result))` delivers, `Ok(None)` means *not yet*
+/// (keep polling / timed out), `Err(ServerGone)` means the result can
+/// never arrive — the instance was abandoned by a panicking task, or
+/// the result was already taken.
+pub struct Ticket {
+    rx: Receiver<InstanceResult>,
+    instance_id: u64,
+    shard: usize,
+    deadline: Option<Instant>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("instance_id", &self.instance_id)
+            .field("shard", &self.shard)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    pub(crate) fn new(
+        rx: Receiver<InstanceResult>,
+        instance_id: u64,
+        shard: usize,
+        deadline: Option<Instant>,
+    ) -> Ticket {
+        Ticket {
+            rx,
+            instance_id,
+            shard,
+            deadline,
+        }
+    }
+
+    /// The server-assigned instance id (also on [`InstanceEvent`]s and
+    /// in [`LiveInstance`] rows).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The shard the instance was routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The absolute deadline derived from [`Request::deadline`] at
+    /// submission time, if one was set. Advisory: execution is never
+    /// cancelled; pass it to [`Ticket::wait_deadline`] to stop waiting
+    /// on time.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Block until the instance completes. Returns [`ServerGone`]
+    /// (instead of panicking) when the result can never arrive.
+    pub fn wait(self) -> Result<InstanceResult, ServerGone> {
+        self.rx.recv().map_err(|_| ServerGone)
+    }
+
+    /// Non-blocking poll. `Ok(None)` means *not ready yet — keep
+    /// polling*; `Err(ServerGone)` means the result can never arrive,
+    /// so pollers must stop. Distinguishing the two is what keeps a
+    /// poll loop from spinning forever on a result that is gone.
+    pub fn try_wait(&self) -> Result<Option<InstanceResult>, ServerGone> {
+        polled(self.rx.try_recv())
+    }
+
+    /// Block at most `timeout`; `Ok(None)` means the wait elapsed with
+    /// the instance still running (the ticket stays usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<InstanceResult>, ServerGone> {
+        timed(self.rx.recv_timeout(timeout))
+    }
+
+    /// Block until `deadline` at the latest; `Ok(None)` means the
+    /// deadline passed with the instance still running.
+    pub fn wait_deadline(&self, deadline: Instant) -> Result<Option<InstanceResult>, ServerGone> {
+        timed(self.rx.recv_deadline(deadline))
+    }
+
+    /// Wait bounded by the request's own budget: with a
+    /// [`Request::deadline`] set this is
+    /// `wait_deadline(self.deadline().unwrap())`; without one it
+    /// blocks until delivery (and then can only return `Ok(Some(_))`
+    /// or `Err(ServerGone)`).
+    pub fn wait_budgeted(&self) -> Result<Option<InstanceResult>, ServerGone> {
+        match self.deadline {
+            Some(deadline) => self.wait_deadline(deadline),
+            None => polled(self.rx.recv().map_err(|_| TryRecvError::Disconnected)),
+        }
+    }
+}
+
+/// One row of [`EngineServer::live_instances`]: a submitted instance
+/// that has not completed yet.
+///
+/// [`EngineServer::live_instances`]: crate::server::EngineServer::live_instances
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveInstance {
+    /// Server-assigned instance id (matches [`Ticket::instance_id`]).
+    pub instance_id: u64,
+    /// Shard the instance is pinned to.
+    pub shard: usize,
+    /// The registered schema name; inline submissions (which have no
+    /// schema name) show their label or `"<inline>"`.
+    pub schema: String,
+}
+
+/// Lifecycle notification for one instance, stamped with a server-wide
+/// monotone logical clock (strictly increasing per subscriber).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceEvent {
+    /// The instance entered its shard's live table.
+    Submitted {
+        /// Server-wide logical event clock.
+        clock: u64,
+        /// Server-assigned instance id.
+        instance_id: u64,
+        /// Shard the instance was routed to.
+        shard: usize,
+        /// The request's label, if any.
+        label: Option<String>,
+    },
+    /// The instance stabilized every target and delivered its result.
+    Completed {
+        /// Server-wide logical event clock.
+        clock: u64,
+        /// Server-assigned instance id.
+        instance_id: u64,
+        /// Shard that executed the instance.
+        shard: usize,
+    },
+    /// The instance died without a result (a task body panicked).
+    Abandoned {
+        /// Server-wide logical event clock.
+        clock: u64,
+        /// Server-assigned instance id.
+        instance_id: u64,
+        /// Shard the instance was routed to.
+        shard: usize,
+    },
+}
+
+impl InstanceEvent {
+    /// The server-wide logical clock stamped on this event.
+    pub fn clock(&self) -> u64 {
+        match self {
+            InstanceEvent::Submitted { clock, .. }
+            | InstanceEvent::Completed { clock, .. }
+            | InstanceEvent::Abandoned { clock, .. } => *clock,
+        }
+    }
+
+    /// The instance this event is about.
+    pub fn instance_id(&self) -> u64 {
+        match self {
+            InstanceEvent::Submitted { instance_id, .. }
+            | InstanceEvent::Completed { instance_id, .. }
+            | InstanceEvent::Abandoned { instance_id, .. } => *instance_id,
+        }
+    }
+
+    /// The shard the instance was routed to.
+    pub fn shard(&self) -> usize {
+        match self {
+            InstanceEvent::Submitted { shard, .. }
+            | InstanceEvent::Completed { shard, .. }
+            | InstanceEvent::Abandoned { shard, .. } => *shard,
+        }
+    }
+}
+
+struct EventSubscriber {
+    tx: Sender<InstanceEvent>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// Server-side event fan-out: the shards and instances hold one
+/// [`Arc<EventHub>`] and publish through it; subscribers attach
+/// bounded channels. With no subscribers the publish path is a single
+/// relaxed atomic load.
+#[derive(Default)]
+pub(crate) struct EventHub {
+    subscribers: Mutex<Vec<EventSubscriber>>,
+    clock: AtomicU64,
+    active: AtomicBool,
+}
+
+impl EventHub {
+    pub(crate) fn new() -> EventHub {
+        EventHub::default()
+    }
+
+    /// Publish one event: stamp the next logical clock and fan out to
+    /// every subscriber. A full subscriber loses the event (its
+    /// `dropped` counter ticks); a disconnected one is pruned.
+    pub(crate) fn publish(&self, make: impl FnOnce(u64) -> InstanceEvent) {
+        if !self.active.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut subs = self.subscribers.lock();
+        if subs.is_empty() {
+            self.active.store(false, Ordering::Relaxed);
+            return;
+        }
+        // Clock assignment happens under the subscriber lock, so every
+        // subscriber observes clocks in strictly increasing order.
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed);
+        let event = make(clock);
+        subs.retain(|s| match s.tx.try_send(event.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                s.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+    }
+
+    pub(crate) fn subscribe(&self, capacity: usize) -> ServerEvents {
+        let (tx, rx) = bounded(capacity.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.subscribers.lock().push(EventSubscriber {
+            tx,
+            dropped: Arc::clone(&dropped),
+        });
+        self.active.store(true, Ordering::Relaxed);
+        ServerEvents { rx, dropped }
+    }
+}
+
+/// A bounded subscription to a server's [`InstanceEvent`] stream,
+/// created by [`EngineServer::subscribe`].
+///
+/// The channel is bounded so a slow consumer can never wedge the
+/// server: when the buffer is full, new events are *dropped* for that
+/// subscriber (counted by [`ServerEvents::dropped`]) rather than
+/// blocking the execution hot path. Receives share the ticket-wait
+/// contract: `Ok(Some(_))` delivers, `Ok(None)` means nothing yet,
+/// `Err(ServerGone)` means the server (and every in-flight instance)
+/// is gone and the stream is drained.
+///
+/// [`EngineServer::subscribe`]: crate::server::EngineServer::subscribe
+pub struct ServerEvents {
+    rx: Receiver<InstanceEvent>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ServerEvents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerEvents")
+            .field("buffered", &self.rx.len())
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerEvents {
+    /// Block until the next event arrives.
+    pub fn recv(&self) -> Result<InstanceEvent, ServerGone> {
+        self.rx.recv().map_err(|_| ServerGone)
+    }
+
+    /// Non-blocking poll; `Ok(None)` = nothing pending right now.
+    pub fn try_recv(&self) -> Result<Option<InstanceEvent>, ServerGone> {
+        polled(self.rx.try_recv())
+    }
+
+    /// Block at most `timeout`; `Ok(None)` = the wait elapsed quietly.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<InstanceEvent>, ServerGone> {
+        timed(self.rx.recv_timeout(timeout))
+    }
+
+    /// Events lost to this subscriber because its buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Draining iteration: yields events until the server is gone.
+impl Iterator for ServerEvents {
+    type Item = InstanceEvent;
+
+    fn next(&mut self) -> Option<InstanceEvent> {
+        self.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::schema::SchemaBuilder;
+
+    fn tiny_schema() -> (Arc<Schema>, AttrId, AttrId) {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.synthesis("t", vec![s], Expr::Lit(true), |v| v[0].clone());
+        b.mark_target(t);
+        (Arc::new(b.build().unwrap()), s, t)
+    }
+
+    #[test]
+    fn builder_carries_every_field() {
+        let (schema, s, _) = tiny_schema();
+        let req = Request::with_schema(Arc::clone(&schema))
+            .bind(s, 7i64)
+            .strategy("PSE100".parse().unwrap())
+            .options(RuntimeOptions {
+                disable_backward: true,
+            })
+            .record_journal(true)
+            .deadline(Duration::from_secs(5))
+            .label("tagged");
+        assert!(req.schema().is_some());
+        assert_eq!(req.schema_name(), None);
+        assert_eq!(req.display_name(), "tagged");
+        assert!(req.record_journal);
+        assert_eq!(req.deadline, Some(Duration::from_secs(5)));
+        assert!(req.options.disable_backward);
+
+        let named = Request::named("flow");
+        assert_eq!(named.schema_name(), Some("flow"));
+        assert!(named.schema().is_none());
+        assert_eq!(named.display_name(), "flow");
+        assert_eq!(
+            Request::named("flow").label("tag").display_name(),
+            "flow",
+            "a label never masks the schema name in live tables"
+        );
+        let inline = Request::with_schema(schema);
+        assert_eq!(inline.display_name(), "<inline>");
+    }
+
+    #[test]
+    fn run_requires_inline_schema_and_strategy() {
+        let err = run(&Request::named("flow").strategy("PCE0".parse().unwrap())).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Request(RequestError::NamedSchema(ref n)) if n == "flow"
+        ));
+        assert!(!err.to_string().is_empty());
+
+        let (schema, s, _) = tiny_schema();
+        let err = run(&Request::with_schema(schema).bind(s, 1i64)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Request(RequestError::MissingStrategy)
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn run_executes_and_optionally_records() {
+        let (schema, s, t) = tiny_schema();
+        let plain = Request::with_schema(Arc::clone(&schema))
+            .bind(s, 9i64)
+            .strategy("PCE100".parse().unwrap())
+            .run()
+            .unwrap();
+        assert_eq!(plain.outcome.runtime.stable_value(t), Some(&Value::Int(9)));
+        assert!(plain.journal.is_none());
+
+        let recorded = Request::with_schema(schema)
+            .bind(s, 9i64)
+            .strategy("PCE100".parse().unwrap())
+            .record_journal(true)
+            .run()
+            .unwrap();
+        let journal = recorded.journal.expect("requested journal");
+        assert_eq!(journal.strategy, "PCE100");
+        assert!(!journal.frames.is_empty());
+    }
+
+    #[test]
+    fn request_from_tuples() {
+        let (schema, s, _) = tiny_schema();
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        let r: Request = ("flow", sv.clone()).into();
+        assert_eq!(r.schema_name(), Some("flow"));
+        let r: Request = ("flow".to_string(), sv.clone()).into();
+        assert_eq!(r.schema_name(), Some("flow"));
+        let r: Request = (schema, sv).into();
+        assert!(r.schema().is_some());
+    }
+
+    #[test]
+    fn event_accessors_cover_all_variants() {
+        let ev = InstanceEvent::Submitted {
+            clock: 1,
+            instance_id: 2,
+            shard: 3,
+            label: Some("x".into()),
+        };
+        assert_eq!((ev.clock(), ev.instance_id(), ev.shard()), (1, 2, 3));
+        let ev = InstanceEvent::Completed {
+            clock: 4,
+            instance_id: 5,
+            shard: 6,
+        };
+        assert_eq!((ev.clock(), ev.instance_id(), ev.shard()), (4, 5, 6));
+        let ev = InstanceEvent::Abandoned {
+            clock: 7,
+            instance_id: 8,
+            shard: 0,
+        };
+        assert_eq!((ev.clock(), ev.instance_id(), ev.shard()), (7, 8, 0));
+    }
+
+    #[test]
+    fn hub_drops_for_full_subscriber_and_prunes_disconnected() {
+        let hub = EventHub::new();
+        let tight = hub.subscribe(1);
+        let roomy = hub.subscribe(16);
+        for i in 0..3 {
+            hub.publish(|clock| InstanceEvent::Completed {
+                clock,
+                instance_id: i,
+                shard: 0,
+            });
+        }
+        assert_eq!(tight.dropped(), 2, "capacity-1 subscriber lost 2 of 3");
+        assert_eq!(roomy.dropped(), 0);
+        let got: Vec<u64> = std::iter::from_fn(|| roomy.try_recv().unwrap())
+            .map(|ev| ev.clock())
+            .collect();
+        assert_eq!(got, vec![0, 1, 2], "clocks strictly increasing");
+        assert_eq!(tight.try_recv().unwrap().unwrap().clock(), 0);
+
+        drop(tight);
+        hub.publish(|clock| InstanceEvent::Completed {
+            clock,
+            instance_id: 9,
+            shard: 0,
+        });
+        assert_eq!(hub.subscribers.lock().len(), 1, "disconnected sub pruned");
+    }
+}

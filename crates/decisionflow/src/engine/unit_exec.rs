@@ -48,6 +48,8 @@ pub enum ExecError {
     Snapshot(SnapshotError),
     /// The engine could not make progress (invariant violation).
     Stalled(Stalled),
+    /// The [`Request`](crate::api::Request) cannot run in-process.
+    Request(crate::api::RequestError),
 }
 
 impl std::fmt::Display for ExecError {
@@ -55,6 +57,7 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Snapshot(e) => write!(f, "{e}"),
             ExecError::Stalled(e) => write!(f, "{e}"),
+            ExecError::Request(e) => write!(f, "{e}"),
         }
     }
 }
@@ -95,6 +98,35 @@ impl Ord for Completion {
     }
 }
 
+/// The one in-process execution path behind every public entry point:
+/// [`run_unit_time`], the deprecated recorded variants, and
+/// [`crate::api::run`] all funnel through here, so journaling is a
+/// flag, not a parallel code path.
+pub(crate) fn execute(
+    schema: &Arc<Schema>,
+    strategy: Strategy,
+    sources: &SourceValues,
+    options: RuntimeOptions,
+    record_journal: bool,
+) -> Result<(UnitOutcome, Option<Journal>), ExecError> {
+    if !record_journal {
+        let rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
+        return drive(schema, strategy, rt, None).map(|out| (out, None));
+    }
+    let recorder = SharedJournalWriter::new(JournalWriter::new(schema, strategy, sources));
+    recorder.set_disable_backward(options.disable_backward);
+    let rt = InstanceRuntime::with_options_recorded(
+        Arc::clone(schema),
+        strategy,
+        sources,
+        options,
+        Box::new(recorder.clone()),
+    )?;
+    let outcome = drive(schema, strategy, rt, Some(&recorder))?;
+    let journal = recorder.snapshot(outcome.time_units);
+    Ok((outcome, Some(journal)))
+}
+
 /// Execute one instance to completion in unit time.
 pub fn run_unit_time(
     schema: &Arc<Schema>,
@@ -111,42 +143,40 @@ pub fn run_unit_time_with_options(
     sources: &SourceValues,
     options: RuntimeOptions,
 ) -> Result<UnitOutcome, ExecError> {
-    let rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
-    drive(schema, strategy, rt, None)
+    execute(schema, strategy, sources, options, false).map(|(out, _)| out)
 }
 
 /// [`run_unit_time`] with a flight recorder attached: returns the
 /// outcome together with the [`Journal`] of every control decision.
 /// `ReplayEngine::replay` on that journal reproduces the outcome's
 /// `ExecutionRecord` exactly.
+#[deprecated(
+    note = "build a `decisionflow::api::Request` with `.record_journal(true)` and call \
+            `api::run` (or `Request::run`); the journal arrives in `RunReport::journal`"
+)]
 pub fn run_unit_time_recorded(
     schema: &Arc<Schema>,
     strategy: Strategy,
     sources: &SourceValues,
 ) -> Result<(UnitOutcome, Journal), ExecError> {
-    run_unit_time_recorded_with_options(schema, strategy, sources, RuntimeOptions::default())
+    let (out, journal) = execute(schema, strategy, sources, RuntimeOptions::default(), true)?;
+    Ok((out, journal.expect("journal recording was requested")))
 }
 
-/// [`run_unit_time_recorded`] with ablation options (recorded in the
+/// `run_unit_time_recorded` with ablation options (recorded in the
 /// journal so replay applies them too).
+#[deprecated(
+    note = "build a `decisionflow::api::Request` with `.record_journal(true)` and `.options(..)`, \
+            then call `api::run` (or `Request::run`)"
+)]
 pub fn run_unit_time_recorded_with_options(
     schema: &Arc<Schema>,
     strategy: Strategy,
     sources: &SourceValues,
     options: RuntimeOptions,
 ) -> Result<(UnitOutcome, Journal), ExecError> {
-    let recorder = SharedJournalWriter::new(JournalWriter::new(schema, strategy, sources));
-    recorder.set_disable_backward(options.disable_backward);
-    let rt = InstanceRuntime::with_options_recorded(
-        Arc::clone(schema),
-        strategy,
-        sources,
-        options,
-        Box::new(recorder.clone()),
-    )?;
-    let outcome = drive(schema, strategy, rt, Some(&recorder))?;
-    let journal = recorder.snapshot(outcome.time_units);
-    Ok((outcome, journal))
+    let (out, journal) = execute(schema, strategy, sources, options, true)?;
+    Ok((out, journal.expect("journal recording was requested")))
 }
 
 /// The three-phase loop against the unit-time calendar, optionally

@@ -24,14 +24,16 @@
 //!   a structural fingerprint of the schema, so a journal can never be
 //!   silently replayed against the wrong flow.
 //!
-//! Capture entry points: [`run_unit_time_recorded`] for the unit-time
-//! executor and [`EngineServer::submit_recorded`] for the
-//! multi-threaded server (which makes even truly concurrent runs exactly
-//! reproducible, because the only nondeterminism — completion order —
-//! is on the tape).
+//! Capture entry point: a [`Request`] with
+//! [`record_journal(true)`](crate::api::Request::record_journal) —
+//! via [`api::run`] for the unit-time executor, or
+//! [`EngineServer::submit`] for the multi-threaded server (which makes
+//! even truly concurrent runs exactly reproducible, because the only
+//! nondeterminism — completion order — is on the tape).
 //!
-//! [`run_unit_time_recorded`]: crate::engine::run_unit_time_recorded
-//! [`EngineServer::submit_recorded`]: crate::server::EngineServer::submit_recorded
+//! [`Request`]: crate::api::Request
+//! [`api::run`]: crate::api::run
+//! [`EngineServer::submit`]: crate::server::EngineServer::submit
 
 mod divergence;
 mod frame;
@@ -196,7 +198,8 @@ mod tests {
     use std::sync::Arc;
 
     use super::*;
-    use crate::engine::{run_unit_time_recorded, Strategy};
+    use crate::api::Request;
+    use crate::engine::{Strategy, UnitOutcome};
     use crate::expr::{CmpOp, Expr};
     use crate::journal::frame::Event;
     use crate::schema::SchemaBuilder;
@@ -244,10 +247,25 @@ mod tests {
         s.parse().unwrap()
     }
 
+    /// Capture one in-process run through the unified request API.
+    fn recorded(
+        schema: &Arc<Schema>,
+        strategy: Strategy,
+        sv: &SourceValues,
+    ) -> (UnitOutcome, Journal) {
+        let report = Request::with_schema(Arc::clone(schema))
+            .sources(sv.clone())
+            .strategy(strategy)
+            .record_journal(true)
+            .run()
+            .unwrap();
+        (report.outcome, report.journal.expect("journal requested"))
+    }
+
     #[test]
     fn capture_records_all_event_kinds() {
         let (schema, sv) = fixture();
-        let (_, journal) = run_unit_time_recorded(&schema, strat("PSE100"), &sv).unwrap();
+        let (_, journal) = recorded(&schema, strat("PSE100"), &sv);
         let tags: std::collections::HashSet<&str> =
             journal.frames.iter().map(|f| f.event.tag()).collect();
         for expected in ["round", "launch", "complete", "cond", "stable"] {
@@ -265,7 +283,7 @@ mod tests {
     fn replay_reproduces_record_byte_for_byte() {
         let (schema, sv) = fixture();
         for s in ["PCE0", "PSE100", "NCE50", "NSC100"] {
-            let (out, journal) = run_unit_time_recorded(&schema, strat(s), &sv).unwrap();
+            let (out, journal) = recorded(&schema, strat(s), &sv);
             let original =
                 crate::report::ExecutionRecord::from_runtime(&out.runtime, out.time_units);
             let replayed = ReplayEngine::new(Arc::clone(&schema), journal.clone())
@@ -290,7 +308,7 @@ mod tests {
     #[test]
     fn json_roundtrip_is_byte_identical() {
         let (schema, sv) = fixture();
-        let (_, journal) = run_unit_time_recorded(&schema, strat("PSE100"), &sv).unwrap();
+        let (_, journal) = recorded(&schema, strat("PSE100"), &sv);
         let json = journal.to_json();
         let back = Journal::from_json(&json).unwrap();
         assert_eq!(back, journal);
@@ -300,7 +318,7 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         let (schema, sv) = fixture();
-        let (_, mut journal) = run_unit_time_recorded(&schema, strat("PCE0"), &sv).unwrap();
+        let (_, mut journal) = recorded(&schema, strat("PCE0"), &sv);
         journal.version = SCHEMA_VERSION + 1;
         let err = Journal::from_json(&journal.to_json()).unwrap_err();
         assert_eq!(
@@ -317,7 +335,7 @@ mod tests {
     #[test]
     fn wrong_schema_is_rejected_by_fingerprint() {
         let (schema, sv) = fixture();
-        let (_, journal) = run_unit_time_recorded(&schema, strat("PCE0"), &sv).unwrap();
+        let (_, journal) = recorded(&schema, strat("PCE0"), &sv);
         let mut b = SchemaBuilder::new();
         let s = b.source("income");
         let t = b.attr("t", Task::const_query(1, 1i64), vec![], Expr::Truthy(s));
@@ -333,7 +351,7 @@ mod tests {
     #[test]
     fn perturbed_value_yields_structured_divergence() {
         let (schema, sv) = fixture();
-        let (_, mut journal) = run_unit_time_recorded(&schema, strat("PCE0"), &sv).unwrap();
+        let (_, mut journal) = recorded(&schema, strat("PCE0"), &sv);
         let idx = journal
             .frames
             .iter()
@@ -353,7 +371,7 @@ mod tests {
     #[test]
     fn truncated_journal_yields_divergence_not_panic() {
         let (schema, sv) = fixture();
-        let (_, mut journal) = run_unit_time_recorded(&schema, strat("PSE100"), &sv).unwrap();
+        let (_, mut journal) = recorded(&schema, strat("PSE100"), &sv);
         journal.frames.truncate(journal.frames.len() / 2);
         // Either the tape ends where the engine still emits (frame
         // mismatch) or a driver event is missing — both structured.
@@ -366,7 +384,7 @@ mod tests {
     #[test]
     fn swapped_completions_yield_divergence() {
         let (schema, sv) = fixture();
-        let (_, mut journal) = run_unit_time_recorded(&schema, strat("PCE100"), &sv).unwrap();
+        let (_, mut journal) = recorded(&schema, strat("PCE100"), &sv);
         let completes: Vec<usize> = journal
             .frames
             .iter()
@@ -390,7 +408,7 @@ mod tests {
     #[test]
     fn step_to_exposes_intermediate_state() {
         let (schema, sv) = fixture();
-        let (out, journal) = run_unit_time_recorded(&schema, strat("PCE0"), &sv).unwrap();
+        let (out, journal) = recorded(&schema, strat("PCE0"), &sv);
         let engine = ReplayEngine::new(Arc::clone(&schema), journal.clone()).unwrap();
         // At clock 0 nothing has happened yet (not even init frames).
         let rt0 = engine.step_to(0).unwrap();
@@ -426,7 +444,7 @@ mod tests {
         let schema = Arc::new(b.build().unwrap());
         let mut sv = SourceValues::new();
         sv.set(s, 3i64);
-        let (out, journal) = run_unit_time_recorded(&schema, strat("PCE100"), &sv).unwrap();
+        let (out, journal) = recorded(&schema, strat("PCE100"), &sv);
         assert_eq!(out.work(), 0);
         assert!(journal.frames.iter().all(|f| !f.event.is_driver_event()));
         let replayed = ReplayEngine::new(Arc::clone(&schema), journal)
@@ -476,17 +494,18 @@ mod tests {
 
     #[test]
     fn ablation_options_are_recorded_and_replayed() {
-        use crate::engine::{run_unit_time_recorded_with_options, RuntimeOptions};
+        use crate::engine::RuntimeOptions;
         let (schema, sv) = fixture();
-        let (out, journal) = run_unit_time_recorded_with_options(
-            &schema,
-            strat("PCE0"),
-            &sv,
-            RuntimeOptions {
+        let report = Request::with_schema(Arc::clone(&schema))
+            .sources(sv.clone())
+            .strategy(strat("PCE0"))
+            .options(RuntimeOptions {
                 disable_backward: true,
-            },
-        )
-        .unwrap();
+            })
+            .record_journal(true)
+            .run()
+            .unwrap();
+        let (out, journal) = (report.outcome, report.journal.unwrap());
         assert!(journal.disable_backward);
         let replayed = ReplayEngine::new(Arc::clone(&schema), journal)
             .unwrap()

@@ -49,21 +49,31 @@
 //! b.mark_target(promo);
 //! let schema = Arc::new(b.build().unwrap());
 //!
+//! // One Request carries everything: inputs, strategy, and options
+//! // like journaling — in-process via `run()`, or submitted to an
+//! // `EngineServer` for a `Ticket`.
+//! let report = Request::with_schema(Arc::clone(&schema))
+//!     .bind(income, 500i64)
+//!     .strategy("PSE100".parse().unwrap())
+//!     .record_journal(true)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.outcome.runtime.stable_value(promo), Some(&Value::str("coat")));
+//!
+//! // The flight record replays deterministically…
+//! assert!(report.journal.is_some());
+//! // …and the declarative oracle agrees, whatever the strategy.
 //! let mut sources = SourceValues::new();
 //! sources.set(income, 500i64);
-//! let strategy: Strategy = "PSE100".parse().unwrap();
-//! let out = run_unit_time(&schema, strategy, &sources).unwrap();
-//! assert_eq!(out.runtime.stable_value(promo), Some(&Value::str("coat")));
-//!
-//! // The declarative oracle agrees, whatever the strategy.
 //! let snap = complete_snapshot(&schema, &sources).unwrap();
-//! assert!(out.runtime.agrees_with(&snap));
+//! assert!(report.outcome.runtime.agrees_with(&snap));
 //! ```
 //!
 //! ## Crate layout
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`api`] | the unified submission surface: `Request` builder, `Ticket`, `ServerEvents` |
 //! | [`value`] | dynamically typed attribute values, ⊥ semantics |
 //! | [`expr`] | enabling conditions, Kleene partial evaluation |
 //! | [`task`] | foreign (query) and synthesis tasks |
@@ -79,6 +89,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod dsl;
 pub mod engine;
 pub mod expr;
@@ -94,11 +105,15 @@ pub mod value;
 
 /// One-stop imports for typical users.
 pub mod prelude {
+    pub use crate::api::{
+        InstanceEvent, LiveInstance, Request, RequestError, RunReport, ServerEvents, Ticket,
+    };
     pub use crate::dsl::{parse_schema, DslError, ExternRegistry};
+    #[allow(deprecated)]
+    pub use crate::engine::run_unit_time_recorded;
     pub use crate::engine::{
-        run_unit_time, run_unit_time_recorded, run_unit_time_with_options, ExecError, Heuristic,
-        InstanceMetrics, InstanceRuntime, RuntimeOptions, ServerStats, ShardStats, Strategy,
-        UnitOutcome,
+        run_unit_time, run_unit_time_with_options, ExecError, Heuristic, InstanceMetrics,
+        InstanceRuntime, RuntimeOptions, ServerStats, ShardStats, Strategy, UnitOutcome,
     };
     pub use crate::expr::{CmpOp, Expr, Term, Tri};
     pub use crate::journal::{
@@ -107,9 +122,10 @@ pub mod prelude {
     pub use crate::rules::{CombiningPolicy, Rule, RuleAction, RuleSet};
     pub use crate::schema::{AttrId, ModularBuilder, Schema, SchemaBuilder, SchemaError};
     pub use crate::server::{
-        EngineServer, InstanceHandle, InstanceResult, RecordedHandle, ServerBuildError, ServerGone,
-        SubmitError,
+        EngineServer, InstanceResult, ServerBuildError, ServerGone, SubmitError,
     };
+    #[allow(deprecated)]
+    pub use crate::server::{InstanceHandle, RecordedHandle};
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;
     pub use crate::task::{Cost, Task};

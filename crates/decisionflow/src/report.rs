@@ -425,7 +425,7 @@ mod tests {
 
     #[test]
     fn journal_audit_renders_nested_relation() {
-        use crate::engine::run_unit_time_recorded;
+        use crate::api::Request;
         let mut b = SchemaBuilder::new();
         let s = b.source("income");
         let q = b.attr(
@@ -439,8 +439,14 @@ mod tests {
         let schema = Arc::new(b.build().unwrap());
         let mut sv = SourceValues::new();
         sv.set(s, 500i64);
-        let (_, journal) =
-            run_unit_time_recorded(&schema, "PCE0".parse::<Strategy>().unwrap(), &sv).unwrap();
+        let journal = Request::with_schema(Arc::clone(&schema))
+            .sources(sv)
+            .strategy("PCE0".parse::<Strategy>().unwrap())
+            .record_journal(true)
+            .run()
+            .unwrap()
+            .journal
+            .expect("journal requested");
         let audit = journal_audit(&journal);
         assert!(audit.starts_with("(strategy: PCE0, version: 1,"));
         assert!(audit.contains("sources: {(income: 500)}"));

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //!                         EngineServer
-//!   submit / submit_batch ──▶ route by hash(instance id) ──┐
-//!          ┌──────────────┬──────────────┬─────────────────┘
+//!   submit / submit_many ──▶ route by hash(instance id) ──┐
+//!          ┌──────────────┬──────────────┬────────────────┘
 //!          ▼              ▼              ▼
 //!       shard 0        shard 1   …   shard N−1    (N = available cores)
 //!    ┌───────────┐  ┌───────────┐  ┌───────────┐
@@ -12,7 +12,8 @@
 //!    │ instances │  │ instances │  │ instances │  live-instance slice
 //!    │ workers   │  │ workers   │  │ workers   │  private thread pool
 //!    └───────────┘  └───────────┘  └───────────┘
-//!          └── per-shard gauges ──▶ ServerStats (aggregated snapshot)
+//!          ├── per-shard gauges ──▶ ServerStats   (aggregated snapshot)
+//!          └── instance events  ──▶ ServerEvents  (bounded subscriptions)
 //! ```
 //!
 //! The engine "works in a multi-thread fashion, so that parallel
@@ -30,7 +31,7 @@
 //!   the pool size plays the role of the external server's finite
 //!   multiprogramming level;
 //! * submissions are routed by a multiplicative hash of a monotone
-//!   instance id; [`submit_batch`] groups a whole batch by shard so
+//!   instance id; [`submit_many`] groups a whole batch by shard so
 //!   routing and registry-lock acquisition are amortized over the
 //!   batch;
 //! * every completion re-enters the three-phase loop (evaluate →
@@ -39,27 +40,31 @@
 //! * each shard maintains lock-free [`ShardGauges`] (queue depth,
 //!   in-flight instances, submitted/completed/abandoned counters)
 //!   which [`EngineServer::stats`] aggregates into a [`ServerStats`]
-//!   snapshot.
+//!   snapshot, and every instance lifecycle transition is published to
+//!   [`subscribe`]rs as an [`InstanceEvent`].
 //!
+//! Submission itself is the unified [`Request`] → [`Ticket`] surface
+//! of [`crate::api`]: journaling, per-request strategy overrides,
+//! deadlines, and labels are request options, not separate methods.
 //! The scheduler and the Propagation Algorithm are exactly the ones
 //! used by the simulation drivers; this module only adds the threading
 //! harness, so correctness-vs-oracle carries over (and is re-asserted
 //! by this module's tests and `tests/server_sharded.rs` under real
-//! concurrency, across shards). Journal capture
-//! ([`submit_recorded`]) works identically on every shard.
+//! concurrency, across shards).
 //!
 //! [`register`]: EngineServer::register
-//! [`submit_batch`]: EngineServer::submit_batch
-//! [`submit_recorded`]: EngineServer::submit_recorded
+//! [`submit_many`]: EngineServer::submit_many
+//! [`subscribe`]: EngineServer::subscribe
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
+use crate::api::{EventHub, InstanceEvent, LiveInstance, Request, ServerEvents, Ticket};
 use crate::engine::{scheduler, InstanceRuntime, ServerStats, ShardGauges, Strategy};
 use crate::journal::{Journal, JournalWriter, SharedJournalWriter};
 use crate::report::ExecutionRecord;
@@ -75,6 +80,15 @@ pub struct InstanceResult {
     pub elapsed: Duration,
     /// Index of the shard that executed the instance.
     pub shard: usize,
+    /// Server-assigned instance id (matches the [`Ticket`] and the
+    /// [`InstanceEvent`] stream).
+    pub instance_id: u64,
+    /// The label the [`Request`] carried, if any.
+    pub label: Option<String>,
+    /// The flight record — `Some` iff the request set
+    /// [`Request::record_journal`]. Recording is an orthogonal option,
+    /// not a parallel type family: the same [`Ticket`] delivers both.
+    pub journal: Option<Journal>,
 }
 
 /// The instance's result can never arrive. This happens when the
@@ -84,7 +98,7 @@ pub struct InstanceResult {
 /// the result was already consumed by an earlier poll. Note that
 /// merely dropping the [`EngineServer`] does *not* abandon work:
 /// worker pools drain gracefully, in-flight instances run to
-/// completion, and their handles still yield results.
+/// completion, and their tickets still yield results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerGone;
 
@@ -96,65 +110,51 @@ impl std::fmt::Display for ServerGone {
 
 impl std::error::Error for ServerGone {}
 
-/// Handle to a submitted instance.
-pub struct InstanceHandle {
-    rx: Receiver<InstanceResult>,
-}
-
-impl std::fmt::Debug for InstanceHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InstanceHandle").finish_non_exhaustive()
-    }
-}
-
-impl InstanceHandle {
-    /// Block until the instance completes. Returns [`ServerGone`]
-    /// (instead of panicking) when the server was dropped first.
-    pub fn wait(self) -> Result<InstanceResult, ServerGone> {
-        self.rx.recv().map_err(|_| ServerGone)
-    }
-
-    /// Non-blocking poll. `Ok(None)` means *not ready yet — keep
-    /// polling*; `Err(ServerGone)` means the result can never arrive
-    /// (instance abandoned, or the result was already taken), so
-    /// pollers must stop. Distinguishing the two is what keeps a poll
-    /// loop from spinning forever on a result that is gone.
-    pub fn try_wait(&self) -> Result<Option<InstanceResult>, ServerGone> {
-        match self.rx.try_recv() {
-            Ok(r) => Ok(Some(r)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(ServerGone),
-        }
-    }
-}
+/// Legacy name for the unified [`Ticket`] handle.
+#[deprecated(note = "use `EngineServer::submit(Request)` and the `Ticket` it returns")]
+pub type InstanceHandle = Ticket;
 
 /// Handle to a submitted instance with journal capture enabled.
+///
+/// Legacy shim: the unified [`Ticket`] delivers the journal inside
+/// [`InstanceResult::journal`]; this wrapper only re-splits it into
+/// the historical `(result, journal)` pair.
+#[deprecated(
+    note = "use `EngineServer::submit(Request::named(..).record_journal(true))`; the `Ticket`'s \
+            `InstanceResult::journal` carries the journal"
+)]
 pub struct RecordedHandle {
-    rx: Receiver<(InstanceResult, Journal)>,
+    ticket: Ticket,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for RecordedHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecordedHandle").finish_non_exhaustive()
     }
 }
 
+#[allow(deprecated)]
 impl RecordedHandle {
+    fn split(mut result: InstanceResult) -> (InstanceResult, Journal) {
+        let journal = result
+            .journal
+            .take()
+            .expect("recorded submission always carries a journal");
+        (result, journal)
+    }
+
     /// Block until the instance completes; yields the result together
     /// with the captured [`Journal`].
     pub fn wait(self) -> Result<(InstanceResult, Journal), ServerGone> {
-        self.rx.recv().map_err(|_| ServerGone)
+        self.ticket.wait().map(Self::split)
     }
 
-    /// Non-blocking poll; same contract as
-    /// [`InstanceHandle::try_wait`]: `Ok(None)` = not ready yet,
-    /// `Err(ServerGone)` = the result can never arrive.
+    /// Non-blocking poll; same contract as [`Ticket::try_wait`]:
+    /// `Ok(None)` = not ready yet, `Err(ServerGone)` = the result can
+    /// never arrive.
     pub fn try_wait(&self) -> Result<Option<(InstanceResult, Journal)>, ServerGone> {
-        match self.rx.try_recv() {
-            Ok(r) => Ok(Some(r)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(ServerGone),
-        }
+        Ok(self.ticket.try_wait()?.map(Self::split))
     }
 }
 
@@ -216,7 +216,7 @@ impl WorkerPool {
                         // serving. The caught job drops its
                         // `Arc<Instance>`, which is what eventually
                         // surfaces ServerGone on the abandoned
-                        // instance's handle.
+                        // instance's ticket.
                         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                     }
                 });
@@ -244,7 +244,7 @@ impl WorkerPool {
     /// abnormally (e.g. a teardown race). Even then the caller must
     /// not panic: `false` means the job was dropped, which releases
     /// its `Arc<Instance>` — the completion sender goes with it and
-    /// the handle observes [`ServerGone`].
+    /// the ticket observes [`ServerGone`].
     fn spawn(&self, job: Job) -> bool {
         self.gauges.job_enqueued();
         match self.tx.as_ref().expect("pool alive").send(job) {
@@ -273,17 +273,7 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Where a finished instance's result goes — with or without the
-/// captured journal.
-enum CompletionTx {
-    Plain(Sender<InstanceResult>),
-    Recorded {
-        tx: Sender<(InstanceResult, Journal)>,
-        recorder: SharedJournalWriter,
-    },
-}
-
-/// The shard's slice of the live-instance table: id → schema name.
+/// The shard's slice of the live-instance table: id → display name.
 type LiveTable = Arc<Mutex<HashMap<u64, String>>>;
 
 struct Instance {
@@ -291,17 +281,24 @@ struct Instance {
     shard: usize,
     runtime: Mutex<InstanceRuntime>,
     started: Instant,
-    done_tx: CompletionTx,
+    done_tx: Sender<InstanceResult>,
+    /// `Some` iff the request asked for journal capture; the snapshot
+    /// taken at completion becomes [`InstanceResult::journal`].
+    recorder: Option<SharedJournalWriter>,
+    /// The request's label, forwarded into results and events.
+    label: Option<String>,
     /// Set once the first completed pump has sent the result, so later
     /// pumps (racing workers, speculative stragglers) don't resend.
     finished: Mutex<bool>,
     /// Scheduling-round counter for journaled instances (only ever
     /// touched under the runtime lock; atomic for `&self` access).
     rounds: AtomicU32,
-    /// The owning shard's pool, gauges, and live-table slice.
+    /// The owning shard's pool, gauges, live-table slice, and the
+    /// server-wide event hub.
     pool: Arc<WorkerPool>,
     gauges: Arc<ShardGauges>,
     live: LiveTable,
+    events: Arc<EventHub>,
 }
 
 impl Instance {
@@ -309,7 +306,7 @@ impl Instance {
     /// selected tasks to the owning shard's worker pool.
     fn pump(inst: &Arc<Instance>) {
         let mut launches: Vec<(AttrId, Vec<crate::value::Value>)> = Vec::new();
-        let mut finished: Option<(InstanceResult, Option<Journal>)> = None;
+        let mut finished: Option<InstanceResult> = None;
         {
             let mut rt = inst.runtime.lock();
             if rt.is_complete() {
@@ -319,25 +316,23 @@ impl Instance {
                 let mut sent = inst.finished.lock();
                 if !*sent {
                     *sent = true;
-                    let result = InstanceResult {
+                    finished = Some(InstanceResult {
                         record: ExecutionRecord::from_runtime(&rt, 0),
                         elapsed: inst.started.elapsed(),
                         shard: inst.shard,
-                    };
-                    let journal = match &inst.done_tx {
+                        instance_id: inst.id,
+                        label: inst.label.clone(),
                         // Journals are wall-clock free: time stays 0,
                         // matching the record built above.
-                        CompletionTx::Recorded { recorder, .. } => Some(recorder.snapshot(0)),
-                        CompletionTx::Plain(_) => None,
-                    };
-                    finished = Some((result, journal));
+                        journal: inst.recorder.as_ref().map(|r| r.snapshot(0)),
+                    });
                 }
             } else {
                 let schema = Arc::clone(rt.schema());
                 let in_flight = rt.in_flight_count();
                 let cands = rt.candidates();
-                match &inst.done_tx {
-                    CompletionTx::Recorded { recorder, .. } if !cands.is_empty() => {
+                match &inst.recorder {
+                    Some(recorder) if !cands.is_empty() => {
                         let picks =
                             scheduler::select(&schema, rt.strategy(), cands.clone(), in_flight);
                         let round = inst.rounds.fetch_add(1, Ordering::Relaxed);
@@ -360,19 +355,18 @@ impl Instance {
                 }
             }
         }
-        if let Some((result, journal)) = finished {
+        if let Some(result) = finished {
             inst.live.lock().remove(&inst.id);
             inst.gauges.instance_completed();
-            // Ignore send failure: the caller may have dropped the handle.
-            match (&inst.done_tx, journal) {
-                (CompletionTx::Plain(tx), _) => {
-                    let _ = tx.send(result);
-                }
-                (CompletionTx::Recorded { tx, .. }, Some(j)) => {
-                    let _ = tx.send((result, j));
-                }
-                (CompletionTx::Recorded { .. }, None) => unreachable!("journal snapshotted above"),
-            }
+            // Publish before sending, so a subscriber that reacts to a
+            // delivered result always finds its Completed event.
+            inst.events.publish(|clock| InstanceEvent::Completed {
+                clock,
+                instance_id: inst.id,
+                shard: inst.shard,
+            });
+            // Ignore send failure: the caller may have dropped the ticket.
+            let _ = inst.done_tx.send(result);
             return;
         }
         for (attr, inputs) in launches {
@@ -396,7 +390,7 @@ impl Instance {
                 // Every worker of this shard is dead; the remaining
                 // launches can never run either. Dropping them (and
                 // this instance's last Arcs with them) surfaces
-                // ServerGone on the handle instead of wedging it.
+                // ServerGone on the ticket instead of wedging it.
                 break;
             }
         }
@@ -407,10 +401,16 @@ impl Drop for Instance {
     fn drop(&mut self) {
         // The instance died without delivering — a task body panicked
         // and the caught unwind released its references. It is no
-        // longer in flight; account for it so the gauges stay honest.
+        // longer in flight; account for it so the gauges stay honest,
+        // and tell subscribers which instance was lost.
         if !*self.finished.lock() {
             self.live.lock().remove(&self.id);
             self.gauges.instance_abandoned();
+            self.events.publish(|clock| InstanceEvent::Abandoned {
+                clock,
+                instance_id: self.id,
+                shard: self.shard,
+            });
         }
     }
 }
@@ -424,10 +424,11 @@ struct Shard {
     pool: Arc<WorkerPool>,
     gauges: Arc<ShardGauges>,
     live: LiveTable,
+    events: Arc<EventHub>,
 }
 
 impl Shard {
-    fn new(index: usize, workers: usize) -> Result<Shard, ServerBuildError> {
+    fn new(index: usize, workers: usize, events: Arc<EventHub>) -> Result<Shard, ServerBuildError> {
         let gauges = Arc::new(ShardGauges::new());
         let pool = WorkerPool::new(index, workers, Arc::clone(&gauges)).map_err(|source| {
             ServerBuildError {
@@ -442,6 +443,7 @@ impl Shard {
             pool: Arc::new(pool),
             gauges,
             live: Arc::new(Mutex::new(HashMap::new())),
+            events,
         })
     }
 
@@ -453,24 +455,44 @@ impl Shard {
             .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))
     }
 
-    fn start(&self, id: u64, schema_name: &str, runtime: InstanceRuntime, done_tx: CompletionTx) {
+    fn start(&self, id: u64, display_name: String, prepared: PreparedRuntime) {
         self.gauges.instance_submitted();
-        self.live.lock().insert(id, schema_name.to_string());
+        self.live.lock().insert(id, display_name);
+        let label = prepared.label;
+        self.events.publish(|clock| InstanceEvent::Submitted {
+            clock,
+            instance_id: id,
+            shard: self.index,
+            label: label.clone(),
+        });
         let inst = Arc::new(Instance {
             id,
             shard: self.index,
-            runtime: Mutex::new(runtime),
+            runtime: Mutex::new(prepared.runtime),
             started: Instant::now(),
-            done_tx,
+            done_tx: prepared.done_tx,
+            recorder: prepared.recorder,
+            label,
             finished: Mutex::new(false),
             rounds: AtomicU32::new(0),
             pool: Arc::clone(&self.pool),
             gauges: Arc::clone(&self.gauges),
             live: Arc::clone(&self.live),
+            events: Arc::clone(&self.events),
         });
         // Kick off the first scheduling round.
         Instance::pump(&inst);
     }
+}
+
+/// A validated request, ready to start: the runtime (with recorder
+/// already attached when journaling was requested) plus the completion
+/// sender and label.
+struct PreparedRuntime {
+    runtime: InstanceRuntime,
+    recorder: Option<SharedJournalWriter>,
+    label: Option<String>,
+    done_tx: Sender<InstanceResult>,
 }
 
 /// The sharded multi-threaded decision-flow execution server.
@@ -479,10 +501,11 @@ pub struct EngineServer {
     strategy: Strategy,
     /// Monotone instance-id source; ids are hashed to pick a shard.
     next_id: AtomicU64,
+    events: Arc<EventHub>,
 }
 
 /// Errors from [`EngineServer::submit`] and
-/// [`EngineServer::submit_batch`].
+/// [`EngineServer::submit_many`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// No schema registered under this name.
@@ -502,6 +525,9 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Default buffer capacity of an [`EngineServer::subscribe`] stream.
+const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
 impl EngineServer {
     /// Default shard count: the machine's available parallelism
     /// (`1` when it cannot be determined). [`EngineServer::new`] and
@@ -514,7 +540,8 @@ impl EngineServer {
     }
 
     /// Start a server with `workers` task-execution threads in total,
-    /// running every instance under `strategy`.
+    /// running every instance under `strategy` (unless a [`Request`]
+    /// overrides it).
     ///
     /// The threads are spread over `min(available_parallelism,
     /// workers)` shards (every shard gets at least one thread), so the
@@ -536,13 +563,15 @@ impl EngineServer {
         let nshards = Self::default_shard_count().min(workers);
         let base = workers / nshards;
         let extra = workers % nshards;
+        let events = Arc::new(EventHub::new());
         let shards = (0..nshards)
-            .map(|i| Shard::new(i, base + usize::from(i < extra)))
+            .map(|i| Shard::new(i, base + usize::from(i < extra), Arc::clone(&events)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EngineServer {
             shards,
             strategy,
             next_id: AtomicU64::new(0),
+            events,
         })
     }
 
@@ -558,13 +587,15 @@ impl EngineServer {
             workers_per_shard > 0,
             "worker pool needs at least one thread"
         );
+        let events = Arc::new(EventHub::new());
         let shards = (0..shards)
-            .map(|i| Shard::new(i, workers_per_shard))
+            .map(|i| Shard::new(i, workers_per_shard, Arc::clone(&events)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EngineServer {
             shards,
             strategy,
             next_id: AtomicU64::new(0),
+            events,
         })
     }
 
@@ -576,6 +607,12 @@ impl EngineServer {
     /// Total worker threads across all shards.
     pub fn worker_count(&self) -> usize {
         self.shards.iter().map(|s| s.workers).sum()
+    }
+
+    /// The strategy instances run under when their [`Request`] does
+    /// not override it.
+    pub fn default_strategy(&self) -> Strategy {
+        self.strategy
     }
 
     /// Register (or replace) a schema in the repository. The schema is
@@ -611,17 +648,39 @@ impl EngineServer {
         }
     }
 
-    /// The live-instance table: `(instance id, shard, schema name)`
-    /// for every submitted instance that has not completed.
-    pub fn live_instances(&self) -> Vec<(u64, usize, String)> {
+    /// The live-instance table: one [`LiveInstance`] row for every
+    /// submitted instance that has not completed, sorted by id.
+    pub fn live_instances(&self) -> Vec<LiveInstance> {
         let mut out = Vec::new();
         for shard in &self.shards {
             for (&id, name) in shard.live.lock().iter() {
-                out.push((id, shard.index, name.clone()));
+                out.push(LiveInstance {
+                    instance_id: id,
+                    shard: shard.index,
+                    schema: name.clone(),
+                });
             }
         }
-        out.sort_unstable_by_key(|&(id, _, _)| id);
+        out.sort_unstable_by_key(|li| li.instance_id);
         out
+    }
+
+    /// Subscribe to the server's [`InstanceEvent`] stream with the
+    /// default buffer capacity. Events are published on every
+    /// submission, completion, and abandonment, stamped with a
+    /// server-wide monotone logical clock — so pollers, load drivers,
+    /// and open-arrival pacers can react to completions instead of
+    /// spinning on [`Ticket::try_wait`].
+    pub fn subscribe(&self) -> ServerEvents {
+        self.subscribe_with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// [`subscribe`](EngineServer::subscribe) with an explicit buffer
+    /// capacity. The buffer is bounded so a slow subscriber can never
+    /// wedge the server: overflowing events are dropped for that
+    /// subscriber and counted by [`ServerEvents::dropped`].
+    pub fn subscribe_with_capacity(&self, capacity: usize) -> ServerEvents {
+        self.events.subscribe(capacity)
     }
 
     /// Route an instance id to a shard (Fibonacci multiplicative hash:
@@ -635,48 +694,116 @@ impl EngineServer {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Submit a new flow instance; returns immediately with a handle.
-    pub fn submit(
+    /// Validate one request against its resolved schema: build the
+    /// runtime (attaching the journal recorder when asked) without
+    /// starting anything.
+    fn prepare(
         &self,
-        schema_name: &str,
-        sources: SourceValues,
-    ) -> Result<InstanceHandle, SubmitError> {
-        let id = self.next_id();
-        let shard = self.shard_for(id);
-        let schema = shard.schema_for(schema_name)?;
-        let runtime =
-            InstanceRuntime::new(schema, self.strategy, &sources).map_err(SubmitError::Sources)?;
+        schema: Arc<Schema>,
+        request: &Request,
+    ) -> Result<(PreparedRuntime, Receiver<InstanceResult>), SubmitError> {
+        let strategy = request.strategy.unwrap_or(self.strategy);
+        let (runtime, recorder) = if request.record_journal {
+            let recorder =
+                SharedJournalWriter::new(JournalWriter::new(&schema, strategy, &request.sources));
+            recorder.set_disable_backward(request.options.disable_backward);
+            let rt = InstanceRuntime::with_options_recorded(
+                schema,
+                strategy,
+                &request.sources,
+                request.options,
+                Box::new(recorder.clone()),
+            )
+            .map_err(SubmitError::Sources)?;
+            (rt, Some(recorder))
+        } else {
+            let rt =
+                InstanceRuntime::with_options(schema, strategy, &request.sources, request.options)
+                    .map_err(SubmitError::Sources)?;
+            (rt, None)
+        };
         let (done_tx, done_rx) = unbounded();
-        shard.start(id, schema_name, runtime, CompletionTx::Plain(done_tx));
-        Ok(InstanceHandle { rx: done_rx })
+        Ok((
+            PreparedRuntime {
+                runtime,
+                recorder,
+                label: request.label.clone(),
+                done_tx,
+            },
+            done_rx,
+        ))
     }
 
-    /// Submit a batch of flow instances in one call, amortizing
-    /// routing and registry-lock acquisition: the batch is grouped by
-    /// destination shard, each shard's registry read lock is taken
-    /// once per group, and each distinct schema name is resolved at
-    /// most once per shard.
+    /// Submit one flow instance; returns immediately with a [`Ticket`].
     ///
-    /// Validation is all-or-nothing: if any entry names an unknown
+    /// The request names a [`register`]ed schema (or carries one
+    /// inline), binds its sources, and opts into journaling, a
+    /// strategy override, a deadline, or a label — everything that
+    /// used to be a separate `submit_*` method:
+    ///
+    /// ```no_run
+    /// # use decisionflow::api::Request;
+    /// # use decisionflow::server::EngineServer;
+    /// # use decisionflow::snapshot::SourceValues;
+    /// # let server = EngineServer::new(2, "PSE100".parse().unwrap()).unwrap();
+    /// # let sources = SourceValues::new();
+    /// let ticket = server.submit(
+    ///     Request::named("flow").sources(sources).record_journal(true),
+    /// )?;
+    /// let result = ticket.wait().expect("server alive");
+    /// assert!(result.journal.is_some());
+    /// # Ok::<(), decisionflow::server::SubmitError>(())
+    /// ```
+    ///
+    /// [`register`]: EngineServer::register
+    pub fn submit(&self, request: impl Into<Request>) -> Result<Ticket, SubmitError> {
+        let request = request.into();
+        let id = self.next_id();
+        let shard = self.shard_for(id);
+        let schema = match request.schema() {
+            Some(inline) => Arc::clone(inline),
+            None => shard.schema_for(request.schema_name().expect("named or inline"))?,
+        };
+        let (prepared, done_rx) = self.prepare(schema, &request)?;
+        // An unrepresentable deadline (e.g. Duration::MAX budget)
+        // saturates to "no deadline" rather than panicking.
+        let deadline = request
+            .deadline
+            .and_then(|budget| Instant::now().checked_add(budget));
+        shard.start(id, request.display_name(), prepared);
+        Ok(Ticket::new(done_rx, id, shard.index, deadline))
+    }
+
+    /// Submit a batch of requests in one call, amortizing routing and
+    /// registry-lock acquisition: the batch is grouped by destination
+    /// shard, each shard's registry read lock is taken once per group,
+    /// and each distinct schema name is resolved at most once per
+    /// shard. Journaling, strategy overrides, deadlines, and labels
+    /// are honored per request — a recorded batch is just a batch of
+    /// recorded requests.
+    ///
+    /// Validation is all-or-nothing: if any request names an unknown
     /// schema or binds invalid sources, *no* instance is started and
-    /// the first error is returned. On success the handles come back
+    /// the first error is returned. On success the tickets come back
     /// in submission order.
-    pub fn submit_batch(
-        &self,
-        batch: &[(&str, SourceValues)],
-    ) -> Result<Vec<InstanceHandle>, SubmitError> {
-        // Phase 1 — route: assign ids and group entry indices by shard.
-        let ids: Vec<u64> = batch.iter().map(|_| self.next_id()).collect();
+    pub fn submit_many<I>(&self, requests: I) -> Result<Vec<Ticket>, SubmitError>
+    where
+        I: IntoIterator,
+        I::Item: Into<Request>,
+    {
+        let requests: Vec<Request> = requests.into_iter().map(Into::into).collect();
+        // Phase 1 — route: assign ids and group request indices by shard.
+        let ids: Vec<u64> = requests.iter().map(|_| self.next_id()).collect();
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, &id) in ids.iter().enumerate() {
             by_shard[self.shard_for(id).index].push(i);
         }
-        // Phase 2 — validate: per shard, resolve schemas under one
-        // read-lock acquisition (memoized per distinct name) and build
-        // every runtime. Nothing has started yet, so any failure
+        // Phase 2 — validate: per shard, resolve named schemas under
+        // one read-lock acquisition (memoized per distinct name) and
+        // build every runtime. Nothing has started yet, so any failure
         // aborts the whole batch cleanly.
-        let mut runtimes: Vec<Option<InstanceRuntime>> = Vec::new();
-        runtimes.resize_with(batch.len(), || None);
+        let mut prepared: Vec<Option<(PreparedRuntime, Receiver<InstanceResult>)>> = Vec::new();
+        prepared.resize_with(requests.len(), || None);
         for (sidx, indices) in by_shard.iter().enumerate() {
             if indices.is_empty() {
                 continue;
@@ -684,71 +811,74 @@ impl EngineServer {
             let registry = self.shards[sidx].schemas.read();
             let mut memo: HashMap<&str, Arc<Schema>> = HashMap::new();
             for &i in indices {
-                let (name, sources) = &batch[i];
-                let schema = match memo.get(name) {
-                    Some(s) => Arc::clone(s),
+                let request = &requests[i];
+                let schema = match request.schema() {
+                    Some(inline) => Arc::clone(inline),
                     None => {
-                        let s = registry
-                            .get(*name)
-                            .cloned()
-                            .ok_or_else(|| SubmitError::UnknownSchema(name.to_string()))?;
-                        memo.insert(name, Arc::clone(&s));
-                        s
+                        let name = request.schema_name().expect("named or inline");
+                        match memo.get(name) {
+                            Some(s) => Arc::clone(s),
+                            None => {
+                                let s = registry
+                                    .get(name)
+                                    .cloned()
+                                    .ok_or_else(|| SubmitError::UnknownSchema(name.to_string()))?;
+                                memo.insert(name, Arc::clone(&s));
+                                s
+                            }
+                        }
                     }
                 };
-                runtimes[i] = Some(
-                    InstanceRuntime::new(schema, self.strategy, sources)
-                        .map_err(SubmitError::Sources)?,
-                );
+                prepared[i] = Some(self.prepare(schema, request)?);
             }
         }
-        // Phase 3 — start everything, handles in submission order.
-        let mut handles = Vec::with_capacity(batch.len());
-        for (i, (name, _)) in batch.iter().enumerate() {
-            let runtime = runtimes[i].take().expect("validated above");
-            let (done_tx, done_rx) = unbounded();
-            self.shard_for(ids[i])
-                .start(ids[i], name, runtime, CompletionTx::Plain(done_tx));
-            handles.push(InstanceHandle { rx: done_rx });
+        // Phase 3 — start everything, tickets in submission order.
+        let now = Instant::now();
+        let mut tickets = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let (ready, done_rx) = prepared[i].take().expect("validated above");
+            let shard = self.shard_for(ids[i]);
+            shard.start(ids[i], request.display_name(), ready);
+            tickets.push(Ticket::new(
+                done_rx,
+                ids[i],
+                shard.index,
+                request.deadline.and_then(|budget| now.checked_add(budget)),
+            ));
         }
-        Ok(handles)
+        Ok(tickets)
     }
 
-    /// Submit a new flow instance with the flight recorder attached:
-    /// the handle yields the [`Journal`] alongside the result. The
-    /// journal contains the complete completion-delivery order, so
-    /// `ReplayEngine::replay` reproduces this concurrent execution's
-    /// `ExecutionRecord` exactly — single-threaded and without wall
-    /// clocks — no matter which shard executed it.
+    /// Submit a batch of `(schema name, sources)` pairs.
+    #[deprecated(
+        note = "use `submit_many` with `Request`s (tuples convert via `Into<Request>`); \
+                journaling is per-request now, so recorded batches need no extra method"
+    )]
+    pub fn submit_batch(&self, batch: &[(&str, SourceValues)]) -> Result<Vec<Ticket>, SubmitError> {
+        self.submit_many(
+            batch
+                .iter()
+                .map(|(name, sources)| Request::named(*name).sources(sources.clone())),
+        )
+    }
+
+    /// Submit a new flow instance with the flight recorder attached.
+    #[allow(deprecated)]
+    #[deprecated(
+        note = "use `submit(Request::named(..).sources(..).record_journal(true))`; the journal \
+                arrives in `InstanceResult::journal`"
+    )]
     pub fn submit_recorded(
         &self,
         schema_name: &str,
         sources: SourceValues,
     ) -> Result<RecordedHandle, SubmitError> {
-        let id = self.next_id();
-        let shard = self.shard_for(id);
-        let schema = shard.schema_for(schema_name)?;
-        let recorder =
-            SharedJournalWriter::new(JournalWriter::new(&schema, self.strategy, &sources));
-        let runtime = InstanceRuntime::with_options_recorded(
-            schema,
-            self.strategy,
-            &sources,
-            crate::engine::RuntimeOptions::default(),
-            Box::new(recorder.clone()),
-        )
-        .map_err(SubmitError::Sources)?;
-        let (done_tx, done_rx) = unbounded();
-        shard.start(
-            id,
-            schema_name,
-            runtime,
-            CompletionTx::Recorded {
-                tx: done_tx,
-                recorder,
-            },
-        );
-        Ok(RecordedHandle { rx: done_rx })
+        let ticket = self.submit(
+            Request::named(schema_name)
+                .sources(sources)
+                .record_journal(true),
+        )?;
+        Ok(RecordedHandle { ticket })
     }
 }
 
@@ -791,6 +921,20 @@ mod tests {
         Arc::new(b.build().unwrap())
     }
 
+    /// A schema whose single task panics, abandoning the instance.
+    fn doomed_schema() -> (Arc<Schema>, AttrId) {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.attr(
+            "t",
+            Task::query(1, |_ins: &[Value]| panic!("task body exploded")),
+            vec![s],
+            Expr::Lit(true),
+        );
+        b.mark_target(t);
+        (Arc::new(b.build().unwrap()), s)
+    }
+
     #[test]
     fn single_instance_completes_and_matches_oracle() {
         let schema = slow_schema(50);
@@ -799,7 +943,9 @@ mod tests {
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
         let snap = complete_snapshot(&schema, &sv).unwrap();
-        let result = server.submit("flow", sv).unwrap().wait().unwrap();
+        let ticket = server.submit(Request::named("flow").sources(sv)).unwrap();
+        let id = ticket.instance_id();
+        let result = ticket.wait().unwrap();
         let t = result.record.outcome("t").unwrap();
         assert_eq!(t.state, AttrState::Value);
         assert_eq!(
@@ -807,6 +953,56 @@ mod tests {
             Some(snap.value(schema.lookup("t").unwrap()))
         );
         assert!(result.shard < server.shard_count());
+        assert_eq!(result.instance_id, id);
+        assert_eq!(result.label, None);
+        assert!(result.journal.is_none(), "no journal unless requested");
+    }
+
+    #[test]
+    fn inline_schema_submission_needs_no_registry() {
+        let schema = slow_schema(5);
+        let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let snap = complete_snapshot(&schema, &sv).unwrap();
+        let r = server
+            .submit(
+                Request::with_schema(Arc::clone(&schema))
+                    .sources(sv)
+                    .label("adhoc"),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            r.record.outcome("t").unwrap().value.as_ref(),
+            Some(snap.value(schema.lookup("t").unwrap()))
+        );
+        assert_eq!(r.label.as_deref(), Some("adhoc"));
+        assert!(server.schema_names().is_empty(), "nothing was registered");
+    }
+
+    #[test]
+    fn per_request_strategy_overrides_server_default() {
+        let schema = slow_schema(5);
+        // Server default is conservative-sequential; the request runs
+        // speculative-parallel and the journal proves which one ran.
+        let server = EngineServer::new(2, "PCE0".parse().unwrap()).unwrap();
+        assert_eq!(server.default_strategy(), "PCE0".parse().unwrap());
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let r = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv)
+                    .strategy("PSE100".parse().unwrap())
+                    .record_journal(true),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(r.journal.expect("recorded").strategy, "PSE100");
     }
 
     #[test]
@@ -814,17 +1010,18 @@ mod tests {
         let schema = slow_schema(20);
         let server = EngineServer::new(8, "PSE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
-        let mut handles = Vec::new();
+        let mut tickets = Vec::new();
         let mut expected = Vec::new();
         for i in 0..40i64 {
             let mut sv = SourceValues::new();
             sv.set(schema.lookup("s").unwrap(), i * 5);
             let snap = complete_snapshot(&schema, &sv).unwrap();
             expected.push(snap.value(schema.lookup("t").unwrap()).clone());
-            handles.push(server.submit("flow", sv).unwrap());
+            // Tuples convert into plain named requests.
+            tickets.push(server.submit(("flow", sv)).unwrap());
         }
-        for (h, exp) in handles.into_iter().zip(expected) {
-            let r = h.wait().unwrap();
+        for (t, exp) in tickets.into_iter().zip(expected) {
+            let r = t.wait().unwrap();
             assert_eq!(r.record.outcome("t").unwrap().value.as_ref(), Some(&exp));
         }
         let stats = server.stats();
@@ -838,18 +1035,24 @@ mod tests {
         let schema = slow_schema(10);
         let server = EngineServer::with_shards(4, 2, "PCE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
-        let batch: Vec<(&str, SourceValues)> = (0..24i64)
+        let sources: Vec<SourceValues> = (0..24i64)
             .map(|i| {
                 let mut sv = SourceValues::new();
                 sv.set(schema.lookup("s").unwrap(), i * 9);
-                ("flow", sv)
+                sv
             })
             .collect();
-        let handles = server.submit_batch(&batch).unwrap();
-        assert_eq!(handles.len(), 24);
-        for (h, (_, sv)) in handles.into_iter().zip(&batch) {
+        let tickets = server
+            .submit_many(
+                sources
+                    .iter()
+                    .map(|sv| Request::named("flow").sources(sv.clone())),
+            )
+            .unwrap();
+        assert_eq!(tickets.len(), 24);
+        for (t, sv) in tickets.into_iter().zip(&sources) {
             let snap = complete_snapshot(&schema, sv).unwrap();
-            let r = h.wait().unwrap();
+            let r = t.wait().unwrap();
             assert_eq!(
                 r.record.outcome("t").unwrap().value.as_ref(),
                 Some(snap.value(schema.lookup("t").unwrap()))
@@ -873,13 +1076,16 @@ mod tests {
             ("ghost", good.clone()),
             ("flow", good),
         ];
-        let err = server.submit_batch(&batch).unwrap_err();
+        let err = server.submit_many(batch).unwrap_err();
         assert_eq!(err, SubmitError::UnknownSchema("ghost".into()));
         // Nothing started: the gauges saw no submission.
         assert_eq!(server.stats().submitted(), 0);
         assert!(server.live_instances().is_empty());
         // An empty batch is a no-op.
-        assert!(server.submit_batch(&[]).unwrap().is_empty());
+        assert!(server
+            .submit_many(Vec::<Request>::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -898,7 +1104,7 @@ mod tests {
         server.register("gated", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
-        let r = server.submit("gated", sv).unwrap().wait().unwrap();
+        let r = server.submit(("gated", sv)).unwrap().wait().unwrap();
         assert_eq!(r.record.outcome("t").unwrap().state, AttrState::Disabled);
         assert_eq!(r.record.metrics.work, 0);
     }
@@ -907,7 +1113,10 @@ mod tests {
     fn unknown_schema_rejected() {
         let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         assert_eq!(
-            server.submit("ghost", SourceValues::new()).unwrap_err(),
+            server
+                .submit(Request::named("ghost"))
+                .map(|_| ())
+                .unwrap_err(),
             SubmitError::UnknownSchema("ghost".into())
         );
         assert!(server.schema_names().is_empty());
@@ -918,7 +1127,10 @@ mod tests {
         let schema = slow_schema(1);
         let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         server.register("flow", schema);
-        let err = server.submit("flow", SourceValues::new()).unwrap_err();
+        let err = server
+            .submit(Request::named("flow"))
+            .map(|_| ())
+            .unwrap_err();
         assert!(matches!(err, SubmitError::Sources(_)));
     }
 
@@ -931,7 +1143,7 @@ mod tests {
             let mut sv = SourceValues::new();
             sv.set(schema.lookup("s").unwrap(), 10i64);
             let snap = complete_snapshot(&schema, &sv).unwrap();
-            let r = server.submit("flow", sv).unwrap().wait().unwrap();
+            let r = server.submit(("flow", sv)).unwrap().wait().unwrap();
             assert_eq!(
                 r.record.outcome("t").unwrap().value.as_ref(),
                 Some(snap.value(schema.lookup("t").unwrap())),
@@ -950,7 +1162,12 @@ mod tests {
             let mut sv = SourceValues::new();
             sv.set(schema.lookup("s").unwrap(), i * 25);
             let snap = complete_snapshot(&schema, &sv).unwrap();
-            let (result, journal) = server.submit_recorded("flow", sv).unwrap().wait().unwrap();
+            let result = server
+                .submit(Request::named("flow").sources(sv).record_journal(true))
+                .unwrap()
+                .wait()
+                .unwrap();
+            let journal = result.journal.clone().expect("journal requested");
             // The journal replays the concurrent run single-threaded,
             // landing on the identical record.
             let replayed = ReplayEngine::new(Arc::clone(&schema), journal.clone())
@@ -970,22 +1187,13 @@ mod tests {
     fn wait_reports_server_gone_instead_of_panicking() {
         // A panicking task abandons its instance: the result can never
         // arrive, and the waiting caller must get an error, not hang.
-        let mut b = SchemaBuilder::new();
-        let s = b.source("s");
-        let t = b.attr(
-            "t",
-            Task::query(1, |_ins: &[Value]| panic!("worker down")),
-            vec![s],
-            Expr::Lit(true),
-        );
-        b.mark_target(t);
-        let schema = Arc::new(b.build().unwrap());
+        let (schema, s) = doomed_schema();
         let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         server.register("doomed", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
-        let handle = server.submit("doomed", sv).unwrap();
-        assert_eq!(handle.wait().map(|_| ()), Err(ServerGone));
+        let ticket = server.submit(("doomed", sv)).unwrap();
+        assert_eq!(ticket.wait().map(|_| ()), Err(ServerGone));
     }
 
     #[test]
@@ -994,16 +1202,7 @@ mod tests {
         // (ServerGone), never the worker thread: with a single
         // 1-worker shard, a dead worker would wedge or panic every
         // later submission, so prove the shard keeps serving.
-        let mut b = SchemaBuilder::new();
-        let s = b.source("s");
-        let t = b.attr(
-            "t",
-            Task::query(1, |_ins: &[Value]| panic!("task body exploded")),
-            vec![s],
-            Expr::Lit(true),
-        );
-        b.mark_target(t);
-        let doomed = Arc::new(b.build().unwrap());
+        let (doomed, s) = doomed_schema();
         let good = slow_schema(1);
         let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
         server.register("doomed", Arc::clone(&doomed));
@@ -1012,14 +1211,14 @@ mod tests {
             let mut sv = SourceValues::new();
             sv.set(s, 1i64);
             assert_eq!(
-                server.submit("doomed", sv).unwrap().wait().map(|_| ()),
+                server.submit(("doomed", sv)).unwrap().wait().map(|_| ()),
                 Err(ServerGone),
                 "round {round}"
             );
             // The same lone worker still completes healthy instances.
             let mut sv = SourceValues::new();
             sv.set(good.lookup("s").unwrap(), 80i64);
-            let r = server.submit("good", sv).unwrap().wait().unwrap();
+            let r = server.submit(("good", sv)).unwrap().wait().unwrap();
             assert!(r.record.outcome("t").is_some(), "round {round}");
         }
         let stats = server.stats();
@@ -1037,10 +1236,10 @@ mod tests {
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
-        let handle = server.submit("flow", sv).unwrap();
+        let ticket = server.submit(("flow", sv)).unwrap();
         let mut result = None;
         for _ in 0..10_000 {
-            match handle.try_wait() {
+            match ticket.try_wait() {
                 Ok(Some(r)) => {
                     result = Some(r);
                     break;
@@ -1053,23 +1252,14 @@ mod tests {
 
         // Abandoned instance: the poller gets Err(ServerGone), not an
         // indistinguishable "not ready yet".
-        let mut b = SchemaBuilder::new();
-        let s = b.source("s");
-        let t = b.attr(
-            "t",
-            Task::query(1, |_ins: &[Value]| panic!("worker down")),
-            vec![s],
-            Expr::Lit(true),
-        );
-        b.mark_target(t);
-        let schema = Arc::new(b.build().unwrap());
+        let (schema, s) = doomed_schema();
         let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
         server.register("doomed", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
-        let handle = server.submit("doomed", sv).unwrap();
+        let ticket = server.submit(("doomed", sv)).unwrap();
         let gone = loop {
-            match handle.try_wait() {
+            match ticket.try_wait() {
                 Ok(Some(_)) => panic!("doomed instance cannot complete"),
                 Ok(None) => std::thread::sleep(Duration::from_micros(50)),
                 Err(gone) => break gone,
@@ -1079,17 +1269,51 @@ mod tests {
     }
 
     #[test]
-    fn dropped_handle_does_not_wedge_server() {
+    fn wait_timeout_and_deadline_report_pending_then_deliver() {
+        let schema = slow_schema(500);
+        let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let ticket = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv)
+                    .deadline(Duration::from_secs(60)),
+            )
+            .unwrap();
+        assert!(ticket.deadline().is_some(), "request deadline carried over");
+        // A deadline already in the past times out without delivering —
+        // unless the instance already finished and queued its result,
+        // which timed receives deliver even past the deadline. Both
+        // outcomes respect the contract; only a hang or error doesn't.
+        if let Some(r) = ticket.wait_deadline(Instant::now()).unwrap() {
+            assert!(r.record.outcome("t").is_some());
+            return; // result consumed; nothing left to wait for
+        }
+        // A tiny timeout expires while the instance still runs…
+        let first = ticket.wait_timeout(Duration::from_micros(1)).unwrap();
+        // (the instance may legitimately have finished already on a
+        // fast machine; both outcomes respect the contract)
+        if first.is_none() {
+            // …and a generous one delivers.
+            let r = ticket.wait_timeout(Duration::from_secs(30)).unwrap();
+            assert!(r.is_some(), "instance must complete within 30s");
+        }
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_wedge_server() {
         let schema = slow_schema(10);
         let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 10i64);
-        drop(server.submit("flow", sv).unwrap()); // handle dropped
-                                                  // Server still works for the next instance.
+        drop(server.submit(("flow", sv)).unwrap()); // ticket dropped
+                                                    // Server still works for the next instance.
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 10i64);
-        let r = server.submit("flow", sv).unwrap().wait().unwrap();
+        let r = server.submit(("flow", sv)).unwrap().wait().unwrap();
         assert!(r.record.outcome("t").is_some());
     }
 
@@ -1103,6 +1327,131 @@ mod tests {
             seen.insert(server.shard_for(id).index);
         }
         assert_eq!(seen.len(), 4, "64 sequential ids must reach every shard");
+    }
+
+    #[test]
+    fn live_instances_report_id_shard_and_name() {
+        let schema = slow_schema(20_000);
+        let server = EngineServer::with_shards(2, 1, "PCE0".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let ticket = server
+            .submit(Request::named("flow").sources(sv).label("slowpoke"))
+            .unwrap();
+        let live = server.live_instances();
+        assert_eq!(live.len(), 1);
+        assert_eq!(
+            live[0],
+            LiveInstance {
+                instance_id: ticket.instance_id(),
+                shard: ticket.shard(),
+                // The label tags results and events, but the live
+                // table keys on the registered schema name.
+                schema: "flow".into(),
+            }
+        );
+        ticket.wait().unwrap();
+        assert!(server.live_instances().is_empty());
+    }
+
+    #[test]
+    fn events_track_submission_completion_and_abandonment() {
+        let good = slow_schema(10);
+        let (doomed, s) = doomed_schema();
+        let server = EngineServer::with_shards(2, 1, "PCE100".parse().unwrap()).unwrap();
+        server.register("good", Arc::clone(&good));
+        server.register("doomed", Arc::clone(&doomed));
+        let events = server.subscribe();
+
+        let mut sv = SourceValues::new();
+        sv.set(good.lookup("s").unwrap(), 80i64);
+        let t1 = server
+            .submit(Request::named("good").sources(sv).label("one"))
+            .unwrap();
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        let t2 = server.submit(("doomed", sv)).unwrap();
+        let id1 = t1.instance_id();
+        let id2 = t2.instance_id();
+        t1.wait().unwrap();
+        assert_eq!(t2.wait().map(|_| ()), Err(ServerGone));
+
+        let mut submitted = Vec::new();
+        let mut completed = Vec::new();
+        let mut abandoned = Vec::new();
+        let mut last_clock = None;
+        while let Some(ev) = events.try_recv().unwrap() {
+            assert!(Some(ev.clock()) > last_clock, "clock strictly increases");
+            last_clock = Some(ev.clock());
+            match ev {
+                InstanceEvent::Submitted {
+                    instance_id, label, ..
+                } => submitted.push((instance_id, label)),
+                InstanceEvent::Completed { instance_id, .. } => completed.push(instance_id),
+                InstanceEvent::Abandoned { instance_id, .. } => abandoned.push(instance_id),
+            }
+        }
+        assert_eq!(
+            submitted,
+            vec![(id1, Some("one".to_string())), (id2, None)],
+            "submissions in order, labels attached"
+        );
+        assert_eq!(completed, vec![id1]);
+        assert_eq!(abandoned, vec![id2]);
+        assert_eq!(events.dropped(), 0);
+    }
+
+    #[test]
+    fn events_disconnect_when_server_drops() {
+        let schema = slow_schema(1);
+        let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut events = server.subscribe();
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        server.submit(("flow", sv)).unwrap().wait().unwrap();
+        drop(server);
+        // Buffered events still drain, then the stream reports gone.
+        let drained: Vec<InstanceEvent> = events.by_ref().collect();
+        assert_eq!(drained.len(), 2, "Submitted + Completed");
+        assert_eq!(events.recv(), Err(ServerGone));
+        assert_eq!(events.try_recv(), Err(ServerGone));
+        assert_eq!(
+            events.recv_timeout(Duration::from_millis(1)),
+            Err(ServerGone)
+        );
+    }
+
+    #[test]
+    fn legacy_shims_still_deliver() {
+        #![allow(deprecated)]
+        use crate::journal::ReplayEngine;
+        let schema = slow_schema(5);
+        let server = EngineServer::with_shards(2, 1, "PSE100".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let (result, journal) = server
+            .submit_recorded("flow", sv.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            result.journal.is_none(),
+            "shim splits the journal out of the result"
+        );
+        let replayed = ReplayEngine::new(Arc::clone(&schema), journal)
+            .unwrap()
+            .replay()
+            .unwrap();
+        assert_eq!(replayed.record, result.record);
+
+        let batch = vec![("flow", sv.clone()), ("flow", sv)];
+        let handles: Vec<InstanceHandle> = server.submit_batch(&batch).unwrap();
+        for h in handles {
+            assert!(h.wait().unwrap().record.outcome("t").is_some());
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use decisionflow::api::Request;
 use decisionflow::engine::{scheduler, InstanceRuntime, ServerStats, Strategy};
 use decisionflow::schema::AttrId;
 use decisionflow::server::{EngineServer, ServerBuildError};
@@ -296,7 +297,7 @@ pub struct ServerLoadConfig {
     pub shards: usize,
     /// Worker threads per shard.
     pub workers_per_shard: usize,
-    /// Instances per `submit_batch` wave; the driver waits for a wave
+    /// Instances per `submit_many` wave; the driver waits for a wave
     /// before submitting the next, keeping the backlog bounded.
     pub batch: usize,
     /// Number of instances to run in total.
@@ -341,10 +342,15 @@ pub struct ServerLoadOutcome {
 
 /// Drive generated flows (round-robin replicas) through the real
 /// sharded [`EngineServer`]: submissions go in `batch`-sized waves via
-/// `submit_batch`, every wave is awaited before the next, and
-/// wall-clock latency, throughput, and the final [`ServerStats`] are
-/// reported. The thread-spawn failure path of server construction is
-/// propagated, not panicked.
+/// `submit_many` ([`Request`]s built per instance), every wave is
+/// awaited before the next, and wall-clock latency, throughput, and
+/// the final [`ServerStats`] are reported. The driver deliberately
+/// does *not* subscribe to `ServerEvents`: a subscription puts every
+/// lifecycle transition through the server-wide event hub, which would
+/// contend exactly the cross-shard hot path this harness measures
+/// (event-stream consumers are pollers and open-arrival pacers, not
+/// throughput benchmarks). The thread-spawn failure path of server
+/// construction is propagated, not panicked.
 pub fn run_server_load(
     flows: &[GeneratedFlow],
     strategy: Strategy,
@@ -387,18 +393,15 @@ pub fn run_server_load(
         if measure_t0.is_none() && next + wave > cfg.warmup_instances {
             measure_t0 = Some(Instant::now());
         }
-        let batch: Vec<(&str, decisionflow::snapshot::SourceValues)> = (0..wave)
-            .map(|k| {
+        let tickets = server
+            .submit_many((0..wave).map(|k| {
                 let i = next + k;
                 let flow = &flows[i % flows.len()];
-                (names[i % flows.len()].as_str(), flow.sources.clone())
-            })
-            .collect();
-        let handles = server
-            .submit_batch(&batch)
+                Request::named(&names[i % flows.len()]).sources(flow.sources.clone())
+            }))
             .expect("registered schemas with bound sources");
-        for (k, h) in handles.into_iter().enumerate() {
-            let r = h.wait().expect("server alive for the whole run");
+        for (k, t) in tickets.into_iter().enumerate() {
+            let r = t.wait().expect("server alive for the whole run");
             shards_seen.insert(r.shard);
             if next + k >= cfg.warmup_instances {
                 responses.add(r.elapsed.as_secs_f64() * 1e3);

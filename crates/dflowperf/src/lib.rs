@@ -13,8 +13,9 @@
 //!   arrivals over a shared simulated database, measuring
 //!   TimeInSeconds (Figure 9(b), graph (d));
 //! * [`run_server_load`] — the same generated flows driven through the
-//!   real sharded `EngineServer` (batched submission, wall-clock
-//!   latency, per-shard statistics).
+//!   real sharded `EngineServer` via the unified `Request`/`Ticket`
+//!   API (batched `submit_many` submission, wall-clock latency,
+//!   per-shard statistics).
 //!
 //! ```
 //! use dflowperf::{DbFunction, solve_unit_time, max_work_for_throughput};

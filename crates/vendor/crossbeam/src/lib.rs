@@ -1,26 +1,35 @@
-//! Minimal `crossbeam` shim: an unbounded MPMC channel.
+//! Minimal `crossbeam` shim: unbounded and bounded MPMC channels.
 //!
 //! Implements the subset of `crossbeam::channel` this repository uses:
-//! [`channel::unbounded`], cloneable [`channel::Sender`] /
-//! [`channel::Receiver`], blocking `recv`, and non-blocking `try_recv`.
-//! Built on a `Mutex<VecDeque>` + `Condvar`; adequate for the worker
-//! pools here, not a performance-parity replacement.
+//! [`channel::unbounded`] and [`channel::bounded`], cloneable
+//! [`channel::Sender`] / [`channel::Receiver`], blocking `recv`,
+//! non-blocking `try_recv` / `try_send`, and the timed receives
+//! `recv_timeout` / `recv_deadline`. Built on a `Mutex<VecDeque>` +
+//! two `Condvar`s; adequate for the worker pools and event
+//! subscriptions here, not a performance-parity replacement.
 
 pub mod channel {
-    //! Unbounded multi-producer multi-consumer FIFO channel.
+    //! Multi-producer multi-consumer FIFO channels.
 
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued.
+        capacity: Option<usize>,
         senders: usize,
         receivers: usize,
     }
 
     struct Chan<T> {
         state: Mutex<State<T>>,
+        /// Signalled when a value (or disconnect) is ready to receive.
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot (or receivers
+        /// disconnect), waking blocked senders.
+        space: Condvar,
     }
 
     /// Sending half; cloneable.
@@ -39,6 +48,33 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; the value is handed back.
+        Full(T),
+        /// All receivers dropped; the value is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,9 +89,27 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`] and
+    /// [`Receiver::recv_deadline`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed with the channel still empty.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
+        }
+    }
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
         }
     }
     impl std::fmt::Display for RecvError {
@@ -63,28 +117,84 @@ pub mod channel {
             write!(f, "receiving on an empty, disconnected channel")
         }
     }
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out receiving on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
     impl<T> std::error::Error for SendError<T> {}
+    impl<T> std::error::Error for TrySendError<T> {}
     impl std::error::Error for RecvError {}
+    impl std::error::Error for RecvTimeoutError {}
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
+                capacity,
                 senders: 1,
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` values.
+    ///
+    /// Unlike real crossbeam, `cap == 0` (rendezvous) is not
+    /// supported by this shim.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "this crossbeam shim does not support cap == 0");
+        with_capacity(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue `value`; fails iff every receiver has been dropped.
+        /// Enqueue `value`, blocking while a bounded channel is full;
+        /// fails iff every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.capacity {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.0.space.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue `value` without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at
+        /// capacity, [`TrySendError::Disconnected`] when every
+        /// receiver has been dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
             if st.receivers == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = st.capacity {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
             }
             st.queue.push_back(value);
             drop(st);
@@ -112,12 +222,18 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        fn took(&self, value: T) -> T {
+            self.0.space.notify_one();
+            value
+        }
+
         /// Dequeue, blocking until a value arrives or all senders drop.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut st = self.0.state.lock().unwrap();
             loop {
                 if let Some(v) = st.queue.pop_front() {
-                    return Ok(v);
+                    drop(st);
+                    return Ok(self.took(v));
                 }
                 if st.senders == 0 {
                     return Err(RecvError);
@@ -130,9 +246,48 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.0.state.lock().unwrap();
             match st.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(st);
+                    Ok(self.took(v))
+                }
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeue, blocking at most `timeout`. A timeout too large to
+        /// represent as a deadline (e.g. `Duration::MAX`) saturates to
+        /// "wait forever", matching real crossbeam.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            match Instant::now().checked_add(timeout) {
+                Some(deadline) => self.recv_deadline(deadline),
+                None => self.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            }
+        }
+
+        /// Dequeue, blocking until `deadline` at the latest.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    return Ok(self.took(v));
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, timed_out) = self.0.ready.wait_timeout(st, left).unwrap();
+                st = guard;
+                if timed_out.timed_out() && st.queue.is_empty() && st.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -156,7 +311,12 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.state.lock().unwrap().receivers -= 1;
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.space.notify_all();
+            }
         }
     }
 }
@@ -164,6 +324,7 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel::*;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn fifo_and_disconnect() {
@@ -206,5 +367,75 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+        assert_eq!(TrySendError::Full(9).into_inner(), 9);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_slot_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_saturates_on_unrepresentable_deadline() {
+        // Duration::MAX overflows Instant math; it must mean "wait
+        // forever", not panic.
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::MAX), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::MAX),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_deadline_in_past_returns_timeout_immediately() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_deadline(Instant::now()),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(1).unwrap();
+        // A queued value is delivered even past the deadline.
+        assert_eq!(rx.recv_deadline(Instant::now()), Ok(1));
     }
 }

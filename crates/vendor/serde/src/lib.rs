@@ -346,7 +346,7 @@ impl Deserialize for Content {
 }
 
 pub mod json {
-    //! Canonical JSON rendering of the [`Content`](super::Content) tree.
+    //! Canonical JSON rendering of the [`Content`] tree.
     //!
     //! Deterministic output (map order preserved, floats via Rust's
     //! shortest-round-trip formatter), so equal values serialize to

@@ -78,24 +78,24 @@ fn main() {
 
     let contacts: Vec<(i64, i64)> = (0..60).map(|i| (1000 + i * 7, (i * 13) % 420)).collect();
 
+    // Watch the lifecycle stream while the burst executes.
+    let events = server.subscribe();
+
     let t0 = std::time::Instant::now();
     // One batched submission: routing and registry lookups are
     // amortized over the whole burst of contacts.
-    let batch: Vec<(&str, SourceValues)> = contacts
-        .iter()
-        .map(|&(id, wait)| {
-            let mut sv = SourceValues::new();
-            sv.set(schema.lookup("customer_id").unwrap(), id);
-            sv.set(schema.lookup("queue_wait_s").unwrap(), wait);
-            ("routing", sv)
-        })
-        .collect();
-    let handles = server.submit_batch(&batch).expect("registered schema");
+    let tickets = server
+        .submit_many(contacts.iter().map(|&(id, wait)| {
+            Request::named("routing")
+                .bind(schema.lookup("customer_id").unwrap(), id)
+                .bind(schema.lookup("queue_wait_s").unwrap(), wait)
+        }))
+        .expect("registered schema");
 
     let mut log = ExecutionLog::new();
     let mut route_counts: std::collections::BTreeMap<String, usize> = Default::default();
-    for h in handles {
-        let r: InstanceResult = h.wait().expect("server alive");
+    for t in tickets {
+        let r: InstanceResult = t.wait().expect("server alive");
         if let Some(v) = r.record.outcome("route").and_then(|o| o.value.clone()) {
             *route_counts.entry(v.to_string()).or_default() += 1;
         }
@@ -104,8 +104,15 @@ fn main() {
     let elapsed = t0.elapsed();
 
     let stats = server.stats();
+    let mut completions = 0usize;
+    while let Ok(Some(ev)) = events.try_recv() {
+        if matches!(ev, InstanceEvent::Completed { .. }) {
+            completions += 1;
+        }
+    }
     println!(
-        "routed {} contacts in {:.1} ms wall-clock on {} workers across {} shards ({} used)",
+        "routed {} contacts in {:.1} ms wall-clock on {} workers across {} shards ({} used); \
+         event stream saw {completions} completions",
         contacts.len(),
         elapsed.as_secs_f64() * 1e3,
         server.worker_count(),

@@ -69,8 +69,13 @@ fn main() {
     println!("capture → JSON → replay, all 8 strategies at 100% parallelism:");
     let mut sample = None;
     for strategy in Strategy::all_at(100) {
-        let (out, journal) =
-            run_unit_time_recorded(&schema, strategy, &sources).expect("execution");
+        let report = Request::with_schema(Arc::clone(&schema))
+            .sources(sources.clone())
+            .strategy(strategy)
+            .record_journal(true)
+            .run()
+            .expect("execution");
+        let (out, journal) = (report.outcome, report.journal.expect("journal requested"));
         let original = ExecutionRecord::from_runtime(&out.runtime, out.time_units);
 
         let json = journal.to_json();

@@ -1,0 +1,442 @@
+//! Acceptance tests for the unified submission API (`Request` /
+//! `Ticket` / `ServerEvents`):
+//!
+//! * every legacy entry point (`run_unit_time_recorded`, `submit`,
+//!   `submit_recorded`, `submit_batch`, the recorded handle type) is
+//!   expressible through `Request`/`Ticket`, with equivalence proven
+//!   across **all 8 strategy combinations** — identical execution
+//!   records *and* identical journals;
+//! * recorded batches (the PR 2 gap) produce journals identical to
+//!   recorded one-by-one submission;
+//! * `wait_timeout` reports "still pending" under a saturated worker
+//!   pool instead of blocking;
+//! * `ServerEvents` counts reconcile with `ServerStats` under a
+//!   multi-shard load with completions and abandonments.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use decision_flows::dflowgen::{generate, GeneratedFlow, PatternParams};
+use decision_flows::prelude::*;
+
+fn pattern(nodes: usize, pct: u32) -> PatternParams {
+    PatternParams {
+        nb_nodes: nodes,
+        nb_rows: 4,
+        pct_enabled: pct,
+        ..Default::default()
+    }
+}
+
+fn flow(seed: u64) -> GeneratedFlow {
+    generate(pattern(24, 60), seed).expect("valid pattern")
+}
+
+/// Old shim vs new API, in-process path: `run_unit_time_recorded`
+/// must equal `Request::run` with `record_journal(true)` — same
+/// record, same journal, same response time — for all 8 strategies at
+/// two parallelism levels.
+#[test]
+fn unit_time_shim_equals_request_run_across_all_strategies() {
+    let flow = flow(41_001);
+    for permitted in [40u8, 100] {
+        for strategy in Strategy::all_at(permitted) {
+            #[allow(deprecated)]
+            let (old_out, old_journal) =
+                run_unit_time_recorded(&flow.schema, strategy, &flow.sources).unwrap();
+            let report = Request::with_schema(Arc::clone(&flow.schema))
+                .sources(flow.sources.clone())
+                .strategy(strategy)
+                .record_journal(true)
+                .run()
+                .unwrap();
+            let new_journal = report.journal.expect("journal requested");
+            assert_eq!(old_journal, new_journal, "{strategy} journal");
+            assert_eq!(
+                old_out.time_units, report.outcome.time_units,
+                "{strategy} time"
+            );
+            assert_eq!(
+                old_out.metrics, report.outcome.metrics,
+                "{strategy} metrics"
+            );
+            // The plain (un-recorded) entry point agrees too.
+            let plain = run_unit_time(&flow.schema, strategy, &flow.sources).unwrap();
+            assert_eq!(plain.time_units, report.outcome.time_units, "{strategy}");
+            assert_eq!(plain.metrics, report.outcome.metrics, "{strategy}");
+        }
+    }
+}
+
+/// A flow that keeps at most one task in flight (a chain, plus a
+/// branch disabled at init): on a 1-shard/1-worker server its
+/// execution — and therefore its journal — is fully deterministic,
+/// which is what lets shim-vs-new comparisons demand byte equality.
+/// (Fan-out flows are *correct* but tape-nondeterministic on the
+/// server: the completion delivery order is recorded, not derived.)
+fn chain_fixture() -> (Arc<Schema>, SourceValues) {
+    let mut b = SchemaBuilder::new();
+    let s = b.source("s");
+    let mut prev = s;
+    for i in 0..3 {
+        prev = b.attr(
+            format!("c{i}"),
+            Task::query(2, |ins: &[Value]| {
+                Value::Int(ins[0].as_f64().unwrap_or(0.0) as i64 + 1)
+            }),
+            vec![prev],
+            Expr::Lit(true),
+        );
+    }
+    // Disabled at init (s = 7 ≤ 1000): stabilizes DISABLED without a
+    // launch under every strategy, enriching the tape deterministically.
+    let gated = b.attr(
+        "gated",
+        Task::const_query(5, 9i64),
+        vec![],
+        Expr::cmp_const(s, CmpOp::Gt, 1000i64),
+    );
+    let t = b.synthesis("t", vec![prev, gated], Expr::Lit(true), |v| v[0].clone());
+    b.mark_target(t);
+    let schema = Arc::new(b.build().unwrap());
+    let mut sv = SourceValues::new();
+    sv.set(s, 7i64);
+    (schema, sv)
+}
+
+/// Old shim vs new API, server path, byte-for-byte: on a
+/// single-shard single-worker server running a deterministic chain
+/// flow, `submit_recorded` and `submit(Request…record_journal)`
+/// produce identical records *and* identical journals for all 8
+/// strategies.
+#[test]
+fn server_shims_equal_request_submission_across_all_strategies() {
+    let (schema, sv) = chain_fixture();
+    for strategy in Strategy::all_at(100) {
+        let old_server = EngineServer::with_shards(1, 1, strategy).unwrap();
+        let new_server = EngineServer::with_shards(1, 1, strategy).unwrap();
+        old_server.register("f", Arc::clone(&schema));
+        new_server.register("f", Arc::clone(&schema));
+
+        #[allow(deprecated)]
+        let (old_result, old_journal) = old_server
+            .submit_recorded("f", sv.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut new_result = new_server
+            .submit(Request::named("f").sources(sv.clone()).record_journal(true))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let new_journal = new_result.journal.take().expect("journal requested");
+        assert_eq!(old_result.record, new_result.record, "{strategy} record");
+        assert_eq!(old_journal, new_journal, "{strategy} journal");
+
+        // And the journal replays to the same record.
+        let replayed = ReplayEngine::new(Arc::clone(&schema), new_journal)
+            .unwrap()
+            .replay()
+            .unwrap_or_else(|d| panic!("{strategy}: {d}"));
+        assert_eq!(replayed.record, new_result.record, "{strategy} replay");
+    }
+}
+
+/// Old shim vs new API, server path, semantics: on fan-out generated
+/// flows the completion *delivery order* is scheduling noise (recorded
+/// on the tape, not derived from it), so the equivalence claim is
+/// semantic — both paths agree with the declarative oracle on every
+/// target, and both journals replay to their own records exactly —
+/// for all 8 strategies.
+#[test]
+fn server_shim_and_request_agree_with_oracle_on_fanout_flows() {
+    let flow = flow(41_002);
+    let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+    let check = |record: &decision_flows::decisionflow::report::ExecutionRecord, tag: &str| {
+        for &t in flow.schema.targets() {
+            let name = &flow.schema.attr(t).name;
+            let out = record.outcome(name).expect("target present");
+            match snap.state(t) {
+                FinalState::Value => {
+                    assert_eq!(out.value.as_ref(), Some(snap.value(t)), "{tag} {name}")
+                }
+                FinalState::Disabled => {
+                    assert_eq!(out.state, AttrState::Disabled, "{tag} {name}")
+                }
+            }
+        }
+    };
+    for strategy in Strategy::all_at(100) {
+        let server = EngineServer::with_shards(1, 2, strategy).unwrap();
+        server.register("f", Arc::clone(&flow.schema));
+
+        #[allow(deprecated)]
+        let (old_result, old_journal) = server
+            .submit_recorded("f", flow.sources.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut new_result = server
+            .submit(
+                Request::named("f")
+                    .sources(flow.sources.clone())
+                    .record_journal(true),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        let new_journal = new_result.journal.take().expect("journal requested");
+        check(&old_result.record, "shim");
+        check(&new_result.record, "request");
+        for (journal, record, tag) in [
+            (old_journal, &old_result.record, "shim"),
+            (new_journal, &new_result.record, "request"),
+        ] {
+            let replayed = ReplayEngine::new(Arc::clone(&flow.schema), journal)
+                .unwrap()
+                .replay()
+                .unwrap_or_else(|d| panic!("{strategy} {tag}: {d}"));
+            assert_eq!(&replayed.record, record, "{strategy} {tag} replay");
+        }
+    }
+}
+
+/// The `submit_batch` shim and `submit_many` are equivalent, and a
+/// *recorded batch* — the capability PR 2 lacked — yields journals
+/// identical to recorded one-by-one submission.
+#[test]
+fn recorded_batch_equals_recorded_singles() {
+    let (schema, sv) = chain_fixture();
+    let strategy: Strategy = "PSE100".parse().unwrap();
+    let singles = EngineServer::with_shards(1, 1, strategy).unwrap();
+    let batched = EngineServer::with_shards(1, 1, strategy).unwrap();
+    singles.register("flow0", Arc::clone(&schema));
+    batched.register("flow0", Arc::clone(&schema));
+    let request = |_i: usize| {
+        Request::named("flow0")
+            .sources(sv.clone())
+            .record_journal(true)
+    };
+
+    let single_journals: Vec<Journal> = (0..9)
+        .map(|i| {
+            singles
+                .submit(request(i))
+                .unwrap()
+                .wait()
+                .unwrap()
+                .journal
+                .expect("journal requested")
+        })
+        .collect();
+    let batch_tickets = batched.submit_many((0..9).map(request)).unwrap();
+    let batch_journals: Vec<Journal> = batch_tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap().journal.expect("journal requested"))
+        .collect();
+    assert_eq!(single_journals.len(), batch_journals.len());
+    for (i, (s, b)) in single_journals
+        .iter()
+        .zip(&batch_journals)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(s, b, "instance {i}: recorded batch ≡ recorded single");
+    }
+
+    // The legacy un-recorded batch shim still matches submit_many.
+    #[allow(deprecated)]
+    let shim_handles = singles.submit_batch(&[("flow0", sv.clone())]).unwrap();
+    let shim_record = shim_handles
+        .into_iter()
+        .next()
+        .unwrap()
+        .wait()
+        .unwrap()
+        .record;
+    let new_record = batched
+        .submit(("flow0", sv.clone()))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .record;
+    assert_eq!(shim_record, new_record);
+}
+
+/// `wait_timeout` under a saturated pool: a single worker busy with a
+/// long task cannot finish the queued instance inside a short timeout;
+/// the ticket reports `Ok(None)` (still pending) and delivers later.
+#[test]
+fn wait_timeout_under_saturated_pool() {
+    let mut b = SchemaBuilder::new();
+    let s = b.source("s");
+    let t = b.attr(
+        "t",
+        Task::query(1, |ins: &[Value]| {
+            std::thread::sleep(Duration::from_millis(150));
+            ins[0].clone()
+        }),
+        vec![s],
+        Expr::Lit(true),
+    );
+    b.mark_target(t);
+    let schema = Arc::new(b.build().unwrap());
+    let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+    server.register("slow", Arc::clone(&schema));
+
+    let mut sv = SourceValues::new();
+    sv.set(s, 1i64);
+    let first = server.submit(("slow", sv.clone())).unwrap();
+    let second = server.submit(("slow", sv.clone())).unwrap();
+    let third = server
+        .submit(
+            Request::named("slow")
+                .sources(sv)
+                .deadline(Duration::from_millis(10)),
+        )
+        .unwrap();
+
+    // The lone worker is busy for ≥150ms on `first`; `second` cannot
+    // complete within 10ms, so the timed wait must report pending.
+    assert_eq!(
+        second
+            .wait_timeout(Duration::from_millis(10))
+            .map(|r| r.is_none()),
+        Ok(true),
+        "saturated pool: timed wait must expire with Ok(None)"
+    );
+    // `third` carries its own 10ms budget from the request; with the
+    // pool still saturated, the budgeted wait expires the same way.
+    assert_eq!(
+        third.wait_budgeted().map(|r| r.is_none()),
+        Ok(true),
+        "request deadline bounds the budgeted wait"
+    );
+    // All three still deliver; the tickets survived the expired waits.
+    assert!(first.wait().unwrap().record.outcome("t").is_some());
+    let r = second
+        .wait_timeout(Duration::from_secs(30))
+        .unwrap()
+        .expect("second instance completes once the worker frees up");
+    assert!(r.record.outcome("t").is_some());
+    assert!(third.wait().unwrap().record.outcome("t").is_some());
+}
+
+/// `ServerEvents` reconcile with `ServerStats` under a multi-shard
+/// load that includes abandoned instances: event counts equal gauge
+/// counters, clocks are strictly increasing, and every Submitted has
+/// a matching terminal event.
+#[test]
+fn events_reconcile_with_stats_under_multi_shard_load() {
+    let flows: Vec<GeneratedFlow> = (0..4).map(|i| flow(41_200 + i)).collect();
+    let mut b = SchemaBuilder::new();
+    let s = b.source("s");
+    let t = b.attr(
+        "t",
+        Task::query(1, |_ins: &[Value]| panic!("doomed instance")),
+        vec![s],
+        Expr::Lit(true),
+    );
+    b.mark_target(t);
+    let doomed = Arc::new(b.build().unwrap());
+
+    let server = EngineServer::with_shards(4, 1, "PSE100".parse().unwrap()).unwrap();
+    for (i, f) in flows.iter().enumerate() {
+        server.register(format!("flow{i}"), Arc::clone(&f.schema));
+    }
+    server.register("doomed", Arc::clone(&doomed));
+    let events = server.subscribe_with_capacity(4 * 44 + 8);
+
+    let mut tickets = Vec::new();
+    let mut doomed_ids = Vec::new();
+    for i in 0..40usize {
+        let f = &flows[i % flows.len()];
+        tickets.push(
+            server
+                .submit((format!("flow{}", i % flows.len()), f.sources.clone()))
+                .unwrap(),
+        );
+    }
+    for _ in 0..4 {
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        let ticket = server.submit(("doomed", sv)).unwrap();
+        doomed_ids.push(ticket.instance_id());
+        assert_eq!(ticket.wait().map(|_| ()), Err(ServerGone));
+    }
+    let mut shards_seen = std::collections::HashSet::new();
+    for t in tickets {
+        shards_seen.insert(t.wait().unwrap().shard);
+    }
+    assert!(shards_seen.len() >= 2, "load must spread across shards");
+
+    let stats = server.stats();
+    let (mut submitted, mut completed, mut abandoned) = (0u64, 0u64, 0u64);
+    let mut submitted_ids = std::collections::HashSet::new();
+    let mut terminal_ids = std::collections::HashSet::new();
+    let mut last_clock = None;
+    while let Some(ev) = events.try_recv().unwrap() {
+        assert!(Some(ev.clock()) > last_clock, "clocks strictly increase");
+        last_clock = Some(ev.clock());
+        match ev {
+            InstanceEvent::Submitted { instance_id, .. } => {
+                submitted += 1;
+                submitted_ids.insert(instance_id);
+            }
+            InstanceEvent::Completed { instance_id, .. } => {
+                completed += 1;
+                terminal_ids.insert(instance_id);
+            }
+            InstanceEvent::Abandoned { instance_id, .. } => {
+                abandoned += 1;
+                terminal_ids.insert(instance_id);
+                assert!(doomed_ids.contains(&instance_id), "only doomed abandon");
+            }
+        }
+    }
+    assert_eq!(events.dropped(), 0, "capacity covered the whole run");
+    assert_eq!(submitted, stats.submitted(), "Submitted events ≡ gauges");
+    assert_eq!(completed, stats.completed(), "Completed events ≡ gauges");
+    assert_eq!(abandoned, stats.abandoned(), "Abandoned events ≡ gauges");
+    assert_eq!(submitted, 44);
+    assert_eq!(completed, 40);
+    assert_eq!(abandoned, 4);
+    assert_eq!(
+        submitted_ids, terminal_ids,
+        "every submission reached exactly one terminal event"
+    );
+    assert_eq!(stats.in_flight(), 0);
+    assert!(server.live_instances().is_empty());
+}
+
+/// The live-instance table exposes named fields (instance id, shard,
+/// schema display name), not an anonymous tuple.
+#[test]
+fn live_instances_are_named_structs() {
+    let mut b = SchemaBuilder::new();
+    let s = b.source("s");
+    let t = b.attr(
+        "t",
+        Task::query(1, |ins: &[Value]| {
+            std::thread::sleep(Duration::from_millis(100));
+            ins[0].clone()
+        }),
+        vec![s],
+        Expr::Lit(true),
+    );
+    b.mark_target(t);
+    let schema = Arc::new(b.build().unwrap());
+    let server = EngineServer::with_shards(2, 1, "PCE0".parse().unwrap()).unwrap();
+    server.register("slow", Arc::clone(&schema));
+    let mut sv = SourceValues::new();
+    sv.set(s, 7i64);
+    let ticket = server.submit(("slow", sv)).unwrap();
+    let live: Vec<LiveInstance> = server.live_instances();
+    assert_eq!(live.len(), 1);
+    assert_eq!(live[0].instance_id, ticket.instance_id());
+    assert_eq!(live[0].shard, ticket.shard());
+    assert_eq!(live[0].schema, "slow");
+    ticket.wait().unwrap();
+    assert!(server.live_instances().is_empty());
+}

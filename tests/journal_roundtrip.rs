@@ -16,9 +16,7 @@ use decision_flows::decisionflow::journal::{
 };
 use decision_flows::decisionflow::report::ExecutionRecord;
 use decision_flows::dflowgen::{generate, PatternParams};
-use decision_flows::prelude::{
-    complete_snapshot, run_unit_time_recorded, Strategy as EngineStrategy,
-};
+use decision_flows::prelude::{complete_snapshot, Request, Strategy as EngineStrategy};
 use proptest::prelude::*;
 
 fn arb_params() -> impl proptest::strategy::Strategy<Value = (PatternParams, u64)> {
@@ -53,9 +51,14 @@ proptest! {
         let snap = complete_snapshot(&flow.schema, &flow.sources).expect("sources bound");
         for permitted in [0u8, 50, 100] {
             for strategy in EngineStrategy::all_at(permitted) {
+                let report = Request::with_schema(Arc::clone(&flow.schema))
+                    .sources(flow.sources.clone())
+                    .strategy(strategy)
+                    .record_journal(true)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{strategy} failed: {e}"));
                 let (out, journal) =
-                    run_unit_time_recorded(&flow.schema, strategy, &flow.sources)
-                        .unwrap_or_else(|e| panic!("{strategy} failed: {e}"));
+                    (report.outcome, report.journal.expect("journal requested"));
                 let original = ExecutionRecord::from_runtime(&out.runtime, out.time_units);
                 let replayed = ReplayEngine::new(Arc::clone(&flow.schema), journal.clone())
                     .expect("journal header valid")
@@ -79,7 +82,14 @@ proptest! {
         let (params, seed) = params_seed;
         let flow = generate(params, seed).expect("valid pattern");
         let strategy = EngineStrategy::new(true, true, decision_flows::prelude::Heuristic::Earliest, permitted);
-        let (_, journal) = run_unit_time_recorded(&flow.schema, strategy, &flow.sources).unwrap();
+        let journal = Request::with_schema(Arc::clone(&flow.schema))
+            .sources(flow.sources.clone())
+            .strategy(strategy)
+            .record_journal(true)
+            .run()
+            .unwrap()
+            .journal
+            .expect("journal requested");
         let json = journal.to_json();
         let back = Journal::from_json(&json).expect("roundtrip parses");
         prop_assert_eq!(&back, &journal);
@@ -98,7 +108,14 @@ proptest! {
         let (params, seed) = params_seed;
         let flow = generate(params, seed).expect("valid pattern");
         let strategy: EngineStrategy = "PSE100".parse().unwrap();
-        let (_, journal) = run_unit_time_recorded(&flow.schema, strategy, &flow.sources).unwrap();
+        let journal = Request::with_schema(Arc::clone(&flow.schema))
+            .sources(flow.sources.clone())
+            .strategy(strategy)
+            .record_journal(true)
+            .run()
+            .unwrap()
+            .journal
+            .expect("journal requested");
 
         // Version tamper: rejected at load AND at replay.
         let mut tampered = journal.clone();

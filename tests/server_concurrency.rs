@@ -46,7 +46,11 @@ fn generated_flows_on_server_match_oracle() {
             let name = format!("flow{seed}");
             server.register(&name, Arc::clone(&flow.schema));
             let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
-            handles.push(server.submit(&name, flow.sources.clone()).unwrap());
+            handles.push(
+                server
+                    .submit((name.as_str(), flow.sources.clone()))
+                    .unwrap(),
+            );
             oracle.push((flow.schema, snap));
         }
         for (h, (schema, snap)) in handles.into_iter().zip(oracle) {
@@ -63,7 +67,7 @@ fn repeated_submissions_of_one_schema_are_independent() {
     server.register("f", Arc::clone(&flow.schema));
     let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
     let handles: Vec<_> = (0..25)
-        .map(|_| server.submit("f", flow.sources.clone()).unwrap())
+        .map(|_| server.submit(("f", flow.sources.clone())).unwrap())
         .collect();
     let mut works = Vec::new();
     for h in handles {
@@ -96,7 +100,7 @@ fn server_handles_heavier_fanout_than_workers() {
     server.register("f", Arc::clone(&flow.schema));
     let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
     let handles: Vec<_> = (0..30)
-        .map(|_| server.submit("f", flow.sources.clone()).unwrap())
+        .map(|_| server.submit(("f", flow.sources.clone())).unwrap())
         .collect();
     for h in handles {
         check(&h.wait().unwrap().record, &flow.schema, &snap);

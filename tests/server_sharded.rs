@@ -54,7 +54,11 @@ fn all_eight_strategies_agree_with_oracle_across_shards() {
             let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
             // Three replicas per flow so the id hash visits many shards.
             for _ in 0..3 {
-                handles.push(server.submit(&name, flow.sources.clone()).unwrap());
+                handles.push(
+                    server
+                        .submit((name.as_str(), flow.sources.clone()))
+                        .unwrap(),
+                );
                 oracle.push((Arc::clone(&flow.schema), snap.clone()));
             }
         }
@@ -95,13 +99,15 @@ fn batched_submission_equivalent_to_one_by_one() {
     }
     let singles: Vec<_> = batch
         .iter()
-        .map(|(name, sv)| one_by_one.submit(name, sv.clone()).unwrap())
+        .map(|(name, sv)| one_by_one.submit((name.as_str(), sv.clone())).unwrap())
         .collect();
-    let borrowed: Vec<(&str, SourceValues)> = batch
-        .iter()
-        .map(|(name, sv)| (name.as_str(), sv.clone()))
-        .collect();
-    let bulk = batched.submit_batch(&borrowed).unwrap();
+    let bulk = batched
+        .submit_many(
+            batch
+                .iter()
+                .map(|(name, sv)| Request::named(name.clone()).sources(sv.clone())),
+        )
+        .unwrap();
     assert_eq!(bulk.len(), singles.len());
     for ((s, b), (name, _)) in singles.into_iter().zip(bulk).zip(&batch) {
         let i: usize = name.trim_start_matches("flow").parse().unwrap();
@@ -128,11 +134,16 @@ fn recorded_instance_on_nonzero_shard_replays() {
     let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
     let mut nonzero_shard_replayed = false;
     for i in 0..16 {
-        let (result, journal) = server
-            .submit_recorded("f", flow.sources.clone())
+        let mut result = server
+            .submit(
+                Request::named("f")
+                    .sources(flow.sources.clone())
+                    .record_journal(true),
+            )
             .unwrap()
             .wait()
             .unwrap();
+        let journal = result.journal.take().expect("journal requested");
         check(&result.record, &flow.schema, &snap);
         let replayed = ReplayEngine::new(Arc::clone(&flow.schema), journal.clone())
             .unwrap()
@@ -157,8 +168,9 @@ fn server_stats_reconcile_after_burst() {
     let flow = generate(pattern(32, 75), 2_024).unwrap();
     let server = EngineServer::with_shards(4, 1, "PCE100".parse().unwrap()).unwrap();
     server.register("f", Arc::clone(&flow.schema));
-    let batch: Vec<(&str, SourceValues)> = (0..40).map(|_| ("f", flow.sources.clone())).collect();
-    let handles = server.submit_batch(&batch).unwrap();
+    let handles = server
+        .submit_many((0..40).map(|_| ("f", flow.sources.clone())))
+        .unwrap();
     for h in handles {
         h.wait().unwrap();
     }
