@@ -7,28 +7,72 @@
 //! wall-clock latency, per-shard gauges — and reports post-warmup
 //! instances/second, mean response, the deepest per-shard job queue
 //! observed at the end, and how many shards actually executed work.
+//!
+//! Flags:
+//!
+//! * `--smoke` — a reduced matrix (2 shard counts × 2 strategies,
+//!   1/4 of the instances) sized for CI: it proves the sweep runs
+//!   end to end and seeds the perf trajectory without spending
+//!   minutes;
+//! * `--json PATH` — additionally emit the result table as a
+//!   `BENCH_*.json` snapshot (see `ResultTable::to_json`), which the
+//!   CI bench-smoke job publishes into the job summary.
+
+use std::path::PathBuf;
 
 use decisionflow::engine::Strategy;
 use dflow_bench::harness::{f1, f2, ResultTable};
 use dflowgen::{generate, GeneratedFlow, PatternParams};
 use dflowperf::{run_server_load, ServerLoadConfig};
 
+struct Args {
+    smoke: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut smoke = false;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                json = Some(PathBuf::from(
+                    args.next().expect("--json needs a file path"),
+                ))
+            }
+            other => panic!("unknown flag {other:?} (expected --smoke / --json PATH)"),
+        }
+    }
+    Args { smoke, json }
+}
+
 fn main() {
+    let args = parse_args();
     let params = PatternParams {
         nb_nodes: 32,
         nb_rows: 4,
         pct_enabled: 75,
         ..Default::default()
     };
-    let flows: Vec<GeneratedFlow> = (0..4)
+    let n_flows: u64 = if args.smoke { 2 } else { 4 };
+    let flows: Vec<GeneratedFlow> = (0..n_flows)
         .map(|i| generate(params, 0x5CA1E + i).expect("valid pattern"))
         .collect();
-    let strategies: Vec<Strategy> = ["PCE0", "PCE100", "PSE100", "NCE100"]
-        .iter()
-        .map(|s| s.parse().unwrap())
-        .collect();
+    let strategy_names: &[&str] = if args.smoke {
+        &["PCE100", "PSE100"]
+    } else {
+        &["PCE0", "PCE100", "PSE100", "NCE100"]
+    };
+    let strategies: Vec<Strategy> = strategy_names.iter().map(|s| s.parse().unwrap()).collect();
+    let shard_counts: &[usize] = if args.smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let total_instances = if args.smoke { 128 } else { 512 };
+    let warmup_instances = if args.smoke { 16 } else { 64 };
+
+    let mode = if args.smoke { " (smoke)" } else { "" };
     let mut t = ResultTable::new(
-        "Shard scaling — sharded EngineServer over Table-1 flows (nb_nodes=32)",
+        format!("Shard scaling{mode} — sharded EngineServer over Table-1 flows (nb_nodes=32)"),
         &[
             "shards",
             "strategy",
@@ -38,7 +82,7 @@ fn main() {
             "max_queue",
         ],
     );
-    for &shards in &[1usize, 2, 4, 8] {
+    for &shards in shard_counts {
         for &strategy in &strategies {
             let out = run_server_load(
                 &flows,
@@ -47,12 +91,12 @@ fn main() {
                     shards,
                     workers_per_shard: 2,
                     batch: 32,
-                    total_instances: 512,
-                    warmup_instances: 64,
+                    total_instances,
+                    warmup_instances,
                 },
             )
             .expect("server build");
-            assert_eq!(out.completed, 512);
+            assert_eq!(out.completed, total_instances);
             t.row(vec![
                 shards.to_string(),
                 strategy.to_string(),
@@ -64,4 +108,7 @@ fn main() {
         }
     }
     t.emit("shard_scaling.csv");
+    if let Some(path) = &args.json {
+        t.emit_json(path);
+    }
 }

@@ -56,6 +56,42 @@ impl ResultTable {
         out
     }
 
+    /// Render as a JSON snapshot: `{"title": .., "rows": [{col: cell,
+    /// ..}, ..]}` — the `BENCH_*.json` format CI publishes into job
+    /// summaries so the perf trajectory is grep-able across runs.
+    pub fn to_json(&self) -> String {
+        use serde::Content;
+        let rows: Vec<Content> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Content::Map(
+                    self.headers
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), Content::Str(c.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        let doc = Content::Map(vec![
+            ("title".to_string(), Content::Str(self.title.clone())),
+            ("rows".to_string(), Content::Seq(rows)),
+        ]);
+        serde::json::to_string(&doc)
+    }
+
+    /// Write the JSON snapshot to `path` (see
+    /// [`ResultTable::to_json`]). IO failures are reported but
+    /// non-fatal, matching [`ResultTable::emit`].
+    pub fn emit_json(&self, path: &Path) {
+        if let Err(e) = std::fs::write(path, self.to_json() + "\n") {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("(json written to {})", path.display());
+        }
+    }
+
     /// Render as CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -124,5 +160,25 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f1(1.26), "1.3");
         assert_eq!(f2(1.256), "1.26");
+    }
+
+    #[test]
+    fn json_snapshot_keys_rows_by_header() {
+        let mut t = ResultTable::new("demo", &["x", "y"]);
+        t.row(vec!["1".into(), "a".into()]);
+        t.row(vec!["2".into(), "b".into()]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            r#"{"title":"demo","rows":[{"x":"1","y":"a"},{"x":"2","y":"b"}]}"#
+        );
+        // And it parses back as a content tree.
+        let parsed = serde::json::parse(&json).unwrap();
+        let rows = parsed
+            .as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == "rows"))
+            .and_then(|(_, v)| v.as_seq())
+            .unwrap();
+        assert_eq!(rows.len(), 2);
     }
 }

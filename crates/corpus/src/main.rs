@@ -1,0 +1,107 @@
+//! `dflow-corpus` — record / check / bless the journal regression
+//! corpus.
+//!
+//! ```text
+//! dflow-corpus record [--dir corpus]
+//!     capture every matrix cell into an empty corpus (first-time setup)
+//! dflow-corpus check  [--dir corpus] [--report FILE]
+//!     replay + re-execute every blessed baseline; nonzero exit on any
+//!     divergence; --report writes the structured findings as JSON
+//! dflow-corpus bless  [--dir corpus]
+//!     re-capture the matrix, overwrite baselines, print what changed
+//! ```
+//!
+//! Exit codes: `0` success / corpus green, `1` divergences found,
+//! `2` usage or operational error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dflow_corpus::{bless, check, default_dir, default_matrix, record};
+
+struct Args {
+    command: String,
+    dir: PathBuf,
+    report: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dflow-corpus <record|check|bless> [--dir DIR] [--report FILE]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut dir = default_dir();
+    let mut report = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--dir" => dir = PathBuf::from(args.next().ok_or_else(usage)?),
+            "--report" => report = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            _ => return Err(usage()),
+        }
+    }
+    Ok(Args {
+        command,
+        dir,
+        report,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let matrix = default_matrix();
+    match args.command.as_str() {
+        "record" => match record(&args.dir, &matrix) {
+            Ok(written) => {
+                println!(
+                    "recorded {} corpus entries into {}",
+                    written.len(),
+                    args.dir.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("record failed: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "check" => match check(&args.dir, &matrix) {
+            Ok(result) => {
+                print!("{}", result.to_text());
+                if let Some(path) = &args.report {
+                    let json = serde::json::to_string(&result) + "\n";
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("cannot write report {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                    eprintln!("(report written to {})", path.display());
+                }
+                if result.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "bless" => match bless(&args.dir, &matrix) {
+            Ok(summary) => {
+                print!("{}", summary.to_text());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -57,6 +57,42 @@ pub(crate) enum RequestTarget {
     Inline(Arc<Schema>),
 }
 
+/// A cloneable, one-shot handle to a streaming-journal sink.
+///
+/// [`Request`] must stay `Clone`, but an [`std::io::Write`] sink is
+/// not:
+/// this wrapper shares the boxed sink behind an `Arc<Mutex<..>>` and
+/// hands it out exactly once — the execution that consumes the
+/// request takes it; a second execution of the same request finds it
+/// gone and fails with [`RequestError::StreamConsumed`] instead of
+/// silently recording nothing.
+#[derive(Clone)]
+pub struct JournalStream {
+    sink: Arc<Mutex<Option<Box<dyn std::io::Write + Send>>>>,
+}
+
+impl JournalStream {
+    /// Wrap a sink for attachment to a [`Request`].
+    pub fn new(sink: impl std::io::Write + Send + 'static) -> JournalStream {
+        JournalStream {
+            sink: Arc::new(Mutex::new(Some(Box::new(sink)))),
+        }
+    }
+
+    /// Hand the sink to the executing engine (first caller wins).
+    pub(crate) fn take(&self) -> Option<Box<dyn std::io::Write + Send>> {
+        self.sink.lock().take()
+    }
+}
+
+impl std::fmt::Debug for JournalStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalStream")
+            .field("consumed", &self.sink.lock().is_none())
+            .finish_non_exhaustive()
+    }
+}
+
 /// One execution request: what to run, with which inputs, under which
 /// options. Built fluently and consumed by [`run`] (in-process) or
 /// [`EngineServer::submit`] / [`submit_many`] (server).
@@ -91,6 +127,7 @@ pub struct Request {
     pub(crate) strategy: Option<Strategy>,
     pub(crate) options: RuntimeOptions,
     pub(crate) record_journal: bool,
+    pub(crate) journal_stream: Option<JournalStream>,
     pub(crate) deadline: Option<Duration>,
     pub(crate) label: Option<String>,
 }
@@ -103,6 +140,7 @@ impl Request {
             strategy: None,
             options: RuntimeOptions::default(),
             record_journal: false,
+            journal_stream: None,
             deadline: None,
             label: None,
         }
@@ -154,6 +192,35 @@ impl Request {
     /// [`InstanceResult::journal`]: crate::server::InstanceResult::journal
     pub fn record_journal(mut self, record: bool) -> Request {
         self.record_journal = record;
+        self
+    }
+
+    /// Attach the flight recorder in **streaming** mode: frames flush
+    /// to `sink` as they are produced (JSON-lines wire format — see
+    /// [`journal::read_journal`]), so the capture holds O(1) frames in
+    /// memory however long the instance runs. The journal lives on
+    /// the sink — [`RunReport::journal`] / [`InstanceResult::journal`]
+    /// stay `None` — and the trailing footer is written when the
+    /// instance completes, so a reader can always tell a sealed tape
+    /// from a truncated one.
+    ///
+    /// Takes precedence over [`Request::record_journal`] when both
+    /// are set. The sink is consumed by the first execution of this
+    /// request; running the same request again fails with
+    /// [`RequestError::StreamConsumed`]. A request *rejected up
+    /// front* (unknown schema, invalid sources) does **not** consume
+    /// the sink — fix the request and resubmit. One caveat: in an
+    /// all-or-nothing [`submit_many`] batch, a request whose
+    /// validation already passed loses its sink when a *later*
+    /// request aborts the batch (capture had begun; the sink holds an
+    /// unsealed tape that readers reject).
+    ///
+    /// [`submit_many`]: crate::server::EngineServer::submit_many
+    ///
+    /// [`journal::read_journal`]: crate::journal::read_journal
+    /// [`InstanceResult::journal`]: crate::server::InstanceResult::journal
+    pub fn stream_journal(mut self, sink: impl std::io::Write + Send + 'static) -> Request {
+        self.journal_stream = Some(JournalStream::new(sink));
         self
     }
 
@@ -240,6 +307,9 @@ pub enum RequestError {
     /// In-process runs have no server default to fall back on; set
     /// [`Request::strategy`].
     MissingStrategy,
+    /// The request's [`stream_journal`](Request::stream_journal) sink
+    /// was already consumed by an earlier execution of this request.
+    StreamConsumed,
 }
 
 impl std::fmt::Display for RequestError {
@@ -253,6 +323,11 @@ impl std::fmt::Display for RequestError {
             RequestError::MissingStrategy => write!(
                 f,
                 "in-process runs have no server default strategy; set Request::strategy"
+            ),
+            RequestError::StreamConsumed => write!(
+                f,
+                "the request's journal-stream sink was already consumed by an earlier \
+                 execution; attach a fresh sink with Request::stream_journal"
             ),
         }
     }
@@ -295,12 +370,25 @@ pub fn run(request: &Request) -> Result<RunReport, ExecError> {
     let strategy = request
         .strategy
         .ok_or(ExecError::Request(RequestError::MissingStrategy))?;
+    // Validate the sources *before* taking a one-shot streaming sink:
+    // a rejected request must not consume the sink (the caller fixes
+    // the bindings and runs the same request again).
+    request.sources.validate(schema)?;
+    let journal_mode = match &request.journal_stream {
+        Some(stream) => unit_exec::JournalMode::Stream(
+            stream
+                .take()
+                .ok_or(ExecError::Request(RequestError::StreamConsumed))?,
+        ),
+        None if request.record_journal => unit_exec::JournalMode::Memory,
+        None => unit_exec::JournalMode::Off,
+    };
     let (outcome, journal) = unit_exec::execute(
         schema,
         strategy,
         &request.sources,
         request.options,
-        request.record_journal,
+        journal_mode,
     )?;
     Ok(RunReport { outcome, journal })
 }

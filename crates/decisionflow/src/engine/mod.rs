@@ -25,5 +25,3 @@ pub use metrics::{InstanceMetrics, ServerStats, ShardGauges, ShardStats};
 pub use runtime::{InstanceRuntime, RuntimeOptions, Stalled};
 pub use strategy::{Heuristic, ParseStrategyError, Strategy};
 pub use unit_exec::{run_unit_time, run_unit_time_with_options, ExecError, UnitOutcome};
-#[allow(deprecated)]
-pub use unit_exec::{run_unit_time_recorded, run_unit_time_recorded_with_options};

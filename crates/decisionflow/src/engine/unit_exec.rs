@@ -50,6 +50,10 @@ pub enum ExecError {
     Stalled(Stalled),
     /// The [`Request`](crate::api::Request) cannot run in-process.
     Request(crate::api::RequestError),
+    /// The streaming journal sink failed. The execution itself
+    /// completed; the flight record on the sink is sealed with no
+    /// footer, so readers reject it as truncated.
+    JournalIo(std::io::Error),
 }
 
 impl std::fmt::Display for ExecError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Snapshot(e) => write!(f, "{e}"),
             ExecError::Stalled(e) => write!(f, "{e}"),
             ExecError::Request(e) => write!(f, "{e}"),
+            ExecError::JournalIo(e) => write!(f, "journal stream sink failed: {e}"),
         }
     }
 }
@@ -98,22 +103,41 @@ impl Ord for Completion {
     }
 }
 
+/// How an in-process execution journals itself.
+pub(crate) enum JournalMode {
+    /// No journaling: the hot path pays one `Option` test per event
+    /// site and nothing else.
+    Off,
+    /// Buffered capture: the journal comes back in memory.
+    Memory,
+    /// Streaming capture: frames flush to the sink as they are
+    /// produced (JSON-lines wire format, O(1) frames in memory); the
+    /// footer is written when the instance completes.
+    Stream(Box<dyn std::io::Write + Send>),
+}
+
 /// The one in-process execution path behind every public entry point:
-/// [`run_unit_time`], the deprecated recorded variants, and
-/// [`crate::api::run`] all funnel through here, so journaling is a
-/// flag, not a parallel code path.
+/// [`run_unit_time`] and [`crate::api::run`] both funnel through
+/// here, so journaling is a mode, not a parallel code path.
 pub(crate) fn execute(
     schema: &Arc<Schema>,
     strategy: Strategy,
     sources: &SourceValues,
     options: RuntimeOptions,
-    record_journal: bool,
+    journal: JournalMode,
 ) -> Result<(UnitOutcome, Option<Journal>), ExecError> {
-    if !record_journal {
-        let rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
-        return drive(schema, strategy, rt, None).map(|out| (out, None));
-    }
-    let recorder = SharedJournalWriter::new(JournalWriter::new(schema, strategy, sources));
+    let recorder = match journal {
+        JournalMode::Off => {
+            let rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
+            return drive(schema, strategy, rt, None).map(|out| (out, None));
+        }
+        JournalMode::Memory => {
+            SharedJournalWriter::new(JournalWriter::new(schema, strategy, sources))
+        }
+        JournalMode::Stream(sink) => {
+            SharedJournalWriter::new(JournalWriter::streaming(schema, strategy, sources, sink))
+        }
+    };
     recorder.set_disable_backward(options.disable_backward);
     let rt = InstanceRuntime::with_options_recorded(
         Arc::clone(schema),
@@ -123,8 +147,14 @@ pub(crate) fn execute(
         Box::new(recorder.clone()),
     )?;
     let outcome = drive(schema, strategy, rt, Some(&recorder))?;
-    let journal = recorder.snapshot(outcome.time_units);
-    Ok((outcome, Some(journal)))
+    // Streaming: seal the tape (header for empty instances, footer,
+    // flush) and surface any sink error; the journal lives on the
+    // sink, not in the report. Buffered: freeze the frames.
+    recorder
+        .finish(outcome.time_units)
+        .map_err(ExecError::JournalIo)?;
+    let journal = recorder.try_snapshot(outcome.time_units);
+    Ok((outcome, journal))
 }
 
 /// Execute one instance to completion in unit time.
@@ -143,40 +173,7 @@ pub fn run_unit_time_with_options(
     sources: &SourceValues,
     options: RuntimeOptions,
 ) -> Result<UnitOutcome, ExecError> {
-    execute(schema, strategy, sources, options, false).map(|(out, _)| out)
-}
-
-/// [`run_unit_time`] with a flight recorder attached: returns the
-/// outcome together with the [`Journal`] of every control decision.
-/// `ReplayEngine::replay` on that journal reproduces the outcome's
-/// `ExecutionRecord` exactly.
-#[deprecated(
-    note = "build a `decisionflow::api::Request` with `.record_journal(true)` and call \
-            `api::run` (or `Request::run`); the journal arrives in `RunReport::journal`"
-)]
-pub fn run_unit_time_recorded(
-    schema: &Arc<Schema>,
-    strategy: Strategy,
-    sources: &SourceValues,
-) -> Result<(UnitOutcome, Journal), ExecError> {
-    let (out, journal) = execute(schema, strategy, sources, RuntimeOptions::default(), true)?;
-    Ok((out, journal.expect("journal recording was requested")))
-}
-
-/// `run_unit_time_recorded` with ablation options (recorded in the
-/// journal so replay applies them too).
-#[deprecated(
-    note = "build a `decisionflow::api::Request` with `.record_journal(true)` and `.options(..)`, \
-            then call `api::run` (or `Request::run`)"
-)]
-pub fn run_unit_time_recorded_with_options(
-    schema: &Arc<Schema>,
-    strategy: Strategy,
-    sources: &SourceValues,
-    options: RuntimeOptions,
-) -> Result<(UnitOutcome, Journal), ExecError> {
-    let (out, journal) = execute(schema, strategy, sources, options, true)?;
-    Ok((out, journal.expect("journal recording was requested")))
+    execute(schema, strategy, sources, options, JournalMode::Off).map(|(out, _)| out)
 }
 
 /// The three-phase loop against the unit-time calendar, optionally

@@ -22,7 +22,14 @@
 //! * journals serialize to canonical JSON ([`Journal::to_json`]) with
 //!   a schema-version field checked on load, and replay also verifies
 //!   a structural fingerprint of the schema, so a journal can never be
-//!   silently replayed against the wrong flow.
+//!   silently replayed against the wrong flow;
+//! * long-running captures can **stream** instead of buffering:
+//!   [`Request::stream_journal`] flushes frames to an `io::Write`
+//!   sink as they are produced (JSON-lines plus a trailing footer,
+//!   O(1) frames in memory) and [`read_journal`] reconstructs a
+//!   [`Journal`] equal to the buffered capture byte-for-byte.
+//!
+//! [`Request::stream_journal`]: crate::api::Request::stream_journal
 //!
 //! Capture entry point: a [`Request`] with
 //! [`record_journal(true)`](crate::api::Request::record_journal) —
@@ -38,11 +45,13 @@
 mod divergence;
 mod frame;
 mod replay;
+mod stream;
 mod writer;
 
 pub use divergence::{Divergence, DivergenceKind};
 pub use frame::{Clock, Event, Frame};
 pub use replay::{ReplayEngine, ReplayOutcome};
+pub use stream::{read_journal, MemorySink};
 pub use writer::{JournalWriter, SharedJournalWriter};
 
 use serde::{Deserialize, Serialize};

@@ -106,26 +106,24 @@ pub mod value;
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use crate::api::{
-        InstanceEvent, LiveInstance, Request, RequestError, RunReport, ServerEvents, Ticket,
+        InstanceEvent, JournalStream, LiveInstance, Request, RequestError, RunReport, ServerEvents,
+        Ticket,
     };
     pub use crate::dsl::{parse_schema, DslError, ExternRegistry};
-    #[allow(deprecated)]
-    pub use crate::engine::run_unit_time_recorded;
     pub use crate::engine::{
         run_unit_time, run_unit_time_with_options, ExecError, Heuristic, InstanceMetrics,
         InstanceRuntime, RuntimeOptions, ServerStats, ShardStats, Strategy, UnitOutcome,
     };
     pub use crate::expr::{CmpOp, Expr, Term, Tri};
     pub use crate::journal::{
-        Divergence, DivergenceKind, Journal, JournalError, JournalSink, ReplayEngine, ReplayOutcome,
+        read_journal, Divergence, DivergenceKind, Journal, JournalError, JournalSink, ReplayEngine,
+        ReplayOutcome,
     };
     pub use crate::rules::{CombiningPolicy, Rule, RuleAction, RuleSet};
     pub use crate::schema::{AttrId, ModularBuilder, Schema, SchemaBuilder, SchemaError};
     pub use crate::server::{
         EngineServer, InstanceResult, ServerBuildError, ServerGone, SubmitError,
     };
-    #[allow(deprecated)]
-    pub use crate::server::{InstanceHandle, RecordedHandle};
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;
     pub use crate::task::{Cost, Task};

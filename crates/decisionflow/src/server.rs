@@ -69,7 +69,7 @@ use crate::engine::{scheduler, InstanceRuntime, ServerStats, ShardGauges, Strate
 use crate::journal::{Journal, JournalWriter, SharedJournalWriter};
 use crate::report::ExecutionRecord;
 use crate::schema::{AttrId, Schema};
-use crate::snapshot::{SnapshotError, SourceValues};
+use crate::snapshot::SnapshotError;
 
 /// Result of one instance executed by the server.
 #[derive(Clone, Debug)]
@@ -88,7 +88,15 @@ pub struct InstanceResult {
     /// The flight record — `Some` iff the request set
     /// [`Request::record_journal`]. Recording is an orthogonal option,
     /// not a parallel type family: the same [`Ticket`] delivers both.
+    /// Streaming captures ([`Request::stream_journal`]) deliver on
+    /// their sink instead, leaving this `None`.
     pub journal: Option<Journal>,
+    /// `Some` when a [`Request::stream_journal`] capture failed to
+    /// seal its tape (the sink reported an IO error at some point).
+    /// The execution itself succeeded — `record` is valid — but the
+    /// streamed journal has no footer and readers will reject it as
+    /// truncated. Always `None` for buffered or un-journaled runs.
+    pub journal_error: Option<String>,
 }
 
 /// The instance's result can never arrive. This happens when the
@@ -109,54 +117,6 @@ impl std::fmt::Display for ServerGone {
 }
 
 impl std::error::Error for ServerGone {}
-
-/// Legacy name for the unified [`Ticket`] handle.
-#[deprecated(note = "use `EngineServer::submit(Request)` and the `Ticket` it returns")]
-pub type InstanceHandle = Ticket;
-
-/// Handle to a submitted instance with journal capture enabled.
-///
-/// Legacy shim: the unified [`Ticket`] delivers the journal inside
-/// [`InstanceResult::journal`]; this wrapper only re-splits it into
-/// the historical `(result, journal)` pair.
-#[deprecated(
-    note = "use `EngineServer::submit(Request::named(..).record_journal(true))`; the `Ticket`'s \
-            `InstanceResult::journal` carries the journal"
-)]
-pub struct RecordedHandle {
-    ticket: Ticket,
-}
-
-#[allow(deprecated)]
-impl std::fmt::Debug for RecordedHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecordedHandle").finish_non_exhaustive()
-    }
-}
-
-#[allow(deprecated)]
-impl RecordedHandle {
-    fn split(mut result: InstanceResult) -> (InstanceResult, Journal) {
-        let journal = result
-            .journal
-            .take()
-            .expect("recorded submission always carries a journal");
-        (result, journal)
-    }
-
-    /// Block until the instance completes; yields the result together
-    /// with the captured [`Journal`].
-    pub fn wait(self) -> Result<(InstanceResult, Journal), ServerGone> {
-        self.ticket.wait().map(Self::split)
-    }
-
-    /// Non-blocking poll; same contract as [`Ticket::try_wait`]:
-    /// `Ok(None)` = not ready yet, `Err(ServerGone)` = the result can
-    /// never arrive.
-    pub fn try_wait(&self) -> Result<Option<(InstanceResult, Journal)>, ServerGone> {
-        Ok(self.ticket.try_wait()?.map(Self::split))
-    }
-}
 
 /// Worker-thread spawning failed while building the server. Already
 /// spawned threads are shut down cleanly before this is returned, so a
@@ -316,15 +276,27 @@ impl Instance {
                 let mut sent = inst.finished.lock();
                 if !*sent {
                     *sent = true;
+                    // Journals are wall-clock free: time stays 0,
+                    // matching the record built below. A streaming
+                    // recorder has no frames to snapshot — seal the
+                    // tape on its sink instead; a sink error leaves
+                    // the stream footerless (readers reject it as
+                    // truncated) and is surfaced on the result.
+                    let (journal, journal_error) = match &inst.recorder {
+                        None => (None, None),
+                        Some(r) => match r.try_snapshot(0) {
+                            Some(j) => (Some(j), None),
+                            None => (None, r.finish(0).err().map(|e| e.to_string())),
+                        },
+                    };
                     finished = Some(InstanceResult {
                         record: ExecutionRecord::from_runtime(&rt, 0),
                         elapsed: inst.started.elapsed(),
                         shard: inst.shard,
                         instance_id: inst.id,
                         label: inst.label.clone(),
-                        // Journals are wall-clock free: time stays 0,
-                        // matching the record built above.
-                        journal: inst.recorder.as_ref().map(|r| r.snapshot(0)),
+                        journal,
+                        journal_error,
                     });
                 }
             } else {
@@ -512,6 +484,9 @@ pub enum SubmitError {
     UnknownSchema(String),
     /// Source bindings invalid for the schema.
     Sources(SnapshotError),
+    /// The request's [`Request::stream_journal`] sink was already
+    /// consumed by an earlier submission of the same request.
+    StreamConsumed,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -519,6 +494,11 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::UnknownSchema(n) => write!(f, "unknown schema {n:?}"),
             SubmitError::Sources(e) => write!(f, "{e}"),
+            SubmitError::StreamConsumed => write!(
+                f,
+                "the request's journal-stream sink was already consumed by an earlier \
+                 submission; attach a fresh sink with Request::stream_journal"
+            ),
         }
     }
 }
@@ -703,9 +683,33 @@ impl EngineServer {
         request: &Request,
     ) -> Result<(PreparedRuntime, Receiver<InstanceResult>), SubmitError> {
         let strategy = request.strategy.unwrap_or(self.strategy);
-        let (runtime, recorder) = if request.record_journal {
-            let recorder =
-                SharedJournalWriter::new(JournalWriter::new(&schema, strategy, &request.sources));
+        // Validate the sources *before* taking a one-shot streaming
+        // sink: a rejected request must not consume the sink (the
+        // caller fixes the bindings and resubmits the same request).
+        request
+            .sources
+            .validate(&schema)
+            .map_err(SubmitError::Sources)?;
+        // Streaming takes precedence over buffered capture, mirroring
+        // the in-process path: the journal lives on the sink and the
+        // result's `journal` field stays `None`.
+        let writer = match &request.journal_stream {
+            Some(stream) => {
+                let sink = stream.take().ok_or(SubmitError::StreamConsumed)?;
+                Some(JournalWriter::streaming(
+                    &schema,
+                    strategy,
+                    &request.sources,
+                    sink,
+                ))
+            }
+            None if request.record_journal => {
+                Some(JournalWriter::new(&schema, strategy, &request.sources))
+            }
+            None => None,
+        };
+        let (runtime, recorder) = if let Some(writer) = writer {
+            let recorder = SharedJournalWriter::new(writer);
             recorder.set_disable_backward(request.options.disable_backward);
             let rt = InstanceRuntime::with_options_recorded(
                 schema,
@@ -848,38 +852,6 @@ impl EngineServer {
         }
         Ok(tickets)
     }
-
-    /// Submit a batch of `(schema name, sources)` pairs.
-    #[deprecated(
-        note = "use `submit_many` with `Request`s (tuples convert via `Into<Request>`); \
-                journaling is per-request now, so recorded batches need no extra method"
-    )]
-    pub fn submit_batch(&self, batch: &[(&str, SourceValues)]) -> Result<Vec<Ticket>, SubmitError> {
-        self.submit_many(
-            batch
-                .iter()
-                .map(|(name, sources)| Request::named(*name).sources(sources.clone())),
-        )
-    }
-
-    /// Submit a new flow instance with the flight recorder attached.
-    #[allow(deprecated)]
-    #[deprecated(
-        note = "use `submit(Request::named(..).sources(..).record_journal(true))`; the journal \
-                arrives in `InstanceResult::journal`"
-    )]
-    pub fn submit_recorded(
-        &self,
-        schema_name: &str,
-        sources: SourceValues,
-    ) -> Result<RecordedHandle, SubmitError> {
-        let ticket = self.submit(
-            Request::named(schema_name)
-                .sources(sources)
-                .record_journal(true),
-        )?;
-        Ok(RecordedHandle { ticket })
-    }
 }
 
 #[cfg(test)]
@@ -887,7 +859,7 @@ mod tests {
     use super::*;
     use crate::expr::{CmpOp, Expr};
     use crate::schema::SchemaBuilder;
-    use crate::snapshot::complete_snapshot;
+    use crate::snapshot::{complete_snapshot, SourceValues};
     use crate::state::AttrState;
     use crate::task::Task;
     use crate::value::Value;
@@ -1423,35 +1395,94 @@ mod tests {
         );
     }
 
+    /// Streaming capture through the server: the journal lands on the
+    /// sink (sealed with a footer), the result's `journal` field stays
+    /// `None`, and the reconstructed tape replays to the delivered
+    /// record.
     #[test]
-    fn legacy_shims_still_deliver() {
-        #![allow(deprecated)]
-        use crate::journal::ReplayEngine;
+    fn streaming_capture_seals_tape_on_sink() {
+        use crate::journal::{read_journal, MemorySink, ReplayEngine};
+
         let schema = slow_schema(5);
         let server = EngineServer::with_shards(2, 1, "PSE100".parse().unwrap()).unwrap();
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
-        let (result, journal) = server
-            .submit_recorded("flow", sv.clone())
-            .unwrap()
-            .wait()
-            .unwrap();
+        let buf = MemorySink::new();
+        let request = Request::named("flow")
+            .sources(sv.clone())
+            .stream_journal(buf.clone());
+        let result = server.submit(request.clone()).unwrap().wait().unwrap();
         assert!(
             result.journal.is_none(),
-            "shim splits the journal out of the result"
+            "streamed journal lives on the sink, not in the result"
         );
+        let bytes = buf.bytes();
+        let journal = read_journal(&bytes[..]).expect("sealed stream parses");
         let replayed = ReplayEngine::new(Arc::clone(&schema), journal)
             .unwrap()
             .replay()
             .unwrap();
         assert_eq!(replayed.record, result.record);
 
-        let batch = vec![("flow", sv.clone()), ("flow", sv)];
-        let handles: Vec<InstanceHandle> = server.submit_batch(&batch).unwrap();
-        for h in handles {
-            assert!(h.wait().unwrap().record.outcome("t").is_some());
+        // The sink is one-shot: resubmitting the same request fails
+        // loudly instead of recording nothing.
+        assert_eq!(
+            server.submit(request).map(|_| ()).unwrap_err(),
+            SubmitError::StreamConsumed
+        );
+    }
+
+    /// A dead sink must not fail (or wedge) the execution — the seal
+    /// failure is surfaced on `InstanceResult::journal_error` — and a
+    /// request rejected up front keeps its sink for the retry.
+    #[test]
+    fn streaming_sink_failure_is_surfaced_and_rejection_keeps_the_sink() {
+        use crate::journal::{read_journal, MemorySink};
+        use std::io::Write;
+
+        struct DeadSink;
+        impl Write for DeadSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink unplugged"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
         }
+
+        let schema = slow_schema(5);
+        let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+
+        let result = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv.clone())
+                    .stream_journal(DeadSink),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(result.record.outcome("t").is_some(), "execution succeeded");
+        assert!(result.journal.is_none());
+        let msg = result.journal_error.expect("seal failure surfaced");
+        assert!(msg.contains("sink unplugged"), "{msg}");
+
+        // Rejected up front (missing sources): the sink survives, so
+        // fixing the request and resubmitting records normally.
+        let buf = MemorySink::new();
+        let rejected = Request::named("flow").stream_journal(buf.clone());
+        assert!(matches!(
+            server.submit(rejected.clone()).map(|_| ()),
+            Err(SubmitError::Sources(_))
+        ));
+        let result = server.submit(rejected.sources(sv)).unwrap().wait().unwrap();
+        assert_eq!(result.journal_error, None);
+        let journal = read_journal(&buf.bytes()[..]).expect("sink was preserved and sealed");
+        assert!(!journal.frames.is_empty());
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Acceptance tests for the unified submission API (`Request` /
-//! `Ticket` / `ServerEvents`):
+//! `Ticket` / `ServerEvents`). The legacy shims
+//! (`run_unit_time_recorded`, `submit_recorded`, `submit_batch`,
+//! `InstanceHandle`/`RecordedHandle`) are gone after their one-release
+//! grace period; these tests pin down the properties their
+//! equivalence suite used to prove, now stated directly on the
+//! unified surface:
 //!
-//! * every legacy entry point (`run_unit_time_recorded`, `submit`,
-//!   `submit_recorded`, `submit_batch`, the recorded handle type) is
-//!   expressible through `Request`/`Ticket`, with equivalence proven
-//!   across **all 8 strategy combinations** — identical execution
-//!   records *and* identical journals;
-//! * recorded batches (the PR 2 gap) produce journals identical to
-//!   recorded one-by-one submission;
+//! * recorded and plain runs agree across **all 8 strategy
+//!   combinations**, and recorded server submissions are
+//!   deterministic (byte-equal journals) on single-outstanding-task
+//!   flows;
+//! * recorded batches produce journals identical to recorded
+//!   one-by-one submission;
 //! * `wait_timeout` reports "still pending" under a saturated worker
 //!   pool instead of blocking;
 //! * `ServerEvents` counts reconcile with `ServerStats` under a
@@ -32,38 +36,36 @@ fn flow(seed: u64) -> GeneratedFlow {
     generate(pattern(24, 60), seed).expect("valid pattern")
 }
 
-/// Old shim vs new API, in-process path: `run_unit_time_recorded`
-/// must equal `Request::run` with `record_journal(true)` — same
-/// record, same journal, same response time — for all 8 strategies at
-/// two parallelism levels.
+/// In-process path: a recorded `Request::run` is a pure observer —
+/// identical time and metrics to the plain entry point, and two
+/// recorded runs of the same request produce byte-identical journals
+/// — for all 8 strategies at two parallelism levels.
 #[test]
-fn unit_time_shim_equals_request_run_across_all_strategies() {
+fn recorded_request_run_is_deterministic_across_all_strategies() {
     let flow = flow(41_001);
     for permitted in [40u8, 100] {
         for strategy in Strategy::all_at(permitted) {
-            #[allow(deprecated)]
-            let (old_out, old_journal) =
-                run_unit_time_recorded(&flow.schema, strategy, &flow.sources).unwrap();
-            let report = Request::with_schema(Arc::clone(&flow.schema))
-                .sources(flow.sources.clone())
-                .strategy(strategy)
-                .record_journal(true)
-                .run()
-                .unwrap();
-            let new_journal = report.journal.expect("journal requested");
-            assert_eq!(old_journal, new_journal, "{strategy} journal");
+            let recorded = || {
+                Request::with_schema(Arc::clone(&flow.schema))
+                    .sources(flow.sources.clone())
+                    .strategy(strategy)
+                    .record_journal(true)
+                    .run()
+                    .unwrap()
+            };
+            let (a, b) = (recorded(), recorded());
+            let journal_a = a.journal.expect("journal requested");
+            let journal_b = b.journal.expect("journal requested");
+            assert_eq!(journal_a, journal_b, "{strategy} journal determinism");
             assert_eq!(
-                old_out.time_units, report.outcome.time_units,
-                "{strategy} time"
+                journal_a.to_json(),
+                journal_b.to_json(),
+                "{strategy} byte-identical serialization"
             );
-            assert_eq!(
-                old_out.metrics, report.outcome.metrics,
-                "{strategy} metrics"
-            );
-            // The plain (un-recorded) entry point agrees too.
+            // Recording never perturbs the execution it observes.
             let plain = run_unit_time(&flow.schema, strategy, &flow.sources).unwrap();
-            assert_eq!(plain.time_units, report.outcome.time_units, "{strategy}");
-            assert_eq!(plain.metrics, report.outcome.metrics, "{strategy}");
+            assert_eq!(plain.time_units, a.outcome.time_units, "{strategy}");
+            assert_eq!(plain.metrics, a.outcome.metrics, "{strategy}");
         }
     }
 }
@@ -104,52 +106,56 @@ fn chain_fixture() -> (Arc<Schema>, SourceValues) {
     (schema, sv)
 }
 
-/// Old shim vs new API, server path, byte-for-byte: on a
-/// single-shard single-worker server running a deterministic chain
-/// flow, `submit_recorded` and `submit(Request…record_journal)`
-/// produce identical records *and* identical journals for all 8
-/// strategies.
+/// Server path, byte-for-byte: on single-shard single-worker servers
+/// running a deterministic chain flow, two independent recorded
+/// submissions produce identical records *and* identical journals for
+/// all 8 strategies — the property that lets the regression corpus
+/// demand byte equality on such flows.
 #[test]
-fn server_shims_equal_request_submission_across_all_strategies() {
+fn recorded_server_submissions_are_deterministic_across_all_strategies() {
     let (schema, sv) = chain_fixture();
     for strategy in Strategy::all_at(100) {
-        let old_server = EngineServer::with_shards(1, 1, strategy).unwrap();
-        let new_server = EngineServer::with_shards(1, 1, strategy).unwrap();
-        old_server.register("f", Arc::clone(&schema));
-        new_server.register("f", Arc::clone(&schema));
+        let server_a = EngineServer::with_shards(1, 1, strategy).unwrap();
+        let server_b = EngineServer::with_shards(1, 1, strategy).unwrap();
+        server_a.register("f", Arc::clone(&schema));
+        server_b.register("f", Arc::clone(&schema));
 
-        #[allow(deprecated)]
-        let (old_result, old_journal) = old_server
-            .submit_recorded("f", sv.clone())
-            .unwrap()
-            .wait()
-            .unwrap();
-        let mut new_result = new_server
-            .submit(Request::named("f").sources(sv.clone()).record_journal(true))
-            .unwrap()
-            .wait()
-            .unwrap();
-        let new_journal = new_result.journal.take().expect("journal requested");
-        assert_eq!(old_result.record, new_result.record, "{strategy} record");
-        assert_eq!(old_journal, new_journal, "{strategy} journal");
+        let submit = |server: &EngineServer| {
+            server
+                .submit(Request::named("f").sources(sv.clone()).record_journal(true))
+                .unwrap()
+                .wait()
+                .unwrap()
+        };
+        let mut result_a = submit(&server_a);
+        let mut result_b = submit(&server_b);
+        let journal_a = result_a.journal.take().expect("journal requested");
+        let journal_b = result_b.journal.take().expect("journal requested");
+        assert_eq!(result_a.record, result_b.record, "{strategy} record");
+        assert_eq!(journal_a, journal_b, "{strategy} journal");
+        assert_eq!(
+            journal_a.to_json(),
+            journal_b.to_json(),
+            "{strategy} byte-identical serialization"
+        );
 
         // And the journal replays to the same record.
-        let replayed = ReplayEngine::new(Arc::clone(&schema), new_journal)
+        let replayed = ReplayEngine::new(Arc::clone(&schema), journal_a)
             .unwrap()
             .replay()
             .unwrap_or_else(|d| panic!("{strategy}: {d}"));
-        assert_eq!(replayed.record, new_result.record, "{strategy} replay");
+        assert_eq!(replayed.record, result_a.record, "{strategy} replay");
     }
 }
 
-/// Old shim vs new API, server path, semantics: on fan-out generated
-/// flows the completion *delivery order* is scheduling noise (recorded
-/// on the tape, not derived from it), so the equivalence claim is
-/// semantic — both paths agree with the declarative oracle on every
-/// target, and both journals replay to their own records exactly —
-/// for all 8 strategies.
+/// Server path, semantics: on fan-out generated flows the completion
+/// *delivery order* is scheduling noise (recorded on the tape, not
+/// derived from it), so the claim is semantic — every recorded
+/// submission agrees with the declarative oracle on every target, and
+/// its journal replays to its own record exactly — for all 8
+/// strategies.
 #[test]
-fn server_shim_and_request_agree_with_oracle_on_fanout_flows() {
+fn recorded_submissions_agree_with_oracle_on_fanout_flows() {
     let flow = flow(41_002);
     let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
     let check = |record: &decision_flows::decisionflow::report::ExecutionRecord, tag: &str| {
@@ -170,39 +176,33 @@ fn server_shim_and_request_agree_with_oracle_on_fanout_flows() {
         let server = EngineServer::with_shards(1, 2, strategy).unwrap();
         server.register("f", Arc::clone(&flow.schema));
 
-        #[allow(deprecated)]
-        let (old_result, old_journal) = server
-            .submit_recorded("f", flow.sources.clone())
-            .unwrap()
-            .wait()
-            .unwrap();
-        let mut new_result = server
-            .submit(
-                Request::named("f")
-                    .sources(flow.sources.clone())
-                    .record_journal(true),
-            )
-            .unwrap()
-            .wait()
-            .unwrap();
-        let new_journal = new_result.journal.take().expect("journal requested");
-        check(&old_result.record, "shim");
-        check(&new_result.record, "request");
-        for (journal, record, tag) in [
-            (old_journal, &old_result.record, "shim"),
-            (new_journal, &new_result.record, "request"),
-        ] {
+        // Two concurrent-pool submissions: delivery order may differ,
+        // semantics may not.
+        for round in 0..2 {
+            let mut result = server
+                .submit(
+                    Request::named("f")
+                        .sources(flow.sources.clone())
+                        .record_journal(true),
+                )
+                .unwrap()
+                .wait()
+                .unwrap();
+            let journal = result.journal.take().expect("journal requested");
+            check(&result.record, "request");
             let replayed = ReplayEngine::new(Arc::clone(&flow.schema), journal)
                 .unwrap()
                 .replay()
-                .unwrap_or_else(|d| panic!("{strategy} {tag}: {d}"));
-            assert_eq!(&replayed.record, record, "{strategy} {tag} replay");
+                .unwrap_or_else(|d| panic!("{strategy} round {round}: {d}"));
+            assert_eq!(
+                replayed.record, result.record,
+                "{strategy} round {round} replay"
+            );
         }
     }
 }
 
-/// The `submit_batch` shim and `submit_many` are equivalent, and a
-/// *recorded batch* — the capability PR 2 lacked — yields journals
+/// A *recorded batch* — the capability PR 2 lacked — yields journals
 /// identical to recorded one-by-one submission.
 #[test]
 fn recorded_batch_equals_recorded_singles() {
@@ -245,23 +245,21 @@ fn recorded_batch_equals_recorded_singles() {
         assert_eq!(s, b, "instance {i}: recorded batch ≡ recorded single");
     }
 
-    // The legacy un-recorded batch shim still matches submit_many.
-    #[allow(deprecated)]
-    let shim_handles = singles.submit_batch(&[("flow0", sv.clone())]).unwrap();
-    let shim_record = shim_handles
-        .into_iter()
-        .next()
-        .unwrap()
-        .wait()
-        .unwrap()
-        .record;
-    let new_record = batched
+    // Tuple submissions (the `Into<Request>` form that replaced the
+    // old batch shim) execute to the same record.
+    let tuple_record = singles
         .submit(("flow0", sv.clone()))
         .unwrap()
         .wait()
         .unwrap()
         .record;
-    assert_eq!(shim_record, new_record);
+    let request_record = batched
+        .submit(Request::named("flow0").sources(sv.clone()))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .record;
+    assert_eq!(tuple_record, request_record);
 }
 
 /// `wait_timeout` under a saturated pool: a single worker busy with a
