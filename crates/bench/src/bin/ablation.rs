@@ -17,7 +17,7 @@
 use decisionflow::engine::{RuntimeOptions, Strategy};
 use dflow_bench::harness::{f1, ResultTable};
 use dflowgen::PatternParams;
-use dflowperf::{unit_sweep_with_options, SweepResult};
+use dflowperf::pattern_sweep_with_options;
 
 fn main() {
     let reps = 30;
@@ -38,16 +38,16 @@ fn main() {
             pct_enabled: pct,
             ..Default::default()
         };
-        let n: SweepResult = unit_sweep_with_options(params, naive, reps, 0xAB1A, full);
-        let f = unit_sweep_with_options(params, seq, reps, 0xAB1A, fwd_only);
-        let p = unit_sweep_with_options(params, seq, reps, 0xAB1A, full);
-        let fwd_gain = 100.0 * (1.0 - f.mean_work / n.mean_work);
-        let bwd_gain = 100.0 * (1.0 - p.mean_work / f.mean_work);
+        let n = pattern_sweep_with_options(params, naive, reps, 0xAB1A, full);
+        let f = pattern_sweep_with_options(params, seq, reps, 0xAB1A, fwd_only);
+        let p = pattern_sweep_with_options(params, seq, reps, 0xAB1A, full);
+        let fwd_gain = 100.0 * (1.0 - f.mean_work() / n.mean_work());
+        let bwd_gain = 100.0 * (1.0 - p.mean_work() / f.mean_work());
         t.row(vec![
             pct.to_string(),
-            f1(n.mean_work),
-            f1(f.mean_work),
-            f1(p.mean_work),
+            f1(n.mean_work()),
+            f1(f.mean_work()),
+            f1(p.mean_work()),
             f1(fwd_gain),
             f1(bwd_gain),
         ]);
@@ -80,16 +80,16 @@ fn main() {
             pct_enabled: pct,
             ..Default::default()
         };
-        let n = unit_sweep_with_options(params, par_n, reps, 0xAB1A, full);
-        let f = unit_sweep_with_options(params, par_p, reps, 0xAB1A, fwd_only);
-        let p = unit_sweep_with_options(params, par_p, reps, 0xAB1A, full);
+        let n = pattern_sweep_with_options(params, par_n, reps, 0xAB1A, full);
+        let f = pattern_sweep_with_options(params, par_p, reps, 0xAB1A, fwd_only);
+        let p = pattern_sweep_with_options(params, par_p, reps, 0xAB1A, full);
         t2.row(vec![
             pct.to_string(),
-            f1(n.mean_time),
-            f1(f.mean_time),
-            f1(p.mean_time),
-            f1(100.0 * (1.0 - f.mean_time / n.mean_time)),
-            f1(100.0 * (1.0 - p.mean_time / f.mean_time)),
+            f1(n.mean_response()),
+            f1(f.mean_response()),
+            f1(p.mean_response()),
+            f1(100.0 * (1.0 - f.mean_response() / n.mean_response())),
+            f1(100.0 * (1.0 - p.mean_response() / f.mean_response())),
         ]);
     }
     t2.emit("ablation_time.csv");

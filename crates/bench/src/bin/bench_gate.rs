@@ -1,0 +1,231 @@
+//! Bench regression gate: compare a fresh `BENCH_*.json` snapshot
+//! (see `ResultTable::to_json`) against a blessed baseline checked
+//! into `results/`, failing loudly when a tracked metric regresses
+//! beyond tolerance.
+//!
+//! Rows are matched by the `--key` identity columns (default
+//! `shards,strategy`, the cell coordinates of `shard_scaling`; other
+//! columns are run-dependent measurements and are ignored); a current
+//! value below `baseline × (1 − tolerance)` fails the gate.
+//! Improvements always pass — bless them when you want a tighter
+//! floor.
+//!
+//! ```text
+//! bench_gate check --baseline results/BENCH_baseline_shard_scaling.json \
+//!                  --current BENCH_shard_scaling.json \
+//!                  --metric throughput/s [--tolerance 0.20]
+//! bench_gate bless --baseline results/BENCH_baseline_shard_scaling.json \
+//!                  --current BENCH_shard_scaling.json
+//! ```
+//!
+//! `check` exits 0 (all within tolerance) or 1 (regression / missing
+//! row / unreadable snapshot). `bless` copies the current snapshot
+//! over the baseline — run it locally and commit the refreshed file
+//! when a slowdown (or a benchmark change) is intentional.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    baseline: PathBuf,
+    current: PathBuf,
+    metric: String,
+    key: Vec<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| usage("missing command"));
+    let mut baseline = None;
+    let mut current = None;
+    let mut metric = "throughput/s".to_string();
+    let mut key = "shards,strategy".to_string();
+    let mut tolerance = 0.20;
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .unwrap_or_else(|| usage(&format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value())),
+            "--current" => current = Some(PathBuf::from(value())),
+            "--metric" => metric = value(),
+            "--key" => key = value(),
+            "--tolerance" => {
+                tolerance = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tolerance needs a float"))
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    Args {
+        command,
+        baseline: baseline.unwrap_or_else(|| usage("--baseline is required")),
+        current: current.unwrap_or_else(|| usage("--current is required")),
+        metric,
+        key: key.split(',').map(|k| k.trim().to_string()).collect(),
+        tolerance,
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("bench_gate: {err}");
+    eprintln!(
+        "usage: bench_gate check --baseline PATH --current PATH \
+         [--metric NAME] [--key COL,COL] [--tolerance FRACTION]\n       \
+         bench_gate bless --baseline PATH --current PATH"
+    );
+    std::process::exit(2);
+}
+
+/// snapshot rows → map from row key (the identity columns, in the
+/// order given) to the metric value.
+fn load_rows(path: &Path, metric: &str, key: &[String]) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = serde::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rows = doc
+        .as_map()
+        .and_then(|m| m.iter().find(|(k, _)| k == "rows"))
+        .and_then(|(_, v)| v.as_seq())
+        .ok_or_else(|| format!("{}: no \"rows\" array", path.display()))?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row
+            .as_map()
+            .ok_or_else(|| format!("{}: row {i} is not an object", path.display()))?;
+        let cell = |col: &str| {
+            cells
+                .iter()
+                .find(|(k, _)| k == col)
+                .and_then(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("{}: row {i} has no {col:?} column", path.display()))
+        };
+        let key_parts: Vec<String> = key
+            .iter()
+            .map(|col| Ok(format!("{col}={}", cell(col)?)))
+            .collect::<Result<_, String>>()?;
+        let raw = cell(metric)?;
+        let value = raw.parse::<f64>().map_err(|_| {
+            format!(
+                "{}: row {i} metric {metric:?} = {raw:?} not numeric",
+                path.display()
+            )
+        })?;
+        if out.insert(key_parts.join(" "), value).is_some() {
+            return Err(format!(
+                "{}: duplicate row key [{}] — pass --key with the full cell coordinates",
+                path.display(),
+                key_parts.join(" ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn check(args: &Args) -> Result<(), String> {
+    let baseline = load_rows(&args.baseline, &args.metric, &args.key)?;
+    let current = load_rows(&args.current, &args.metric, &args.key)?;
+    let mut failures = Vec::new();
+    println!(
+        "bench_gate: {} vs blessed {} ({} rows, metric {:?}, tolerance {:.0}%)",
+        args.current.display(),
+        args.baseline.display(),
+        baseline.len(),
+        args.metric,
+        args.tolerance * 100.0
+    );
+    for (key, &blessed) in &baseline {
+        match current.get(key) {
+            None => failures.push(format!("row [{key}] missing from current snapshot")),
+            Some(&now) => {
+                let floor = blessed * (1.0 - args.tolerance);
+                let delta = if blessed.abs() > f64::EPSILON {
+                    100.0 * (now - blessed) / blessed
+                } else {
+                    0.0
+                };
+                let verdict = if now < floor { "REGRESSED" } else { "ok" };
+                println!(
+                    "  [{key}] blessed {blessed:.1} -> current {now:.1} ({delta:+.1}%) {verdict}"
+                );
+                if now < floor {
+                    failures.push(format!(
+                        "[{key}] {metric} regressed {delta:.1}%: {now:.1} < floor {floor:.1} \
+                         (blessed {blessed:.1}, tolerance {tol:.0}%)",
+                        metric = args.metric,
+                        tol = args.tolerance * 100.0,
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("bench_gate: PASS");
+        Ok(())
+    } else {
+        let mut msg = String::from("bench_gate: FAIL\n");
+        for f in &failures {
+            msg.push_str("  ");
+            msg.push_str(f);
+            msg.push('\n');
+        }
+        msg.push_str(
+            "if the change is intentional, refresh the baseline:\n  \
+             cargo run --release -p dflow-bench --bin shard_scaling -- --smoke --json current.json\n  \
+             cargo run --release -p dflow-bench --bin bench_gate -- bless \
+             --baseline results/BENCH_baseline_shard_scaling.json --current current.json\n\
+             and commit the refreshed baseline.",
+        );
+        Err(msg)
+    }
+}
+
+fn bless(args: &Args) -> Result<(), String> {
+    // Validate the current snapshot parses before blessing it.
+    let rows = load_rows(&args.current, &args.metric, &args.key)?;
+    let diff: Vec<String> = match load_rows(&args.baseline, &args.metric, &args.key) {
+        Ok(old) => rows
+            .iter()
+            .map(|(k, v)| match old.get(k) {
+                Some(o) => format!("  [{k}] {o:.1} -> {v:.1}"),
+                None => format!("  [{k}] (new) -> {v:.1}"),
+            })
+            .collect(),
+        Err(_) => rows
+            .iter()
+            .map(|(k, v)| format!("  [{k}] -> {v:.1}"))
+            .collect(),
+    };
+    std::fs::copy(&args.current, &args.baseline)
+        .map_err(|e| format!("cannot bless {}: {e}", args.baseline.display()))?;
+    println!(
+        "bench_gate: blessed {} <- {} ({} rows)",
+        args.baseline.display(),
+        args.current.display(),
+        rows.len()
+    );
+    for line in diff {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let result = match args.command.as_str() {
+        "check" => check(&args),
+        "bless" => bless(&args),
+        other => usage(&format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,7 +14,7 @@
 
 use dflow_bench::harness::{f1, ResultTable};
 use dflowgen::{generate, PatternParams};
-use dflowperf::{run_open_load, LoadConfig};
+use dflowperf::{Arrival, SimDb, Workload};
 use simdb::DbConfig;
 
 fn main() {
@@ -45,30 +45,27 @@ fn main() {
         let flows: Vec<_> = (0..distinct as u64)
             .map(|i| generate(params, 0xC100 + i).expect("valid pattern"))
             .collect();
-        let base = LoadConfig {
-            arrival_rate_per_sec: th,
-            total_instances: total,
-            warmup_instances: 40,
-            seed: 0xC1,
-            shared_query_cache: false,
-        };
-        let off = run_open_load(&flows, strategy, DbConfig::default(), base);
-        let on = run_open_load(
-            &flows,
-            strategy,
-            DbConfig::default(),
-            LoadConfig {
+        let base = Workload::new(flows)
+            .arrivals(Arrival::Poisson { rate: th })
+            .instances(total)
+            .warmup(40)
+            .seed(0xC1)
+            .strategy(strategy);
+        let off = base.clone().run(&SimDb::default()).expect("valid workload");
+        let on = base
+            .run(&SimDb {
+                db: DbConfig::default(),
                 shared_query_cache: true,
-                ..base
-            },
-        );
+            })
+            .expect("valid workload");
+        let (off_sim, on_sim) = (off.sim.expect("simdb stats"), on.sim.expect("simdb stats"));
         t.row(vec![
             overlap_pct.to_string(),
-            f1(off.responses_ms.mean()),
-            f1(on.responses_ms.mean()),
-            f1(off.mean_gmpl),
-            f1(on.mean_gmpl),
-            on.cache_hits.to_string(),
+            f1(off.responses.mean()),
+            f1(on.responses.mean()),
+            f1(off_sim.mean_gmpl),
+            f1(on_sim.mean_gmpl),
+            on_sim.cache_hits.to_string(),
         ]);
     }
     t.emit("clustering.csv");

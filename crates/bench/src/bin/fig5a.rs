@@ -10,7 +10,7 @@
 use decisionflow::engine::Strategy;
 use dflow_bench::harness::{f1, ResultTable};
 use dflowgen::PatternParams;
-use dflowperf::unit_sweep;
+use dflowperf::pattern_sweep;
 
 fn main() {
     let reps = 30;
@@ -30,7 +30,7 @@ fn main() {
         };
         let works: Vec<f64> = strategies
             .iter()
-            .map(|&s| unit_sweep(params, s, reps, 0xF16A).mean_work)
+            .map(|&s| pattern_sweep(params, s, reps, 0xF16A).mean_work())
             .collect();
         let best_p = works[0].min(works[1]);
         let best_n = works[2].min(works[3]);

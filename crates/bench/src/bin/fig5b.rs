@@ -4,7 +4,7 @@
 use decisionflow::engine::Strategy;
 use dflow_bench::harness::{f1, ResultTable};
 use dflowgen::PatternParams;
-use dflowperf::unit_sweep;
+use dflowperf::pattern_sweep;
 
 fn main() {
     let reps = 30;
@@ -24,7 +24,7 @@ fn main() {
         };
         let works: Vec<f64> = strategies
             .iter()
-            .map(|&s| unit_sweep(params, s, reps, 0xF16B).mean_work)
+            .map(|&s| pattern_sweep(params, s, reps, 0xF16B).mean_work())
             .collect();
         t.row(vec![
             rows.to_string(),

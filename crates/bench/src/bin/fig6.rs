@@ -12,7 +12,7 @@
 
 use dflow_bench::harness::{f1, ResultTable};
 use dflowgen::PatternParams;
-use dflowperf::unit_sweep;
+use dflowperf::pattern_sweep;
 
 fn main() {
     let reps = 30;
@@ -29,23 +29,23 @@ fn main() {
             ..Default::default()
         };
         let seed = 0xF166;
-        let pce100 = unit_sweep(params, "PCE100".parse().unwrap(), reps, seed);
-        let pcc100 = unit_sweep(params, "PCC100".parse().unwrap(), reps, seed);
-        let pse100 = unit_sweep(params, "PSE100".parse().unwrap(), reps, seed);
-        let psc100 = unit_sweep(params, "PSC100".parse().unwrap(), reps, seed);
-        let pce0 = unit_sweep(params, "PCE0".parse().unwrap(), reps, seed);
-        let pc_t = 0.5 * (pce100.mean_time + pcc100.mean_time);
-        let ps_t = 0.5 * (pse100.mean_time + psc100.mean_time);
-        let pc_w = 0.5 * (pce100.mean_work + pcc100.mean_work);
-        let ps_w = 0.5 * (pse100.mean_work + psc100.mean_work);
+        let pce100 = pattern_sweep(params, "PCE100".parse().unwrap(), reps, seed);
+        let pcc100 = pattern_sweep(params, "PCC100".parse().unwrap(), reps, seed);
+        let pse100 = pattern_sweep(params, "PSE100".parse().unwrap(), reps, seed);
+        let psc100 = pattern_sweep(params, "PSC100".parse().unwrap(), reps, seed);
+        let pce0 = pattern_sweep(params, "PCE0".parse().unwrap(), reps, seed);
+        let pc_t = 0.5 * (pce100.mean_response() + pcc100.mean_response());
+        let ps_t = 0.5 * (pse100.mean_response() + psc100.mean_response());
+        let pc_w = 0.5 * (pce100.mean_work() + pcc100.mean_work());
+        let ps_w = 0.5 * (pse100.mean_work() + psc100.mean_work());
         t.row(vec![
             pct.to_string(),
             f1(pc_t),
             f1(ps_t),
-            f1(pce0.mean_time),
+            f1(pce0.mean_response()),
             f1(pc_w),
             f1(ps_w),
-            f1(pce0.mean_work),
+            f1(pce0.mean_work()),
         ]);
     }
     t.emit("fig6.csv");

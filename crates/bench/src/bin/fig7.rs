@@ -8,7 +8,7 @@
 
 use dflow_bench::harness::{f1, ResultTable};
 use dflowgen::PatternParams;
-use dflowperf::unit_sweep;
+use dflowperf::pattern_sweep;
 
 fn main() {
     let reps = 30;
@@ -33,20 +33,20 @@ fn main() {
     );
     for p in [0u8, 20, 40, 60, 80, 100] {
         let seed = 0xF167;
-        let pcc = unit_sweep(params, format!("PCC{p}").parse().unwrap(), reps, seed);
-        let pce = unit_sweep(params, format!("PCE{p}").parse().unwrap(), reps, seed);
-        let psc = unit_sweep(params, format!("PSC{p}").parse().unwrap(), reps, seed);
-        let pse = unit_sweep(params, format!("PSE{p}").parse().unwrap(), reps, seed);
+        let pcc = pattern_sweep(params, format!("PCC{p}").parse().unwrap(), reps, seed);
+        let pce = pattern_sweep(params, format!("PCE{p}").parse().unwrap(), reps, seed);
+        let psc = pattern_sweep(params, format!("PSC{p}").parse().unwrap(), reps, seed);
+        let pse = pattern_sweep(params, format!("PSE{p}").parse().unwrap(), reps, seed);
         t.row(vec![
             p.to_string(),
-            f1(pcc.mean_time),
-            f1(pce.mean_time),
-            f1(psc.mean_time),
-            f1(pse.mean_time),
-            f1(pcc.mean_work),
-            f1(pce.mean_work),
-            f1(psc.mean_work),
-            f1(pse.mean_work),
+            f1(pcc.mean_response()),
+            f1(pce.mean_response()),
+            f1(psc.mean_response()),
+            f1(pse.mean_response()),
+            f1(pcc.mean_work()),
+            f1(pce.mean_work()),
+            f1(psc.mean_work()),
+            f1(pse.mean_work()),
         ]);
     }
     t.emit("fig7.csv");

@@ -1,28 +1,81 @@
 //! Figure 9(b): accuracy of the analytic model for finite database
-//! resources.
+//! resources — plus the open-load saturation curve against the *real*
+//! sharded server.
 //!
-//! Reproduces the four graphs of the figure for `nb_rows = 4`,
-//! `%enabled = 75` at a throughput of `Th = 10` instances/second:
+//! Full mode reproduces the four graphs of the figure for
+//! `nb_rows = 4`, `%enabled = 75` at a throughput of `Th = 10`
+//! instances/second:
 //!
 //! * graph (a): `UnitTime(Work)` from Equation (6) over the measured
 //!   `Db` function;
 //! * graph (b): the guideline map `minT(Work)` with its programs;
 //! * graph (c): predicted response time `minT(W) × UnitTime(W)`;
 //! * graph (d): measured response time of each frontier program under
-//!   Poisson arrivals against the simulated database.
+//!   Poisson arrivals against the simulated database (the `SimDb`
+//!   backend of the unified `Workload` API).
 //!
 //! The paper reports the prediction within ~10% of the measurement and
 //! `PC*100%` as the optimal program at this operating point.
+//!
+//! Both modes then run **graph (e)**: `Arrival::Poisson` against the
+//! real sharded `EngineServer` (`Server` backend), with task costs
+//! mapped onto wall-clock time (`GeneratedFlow::with_unit_delay`) so
+//! worker threads become the finite resource. Offered load sweeps past
+//! capacity; achieved throughput rises monotonically, then saturates,
+//! and instances blowing the per-request `Request::deadline` budget
+//! are tallied as late drops.
+//!
+//! Flags:
+//!
+//! * `--smoke` — skip the expensive full-figure sweeps and run only a
+//!   reduced graph (e), sized for CI (the `open-load-smoke` job);
+//! * `--json PATH` — additionally emit the graph (e) table as a
+//!   `BENCH_*.json` snapshot for the CI job summary.
+
+use std::path::PathBuf;
+use std::time::Duration;
 
 use dflow_bench::harness::{f1, ResultTable};
-use dflowgen::{generate, PatternParams};
+use dflowgen::{generate, GeneratedFlow, PatternParams};
 use dflowperf::{
-    guideline_for_pattern, max_work_for_throughput, portfolio, run_open_load, solve_unit_time,
-    solve_unit_time_with_lmpl, DbFunction, LoadConfig,
+    guideline_for_pattern, max_work_for_throughput, portfolio, solve_unit_time,
+    solve_unit_time_with_lmpl, Arrival, DbFunction, Server, SimDb, Workload,
 };
 use simdb::{measure_db_function, measure_db_function_open, DbConfig};
 
+struct Args {
+    smoke: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut smoke = false;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                json = Some(PathBuf::from(
+                    args.next().expect("--json needs a file path"),
+                ))
+            }
+            other => panic!("unknown flag {other:?} (expected --smoke / --json PATH)"),
+        }
+    }
+    Args { smoke, json }
+}
+
 fn main() {
+    let args = parse_args();
+    if !args.smoke {
+        full_figure();
+    }
+    open_load_vs_real_server(&args);
+}
+
+/// Graphs (a)–(d): the paper's figure against the simulated database.
+fn full_figure() {
     let db_cfg = DbConfig::default();
     let params = PatternParams {
         nb_rows: 4,
@@ -97,19 +150,16 @@ fn main() {
         let predicted_l = solve_unit_time_with_lmpl(&db, th, p.work, lmpl)
             .stable_ms()
             .map(|u| u * p.time_units);
-        let measured = run_open_load(
-            &flows,
-            p.strategy,
-            db_cfg,
-            LoadConfig {
-                arrival_rate_per_sec: th,
-                total_instances: 400,
-                warmup_instances: 80,
-                seed: 0x9B,
-                shared_query_cache: false,
-            },
-        );
-        let m = measured.responses_ms.mean();
+        let measured = Workload::new(flows.clone())
+            .arrivals(Arrival::Poisson { rate: th })
+            .instances(400)
+            .warmup(80)
+            .seed(0x9B)
+            .strategy(p.strategy)
+            .run(&SimDb::new(db_cfg))
+            .expect("valid workload");
+        let sim = measured.sim.expect("simdb stats");
+        let m = measured.responses.mean();
         let (pred_s, err_s) = match predicted {
             Some(pr) => (f1(pr), f1(100.0 * (pr - m).abs() / m)),
             None => ("saturated".to_string(), "-".to_string()),
@@ -128,8 +178,8 @@ fn main() {
             f1(m),
             err_s,
             err_l_s,
-            f1(measured.mean_unit_time_ms),
-            f1(measured.mean_gmpl),
+            f1(sim.mean_unit_time_ms),
+            f1(sim.mean_gmpl),
         ]);
         match &best {
             Some((_, bm)) if *bm <= m => {}
@@ -140,4 +190,114 @@ fn main() {
     if let Some((s, m)) = best {
         println!("optimal measured program: {s} at {:.0} ms", m);
     }
+}
+
+/// Graph (e): the same open-arrival workload shape against the real
+/// sharded server, sweeping offered load past capacity.
+fn open_load_vs_real_server(args: &Args) {
+    let params = PatternParams {
+        nb_nodes: 16,
+        nb_rows: 4,
+        pct_enabled: 75,
+        ..Default::default()
+    };
+    // Map one unit of processing to real time so the worker pool is a
+    // finite resource; a 300ms budget marks stragglers as late drops.
+    let per_unit = Duration::from_micros(500);
+    let deadline = Duration::from_millis(300);
+    let flows: Vec<GeneratedFlow> = (0..3)
+        .map(|i| {
+            generate(params, 0x0E9B + i)
+                .expect("valid pattern")
+                .with_unit_delay(per_unit)
+        })
+        .collect();
+    let (shards, workers) = (1usize, 2usize);
+    let (rates, total, warmup) = if args.smoke {
+        (vec![30.0, 60.0, 120.0, 240.0], 96usize, 16usize)
+    } else {
+        (
+            vec![15.0, 30.0, 60.0, 120.0, 240.0, 480.0],
+            240usize,
+            40usize,
+        )
+    };
+
+    let mode = if args.smoke { " (smoke)" } else { "" };
+    eprintln!("open-load saturation vs the real server{mode} ...");
+    let mut t = ResultTable::new(
+        format!(
+            "Fig 9(b) graph (e){mode} — Poisson arrivals vs real EngineServer \
+             ({shards}x{workers} workers, {}us/unit, {}ms deadline)",
+            per_unit.as_micros(),
+            deadline.as_millis()
+        ),
+        &[
+            "offered/s",
+            "achieved/s",
+            "goodput/s",
+            "mean_ms",
+            "p50_ms",
+            "p99_ms",
+            "completed",
+            "late",
+            "abandoned",
+        ],
+    );
+    let mut achieved = Vec::new();
+    for &rate in &rates {
+        let r = Workload::new(flows.clone())
+            .arrivals(Arrival::Poisson { rate })
+            .instances(total)
+            .warmup(warmup)
+            .seed(0x9B)
+            .deadline(deadline)
+            .strategy("PCE100".parse().unwrap())
+            .run(&Server {
+                shards,
+                workers_per_shard: workers,
+            })
+            .expect("server build");
+        assert!(
+            r.accounts_exactly(),
+            "submitted = completed + late + abandoned must hold"
+        );
+        achieved.push(r.completion_throughput_per_sec);
+        t.row(vec![
+            f1(rate),
+            f1(r.completion_throughput_per_sec),
+            f1(r.throughput_per_sec),
+            f1(r.responses.mean()),
+            f1(r.percentiles.p50),
+            f1(r.percentiles.p99),
+            r.completed.to_string(),
+            r.late_dropped.to_string(),
+            r.abandoned.to_string(),
+        ]);
+    }
+    t.emit("fig9b_server.csv");
+    if let Some(path) = &args.json {
+        t.emit_json(path);
+    }
+
+    // The curve must rise with offered load and then saturate: the
+    // last doubling of offered load cannot double achieved throughput.
+    let first = achieved.first().copied().unwrap_or(0.0);
+    let last = achieved.last().copied().unwrap_or(0.0);
+    let peak = achieved.iter().copied().fold(0.0f64, f64::max);
+    assert!(first > 0.0 && last > 0.0, "throughput must be positive");
+    assert!(
+        peak > first,
+        "raising offered load must raise achieved throughput ({achieved:?})"
+    );
+    assert!(
+        last < rates.last().unwrap() * 0.9,
+        "offered {} >> capacity: achieved {last:.1}/s must saturate below it ({achieved:?})",
+        rates.last().unwrap()
+    );
+    println!(
+        "\nachieved throughput rises {first:.1}/s -> {peak:.1}/s, then saturates \
+         (last offered {:.0}/s achieved {last:.1}/s)",
+        rates.last().unwrap()
+    );
 }

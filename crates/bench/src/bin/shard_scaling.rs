@@ -2,9 +2,9 @@
 //! shard count grows, over Table-1 generated flows.
 //!
 //! A Fig-5-style sweep for the threading harness itself: each row runs
-//! one (shard count × strategy) cell through
-//! `dflowperf::run_server_load` — batched `submit_many` submissions,
-//! wall-clock latency, per-shard gauges — and reports post-warmup
+//! one (shard count × strategy) cell as a closed-arrival `Workload`
+//! on the `Server` backend — batched `submit_many` waves, wall-clock
+//! latency, per-shard gauges — and reports post-warmup
 //! instances/second, mean response, the deepest per-shard job queue
 //! observed at the end, and how many shards actually executed work.
 //!
@@ -23,7 +23,7 @@ use std::path::PathBuf;
 use decisionflow::engine::Strategy;
 use dflow_bench::harness::{f1, f2, ResultTable};
 use dflowgen::{generate, GeneratedFlow, PatternParams};
-use dflowperf::{run_server_load, ServerLoadConfig};
+use dflowperf::{Arrival, Server, Workload};
 
 struct Args {
     smoke: bool,
@@ -84,26 +84,28 @@ fn main() {
     );
     for &shards in shard_counts {
         for &strategy in &strategies {
-            let out = run_server_load(
-                &flows,
-                strategy,
-                ServerLoadConfig {
+            let out = Workload::new(flows.clone())
+                .arrivals(Arrival::Closed {
+                    clients: 32,
+                    waves: 0,
+                })
+                .instances(total_instances)
+                .warmup(warmup_instances)
+                .strategy(strategy)
+                .run(&Server {
                     shards,
                     workers_per_shard: 2,
-                    batch: 32,
-                    total_instances,
-                    warmup_instances,
-                },
-            )
-            .expect("server build");
+                })
+                .expect("server build");
             assert_eq!(out.completed, total_instances);
+            let side = out.server.as_ref().expect("server stats");
             t.row(vec![
                 shards.to_string(),
                 strategy.to_string(),
                 f1(out.throughput_per_sec),
-                f2(out.responses_ms.mean()),
-                out.shards_used.to_string(),
-                out.stats.max_queue_depth().to_string(),
+                f2(out.responses.mean()),
+                side.shards_used.to_string(),
+                side.stats.max_queue_depth().to_string(),
             ]);
         }
     }

@@ -34,9 +34,13 @@
 //!   instance id; [`submit_many`] groups a whole batch by shard so
 //!   routing and registry-lock acquisition are amortized over the
 //!   batch;
-//! * every completion re-enters the three-phase loop (evaluate →
-//!   prequalify → schedule) under the instance lock; new launches go
-//!   back to the owning shard's pool;
+//! * every scheduling round — including the *first* one, which is
+//!   handed to the owning shard's pool at submission rather than run
+//!   on the submitting thread — re-enters the three-phase loop
+//!   (evaluate → prequalify → schedule) under the instance lock; new
+//!   launches go back to the owning shard's pool, so on a 1-worker
+//!   shard the job queue (and any recorded journal, fan-out flows
+//!   included) is byte-deterministic;
 //! * each shard maintains lock-free [`ShardGauges`] (queue depth,
 //!   in-flight instances, submitted/completed/abandoned counters)
 //!   which [`EngineServer::stats`] aggregates into a [`ServerStats`]
@@ -97,6 +101,13 @@ pub struct InstanceResult {
     /// streamed journal has no footer and readers will reject it as
     /// truncated. Always `None` for buffered or un-journaled runs.
     pub journal_error: Option<String>,
+    /// `true` when the request carried a [`Request::deadline`] and the
+    /// instance stabilized *after* it. The engine never cancels
+    /// launched work, so the result is still complete and correct —
+    /// this flag is the server-side accounting hook open-arrival
+    /// pacers use to tally **late drops** without re-deriving the
+    /// budget from [`Ticket::deadline`] themselves.
+    pub deadline_exceeded: bool,
 }
 
 /// The instance's result can never arrive. This happens when the
@@ -247,6 +258,10 @@ struct Instance {
     recorder: Option<SharedJournalWriter>,
     /// The request's label, forwarded into results and events.
     label: Option<String>,
+    /// Absolute completion deadline derived from [`Request::deadline`]
+    /// at submission; completions after it set
+    /// [`InstanceResult::deadline_exceeded`].
+    deadline: Option<Instant>,
     /// Set once the first completed pump has sent the result, so later
     /// pumps (racing workers, speculative stragglers) don't resend.
     finished: Mutex<bool>,
@@ -297,6 +312,7 @@ impl Instance {
                         label: inst.label.clone(),
                         journal,
                         journal_error,
+                        deadline_exceeded: inst.deadline.is_some_and(|d| Instant::now() > d),
                     });
                 }
             } else {
@@ -427,7 +443,13 @@ impl Shard {
             .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))
     }
 
-    fn start(&self, id: u64, display_name: String, prepared: PreparedRuntime) {
+    fn start(
+        &self,
+        id: u64,
+        display_name: String,
+        prepared: PreparedRuntime,
+        deadline: Option<Instant>,
+    ) {
         self.gauges.instance_submitted();
         self.live.lock().insert(id, display_name);
         let label = prepared.label;
@@ -445,6 +467,7 @@ impl Shard {
             done_tx: prepared.done_tx,
             recorder: prepared.recorder,
             label,
+            deadline,
             finished: Mutex::new(false),
             rounds: AtomicU32::new(0),
             pool: Arc::clone(&self.pool),
@@ -452,8 +475,23 @@ impl Shard {
             live: Arc::clone(&self.live),
             events: Arc::clone(&self.events),
         });
-        // Kick off the first scheduling round.
-        Instance::pump(&inst);
+        // Kick off the first scheduling round *on the owning shard's
+        // worker pool*, not on the submitting thread. Correctness is
+        // the same either way, but tape determinism is not: when the
+        // submitting thread enqueued the initial launches itself, a
+        // fast worker could complete the first task and enqueue its
+        // follow-ups *between* two initial enqueues, so the queue
+        // order — and therefore the journal's completion order on
+        // fan-out flows — raced. With the first round routed through
+        // the pool, every job of a 1-worker shard is enqueued by that
+        // single worker (after this one handoff), making recorded
+        // fan-out executions byte-deterministic on
+        // `with_shards(n, 1, …)` servers.
+        if !self.pool.spawn(Box::new(move || Instance::pump(&inst))) {
+            // Every worker of this shard is already dead; the dropped
+            // job just released the instance's last Arc, which
+            // surfaces ServerGone on the ticket instead of wedging it.
+        }
     }
 }
 
@@ -774,7 +812,7 @@ impl EngineServer {
         let deadline = request
             .deadline
             .and_then(|budget| Instant::now().checked_add(budget));
-        shard.start(id, request.display_name(), prepared);
+        shard.start(id, request.display_name(), prepared, deadline);
         Ok(Ticket::new(done_rx, id, shard.index, deadline))
     }
 
@@ -842,13 +880,9 @@ impl EngineServer {
         for (i, request) in requests.iter().enumerate() {
             let (ready, done_rx) = prepared[i].take().expect("validated above");
             let shard = self.shard_for(ids[i]);
-            shard.start(ids[i], request.display_name(), ready);
-            tickets.push(Ticket::new(
-                done_rx,
-                ids[i],
-                shard.index,
-                request.deadline.and_then(|budget| now.checked_add(budget)),
-            ));
+            let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
+            shard.start(ids[i], request.display_name(), ready, deadline);
+            tickets.push(Ticket::new(done_rx, ids[i], shard.index, deadline));
         }
         Ok(tickets)
     }
@@ -1272,6 +1306,47 @@ mod tests {
             let r = ticket.wait_timeout(Duration::from_secs(30)).unwrap();
             assert!(r.is_some(), "instance must complete within 30s");
         }
+    }
+
+    #[test]
+    fn deadline_exceeded_flags_late_completions_only() {
+        let schema = slow_schema(0);
+        let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+        server.register("flow", Arc::clone(&schema));
+
+        // Generous budget: completes comfortably inside the deadline.
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        let r = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv.clone())
+                    .deadline(Duration::from_secs(120)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!r.deadline_exceeded, "in-budget completion is not late");
+
+        // No deadline at all: never flagged.
+        let r = server
+            .submit(Request::named("flow").sources(sv.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!r.deadline_exceeded);
+
+        // A zero budget has expired by the time the instance
+        // stabilizes, so the completion is flagged late — but still
+        // delivered in full (late drops are an accounting outcome, not
+        // a cancellation).
+        let r = server
+            .submit(Request::named("flow").sources(sv).deadline(Duration::ZERO))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(r.deadline_exceeded, "expired budget must flag the result");
+        assert!(r.record.outcome("t").is_some(), "result still complete");
     }
 
     #[test]

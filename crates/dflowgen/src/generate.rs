@@ -49,6 +49,62 @@ pub struct GeneratedFlow {
     pub planned_enabled: usize,
 }
 
+impl GeneratedFlow {
+    /// Rebuild this flow so every task body **sleeps wall-clock time**
+    /// proportional to its declared cost — `cost × per_unit` — before
+    /// computing its (unchanged, deterministic) value.
+    ///
+    /// Generated task bodies are pure hashes and finish in
+    /// nanoseconds, which makes the real [`EngineServer`] effectively
+    /// infinitely fast: open-arrival experiments against it would
+    /// never saturate. Mapping the paper's abstract *units of
+    /// processing* onto real time turns worker threads into the finite
+    /// resource of §5, so Fig 9(b)-style saturation curves can be
+    /// measured on the threading harness itself.
+    ///
+    /// Attribute ids, sources, enabling conditions, costs, and
+    /// computed values are all preserved — only wall-clock duration
+    /// changes — so oracle checks and journals remain valid.
+    ///
+    /// [`EngineServer`]: decisionflow::server::EngineServer
+    pub fn with_unit_delay(&self, per_unit: std::time::Duration) -> GeneratedFlow {
+        let mut b = SchemaBuilder::new();
+        for a in self.schema.attr_ids() {
+            let def = self.schema.attr(a);
+            let id = if def.task.is_source() {
+                b.source(def.name.clone())
+            } else {
+                let cost = def.task.cost();
+                let body = def.task.clone();
+                let delay = per_unit.saturating_mul(u32::try_from(cost).unwrap_or(u32::MAX));
+                let timed = decisionflow::task::Task::query(cost, move |ins: &[Value]| {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    body.compute(ins)
+                });
+                b.attr(
+                    def.name.clone(),
+                    timed,
+                    def.inputs.clone(),
+                    def.enabling.clone(),
+                )
+            };
+            debug_assert_eq!(id, a, "rebuild preserves attribute ids");
+            if def.target {
+                b.mark_target(id);
+            }
+        }
+        GeneratedFlow {
+            schema: Arc::new(b.build().expect("rebuilt schema stays valid")),
+            sources: self.sources.clone(),
+            params: self.params,
+            seed: self.seed,
+            planned_enabled: self.planned_enabled,
+        }
+    }
+}
+
 /// Generation failure.
 #[derive(Debug)]
 pub enum GenError {

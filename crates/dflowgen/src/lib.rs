@@ -74,6 +74,28 @@ mod tests {
     }
 
     #[test]
+    fn unit_delay_rebuild_preserves_semantics_and_costs() {
+        let params = PatternParams {
+            nb_nodes: 12,
+            nb_rows: 3,
+            pct_enabled: 75,
+            ..Default::default()
+        };
+        let flow = generate(params, 9).unwrap();
+        let slow = flow.with_unit_delay(std::time::Duration::from_micros(1));
+        assert_eq!(flow.schema.len(), slow.schema.len());
+        assert_eq!(flow.schema.total_cost(), slow.schema.total_cost());
+        let a = complete_snapshot(&flow.schema, &flow.sources).unwrap();
+        let b = complete_snapshot(&slow.schema, &slow.sources).unwrap();
+        for id in flow.schema.attr_ids() {
+            assert_eq!(a.state(id), b.state(id), "state of attr {id:?}");
+            if a.state(id) == FinalState::Value {
+                assert_eq!(a.value(id), b.value(id), "value of attr {id:?}");
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let p = PatternParams::default();
         let a = generate(p, 5).unwrap();

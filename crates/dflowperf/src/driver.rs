@@ -1,38 +1,45 @@
-//! Finite-resource execution: decision-flow instances against the
-//! simulated database under an open Poisson arrival stream — and
-//! against the real sharded [`EngineServer`].
+//! Legacy finite-resource drivers — thin, deprecated wrappers over the
+//! unified [`Workload`] surface (see [`crate::workload`]).
 //!
-//! [`run_open_load`] is the paper's final experimental setting (§5,
-//! "An Analytical Model for Finite Database Resources"): instances
-//! arrive at `Th` per second, every launched task becomes a query on
-//! the shared [`SimDb`], and response time is measured in **seconds**
-//! (well, milliseconds here) rather than abstract units. The engine
-//! logic is exactly the same [`InstanceRuntime`] used by the unit-time
-//! executor — only the clock and the contention model differ.
+//! `run_open_load` and `run_server_load` each carried their own config
+//! and outcome structs; both are now one-line translations onto
+//! [`Workload`] + a [`Backend`](crate::Backend) and will be removed
+//! after their one-release grace period. New code should build a
+//! [`Workload`] directly:
 //!
-//! [`run_server_load`] drives the same generated flows through the
-//! *real* sharded multi-threaded server instead of the virtual-time
-//! simulation: batched submissions, wall-clock latency, and per-shard
-//! queue/in-flight statistics, so Table-1/Fig-5 style sweeps can
-//! exercise the threading harness end to end.
+//! ```
+//! use dflowperf::{Arrival, SimDb, Workload};
+//! use dflowgen::{generate, PatternParams};
 //!
-//! [`EngineServer`]: decisionflow::server::EngineServer
+//! let flow = generate(PatternParams { nb_nodes: 16, nb_rows: 4, ..Default::default() }, 1).unwrap();
+//! let report = Workload::new(vec![flow])
+//!     .arrivals(Arrival::Poisson { rate: 5.0 })
+//!     .instances(40)
+//!     .warmup(10)
+//!     .seed(3)
+//!     .strategy("PCE100".parse().unwrap())
+//!     .run(&SimDb::default())
+//!     .unwrap();
+//! assert_eq!(report.completed, 40);
+//! ```
 
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+#![allow(deprecated)]
 
-use decisionflow::api::Request;
-use decisionflow::engine::{scheduler, InstanceRuntime, ServerStats, Strategy};
-use decisionflow::schema::AttrId;
-use decisionflow::server::{EngineServer, ServerBuildError};
-use decisionflow::value::Value;
-use desim::{exp_time, Model, Scheduler, SimTime, Simulation, Tally};
+use std::time::Duration;
+
+use decisionflow::engine::{ServerStats, Strategy};
+use decisionflow::server::ServerBuildError;
+use desim::{SimTime, Tally};
 use dflowgen::GeneratedFlow;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use simdb::{DbConfig, DbEvent, QueryJob, SimDb};
+use simdb::DbConfig;
+
+use crate::workload::{Arrival, Server, SimDb, Workload};
 
 /// Open-load experiment configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a Workload with .arrivals(Arrival::Poisson{..}) instead"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct LoadConfig {
     /// Instance arrival rate, per second (the paper's `Th`).
@@ -43,11 +50,8 @@ pub struct LoadConfig {
     pub warmup_instances: usize,
     /// RNG seed (arrivals + database stochastics).
     pub seed: u64,
-    /// Share query results across instances (the paper's concluding
-    /// question: "how to optimize when several decision flows will be
-    /// executed based on overlapping data"). When enabled, a query
-    /// whose (attribute, input values) pair was already answered is
-    /// served from a shared cache instead of hitting the database.
+    /// Share query results across instances (see
+    /// [`SimDb::shared_query_cache`]).
     pub shared_query_cache: bool,
 }
 
@@ -64,6 +68,7 @@ impl Default for LoadConfig {
 }
 
 /// Measured outcome of an open-load run.
+#[deprecated(since = "0.2.0", note = "use LoadReport (Workload::run)")]
 #[derive(Clone, Debug)]
 pub struct LoadOutcome {
     /// Per-instance response times, milliseconds (post-warmup).
@@ -83,214 +88,49 @@ pub struct LoadOutcome {
     pub makespan: SimTime,
 }
 
-#[derive(Clone, Copy, Debug)]
-enum Ev {
-    Arrive,
-    Db(DbEvent),
-}
-
-struct InstSlot {
-    rt: InstanceRuntime,
-    arrived: SimTime,
-    done: bool,
-}
-
-struct Driver<'a> {
-    flows: &'a [GeneratedFlow],
-    strategy: Strategy,
-    db: SimDb,
-    insts: Vec<InstSlot>,
-    /// job id → (instance index, attribute, precomputed result value).
-    jobs: HashMap<u64, (usize, AttrId, Value)>,
-    next_job: u64,
-    cfg: LoadConfig,
-    rng: StdRng,
-    responses: Tally,
-    works: Tally,
-    completed: usize,
-    /// (flow replica, attribute, input fingerprint) → cached result.
-    cache: HashMap<(usize, u32, u64), Value>,
-    cache_hits: u64,
-}
-
-fn inputs_fingerprint(inputs: &[Value]) -> u64 {
-    let mut h = 0xCAFE_F00Du64;
-    for v in inputs {
-        h = h.rotate_left(17) ^ v.fingerprint();
-    }
-    h
-}
-
-impl Driver<'_> {
-    /// Launch everything the scheduler allows for instance `i`;
-    /// zero-cost tasks complete inline, possibly enabling more
-    /// launches, so iterate to quiescence.
-    fn pump(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
-        loop {
-            if self.insts[i].done {
-                return;
-            }
-            let slot = &mut self.insts[i];
-            let schema = std::sync::Arc::clone(slot.rt.schema());
-            let in_flight = slot.rt.in_flight_count();
-            let cands = slot.rt.candidates();
-            let picks = scheduler::select(&schema, self.strategy, cands, in_flight);
-            if picks.is_empty() {
-                break;
-            }
-            let mut immediate = Vec::new();
-            for a in picks {
-                let flow_idx = i % self.flows.len();
-                let slot = &mut self.insts[i];
-                let inputs = slot.rt.launch(a);
-                let schema = slot.rt.schema();
-                let value = schema.attr(a).task.compute(&inputs);
-                let cost = schema.cost(a);
-                if self.cfg.shared_query_cache {
-                    let key = (flow_idx, a.index() as u32, inputs_fingerprint(&inputs));
-                    if let Some(hit) = self.cache.get(&key) {
-                        // Overlapping data: the answer is known; skip
-                        // the database round-trip entirely.
-                        self.cache_hits += 1;
-                        immediate.push((a, hit.clone()));
-                        continue;
-                    }
-                    self.cache.insert(key, value.clone());
-                }
-                let id = self.next_job;
-                self.next_job += 1;
-                let job = QueryJob { id, cost };
-                match self.db.submit(job, sched, &Ev::Db) {
-                    Some(_c) => immediate.push((a, value)),
-                    None => {
-                        self.jobs.insert(id, (i, a, value));
-                    }
-                }
-            }
-            for (a, v) in immediate {
-                self.insts[i].rt.complete(a, v);
-            }
-            self.check_done(i, sched);
-        }
-        self.check_done(i, sched);
-    }
-
-    fn check_done(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
-        let slot = &mut self.insts[i];
-        if !slot.done && slot.rt.is_complete() {
-            slot.done = true;
-            let resp = sched.now().saturating_sub(slot.arrived);
-            if i >= self.cfg.warmup_instances {
-                self.responses.add(resp.as_millis_f64());
-                self.works.add(slot.rt.metrics().work as f64);
-            }
-            self.completed += 1;
-            if self.completed == self.cfg.total_instances {
-                sched.stop();
-            }
-        }
-    }
-}
-
-impl Model for Driver<'_> {
-    type Event = Ev;
-
-    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
-        match ev {
-            Ev::Arrive => {
-                let i = self.insts.len();
-                let flow = &self.flows[i % self.flows.len()];
-                let rt = InstanceRuntime::new(
-                    std::sync::Arc::clone(&flow.schema),
-                    self.strategy,
-                    &flow.sources,
-                )
-                .expect("generated flows bind all sources");
-                self.insts.push(InstSlot {
-                    rt,
-                    arrived: sched.now(),
-                    done: false,
-                });
-                if self.insts.len() < self.cfg.total_instances {
-                    let mean = SimTime::from_secs_f64(1.0 / self.cfg.arrival_rate_per_sec);
-                    let gap = exp_time(&mut self.rng, mean);
-                    sched.schedule_in(gap, Ev::Arrive);
-                }
-                self.pump(i, sched);
-            }
-            Ev::Db(dbev) => {
-                if let Some(c) = self.db.handle(dbev, sched, &Ev::Db) {
-                    let (i, attr, value) = self
-                        .jobs
-                        .remove(&c.job.id)
-                        .expect("completion for unknown job");
-                    self.insts[i].rt.complete(attr, value);
-                    self.check_done(i, sched);
-                    self.pump(i, sched);
-                }
-            }
-        }
-    }
-}
-
 /// Run an open-load experiment: Poisson arrivals over the given flow
 /// replicas (round-robin), one shared simulated database.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Workload::new(flows).arrivals(Arrival::Poisson{rate}).run(&SimDb{..})"
+)]
 pub fn run_open_load(
     flows: &[GeneratedFlow],
     strategy: Strategy,
     db_cfg: DbConfig,
     cfg: LoadConfig,
 ) -> LoadOutcome {
-    assert!(!flows.is_empty(), "need at least one flow");
-    assert!(cfg.total_instances > 0, "need at least one instance");
-    assert!(
-        cfg.warmup_instances < cfg.total_instances,
-        "warmup must leave instances to measure"
-    );
-    assert!(
-        cfg.arrival_rate_per_sec > 0.0,
-        "arrival rate must be positive"
-    );
-    let driver = Driver {
-        flows,
-        strategy,
-        db: SimDb::new(db_cfg, cfg.seed.wrapping_mul(0x9E37_79B9)),
-        insts: Vec::with_capacity(cfg.total_instances),
-        jobs: HashMap::new(),
-        next_job: 0,
-        cfg,
-        rng: StdRng::seed_from_u64(cfg.seed),
-        responses: Tally::new(),
-        works: Tally::new(),
-        completed: 0,
-        cache: HashMap::new(),
-        cache_hits: 0,
-    };
-    let mut sim = Simulation::new(driver);
-    sim.prime(SimTime::ZERO, Ev::Arrive);
-    // A stop is requested when the last instance completes; Exhausted
-    // can only happen if every instance finished with no events left
-    // (e.g. all targets disabled at init).
-    let _ = sim.run();
-    let makespan = sim.now();
-    let d = sim.into_model();
-    assert_eq!(
-        d.completed, d.cfg.total_instances,
-        "run ended before all instances completed"
-    );
+    let report = Workload::new(flows.to_vec())
+        .arrivals(Arrival::Poisson {
+            rate: cfg.arrival_rate_per_sec,
+        })
+        .instances(cfg.total_instances)
+        .warmup(cfg.warmup_instances)
+        .seed(cfg.seed)
+        .strategy(strategy)
+        .run(&SimDb {
+            db: db_cfg,
+            shared_query_cache: cfg.shared_query_cache,
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+    let sim = report.sim.expect("simdb backend reports database stats");
     LoadOutcome {
-        responses_ms: d.responses,
-        work_units: d.works,
-        mean_gmpl: d.db.mean_gmpl(),
-        mean_unit_time_ms: d.db.unit_times().mean() * 1e3,
-        completed: d.completed,
-        cache_hits: d.cache_hits,
-        makespan,
+        responses_ms: report.responses,
+        work_units: report.work,
+        mean_gmpl: sim.mean_gmpl,
+        mean_unit_time_ms: sim.mean_unit_time_ms,
+        completed: report.completed,
+        cache_hits: sim.cache_hits,
+        makespan: sim.makespan,
     }
 }
 
 /// Configuration for [`run_server_load`]: closed-loop waves of batched
-/// submissions against the real sharded [`EngineServer`].
+/// submissions against the real sharded `EngineServer`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a Workload with .arrivals(Arrival::Closed{..}) and the Server backend"
+)]
 #[derive(Clone, Copy, Debug)]
 pub struct ServerLoadConfig {
     /// Number of shards (`0` = the machine's available parallelism).
@@ -319,6 +159,7 @@ impl Default for ServerLoadConfig {
 }
 
 /// Measured outcome of a [`run_server_load`] run.
+#[deprecated(since = "0.2.0", note = "use LoadReport (Workload::run)")]
 #[derive(Clone, Debug)]
 pub struct ServerLoadOutcome {
     /// Per-instance wall-clock response times, milliseconds
@@ -333,101 +174,58 @@ pub struct ServerLoadOutcome {
     /// Wall-clock duration of the whole run, warmup included.
     pub wall: Duration,
     /// Post-warmup completed instances per post-warmup wall-clock
-    /// second: server construction and the warmup waves are excluded,
-    /// mirroring the `responses_ms` cut.
+    /// second.
     pub throughput_per_sec: f64,
     /// Final per-shard statistics snapshot.
     pub stats: ServerStats,
 }
 
 /// Drive generated flows (round-robin replicas) through the real
-/// sharded [`EngineServer`]: submissions go in `batch`-sized waves via
-/// `submit_many` ([`Request`]s built per instance), every wave is
-/// awaited before the next, and wall-clock latency, throughput, and
-/// the final [`ServerStats`] are reported. The driver deliberately
-/// does *not* subscribe to `ServerEvents`: a subscription puts every
-/// lifecycle transition through the server-wide event hub, which would
-/// contend exactly the cross-shard hot path this harness measures
-/// (event-stream consumers are pollers and open-arrival pacers, not
-/// throughput benchmarks). The thread-spawn failure path of server
-/// construction is propagated, not panicked.
+/// sharded `EngineServer` in closed batched waves.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Workload::new(flows).arrivals(Arrival::Closed{clients, ..}).run(&Server{..})"
+)]
 pub fn run_server_load(
     flows: &[GeneratedFlow],
     strategy: Strategy,
     cfg: ServerLoadConfig,
 ) -> Result<ServerLoadOutcome, ServerBuildError> {
-    assert!(!flows.is_empty(), "need at least one flow");
-    assert!(cfg.total_instances > 0, "need at least one instance");
-    assert!(
-        cfg.warmup_instances < cfg.total_instances,
-        "warmup must leave instances to measure"
-    );
     assert!(cfg.batch > 0, "batch must be positive");
-    let shards = if cfg.shards == 0 {
-        EngineServer::default_shard_count()
-    } else {
-        cfg.shards
-    };
-    assert!(
-        cfg.workers_per_shard > 0,
-        "workers_per_shard must be positive"
-    );
-    let server = EngineServer::with_shards(shards, cfg.workers_per_shard, strategy)?;
-    let names: Vec<String> = (0..flows.len()).map(|i| format!("flow{i}")).collect();
-    for (name, flow) in names.iter().zip(flows) {
-        server.register(name, std::sync::Arc::clone(&flow.schema));
-    }
-    let mut responses = Tally::new();
-    let mut works = Tally::new();
-    let mut shards_seen = std::collections::HashSet::new();
-    let mut completed = 0usize;
-    let mut measured = 0usize;
-    let t0 = Instant::now();
-    // Starts when the first wave containing a post-warmup instance is
-    // submitted, so the throughput window covers every measured
-    // instance but neither server construction nor pure-warmup waves.
-    let mut measure_t0: Option<Instant> = None;
-    let mut next = 0usize;
-    while next < cfg.total_instances {
-        let wave = cfg.batch.min(cfg.total_instances - next);
-        if measure_t0.is_none() && next + wave > cfg.warmup_instances {
-            measure_t0 = Some(Instant::now());
-        }
-        let tickets = server
-            .submit_many((0..wave).map(|k| {
-                let i = next + k;
-                let flow = &flows[i % flows.len()];
-                Request::named(&names[i % flows.len()]).sources(flow.sources.clone())
-            }))
-            .expect("registered schemas with bound sources");
-        for (k, t) in tickets.into_iter().enumerate() {
-            let r = t.wait().expect("server alive for the whole run");
-            shards_seen.insert(r.shard);
-            if next + k >= cfg.warmup_instances {
-                responses.add(r.elapsed.as_secs_f64() * 1e3);
-                works.add(r.record.metrics.work as f64);
-                measured += 1;
-            }
-            completed += 1;
-        }
-        next += wave;
-    }
-    let wall = t0.elapsed();
-    let measured_wall = measure_t0.map(|t| t.elapsed()).unwrap_or(wall);
+    let report = Workload::new(flows.to_vec())
+        .arrivals(Arrival::Closed {
+            clients: cfg.batch,
+            waves: 0,
+        })
+        .instances(cfg.total_instances)
+        .warmup(cfg.warmup_instances)
+        .strategy(strategy)
+        .run(&Server {
+            shards: cfg.shards,
+            workers_per_shard: cfg.workers_per_shard,
+        })
+        .map_err(|e| match e {
+            crate::workload::LoadError::Build(b) => b,
+            other => panic!("{other}"),
+        })?;
+    let side = report
+        .server
+        .expect("server backend reports shard statistics");
     Ok(ServerLoadOutcome {
-        responses_ms: responses,
-        work_units: works,
-        completed,
-        shards_used: shards_seen.len(),
-        wall,
-        throughput_per_sec: measured as f64 / measured_wall.as_secs_f64().max(1e-9),
-        stats: server.stats(),
+        responses_ms: report.responses,
+        work_units: report.work,
+        completed: report.completed,
+        shards_used: side.shards_used,
+        wall: report.wall,
+        throughput_per_sec: report.throughput_per_sec,
+        stats: side.stats,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::UnitTime;
     use dflowgen::{generate, PatternParams};
 
     fn flows(n: u64, params: PatternParams) -> Vec<GeneratedFlow> {
@@ -445,133 +243,35 @@ mod tests {
         }
     }
 
+    /// The deprecated open-load wrapper is a faithful translation: it
+    /// reports exactly what the unified surface reports.
     #[test]
-    fn completes_all_instances() {
+    fn open_load_wrapper_matches_workload() {
         let fl = flows(4, small());
-        let out = run_open_load(
-            &fl,
-            "PCE100".parse().unwrap(),
-            DbConfig::default(),
-            LoadConfig {
-                arrival_rate_per_sec: 5.0,
-                total_instances: 40,
-                warmup_instances: 10,
-                seed: 3,
-                shared_query_cache: false,
-            },
-        );
-        assert_eq!(out.completed, 40);
-        assert_eq!(out.responses_ms.count(), 30, "post-warmup instances");
-        assert!(out.responses_ms.mean() > 0.0);
-        assert!(out.mean_gmpl > 0.0);
-        assert!(out.makespan > SimTime::ZERO);
-    }
-
-    #[test]
-    fn deterministic_under_seed() {
-        let fl = flows(2, small());
         let cfg = LoadConfig {
             arrival_rate_per_sec: 5.0,
-            total_instances: 20,
-            warmup_instances: 5,
-            seed: 9,
+            total_instances: 40,
+            warmup_instances: 10,
+            seed: 3,
             shared_query_cache: false,
         };
-        let a = run_open_load(&fl, "PSE100".parse().unwrap(), DbConfig::default(), cfg);
-        let b = run_open_load(&fl, "PSE100".parse().unwrap(), DbConfig::default(), cfg);
-        assert_eq!(a.responses_ms.mean(), b.responses_ms.mean());
-        assert_eq!(a.makespan, b.makespan);
+        let legacy = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), cfg);
+        let report = Workload::new(fl)
+            .arrivals(Arrival::Poisson { rate: 5.0 })
+            .instances(40)
+            .warmup(10)
+            .seed(3)
+            .strategy("PCE100".parse().unwrap())
+            .run(&SimDb::default())
+            .unwrap();
+        assert_eq!(legacy.completed, report.completed);
+        assert_eq!(legacy.responses_ms.count(), report.responses.count());
+        assert_eq!(legacy.responses_ms.mean(), report.responses.mean());
+        assert_eq!(legacy.makespan, report.sim.unwrap().makespan);
     }
 
     #[test]
-    fn higher_load_raises_response_time() {
-        let fl = flows(3, small());
-        let base = LoadConfig {
-            arrival_rate_per_sec: 2.0,
-            total_instances: 60,
-            warmup_instances: 15,
-            seed: 5,
-            shared_query_cache: false,
-        };
-        let quiet = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), base);
-        let busy = run_open_load(
-            &fl,
-            "PCE100".parse().unwrap(),
-            DbConfig::default(),
-            LoadConfig {
-                arrival_rate_per_sec: 25.0,
-                ..base
-            },
-        );
-        assert!(
-            busy.responses_ms.mean() > quiet.responses_ms.mean(),
-            "contention must raise response: {} vs {}",
-            busy.responses_ms.mean(),
-            quiet.responses_ms.mean()
-        );
-        assert!(busy.mean_gmpl > quiet.mean_gmpl);
-    }
-
-    #[test]
-    fn parallel_strategy_beats_sequential_at_light_load() {
-        let fl = flows(3, small());
-        let cfg = LoadConfig {
-            arrival_rate_per_sec: 1.0,
-            total_instances: 30,
-            warmup_instances: 5,
-            seed: 12,
-            shared_query_cache: false,
-        };
-        let seq = run_open_load(&fl, "PCE0".parse().unwrap(), DbConfig::default(), cfg);
-        let par = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), cfg);
-        assert!(
-            par.responses_ms.mean() < seq.responses_ms.mean(),
-            "parallelism wins when the DB is idle: {} vs {}",
-            par.responses_ms.mean(),
-            seq.responses_ms.mean()
-        );
-    }
-
-    #[test]
-    fn shared_cache_offloads_the_database() {
-        // One flow replica + identical sources per instance: every
-        // query after the first instance is answerable from cache.
-        let fl = flows(1, small());
-        let base = LoadConfig {
-            arrival_rate_per_sec: 6.0,
-            total_instances: 80,
-            warmup_instances: 20,
-            seed: 77,
-            shared_query_cache: false,
-        };
-        let cold = run_open_load(&fl, "PCE100".parse().unwrap(), DbConfig::default(), base);
-        let cached = run_open_load(
-            &fl,
-            "PCE100".parse().unwrap(),
-            DbConfig::default(),
-            LoadConfig {
-                shared_query_cache: true,
-                ..base
-            },
-        );
-        assert_eq!(cold.cache_hits, 0);
-        assert!(cached.cache_hits > 0, "overlapping data must hit the cache");
-        assert!(
-            cached.mean_gmpl < cold.mean_gmpl,
-            "cache offloads the DB: gmpl {} vs {}",
-            cached.mean_gmpl,
-            cold.mean_gmpl
-        );
-        assert!(
-            cached.responses_ms.mean() < cold.responses_ms.mean(),
-            "cache cuts response time: {} vs {}",
-            cached.responses_ms.mean(),
-            cold.responses_ms.mean()
-        );
-    }
-
-    #[test]
-    fn server_load_completes_and_spreads_over_shards() {
+    fn server_load_wrapper_completes() {
         let fl = flows(3, small());
         let out = run_server_load(
             &fl,
@@ -592,22 +292,6 @@ mod tests {
         assert_eq!(out.stats.shard_count(), 4);
         assert_eq!(out.stats.completed(), 64);
         assert_eq!(out.stats.in_flight(), 0);
-        assert_eq!(out.stats.queued_jobs(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "warmup must leave")]
-    fn server_load_bad_warmup_rejected() {
-        let fl = flows(1, small());
-        let _ = run_server_load(
-            &fl,
-            "PCE0".parse().unwrap(),
-            ServerLoadConfig {
-                total_instances: 5,
-                warmup_instances: 5,
-                ..Default::default()
-            },
-        );
     }
 
     #[test]
@@ -623,6 +307,96 @@ mod tests {
                 warmup_instances: 5,
                 ..Default::default()
             },
+        );
+    }
+
+    /// The shared query cache still offloads the database through the
+    /// unified surface (the paper's concluding "overlapping data"
+    /// question) — stated directly on `Workload` + `SimDb`.
+    #[test]
+    fn shared_cache_offloads_the_database() {
+        let fl = flows(1, small());
+        let base = Workload::new(fl)
+            .arrivals(Arrival::Poisson { rate: 6.0 })
+            .instances(80)
+            .warmup(20)
+            .seed(77)
+            .strategy("PCE100".parse().unwrap());
+        let cold = base.clone().run(&SimDb::default()).unwrap();
+        let cached = base
+            .run(&SimDb {
+                db: DbConfig::default(),
+                shared_query_cache: true,
+            })
+            .unwrap();
+        let (cold_sim, cached_sim) = (cold.sim.unwrap(), cached.sim.unwrap());
+        assert_eq!(cold_sim.cache_hits, 0);
+        assert!(
+            cached_sim.cache_hits > 0,
+            "overlapping data must hit the cache"
+        );
+        assert!(
+            cached_sim.mean_gmpl < cold_sim.mean_gmpl,
+            "cache offloads the DB: gmpl {} vs {}",
+            cached_sim.mean_gmpl,
+            cold_sim.mean_gmpl
+        );
+        assert!(
+            cached.responses.mean() < cold.responses.mean(),
+            "cache cuts response time: {} vs {}",
+            cached.responses.mean(),
+            cold.responses.mean()
+        );
+    }
+
+    /// Parallel strategies still beat sequential ones at light load on
+    /// the unified surface.
+    #[test]
+    fn parallel_strategy_beats_sequential_at_light_load() {
+        let base = Workload::new(flows(3, small()))
+            .arrivals(Arrival::Poisson { rate: 1.0 })
+            .instances(30)
+            .warmup(5)
+            .seed(12);
+        let seq = base
+            .clone()
+            .strategy("PCE0".parse().unwrap())
+            .run(&SimDb::default())
+            .unwrap();
+        let par = base
+            .strategy("PCE100".parse().unwrap())
+            .run(&SimDb::default())
+            .unwrap();
+        assert!(
+            par.responses.mean() < seq.responses.mean(),
+            "parallelism wins when the DB is idle: {} vs {}",
+            par.responses.mean(),
+            seq.responses.mean()
+        );
+    }
+
+    /// Work on the unit-time backend predicts work on the simulated
+    /// database closely (same engine, different clock; exact equality
+    /// is not guaranteed — unneeded-pruning races launches under
+    /// simulated timing, and speculation is timing-dependent by
+    /// design).
+    #[test]
+    fn unit_and_simdb_agree_on_work() {
+        let w = Workload::new(flows(2, small()))
+            .instances(8)
+            .arrivals(Arrival::Closed {
+                clients: 1,
+                waves: 8,
+            })
+            .strategy("PCE100".parse().unwrap());
+        let unit = w.run(&UnitTime::checked()).unwrap();
+        let sim = w.run(&SimDb::default()).unwrap();
+        let rel = (unit.mean_work() - sim.mean_work()).abs() / unit.mean_work();
+        assert!(
+            rel < 0.2,
+            "unit {} vs simdb {}",
+            unit.mean_work(),
+            sim.mean_work()
         );
     }
 }

@@ -3,34 +3,43 @@
 //! Everything §5 of Hull et al. (ICDE 2000) needs beyond the engine
 //! itself:
 //!
-//! * [`unit_sweep`] / [`guideline_for_pattern`] — infinite-resource
-//!   experiment sweeps (Figures 5–7) and guideline maps (Figure 8);
+//! * [`Workload`] — **the one load-generation surface**: flows +
+//!   [`Arrival`] process (closed waves or open Poisson) + strategy +
+//!   deadline/warmup/seed, executed by a pluggable [`Backend`] —
+//!   [`UnitTime`] (infinite-resource virtual clock, Figures 5–8),
+//!   [`SimDb`] (finite-resource simulated database, Figure 9(b)), or
+//!   [`Server`] (the real sharded `EngineServer`, closed waves *or*
+//!   an open pacing loop driven by `ServerEvents` with
+//!   `Request::deadline` late-drop accounting) — all reporting one
+//!   [`LoadReport`];
+//! * [`pattern_sweep`] / [`guideline_for_pattern`] — sweep sugar over
+//!   `Workload` for per-pattern figures and guideline maps (Figure 8);
 //! * [`DbFunction`] — the empirical `Db` curve (Figure 9(a)),
 //!   interpolated from `simdb` measurements;
 //! * [`solve_unit_time`], [`max_work_for_throughput`],
-//!   [`predict_response_ms`] — the analytical model, Equations (1)–(6);
-//! * [`run_open_load`] — the finite-resource driver: Poisson instance
-//!   arrivals over a shared simulated database, measuring
-//!   TimeInSeconds (Figure 9(b), graph (d));
-//! * [`run_server_load`] — the same generated flows driven through the
-//!   real sharded `EngineServer` via the unified `Request`/`Ticket`
-//!   API (batched `submit_many` submission, wall-clock latency,
-//!   per-shard statistics).
+//!   [`predict_response_ms`] — the analytical model, Equations (1)–(6).
+//!
+//! The pre-redesign drivers (`unit_sweep`, `run_open_load`,
+//! `run_server_load`) are deprecated one-release wrappers over
+//! `Workload`.
 //!
 //! ```
-//! use dflowperf::{DbFunction, solve_unit_time, max_work_for_throughput};
-//! use simdb::DbPoint;
+//! use dflowperf::{Arrival, SimDb, UnitTime, Workload};
+//! use dflowgen::{generate, PatternParams};
 //!
-//! let db = DbFunction::from_points(&[
-//!     DbPoint { gmpl: 1.0, unit_time_ms: 12.5 },
-//!     DbPoint { gmpl: 16.0, unit_time_ms: 45.0 },
-//! ]);
-//! // At 10 instances/second, how much work per instance can the DB afford?
-//! let bound = max_work_for_throughput(&db, 10.0, 10_000);
-//! assert!(bound > 0);
-//! // And the predicted unit time when each instance performs 20 units:
-//! let u = solve_unit_time(&db, 10.0, 20.0).stable_ms().unwrap();
-//! assert!(u >= 12.5);
+//! let params = PatternParams { nb_nodes: 16, nb_rows: 4, pct_enabled: 75, ..Default::default() };
+//! let flows: Vec<_> = (0..3).map(|i| generate(params, 40 + i).unwrap()).collect();
+//! let workload = Workload::new(flows)
+//!     .arrivals(Arrival::Poisson { rate: 4.0 })
+//!     .instances(30)
+//!     .warmup(5)
+//!     .seed(7)
+//!     .strategy("PCE100".parse().unwrap());
+//! // Same workload, two execution settings, one report shape.
+//! let infinite = workload.run(&UnitTime::checked()).unwrap();
+//! let finite = workload.run(&SimDb::default()).unwrap();
+//! assert!(infinite.accounts_exactly() && finite.accounts_exactly());
+//! assert!(finite.throughput_per_sec > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -40,8 +49,10 @@ mod driver;
 mod guideline;
 mod model;
 mod sweep;
+mod workload;
 
 pub use dbfunc::DbFunction;
+#[allow(deprecated)]
 pub use driver::{
     run_open_load, run_server_load, LoadConfig, LoadOutcome, ServerLoadConfig, ServerLoadOutcome,
 };
@@ -50,6 +61,12 @@ pub use model::{
     max_work_for_throughput, predict_response_ms, solve_unit_time, solve_unit_time_with_lmpl,
     stable_gmpl, UnitTimeSolution,
 };
+#[allow(deprecated)]
 pub use sweep::{
-    guideline_for_pattern, portfolio, unit_sweep, unit_sweep_with_options, SweepResult,
+    guideline_for_pattern, pattern_sweep, pattern_sweep_with_options, portfolio, unit_sweep,
+    unit_sweep_with_options, SweepResult,
+};
+pub use workload::{
+    Arrival, Backend, LatencyUnit, LoadError, LoadReport, Percentiles, PhaseCounts, Server,
+    ServerSideStats, SimDb, SimDbStats, UnitTime, Workload,
 };

@@ -1,19 +1,21 @@
-//! Unit-time experiment sweeps: average Work and TimeInUnits of a
-//! strategy over replicated schema patterns.
+//! Unit-time experiment sweeps — now sugar over the unified
+//! [`Workload`] surface.
 //!
 //! The paper's Figures 5–8 plot per-strategy averages over generated
-//! schemas of a given pattern. A sweep generates `reps` flows (seeds
-//! `base_seed..base_seed+reps`), runs each under the strategy with the
-//! infinite-resource unit-time executor, and averages.
+//! schemas of a given pattern. A sweep is
+//! `Workload::from_pattern(params, reps, base_seed)` run on the
+//! oracle-checked [`UnitTime`] backend; the legacy `unit_sweep`
+//! entry points survive one release as deprecated wrappers.
 
-use decisionflow::engine::{run_unit_time_with_options, RuntimeOptions, Strategy};
-use decisionflow::snapshot::complete_snapshot;
-use dflowgen::{generate, PatternParams};
+use decisionflow::engine::{RuntimeOptions, Strategy};
+use dflowgen::PatternParams;
 use serde::{Deserialize, Serialize};
 
-use crate::guideline::{GuidelineMap, StrategyPoint};
+use crate::guideline::GuidelineMap;
+use crate::workload::{LoadReport, UnitTime, Workload};
 
 /// Averaged outcome of one (pattern, strategy) cell.
+#[deprecated(since = "0.2.0", note = "use LoadReport (Workload::run on UnitTime)")]
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepResult {
     /// The strategy measured.
@@ -30,10 +32,11 @@ pub struct SweepResult {
     pub reps: u32,
 }
 
+#[allow(deprecated)]
 impl SweepResult {
     /// Convert to a guideline-map point.
-    pub fn point(&self) -> StrategyPoint {
-        StrategyPoint {
+    pub fn point(&self) -> crate::guideline::StrategyPoint {
+        crate::guideline::StrategyPoint {
             strategy: self.strategy,
             work: self.mean_work,
             time_units: self.mean_time,
@@ -41,12 +44,42 @@ impl SweepResult {
     }
 }
 
+/// The oracle-checked unit-time sweep behind every figure: `reps`
+/// flows of `params` (seeds `base_seed..base_seed+reps`), each run
+/// once under `strategy` and verified against the declarative
+/// snapshot.
+pub fn pattern_sweep(
+    params: PatternParams,
+    strategy: Strategy,
+    reps: u32,
+    base_seed: u64,
+) -> LoadReport {
+    pattern_sweep_with_options(params, strategy, reps, base_seed, RuntimeOptions::default())
+}
+
+/// [`pattern_sweep`] with engine ablation [`RuntimeOptions`] (e.g.
+/// backward propagation disabled).
+pub fn pattern_sweep_with_options(
+    params: PatternParams,
+    strategy: Strategy,
+    reps: u32,
+    base_seed: u64,
+    options: RuntimeOptions,
+) -> LoadReport {
+    assert!(reps > 0, "at least one replication");
+    Workload::from_pattern(params, reps, base_seed)
+        .strategy(strategy)
+        .options(options)
+        .run(&UnitTime::checked())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Run one (pattern, strategy) cell over `reps` replicated flows.
-///
-/// Every execution is checked against the declarative oracle — a sweep
-/// whose engine diverges from the complete snapshot panics, so the
-/// performance numbers in every figure are backed by verified-correct
-/// runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Workload::from_pattern(params, reps, seed).strategy(s).run(&UnitTime::checked())"
+)]
+#[allow(deprecated)]
 pub fn unit_sweep(
     params: PatternParams,
     strategy: Strategy,
@@ -58,6 +91,11 @@ pub fn unit_sweep(
 
 /// [`unit_sweep`] with engine ablation options (e.g. backward
 /// propagation disabled).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Workload::from_pattern(..).options(..).run(&UnitTime::checked())"
+)]
+#[allow(deprecated)]
 pub fn unit_sweep_with_options(
     params: PatternParams,
     strategy: Strategy,
@@ -65,33 +103,13 @@ pub fn unit_sweep_with_options(
     base_seed: u64,
     options: RuntimeOptions,
 ) -> SweepResult {
-    assert!(reps > 0, "at least one replication");
-    let mut work = 0.0;
-    let mut time = 0.0;
-    let mut wasted = 0.0;
-    let mut unneeded = 0.0;
-    for i in 0..reps {
-        let flow = generate(params, base_seed + i as u64).expect("valid pattern");
-        let out = run_unit_time_with_options(&flow.schema, strategy, &flow.sources, options)
-            .expect("engine progress");
-        let snap = complete_snapshot(&flow.schema, &flow.sources).expect("oracle");
-        assert!(
-            out.runtime.agrees_with(&snap),
-            "strategy {strategy} diverged from declarative semantics on seed {}",
-            base_seed + i as u64
-        );
-        work += out.metrics.work as f64;
-        time += out.time_units as f64;
-        wasted += out.metrics.wasted_work as f64;
-        unneeded += out.metrics.unneeded_detected as f64;
-    }
-    let n = reps as f64;
+    let report = pattern_sweep_with_options(params, strategy, reps, base_seed, options);
     SweepResult {
         strategy,
-        mean_work: work / n,
-        mean_time: time / n,
-        mean_wasted: wasted / n,
-        mean_unneeded: unneeded / n,
+        mean_work: report.mean_work(),
+        mean_time: report.mean_response(),
+        mean_wasted: report.mean_wasted(),
+        mean_unneeded: report.mean_unneeded(),
         reps,
     }
 }
@@ -105,7 +123,7 @@ pub fn guideline_for_pattern(
 ) -> GuidelineMap {
     let points = strategies
         .iter()
-        .map(|&s| unit_sweep(params, s, reps, base_seed).point())
+        .map(|&s| pattern_sweep(params, s, reps, base_seed).point())
         .collect();
     GuidelineMap::from_points(points)
 }
@@ -143,48 +161,70 @@ mod tests {
         }
     }
 
+    fn sweep(params: PatternParams, s: &str) -> LoadReport {
+        pattern_sweep(params, s.parse().unwrap(), 10, 7)
+    }
+
     #[test]
     fn sweep_is_deterministic() {
-        let s: Strategy = "PCE0".parse().unwrap();
-        let a = unit_sweep(small(), s, 5, 100);
-        let b = unit_sweep(small(), s, 5, 100);
-        assert_eq!(a, b);
+        let a = sweep(small(), "PCE0");
+        let b = sweep(small(), "PCE0");
+        assert_eq!(a.mean_work(), b.mean_work());
+        assert_eq!(a.mean_response(), b.mean_response());
+        assert_eq!(a.percentiles, b.percentiles);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_workload() {
+        let legacy = unit_sweep(small(), "PSE100".parse().unwrap(), 5, 100);
+        let report = Workload::from_pattern(small(), 5, 100)
+            .strategy("PSE100".parse().unwrap())
+            .run(&UnitTime::checked())
+            .unwrap();
+        assert_eq!(legacy.mean_work, report.mean_work());
+        assert_eq!(legacy.mean_time, report.mean_response());
+        assert_eq!(legacy.mean_wasted, report.mean_wasted());
+        assert_eq!(legacy.mean_unneeded, report.mean_unneeded());
     }
 
     #[test]
     fn propagation_never_does_more_work_sequentially() {
-        let p = unit_sweep(small(), "PCE0".parse().unwrap(), 10, 7);
-        let n = unit_sweep(small(), "NCE0".parse().unwrap(), 10, 7);
+        let p = sweep(small(), "PCE0");
+        let n = sweep(small(), "NCE0");
         assert!(
-            p.mean_work <= n.mean_work + 1e-9,
+            p.mean_work() <= n.mean_work() + 1e-9,
             "P work {} must not exceed N work {}",
-            p.mean_work,
-            n.mean_work
+            p.mean_work(),
+            n.mean_work()
         );
-        assert!(p.mean_unneeded > 0.0, "pruning should fire at 50% enabled");
+        assert!(
+            p.mean_unneeded() > 0.0,
+            "pruning should fire at 50% enabled"
+        );
     }
 
     #[test]
     fn parallelism_reduces_time_not_work_conservative() {
-        let seq = unit_sweep(small(), "PCE0".parse().unwrap(), 10, 7);
-        let par = unit_sweep(small(), "PCE100".parse().unwrap(), 10, 7);
-        assert!(par.mean_time < seq.mean_time);
+        let seq = sweep(small(), "PCE0");
+        let par = sweep(small(), "PCE100");
+        assert!(par.mean_response() < seq.mean_response());
         assert!(
-            (par.mean_work - seq.mean_work).abs() < 3.0,
+            (par.mean_work() - seq.mean_work()).abs() < 3.0,
             "conservative parallelism leaves work nearly unchanged: {} vs {}",
-            par.mean_work,
-            seq.mean_work
+            par.mean_work(),
+            seq.mean_work()
         );
     }
 
     #[test]
     fn speculation_adds_work() {
-        let cons = unit_sweep(small(), "PCE100".parse().unwrap(), 10, 7);
-        let spec = unit_sweep(small(), "PSE100".parse().unwrap(), 10, 7);
-        assert!(spec.mean_work >= cons.mean_work);
-        assert!(spec.mean_time <= cons.mean_time + 1e-9);
+        let cons = sweep(small(), "PCE100");
+        let spec = sweep(small(), "PSE100");
+        assert!(spec.mean_work() >= cons.mean_work());
+        assert!(spec.mean_response() <= cons.mean_response() + 1e-9);
         assert!(
-            spec.mean_wasted > 0.0,
+            spec.mean_wasted() > 0.0,
             "at 50% enabled some speculation wastes"
         );
     }

@@ -1,0 +1,1538 @@
+//! The unified load-generation surface: one [`Workload`] in, one
+//! [`LoadReport`] out, whatever executes it.
+//!
+//! Before this layer existed the crate had grown one driver per
+//! execution setting — `unit_sweep` (infinite-resource unit time),
+//! `run_open_load` (Poisson arrivals over the simulated database),
+//! `run_server_load` (closed waves against the real sharded server) —
+//! each with its own config struct, its own outcome struct, and its
+//! own defaults. The paper's experimental grid is *workload shapes ×
+//! execution settings*, so the API now says exactly that:
+//!
+//! * [`Workload`] — a builder carrying the flows, the [`Arrival`]
+//!   process (closed-loop waves or an open Poisson stream), the
+//!   [`Strategy`], instance/warmup counts, the RNG seed, an optional
+//!   per-instance completion [`deadline`](Workload::deadline), and
+//!   engine ablation options;
+//! * [`Backend`] — the pluggable execution setting:
+//!   * [`UnitTime`] — the in-process infinite-resource executor on a
+//!     virtual unit clock (Figures 5–8);
+//!   * [`SimDb`] — desim + the finite-resource simulated database,
+//!     with an optional shared query cache (Figure 9(b));
+//!   * [`Server`] — the real sharded [`EngineServer`], closed waves
+//!     of batched submissions *or* an open Poisson pacing loop that
+//!     reacts to [`ServerEvents`] completions and accounts late drops
+//!     via `Request::deadline`;
+//! * [`LoadReport`] — the one outcome shape: throughput, latency
+//!   tallies and percentiles, per-phase counts, late-drop/abandon
+//!   accounting, and backend extras (database stats, per-shard server
+//!   stats).
+//!
+//! Every backend preserves the accounting identity
+//! `submitted == completed + late_dropped + abandoned`.
+//!
+//! ```
+//! use dflowperf::{Arrival, UnitTime, Workload};
+//! use dflowgen::{generate, PatternParams};
+//!
+//! let params = PatternParams { nb_nodes: 16, nb_rows: 4, pct_enabled: 50, ..Default::default() };
+//! let report = Workload::from_pattern(params, 5, 100)
+//!     .strategy("PCE100".parse().unwrap())
+//!     .run(&UnitTime::checked())
+//!     .unwrap();
+//! assert_eq!(report.completed, 5);
+//! assert!(report.mean_work() > 0.0);
+//! ```
+//!
+//! [`EngineServer`]: decisionflow::server::EngineServer
+//! [`ServerEvents`]: decisionflow::api::ServerEvents
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use decisionflow::api::Request;
+use decisionflow::engine::{scheduler, InstanceRuntime, RuntimeOptions, ServerStats, Strategy};
+use decisionflow::schema::AttrId;
+use decisionflow::server::{EngineServer, ServerBuildError};
+use decisionflow::snapshot::complete_snapshot;
+use decisionflow::value::Value;
+use desim::{exp_time, Model, Scheduler, SimTime, Simulation, Tally};
+use dflowgen::{generate, GeneratedFlow, PatternParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::{DbConfig, DbEvent, QueryJob, SimDb as SimDbServer};
+
+use crate::guideline::StrategyPoint;
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+/// How instances enter the system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Closed loop: `clients` instances are submitted together and the
+    /// wave is awaited before the next one starts, for `waves` waves
+    /// (total `clients × waves` instances unless
+    /// [`Workload::instances`] overrides the total).
+    Closed {
+        /// Instances in flight per wave.
+        clients: usize,
+        /// Number of waves (ignored when an explicit instance total is
+        /// set; the run then takes `ceil(total / clients)` waves, the
+        /// last one partial).
+        waves: usize,
+    },
+    /// Open loop: instances arrive in a Poisson stream at `rate` per
+    /// second (virtual seconds on [`SimDb`], wall-clock seconds on
+    /// [`Server`]), regardless of how many are still in flight —
+    /// the paper's §5 setting, where saturation curves emerge.
+    Poisson {
+        /// Mean arrival rate, instances per second.
+        rate: f64,
+    },
+}
+
+/// One load-generation experiment: which flows, how they arrive, under
+/// which strategy — executed by any [`Backend`].
+///
+/// Instance `i` of the run uses flow replica `i % flows.len()`
+/// (round-robin), exactly as the legacy drivers did.
+#[derive(Clone)]
+pub struct Workload {
+    flows: Vec<GeneratedFlow>,
+    arrival: Arrival,
+    strategy: Option<Strategy>,
+    options: RuntimeOptions,
+    instances: Option<usize>,
+    warmup: usize,
+    seed: u64,
+    deadline: Option<Duration>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("flows", &self.flows.len())
+            .field("arrival", &self.arrival)
+            .field("strategy", &self.strategy)
+            .field("instances", &self.instances)
+            .field("warmup", &self.warmup)
+            .field("seed", &self.seed)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload {
+    /// A workload over the given flow replicas. Defaults: one client
+    /// closed loop (set [`arrivals`](Workload::arrivals) or
+    /// [`instances`](Workload::instances)), no warmup, seed 1, no
+    /// deadline. [`strategy`](Workload::strategy) is required.
+    pub fn new(flows: impl Into<Vec<GeneratedFlow>>) -> Workload {
+        Workload {
+            flows: flows.into(),
+            arrival: Arrival::Closed {
+                clients: 1,
+                waves: 0,
+            },
+            strategy: None,
+            options: RuntimeOptions::default(),
+            instances: None,
+            warmup: 0,
+            seed: 1,
+            deadline: None,
+        }
+    }
+
+    /// Sweep convenience: generate `reps` flows of `params` (seeds
+    /// `base_seed..base_seed+reps`) and run each once, sequentially —
+    /// the shape `unit_sweep` always had.
+    pub fn from_pattern(params: PatternParams, reps: u32, base_seed: u64) -> Workload {
+        let flows: Vec<GeneratedFlow> = (0..reps)
+            .map(|i| generate(params, base_seed + u64::from(i)).expect("valid pattern"))
+            .collect();
+        let n = flows.len();
+        Workload::new(flows).arrivals(Arrival::Closed {
+            clients: 1,
+            waves: n,
+        })
+    }
+
+    /// Set the arrival process.
+    pub fn arrivals(mut self, arrival: Arrival) -> Workload {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Set the execution strategy (required).
+    pub fn strategy(mut self, strategy: Strategy) -> Workload {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Set engine ablation [`RuntimeOptions`].
+    pub fn options(mut self, options: RuntimeOptions) -> Workload {
+        self.options = options;
+        self
+    }
+
+    /// Set the total number of instances explicitly. Required for
+    /// [`Arrival::Poisson`]; for [`Arrival::Closed`] it overrides
+    /// `clients × waves` (the run then takes as many waves as needed,
+    /// the last one partial).
+    pub fn instances(mut self, total: usize) -> Workload {
+        self.instances = Some(total);
+        self
+    }
+
+    /// Exclude the first `warmup` instances (by arrival order) from
+    /// latency/work statistics and the throughput window.
+    pub fn warmup(mut self, warmup: usize) -> Workload {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Seed for every stochastic choice the run makes (arrival gaps,
+    /// database service fluctuations). Two runs of the same workload
+    /// on the same deterministic backend ([`UnitTime`], [`SimDb`])
+    /// produce identical reports.
+    pub fn seed(mut self, seed: u64) -> Workload {
+        self.seed = seed;
+        self
+    }
+
+    /// Give every instance a completion budget measured from its
+    /// submission. Work is never cancelled (exactly the engine's
+    /// `Request::deadline` contract); an instance that stabilizes past
+    /// its budget is tallied as a **late drop** instead of a
+    /// completion and excluded from latency statistics. [`UnitTime`]
+    /// has no clock to compare against and ignores the deadline.
+    pub fn deadline(mut self, budget: Duration) -> Workload {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// The flow replicas this workload runs over.
+    pub fn flows(&self) -> &[GeneratedFlow] {
+        &self.flows
+    }
+
+    /// Execute on a backend — sugar for `backend.run(self)`.
+    pub fn run<B: Backend + ?Sized>(&self, backend: &B) -> Result<LoadReport, LoadError> {
+        backend.run(self)
+    }
+
+    /// Validate the cross-backend invariants and resolve the instance
+    /// total. Backends call this first.
+    fn resolve(&self) -> Result<Resolved, LoadError> {
+        if self.flows.is_empty() {
+            return Err(LoadError::config("need at least one flow"));
+        }
+        let strategy = self
+            .strategy
+            .ok_or_else(|| LoadError::config("strategy not set (Workload::strategy)"))?;
+        let total = match (self.instances, self.arrival) {
+            (Some(n), _) => n,
+            (None, Arrival::Closed { clients, waves }) => clients * waves,
+            (None, Arrival::Poisson { .. }) => {
+                return Err(LoadError::config(
+                    "open (Poisson) arrivals need an explicit Workload::instances total",
+                ))
+            }
+        };
+        if total == 0 {
+            return Err(LoadError::config("need at least one instance"));
+        }
+        if self.warmup >= total {
+            return Err(LoadError::config("warmup must leave instances to measure"));
+        }
+        match self.arrival {
+            Arrival::Closed { clients: 0, .. } => {
+                return Err(LoadError::config(
+                    "closed arrivals need at least one client",
+                ))
+            }
+            Arrival::Poisson { rate } if rate <= 0.0 => {
+                return Err(LoadError::config("arrival rate must be positive"))
+            }
+            _ => {}
+        }
+        Ok(Resolved { strategy, total })
+    }
+}
+
+struct Resolved {
+    strategy: Strategy,
+    total: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a [`Workload`] could not run.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The workload is misconfigured (empty flows, zero instances,
+    /// warmup ≥ total, missing strategy, non-positive rate, …).
+    Config(String),
+    /// The [`Server`] backend failed to spawn its worker threads.
+    Build(ServerBuildError),
+    /// Execution failed mid-run (engine error, submission rejected,
+    /// oracle divergence under [`UnitTime::checked`]).
+    Exec(String),
+}
+
+impl LoadError {
+    fn config(msg: impl Into<String>) -> LoadError {
+        LoadError::Config(msg.into())
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Config(m) => write!(f, "{m}"),
+            LoadError::Build(e) => write!(f, "{e}"),
+            LoadError::Exec(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServerBuildError> for LoadError {
+    fn from(e: ServerBuildError) -> LoadError {
+        LoadError::Build(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LoadReport
+// ---------------------------------------------------------------------------
+
+/// The unit latencies are reported in — virtual units of processing
+/// on [`UnitTime`], milliseconds everywhere else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyUnit {
+    /// The paper's abstract TimeInUnits (virtual clock).
+    Units,
+    /// Milliseconds (virtual on [`SimDb`], wall-clock on [`Server`]).
+    Millis,
+}
+
+impl std::fmt::Display for LatencyUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyUnit::Units => write!(f, "units"),
+            LatencyUnit::Millis => write!(f, "ms"),
+        }
+    }
+}
+
+/// Order statistics of the post-warmup, in-deadline response times.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    fn from_samples(mut samples: Vec<f64>) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // Nearest-rank: the smallest sample ≥ p of the distribution.
+        let at = |p: f64| {
+            let rank = (p * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
+        };
+        Percentiles {
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Completion counts split by measurement phase (warmup vs measured)
+/// and deadline outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// In-deadline completions among the first `warmup` instances.
+    pub warmup_completed: usize,
+    /// In-deadline completions among the measured instances.
+    pub measured_completed: usize,
+    /// Late drops among the warmup instances.
+    pub warmup_late: usize,
+    /// Late drops among the measured instances.
+    pub measured_late: usize,
+}
+
+/// [`SimDb`]-only extras: what the simulated database observed.
+#[derive(Clone, Copy, Debug)]
+pub struct SimDbStats {
+    /// Time-averaged global multiprogramming level.
+    pub mean_gmpl: f64,
+    /// Mean realized `UnitTime`, ms per unit of processing.
+    pub mean_unit_time_ms: f64,
+    /// Queries served from the shared cache (0 unless enabled).
+    pub cache_hits: u64,
+    /// Total virtual time of the run.
+    pub makespan: SimTime,
+}
+
+/// [`Server`]-only extras: what the real sharded server observed.
+#[derive(Clone, Debug)]
+pub struct ServerSideStats {
+    /// Final per-shard statistics snapshot.
+    pub stats: ServerStats,
+    /// Distinct shards that executed at least one instance.
+    pub shards_used: usize,
+}
+
+/// Measured outcome of one [`Workload`] run — the same shape on every
+/// backend, with backend-specific extras in [`sim`](LoadReport::sim) /
+/// [`server`](LoadReport::server).
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Which backend executed the run (`"unit-time"`, `"simdb"`,
+    /// `"server"`).
+    pub backend: &'static str,
+    /// The strategy every instance ran under.
+    pub strategy: Strategy,
+    /// The arrival process that drove the run.
+    pub arrival: Arrival,
+    /// Instances submitted (always the resolved workload total).
+    pub submitted: usize,
+    /// Instances that stabilized within their deadline (warmup
+    /// included). `submitted == completed + late_dropped + abandoned`.
+    pub completed: usize,
+    /// Instances that stabilized *after* their deadline: delivered in
+    /// full, but counted as drops and excluded from latency stats.
+    pub late_dropped: usize,
+    /// Instances that never delivered a result (a task body panicked;
+    /// only possible on the [`Server`] backend).
+    pub abandoned: usize,
+    /// Completion counts per phase.
+    pub phases: PhaseCounts,
+    /// Post-warmup in-deadline response times, in
+    /// [`latency_unit`](LoadReport::latency_unit)s.
+    pub responses: Tally,
+    /// The unit of [`responses`](LoadReport::responses) and
+    /// [`percentiles`](LoadReport::percentiles).
+    pub latency_unit: LatencyUnit,
+    /// Order statistics of the same samples.
+    pub percentiles: Percentiles,
+    /// Post-warmup per-instance Work (units of processing).
+    pub work: Tally,
+    /// Post-warmup per-instance wasted (speculative, discarded) work.
+    pub wasted: Tally,
+    /// Post-warmup per-instance unneeded-attribute detections.
+    pub unneeded: Tally,
+    /// Post-warmup in-deadline completions per second of the
+    /// measurement window (virtual seconds on [`SimDb`], wall-clock on
+    /// [`Server`]; 0 on [`UnitTime`], which has no shared clock) —
+    /// the *goodput*, which collapses toward zero once a deadline is
+    /// set and the backlog blows every budget.
+    pub throughput_per_sec: f64,
+    /// Post-warmup deliveries per second of the measurement window,
+    /// late drops included — the rate the execution setting actually
+    /// finishes work at, which rises with offered load and then
+    /// saturates at capacity.
+    pub completion_throughput_per_sec: f64,
+    /// Duration of the whole run, warmup included (wall-clock on
+    /// [`Server`], virtual on [`SimDb`], zero on [`UnitTime`]).
+    pub wall: Duration,
+    /// Simulated-database extras ([`SimDb`] backend only).
+    pub sim: Option<SimDbStats>,
+    /// Sharded-server extras ([`Server`] backend only).
+    pub server: Option<ServerSideStats>,
+}
+
+impl LoadReport {
+    /// Mean post-warmup response time, in
+    /// [`latency_unit`](LoadReport::latency_unit)s.
+    pub fn mean_response(&self) -> f64 {
+        self.responses.mean()
+    }
+
+    /// Mean post-warmup Work per instance.
+    pub fn mean_work(&self) -> f64 {
+        self.work.mean()
+    }
+
+    /// Mean post-warmup wasted work per instance.
+    pub fn mean_wasted(&self) -> f64 {
+        self.wasted.mean()
+    }
+
+    /// Mean post-warmup unneeded detections per instance.
+    pub fn mean_unneeded(&self) -> f64 {
+        self.unneeded.mean()
+    }
+
+    /// This report as a guideline-map point (meaningful for
+    /// [`UnitTime`] runs, where responses are TimeInUnits).
+    pub fn point(&self) -> StrategyPoint {
+        StrategyPoint {
+            strategy: self.strategy,
+            work: self.mean_work(),
+            time_units: self.mean_response(),
+        }
+    }
+
+    /// The accounting identity every backend guarantees.
+    pub fn accounts_exactly(&self) -> bool {
+        self.submitted == self.completed + self.late_dropped + self.abandoned
+            && self.completed == self.phases.warmup_completed + self.phases.measured_completed
+            && self.late_dropped == self.phases.warmup_late + self.phases.measured_late
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend trait
+// ---------------------------------------------------------------------------
+
+/// An execution setting a [`Workload`] can run against.
+pub trait Backend {
+    /// Short name stamped into [`LoadReport::backend`].
+    fn name(&self) -> &'static str;
+    /// Execute the workload.
+    fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError>;
+}
+
+// ---------------------------------------------------------------------------
+// Shared accumulation
+// ---------------------------------------------------------------------------
+
+/// The run-level facts a backend hands to [`Accounting::into_report`].
+struct ReportFrame<'a> {
+    backend: &'static str,
+    workload: &'a Workload,
+    strategy: Strategy,
+    submitted: usize,
+    window_secs: f64,
+    wall: Duration,
+    latency_unit: LatencyUnit,
+}
+
+/// Accumulates the backend-independent half of a [`LoadReport`].
+struct Accounting {
+    warmup: usize,
+    deadlined: bool,
+    phases: PhaseCounts,
+    responses: Tally,
+    samples: Vec<f64>,
+    work: Tally,
+    wasted: Tally,
+    unneeded: Tally,
+    abandoned: usize,
+}
+
+impl Accounting {
+    fn new(warmup: usize, deadlined: bool) -> Accounting {
+        Accounting {
+            warmup,
+            deadlined,
+            phases: PhaseCounts::default(),
+            responses: Tally::new(),
+            samples: Vec::new(),
+            work: Tally::new(),
+            wasted: Tally::new(),
+            unneeded: Tally::new(),
+            abandoned: 0,
+        }
+    }
+
+    /// Record one delivered instance: `idx` is its arrival index,
+    /// `late` whether it blew its deadline.
+    fn delivered(
+        &mut self,
+        idx: usize,
+        late: bool,
+        response: f64,
+        metrics: &decisionflow::engine::InstanceMetrics,
+    ) {
+        let measured = idx >= self.warmup;
+        match (late, measured) {
+            (true, true) => self.phases.measured_late += 1,
+            (true, false) => self.phases.warmup_late += 1,
+            (false, true) => {
+                self.phases.measured_completed += 1;
+                self.responses.add(response);
+                self.samples.push(response);
+                self.work.add(metrics.work as f64);
+                self.wasted.add(metrics.wasted_work as f64);
+                self.unneeded.add(metrics.unneeded_detected as f64);
+            }
+            (false, false) => self.phases.warmup_completed += 1,
+        }
+    }
+
+    fn abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    /// Account one server ticket: deliver its result (recording the
+    /// executing shard and the deadline outcome) or count the
+    /// abandonment. Shared by the closed-wave driver, the open-loop
+    /// pacer, and its dropped-events fallback.
+    fn settle_ticket(
+        &mut self,
+        idx: usize,
+        ticket: decisionflow::api::Ticket,
+        shards_seen: &mut std::collections::HashSet<usize>,
+    ) {
+        match ticket.wait() {
+            Ok(r) => {
+                shards_seen.insert(r.shard);
+                self.delivered(
+                    idx,
+                    r.deadline_exceeded,
+                    r.elapsed.as_secs_f64() * 1e3,
+                    &r.record.metrics,
+                );
+            }
+            Err(_gone) => self.abandoned(),
+        }
+    }
+
+    /// Build the report from the run's frame data. `window_secs` is
+    /// the measurement window (0 when the backend has no shared clock
+    /// — both throughput rates then report 0).
+    fn into_report(self, frame: ReportFrame<'_>) -> LoadReport {
+        let ReportFrame {
+            backend,
+            workload,
+            strategy,
+            submitted,
+            window_secs,
+            wall,
+            latency_unit,
+        } = frame;
+        debug_assert!(self.deadlined || self.phases.warmup_late + self.phases.measured_late == 0);
+        let rate = |count: usize| {
+            if window_secs > 0.0 {
+                count as f64 / window_secs
+            } else {
+                0.0
+            }
+        };
+        LoadReport {
+            backend,
+            strategy,
+            arrival: workload.arrival,
+            submitted,
+            completed: self.phases.warmup_completed + self.phases.measured_completed,
+            late_dropped: self.phases.warmup_late + self.phases.measured_late,
+            abandoned: self.abandoned,
+            throughput_per_sec: rate(self.phases.measured_completed),
+            completion_throughput_per_sec: rate(
+                self.phases.measured_completed + self.phases.measured_late,
+            ),
+            phases: self.phases,
+            responses: self.responses,
+            latency_unit,
+            percentiles: Percentiles::from_samples(self.samples),
+            work: self.work,
+            wasted: self.wasted,
+            unneeded: self.unneeded,
+            wall,
+            sim: None,
+            server: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UnitTime backend
+// ---------------------------------------------------------------------------
+
+/// The in-process infinite-resource executor: every instance runs on
+/// its own virtual unit clock, so the arrival process cannot create
+/// contention and only determines *how many* instances run. Responses
+/// are the paper's TimeInUnits; deadlines (wall-clock budgets) have no
+/// clock to bind to and are ignored.
+#[derive(Clone, Copy, Debug)]
+pub struct UnitTime {
+    /// Check every execution against the declarative oracle
+    /// ([`complete_snapshot`]) and fail the run on divergence — the
+    /// guarantee the figure sweeps have always shipped with.
+    pub verify_oracle: bool,
+}
+
+impl UnitTime {
+    /// Oracle-checked execution (the default, and what every figure
+    /// uses).
+    pub fn checked() -> UnitTime {
+        UnitTime {
+            verify_oracle: true,
+        }
+    }
+
+    /// Skip the oracle check (twice as fast; for exploratory sweeps).
+    pub fn unchecked() -> UnitTime {
+        UnitTime {
+            verify_oracle: false,
+        }
+    }
+}
+
+impl Default for UnitTime {
+    fn default() -> UnitTime {
+        UnitTime::checked()
+    }
+}
+
+impl Backend for UnitTime {
+    fn name(&self) -> &'static str {
+        "unit-time"
+    }
+
+    fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
+        let Resolved { strategy, total } = workload.resolve()?;
+        let mut acc = Accounting::new(workload.warmup, false);
+        for i in 0..total {
+            let flow = &workload.flows[i % workload.flows.len()];
+            let report = Request::with_schema(std::sync::Arc::clone(&flow.schema))
+                .sources(flow.sources.clone())
+                .strategy(strategy)
+                .options(workload.options)
+                .run()
+                .map_err(|e| LoadError::Exec(format!("instance {i}: {e}")))?;
+            if self.verify_oracle {
+                let snap = complete_snapshot(&flow.schema, &flow.sources)
+                    .map_err(|e| LoadError::Exec(format!("oracle for instance {i}: {e}")))?;
+                if !report.outcome.runtime.agrees_with(&snap) {
+                    return Err(LoadError::Exec(format!(
+                        "strategy {strategy} diverged from declarative semantics on flow seed {}",
+                        flow.seed
+                    )));
+                }
+            }
+            acc.delivered(
+                i,
+                false,
+                report.outcome.time_units as f64,
+                &report.outcome.metrics,
+            );
+        }
+        Ok(acc.into_report(ReportFrame {
+            backend: self.name(),
+            workload,
+            strategy,
+            submitted: total,
+            window_secs: 0.0,
+            wall: Duration::ZERO,
+            latency_unit: LatencyUnit::Units,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimDb backend
+// ---------------------------------------------------------------------------
+
+/// The finite-resource setting of §5: every launched task becomes a
+/// query on one shared simulated database ([`simdb`]), time is
+/// virtual, and responses are measured in (virtual) milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimDb {
+    /// Database configuration (Table 1 defaults).
+    pub db: DbConfig,
+    /// Share query results across instances: a query whose
+    /// (attribute, input values) pair was already answered is served
+    /// from a shared cache instead of hitting the database — the
+    /// paper's concluding "overlapping data" question.
+    pub shared_query_cache: bool,
+}
+
+impl SimDb {
+    /// The Table-1 database with no cache.
+    pub fn new(db: DbConfig) -> SimDb {
+        SimDb {
+            db,
+            shared_query_cache: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Arrive,
+    Db(DbEvent),
+}
+
+struct InstSlot {
+    rt: InstanceRuntime,
+    arrived: SimTime,
+    done: bool,
+}
+
+/// The desim model behind the [`SimDb`] backend: Poisson arrivals or
+/// closed waves over one shared database.
+struct SimDriver<'a> {
+    workload: &'a Workload,
+    strategy: Strategy,
+    total: usize,
+    db: SimDbServer,
+    insts: Vec<InstSlot>,
+    /// job id → (instance index, attribute, precomputed result value).
+    jobs: HashMap<u64, (usize, AttrId, Value)>,
+    next_job: u64,
+    rng: StdRng,
+    acc: Accounting,
+    finished: usize,
+    /// Virtual deadline budget, if the workload set one.
+    budget: Option<SimTime>,
+    /// Arrival time of the first measured instance (throughput window).
+    measure_start: SimTime,
+    /// True while a closed wave is being spawned (suppresses the
+    /// next-wave trigger until the wave is fully submitted).
+    spawning: bool,
+    /// (flow replica, attribute, input fingerprint) → cached result.
+    cache: HashMap<(usize, u32, u64), Value>,
+    cache_hits: u64,
+    shared_query_cache: bool,
+}
+
+fn inputs_fingerprint(inputs: &[Value]) -> u64 {
+    let mut h = 0xCAFE_F00Du64;
+    for v in inputs {
+        h = h.rotate_left(17) ^ v.fingerprint();
+    }
+    h
+}
+
+impl SimDriver<'_> {
+    fn spawn_instance(&mut self, sched: &mut Scheduler<Ev>) -> usize {
+        let i = self.insts.len();
+        let flow = &self.workload.flows[i % self.workload.flows.len()];
+        let rt = InstanceRuntime::with_options(
+            std::sync::Arc::clone(&flow.schema),
+            self.strategy,
+            &flow.sources,
+            self.workload.options,
+        )
+        .expect("generated flows bind all sources");
+        if i == self.workload.warmup {
+            self.measure_start = sched.now();
+        }
+        self.insts.push(InstSlot {
+            rt,
+            arrived: sched.now(),
+            done: false,
+        });
+        i
+    }
+
+    /// Launch everything the scheduler allows for instance `i`;
+    /// zero-cost tasks complete inline, possibly enabling more
+    /// launches, so iterate to quiescence.
+    fn pump(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
+        loop {
+            if self.insts[i].done {
+                return;
+            }
+            let slot = &mut self.insts[i];
+            let schema = std::sync::Arc::clone(slot.rt.schema());
+            let in_flight = slot.rt.in_flight_count();
+            let cands = slot.rt.candidates();
+            let picks = scheduler::select(&schema, self.strategy, cands, in_flight);
+            if picks.is_empty() {
+                break;
+            }
+            let mut immediate = Vec::new();
+            for a in picks {
+                let flow_idx = i % self.workload.flows.len();
+                let slot = &mut self.insts[i];
+                let inputs = slot.rt.launch(a);
+                let schema = slot.rt.schema();
+                let value = schema.attr(a).task.compute(&inputs);
+                let cost = schema.cost(a);
+                if self.shared_query_cache {
+                    let key = (flow_idx, a.index() as u32, inputs_fingerprint(&inputs));
+                    if let Some(hit) = self.cache.get(&key) {
+                        // Overlapping data: the answer is known; skip
+                        // the database round-trip entirely.
+                        self.cache_hits += 1;
+                        immediate.push((a, hit.clone()));
+                        continue;
+                    }
+                    self.cache.insert(key, value.clone());
+                }
+                let id = self.next_job;
+                self.next_job += 1;
+                let job = QueryJob { id, cost };
+                match self.db.submit(job, sched, &Ev::Db) {
+                    Some(_c) => immediate.push((a, value)),
+                    None => {
+                        self.jobs.insert(id, (i, a, value));
+                    }
+                }
+            }
+            for (a, v) in immediate {
+                self.insts[i].rt.complete(a, v);
+            }
+            self.check_done(i, sched);
+        }
+        self.check_done(i, sched);
+    }
+
+    fn check_done(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
+        let slot = &mut self.insts[i];
+        if !slot.done && slot.rt.is_complete() {
+            slot.done = true;
+            let resp = sched.now().saturating_sub(slot.arrived);
+            let late = self.budget.is_some_and(|b| resp > b);
+            let metrics = self.insts[i].rt.metrics().clone();
+            self.acc.delivered(i, late, resp.as_millis_f64(), &metrics);
+            self.finished += 1;
+            if self.finished == self.total {
+                sched.stop();
+            } else {
+                self.maybe_next_wave(sched);
+            }
+        }
+    }
+
+    /// Closed-loop pacing: once a wave has fully drained (and been
+    /// fully spawned), schedule the next one.
+    fn maybe_next_wave(&mut self, sched: &mut Scheduler<Ev>) {
+        if self.spawning || !matches!(self.workload.arrival, Arrival::Closed { .. }) {
+            return;
+        }
+        if self.finished == self.insts.len() && self.insts.len() < self.total {
+            sched.schedule_in(SimTime::ZERO, Ev::Arrive);
+        }
+    }
+}
+
+impl Model for SimDriver<'_> {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Arrive => match self.workload.arrival {
+                Arrival::Poisson { rate } => {
+                    let i = self.spawn_instance(sched);
+                    if self.insts.len() < self.total {
+                        let mean = SimTime::from_secs_f64(1.0 / rate);
+                        let gap = exp_time(&mut self.rng, mean);
+                        sched.schedule_in(gap, Ev::Arrive);
+                    }
+                    self.pump(i, sched);
+                }
+                Arrival::Closed { clients, .. } => {
+                    self.spawning = true;
+                    let wave = clients.min(self.total - self.insts.len());
+                    for _ in 0..wave {
+                        let i = self.spawn_instance(sched);
+                        self.pump(i, sched);
+                    }
+                    self.spawning = false;
+                    self.maybe_next_wave(sched);
+                }
+            },
+            Ev::Db(dbev) => {
+                if let Some(c) = self.db.handle(dbev, sched, &Ev::Db) {
+                    let (i, attr, value) = self
+                        .jobs
+                        .remove(&c.job.id)
+                        .expect("completion for unknown job");
+                    self.insts[i].rt.complete(attr, value);
+                    self.check_done(i, sched);
+                    self.pump(i, sched);
+                }
+            }
+        }
+    }
+}
+
+impl Backend for SimDb {
+    fn name(&self) -> &'static str {
+        "simdb"
+    }
+
+    fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
+        let Resolved { strategy, total } = workload.resolve()?;
+        let driver = SimDriver {
+            workload,
+            strategy,
+            total,
+            db: SimDbServer::new(self.db, workload.seed.wrapping_mul(0x9E37_79B9)),
+            insts: Vec::with_capacity(total),
+            jobs: HashMap::new(),
+            next_job: 0,
+            rng: StdRng::seed_from_u64(workload.seed),
+            acc: Accounting::new(workload.warmup, workload.deadline.is_some()),
+            finished: 0,
+            budget: workload
+                .deadline
+                .map(|d| SimTime::from_secs_f64(d.as_secs_f64())),
+            measure_start: SimTime::ZERO,
+            spawning: false,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            shared_query_cache: self.shared_query_cache,
+        };
+        let mut sim = Simulation::new(driver);
+        sim.prime(SimTime::ZERO, Ev::Arrive);
+        // A stop is requested when the last instance completes;
+        // Exhausted can only happen if every instance finished with no
+        // events left (e.g. all targets disabled at init).
+        let _ = sim.run();
+        let makespan = sim.now();
+        let d = sim.into_model();
+        if d.finished != total {
+            return Err(LoadError::Exec(format!(
+                "run ended before all instances completed ({}/{total})",
+                d.finished
+            )));
+        }
+        let window = makespan.saturating_sub(d.measure_start).as_secs_f64();
+        let sim_stats = SimDbStats {
+            mean_gmpl: d.db.mean_gmpl(),
+            mean_unit_time_ms: d.db.unit_times().mean() * 1e3,
+            cache_hits: d.cache_hits,
+            makespan,
+        };
+        let mut report = d.acc.into_report(ReportFrame {
+            backend: self.name(),
+            workload,
+            strategy,
+            submitted: total,
+            window_secs: window.max(1e-9),
+            wall: Duration::from_secs_f64(makespan.as_secs_f64()),
+            latency_unit: LatencyUnit::Millis,
+        });
+        report.sim = Some(sim_stats);
+        Ok(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server backend
+// ---------------------------------------------------------------------------
+
+/// The real sharded multi-threaded [`EngineServer`]. Closed arrivals
+/// reproduce the batched-wave harness (`submit_many`, one wave awaited
+/// before the next); Poisson arrivals run an open pacing loop on the
+/// calling thread that submits on schedule, **reacts to
+/// [`ServerEvents`] completions** between arrivals instead of polling
+/// tickets, and tallies late drops via the server-side
+/// `InstanceResult::deadline_exceeded` flag (derived from
+/// `Request::deadline`).
+///
+/// [`ServerEvents`]: decisionflow::api::ServerEvents
+#[derive(Clone, Copy, Debug)]
+pub struct Server {
+    /// Number of shards (`0` = the machine's available parallelism).
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+}
+
+impl Default for Server {
+    fn default() -> Server {
+        Server {
+            shards: 0,
+            workers_per_shard: 1,
+        }
+    }
+}
+
+impl Server {
+    fn build(&self, strategy: Strategy, workload: &Workload) -> Result<EngineServer, LoadError> {
+        if self.workers_per_shard == 0 {
+            return Err(LoadError::config("workers_per_shard must be positive"));
+        }
+        let shards = if self.shards == 0 {
+            EngineServer::default_shard_count()
+        } else {
+            self.shards
+        };
+        let server = EngineServer::with_shards(shards, self.workers_per_shard, strategy)?;
+        for (i, flow) in workload.flows.iter().enumerate() {
+            server.register(format!("flow{i}"), std::sync::Arc::clone(&flow.schema));
+        }
+        Ok(server)
+    }
+
+    fn request(workload: &Workload, i: usize) -> Request {
+        let flow = &workload.flows[i % workload.flows.len()];
+        let mut req = Request::named(format!("flow{}", i % workload.flows.len()))
+            .sources(flow.sources.clone())
+            .options(workload.options);
+        if let Some(budget) = workload.deadline {
+            req = req.deadline(budget);
+        }
+        req
+    }
+
+    /// Closed waves: `clients`-sized `submit_many` batches, each wave
+    /// awaited before the next.
+    fn run_closed(
+        &self,
+        workload: &Workload,
+        strategy: Strategy,
+        total: usize,
+        clients: usize,
+    ) -> Result<LoadReport, LoadError> {
+        let server = self.build(strategy, workload)?;
+        let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
+        let mut shards_seen = std::collections::HashSet::new();
+        let t0 = Instant::now();
+        // Starts when the first wave containing a measured instance is
+        // submitted, so the throughput window covers every measured
+        // instance but neither server construction nor pure-warmup
+        // waves.
+        let mut measure_t0: Option<Instant> = None;
+        let mut next = 0usize;
+        while next < total {
+            let wave = clients.min(total - next);
+            if measure_t0.is_none() && next + wave > workload.warmup {
+                measure_t0 = Some(Instant::now());
+            }
+            let tickets = server
+                .submit_many((0..wave).map(|k| Self::request(workload, next + k)))
+                .map_err(|e| LoadError::Exec(e.to_string()))?;
+            for (k, t) in tickets.into_iter().enumerate() {
+                acc.settle_ticket(next + k, t, &mut shards_seen);
+            }
+            next += wave;
+        }
+        let wall = t0.elapsed();
+        let measured_wall = measure_t0.map(|t| t.elapsed()).unwrap_or(wall);
+        let mut report = acc.into_report(ReportFrame {
+            backend: self.name(),
+            workload,
+            strategy,
+            submitted: total,
+            window_secs: measured_wall.as_secs_f64().max(1e-9),
+            wall,
+            latency_unit: LatencyUnit::Millis,
+        });
+        report.server = Some(ServerSideStats {
+            stats: server.stats(),
+            shards_used: shards_seen.len(),
+        });
+        Ok(report)
+    }
+
+    /// Open Poisson pacing: the calling thread is the pacer. It
+    /// submits each instance at its (seeded, exponential-gap) arrival
+    /// time and spends the idle time between arrivals consuming the
+    /// server's event stream, collecting each completed instance's
+    /// result the moment its `Completed` event lands — no ticket
+    /// polling. Pacing continues regardless of backlog: that is what
+    /// makes the system saturate when offered load exceeds capacity.
+    fn run_open(
+        &self,
+        workload: &Workload,
+        strategy: Strategy,
+        total: usize,
+        rate: f64,
+    ) -> Result<LoadReport, LoadError> {
+        let server = self.build(strategy, workload)?;
+        // Submitted + Completed/Abandoned per instance, plus headroom:
+        // sized so the consumer (which drains continuously) never
+        // forces drops; a fallback below handles the pathological case
+        // anyway.
+        let events = server.subscribe_with_capacity(2 * total + 64);
+        let mut rng = StdRng::seed_from_u64(workload.seed);
+        let mean = SimTime::from_secs_f64(1.0 / rate);
+        let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
+        let mut pending: HashMap<u64, (usize, decisionflow::api::Ticket)> = HashMap::new();
+        let mut shards_seen = std::collections::HashSet::new();
+        let t0 = Instant::now();
+        let mut measure_t0 = t0;
+        let mut last_done = t0;
+        let mut next_arrival = t0;
+        let mut submitted = 0usize;
+        let mut accounted = 0usize;
+
+        let settle = |ev: decisionflow::api::InstanceEvent,
+                      pending: &mut HashMap<u64, (usize, decisionflow::api::Ticket)>,
+                      acc: &mut Accounting,
+                      shards_seen: &mut std::collections::HashSet<usize>,
+                      accounted: &mut usize,
+                      last_done: &mut Instant| {
+            use decisionflow::api::InstanceEvent as E;
+            match ev {
+                E::Submitted { .. } => {}
+                E::Completed { instance_id, .. } | E::Abandoned { instance_id, .. } => {
+                    if let Some((idx, ticket)) = pending.remove(&instance_id) {
+                        // A terminal event is published just before
+                        // the result is sent (or the sender dropped),
+                        // so this wait is at most a few microseconds —
+                        // and it is the only wait the pacer ever does
+                        // on a ticket.
+                        acc.settle_ticket(idx, ticket, shards_seen);
+                        *accounted += 1;
+                        *last_done = Instant::now();
+                    }
+                }
+            }
+        };
+
+        while accounted < total {
+            if submitted < total {
+                let now = Instant::now();
+                if now >= next_arrival {
+                    if submitted == workload.warmup {
+                        measure_t0 = now;
+                    }
+                    let ticket = server
+                        .submit(Self::request(workload, submitted))
+                        .map_err(|e| LoadError::Exec(e.to_string()))?;
+                    pending.insert(ticket.instance_id(), (submitted, ticket));
+                    submitted += 1;
+                    let gap = exp_time(&mut rng, mean);
+                    next_arrival += Duration::from_secs_f64(gap.as_secs_f64());
+                    continue;
+                }
+                // Idle until the next arrival: react to completions.
+                let wait = next_arrival.saturating_duration_since(now);
+                match events.recv_timeout(wait) {
+                    Ok(Some(ev)) => settle(
+                        ev,
+                        &mut pending,
+                        &mut acc,
+                        &mut shards_seen,
+                        &mut accounted,
+                        &mut last_done,
+                    ),
+                    Ok(None) => {}
+                    Err(_gone) => break,
+                }
+            } else {
+                // Everything submitted: drain the event stream. If the
+                // subscription ever dropped events (it should not: the
+                // buffer covers the whole run), fall back to waiting
+                // the remaining tickets directly so the run still
+                // accounts exactly.
+                if events.dropped() > 0 {
+                    for (idx, ticket) in pending.drain().map(|(_, v)| v) {
+                        acc.settle_ticket(idx, ticket, &mut shards_seen);
+                        last_done = Instant::now();
+                    }
+                    break;
+                }
+                match events.recv_timeout(Duration::from_millis(50)) {
+                    Ok(Some(ev)) => settle(
+                        ev,
+                        &mut pending,
+                        &mut acc,
+                        &mut shards_seen,
+                        &mut accounted,
+                        &mut last_done,
+                    ),
+                    Ok(None) => {}
+                    Err(_gone) => break,
+                }
+            }
+        }
+        // Any instance still unaccounted (event stream gone) is lost.
+        for _ in pending.drain() {
+            acc.abandoned();
+        }
+        let wall = t0.elapsed();
+        let window = last_done
+            .saturating_duration_since(measure_t0)
+            .as_secs_f64();
+        let mut report = acc.into_report(ReportFrame {
+            backend: self.name(),
+            workload,
+            strategy,
+            submitted: total,
+            window_secs: window.max(1e-9),
+            wall,
+            latency_unit: LatencyUnit::Millis,
+        });
+        report.server = Some(ServerSideStats {
+            stats: server.stats(),
+            shards_used: shards_seen.len(),
+        });
+        Ok(report)
+    }
+}
+
+impl Backend for Server {
+    fn name(&self) -> &'static str {
+        "server"
+    }
+
+    fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
+        let Resolved { strategy, total } = workload.resolve()?;
+        match workload.arrival {
+            Arrival::Closed { clients, .. } => self.run_closed(workload, strategy, total, clients),
+            Arrival::Poisson { rate } => self.run_open(workload, strategy, total, rate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows(n: u64, params: PatternParams) -> Vec<GeneratedFlow> {
+        (0..n)
+            .map(|i| generate(params, 1000 + i).unwrap())
+            .collect()
+    }
+
+    fn small() -> PatternParams {
+        PatternParams {
+            nb_nodes: 16,
+            nb_rows: 4,
+            pct_enabled: 75,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn one_workload_runs_on_all_three_backends() {
+        let w = Workload::new(flows(3, small()))
+            .arrivals(Arrival::Closed {
+                clients: 4,
+                waves: 6,
+            })
+            .warmup(4)
+            .seed(7)
+            .strategy("PCE100".parse().unwrap());
+        let unit = w.run(&UnitTime::checked()).unwrap();
+        let sim = w.run(&SimDb::default()).unwrap();
+        let server = w
+            .run(&Server {
+                shards: 2,
+                workers_per_shard: 1,
+            })
+            .unwrap();
+        for r in [&unit, &sim, &server] {
+            assert_eq!(r.submitted, 24, "{}", r.backend);
+            assert_eq!(r.completed, 24, "{}", r.backend);
+            assert_eq!(r.abandoned, 0, "{}", r.backend);
+            assert_eq!(r.late_dropped, 0, "{}", r.backend);
+            assert!(r.accounts_exactly(), "{}", r.backend);
+            assert_eq!(r.responses.count(), 20, "{}: post-warmup", r.backend);
+            assert!(r.mean_work() > 0.0, "{}", r.backend);
+            assert!(r.percentiles.p50 <= r.percentiles.p99, "{}", r.backend);
+            assert!(r.percentiles.p99 <= r.percentiles.max, "{}", r.backend);
+        }
+        assert_eq!(unit.latency_unit, LatencyUnit::Units);
+        assert_eq!(sim.latency_unit, LatencyUnit::Millis);
+        assert!(sim.sim.is_some() && sim.server.is_none());
+        assert!(server.server.is_some() && server.sim.is_none());
+        assert!(server.throughput_per_sec > 0.0);
+        // All backends execute the same engine; Work may differ
+        // slightly run-to-run (unneeded-pruning races launches under
+        // real/simulated timing) but stays in the same ballpark.
+        assert!((unit.mean_work() - sim.mean_work()).abs() / unit.mean_work() < 0.2);
+        assert!((unit.mean_work() - server.mean_work()).abs() / unit.mean_work() < 0.2);
+    }
+
+    #[test]
+    fn simdb_backend_is_deterministic_per_seed() {
+        let fl = flows(2, small());
+        let w = Workload::new(fl)
+            .arrivals(Arrival::Poisson { rate: 5.0 })
+            .instances(20)
+            .warmup(5)
+            .seed(9)
+            .strategy("PSE100".parse().unwrap());
+        let a = w.run(&SimDb::default()).unwrap();
+        let b = w.run(&SimDb::default()).unwrap();
+        assert_eq!(a.responses.mean(), b.responses.mean());
+        assert_eq!(a.sim.unwrap().makespan, b.sim.unwrap().makespan);
+        assert_eq!(a.percentiles, b.percentiles);
+    }
+
+    #[test]
+    fn simdb_contention_raises_response_time() {
+        let fl = flows(3, small());
+        let base = Workload::new(fl)
+            .instances(60)
+            .warmup(15)
+            .seed(5)
+            .strategy("PCE100".parse().unwrap());
+        let quiet = base
+            .clone()
+            .arrivals(Arrival::Poisson { rate: 2.0 })
+            .run(&SimDb::default())
+            .unwrap();
+        let busy = base
+            .arrivals(Arrival::Poisson { rate: 25.0 })
+            .run(&SimDb::default())
+            .unwrap();
+        assert!(
+            busy.responses.mean() > quiet.responses.mean(),
+            "contention must raise response: {} vs {}",
+            busy.responses.mean(),
+            quiet.responses.mean()
+        );
+        assert!(busy.sim.unwrap().mean_gmpl > quiet.sim.unwrap().mean_gmpl);
+    }
+
+    #[test]
+    fn simdb_closed_waves_bound_concurrency() {
+        // One client, closed loop: at most one instance in the system,
+        // so Gmpl never exceeds what a single instance can drive and
+        // waves arrive back-to-back.
+        let fl = flows(2, small());
+        let w = Workload::new(fl)
+            .arrivals(Arrival::Closed {
+                clients: 1,
+                waves: 10,
+            })
+            .seed(3)
+            .strategy("PCE0".parse().unwrap());
+        let r = w.run(&SimDb::default()).unwrap();
+        assert_eq!(r.completed, 10);
+        assert!(r.accounts_exactly());
+        assert!(
+            r.sim.unwrap().mean_gmpl <= 1.0 + 1e-9,
+            "sequential strategy, one client: at most one query in flight"
+        );
+    }
+
+    #[test]
+    fn simdb_deadline_accounting_is_exact() {
+        // Offered load far beyond capacity with a tight virtual
+        // deadline: some instances must blow the budget, and the
+        // identity submitted = completed + late + abandoned holds.
+        let fl = flows(2, small());
+        let w = Workload::new(fl)
+            .arrivals(Arrival::Poisson { rate: 50.0 })
+            .instances(60)
+            .warmup(10)
+            .seed(11)
+            .deadline(Duration::from_millis(400))
+            .strategy("PCE100".parse().unwrap());
+        let r = w.run(&SimDb::default()).unwrap();
+        assert_eq!(r.submitted, 60);
+        assert!(r.accounts_exactly());
+        assert!(r.late_dropped > 0, "overload must produce late drops");
+        assert_eq!(r.abandoned, 0, "simdb never abandons");
+        assert_eq!(
+            r.responses.count() as usize,
+            r.phases.measured_completed,
+            "latency stats only cover in-deadline measured instances"
+        );
+        // Late drops and completions partition by phase.
+        assert_eq!(
+            r.completed + r.late_dropped,
+            60,
+            "every instance still stabilizes"
+        );
+    }
+
+    #[test]
+    fn server_closed_spreads_over_shards() {
+        let fl = flows(3, small());
+        let r = Workload::new(fl)
+            .arrivals(Arrival::Closed {
+                clients: 16,
+                waves: 4,
+            })
+            .warmup(8)
+            .strategy("PSE100".parse().unwrap())
+            .run(&Server {
+                shards: 4,
+                workers_per_shard: 1,
+            })
+            .unwrap();
+        assert_eq!(r.completed, 64);
+        assert_eq!(r.responses.count(), 56, "post-warmup instances");
+        let side = r.server.as_ref().unwrap();
+        assert!(side.shards_used >= 2, "instances must land on ≥2 shards");
+        assert!(r.throughput_per_sec > 0.0);
+        assert_eq!(side.stats.shard_count(), 4);
+        assert_eq!(side.stats.completed(), 64);
+        assert_eq!(side.stats.in_flight(), 0);
+        assert_eq!(side.stats.queued_jobs(), 0);
+    }
+
+    #[test]
+    fn server_open_paces_reacts_and_accounts() {
+        // A small open-arrival run against the real server: every
+        // instance is accounted through the event stream, and the
+        // identity holds with a deadline set.
+        let fl: Vec<GeneratedFlow> = flows(2, small())
+            .into_iter()
+            .map(|f| f.with_unit_delay(Duration::from_micros(100)))
+            .collect();
+        let r = Workload::new(fl)
+            .arrivals(Arrival::Poisson { rate: 200.0 })
+            .instances(40)
+            .warmup(8)
+            .seed(2)
+            .deadline(Duration::from_secs(30))
+            .strategy("PCE100".parse().unwrap())
+            .run(&Server {
+                shards: 2,
+                workers_per_shard: 1,
+            })
+            .unwrap();
+        assert_eq!(r.submitted, 40);
+        assert!(r.accounts_exactly());
+        assert_eq!(r.abandoned, 0);
+        assert_eq!(r.late_dropped, 0, "30s budget is never exceeded here");
+        assert_eq!(r.responses.count(), 32);
+        assert!(r.throughput_per_sec > 0.0);
+        assert!(r.server.unwrap().stats.completed() == 40);
+    }
+
+    #[test]
+    fn workload_validation_rejects_bad_configs() {
+        let fl = flows(1, small());
+        let strat: Strategy = "PCE0".parse().unwrap();
+        let err = |w: Workload| w.run(&UnitTime::unchecked()).unwrap_err().to_string();
+        assert!(err(Workload::new(Vec::<GeneratedFlow>::new())
+            .strategy(strat)
+            .instances(1))
+        .contains("at least one flow"));
+        assert!(err(Workload::new(fl.clone()).instances(1)).contains("strategy not set"));
+        assert!(err(Workload::new(fl.clone()).strategy(strat)).contains("at least one instance"));
+        assert!(err(Workload::new(fl.clone())
+            .strategy(strat)
+            .arrivals(Arrival::Poisson { rate: 2.0 }))
+        .contains("instances"));
+        assert!(err(Workload::new(fl.clone())
+            .strategy(strat)
+            .arrivals(Arrival::Poisson { rate: -1.0 })
+            .instances(5))
+        .contains("rate must be positive"));
+        assert!(
+            err(Workload::new(fl).strategy(strat).instances(5).warmup(5))
+                .contains("warmup must leave")
+        );
+    }
+
+    #[test]
+    fn percentiles_order_statistics() {
+        let p = Percentiles::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        assert_eq!(Percentiles::from_samples(vec![]), Percentiles::default());
+    }
+}

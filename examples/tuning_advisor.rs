@@ -15,8 +15,8 @@
 
 use dflowgen::{generate, PatternParams};
 use dflowperf::{
-    guideline_for_pattern, max_work_for_throughput, portfolio, run_open_load,
-    solve_unit_time_with_lmpl, DbFunction, LoadConfig,
+    guideline_for_pattern, max_work_for_throughput, portfolio, solve_unit_time_with_lmpl, Arrival,
+    DbFunction, SimDb, Workload,
 };
 use simdb::{measure_db_function_open, DbConfig};
 
@@ -98,24 +98,20 @@ fn main() {
     let flows: Vec<_> = (0..6)
         .map(|i| generate(pattern, 0xAD + i).unwrap())
         .collect();
-    let measured = run_open_load(
-        &flows,
-        choice.strategy,
-        db_cfg,
-        LoadConfig {
-            arrival_rate_per_sec: th,
-            total_instances: 300,
-            warmup_instances: 60,
-            seed: 0xAD,
-            shared_query_cache: false,
-        },
-    );
-    let m = measured.responses_ms.mean();
+    let measured = Workload::new(flows)
+        .arrivals(Arrival::Poisson { rate: th })
+        .instances(300)
+        .warmup(60)
+        .seed(0xAD)
+        .strategy(choice.strategy)
+        .run(&SimDb::new(db_cfg))
+        .expect("valid workload");
+    let m = measured.responses.mean();
     println!(
         "measured: {:.0} ms mean response ({} instances, mean Gmpl {:.1}) — {:.0}% off the prediction",
         m,
         measured.completed,
-        measured.mean_gmpl,
+        measured.sim.expect("simdb stats").mean_gmpl,
         100.0 * (predicted - m).abs() / m
     );
 }

@@ -8,8 +8,9 @@
 //!
 //! * recorded and plain runs agree across **all 8 strategy
 //!   combinations**, and recorded server submissions are
-//!   deterministic (byte-equal journals) on single-outstanding-task
-//!   flows;
+//!   deterministic (byte-equal journals) on 1-worker-per-shard
+//!   servers — fan-out flows included, now that the first scheduling
+//!   round is routed through the owning shard's worker;
 //! * recorded batches produce journals identical to recorded
 //!   one-by-one submission;
 //! * `wait_timeout` reports "still pending" under a saturated worker
@@ -71,11 +72,12 @@ fn recorded_request_run_is_deterministic_across_all_strategies() {
 }
 
 /// A flow that keeps at most one task in flight (a chain, plus a
-/// branch disabled at init): on a 1-shard/1-worker server its
-/// execution — and therefore its journal — is fully deterministic,
-/// which is what lets shim-vs-new comparisons demand byte equality.
-/// (Fan-out flows are *correct* but tape-nondeterministic on the
-/// server: the completion delivery order is recorded, not derived.)
+/// branch disabled at init). Historically the *only* shape whose
+/// server journals could be compared byte-for-byte; since the first
+/// scheduling round moved onto the owning shard's worker, fan-out
+/// flows are byte-deterministic on 1-worker shards too (see
+/// `recorded_server_submissions_are_deterministic_across_all_strategies`),
+/// and this fixture survives as the cheap, fully-analyzable case.
 fn chain_fixture() -> (Arc<Schema>, SourceValues) {
     let mut b = SchemaBuilder::new();
     let s = b.source("s");
@@ -106,45 +108,58 @@ fn chain_fixture() -> (Arc<Schema>, SourceValues) {
     (schema, sv)
 }
 
-/// Server path, byte-for-byte: on single-shard single-worker servers
-/// running a deterministic chain flow, two independent recorded
-/// submissions produce identical records *and* identical journals for
-/// all 8 strategies — the property that lets the regression corpus
-/// demand byte equality on such flows.
+/// Server path, byte-for-byte: on single-worker-per-shard servers two
+/// independent recorded submissions produce identical records *and*
+/// identical journals for all 8 strategies — **without** the historic
+/// single-outstanding-task restriction. Fan-out generated flows
+/// qualify because the first scheduling round (like every later one)
+/// runs on the owning shard's lone worker, so the job queue order is
+/// a pure function of the flow, not of a submitting-thread race.
 #[test]
 fn recorded_server_submissions_are_deterministic_across_all_strategies() {
-    let (schema, sv) = chain_fixture();
-    for strategy in Strategy::all_at(100) {
-        let server_a = EngineServer::with_shards(1, 1, strategy).unwrap();
-        let server_b = EngineServer::with_shards(1, 1, strategy).unwrap();
-        server_a.register("f", Arc::clone(&schema));
-        server_b.register("f", Arc::clone(&schema));
+    let fanout = flow(41_001);
+    let (chain_schema, chain_sv) = chain_fixture();
+    let fixtures: [(&str, Arc<Schema>, SourceValues); 2] = [
+        ("chain", chain_schema, chain_sv),
+        (
+            "fan-out",
+            Arc::clone(&fanout.schema),
+            fanout.sources.clone(),
+        ),
+    ];
+    for (name, schema, sv) in &fixtures {
+        for strategy in Strategy::all_at(100) {
+            let server_a = EngineServer::with_shards(1, 1, strategy).unwrap();
+            let server_b = EngineServer::with_shards(1, 1, strategy).unwrap();
+            server_a.register("f", Arc::clone(schema));
+            server_b.register("f", Arc::clone(schema));
 
-        let submit = |server: &EngineServer| {
-            server
-                .submit(Request::named("f").sources(sv.clone()).record_journal(true))
-                .unwrap()
-                .wait()
-                .unwrap()
-        };
-        let mut result_a = submit(&server_a);
-        let mut result_b = submit(&server_b);
-        let journal_a = result_a.journal.take().expect("journal requested");
-        let journal_b = result_b.journal.take().expect("journal requested");
-        assert_eq!(result_a.record, result_b.record, "{strategy} record");
-        assert_eq!(journal_a, journal_b, "{strategy} journal");
-        assert_eq!(
-            journal_a.to_json(),
-            journal_b.to_json(),
-            "{strategy} byte-identical serialization"
-        );
+            let submit = |server: &EngineServer| {
+                server
+                    .submit(Request::named("f").sources(sv.clone()).record_journal(true))
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+            };
+            let mut result_a = submit(&server_a);
+            let mut result_b = submit(&server_b);
+            let journal_a = result_a.journal.take().expect("journal requested");
+            let journal_b = result_b.journal.take().expect("journal requested");
+            assert_eq!(result_a.record, result_b.record, "{name} {strategy} record");
+            assert_eq!(journal_a, journal_b, "{name} {strategy} journal");
+            assert_eq!(
+                journal_a.to_json(),
+                journal_b.to_json(),
+                "{name} {strategy} byte-identical serialization"
+            );
 
-        // And the journal replays to the same record.
-        let replayed = ReplayEngine::new(Arc::clone(&schema), journal_a)
-            .unwrap()
-            .replay()
-            .unwrap_or_else(|d| panic!("{strategy}: {d}"));
-        assert_eq!(replayed.record, result_a.record, "{strategy} replay");
+            // And the journal replays to the same record.
+            let replayed = ReplayEngine::new(Arc::clone(schema), journal_a)
+                .unwrap()
+                .replay()
+                .unwrap_or_else(|d| panic!("{name} {strategy}: {d}"));
+            assert_eq!(replayed.record, result_a.record, "{name} {strategy} replay");
+        }
     }
 }
 
@@ -203,10 +218,14 @@ fn recorded_submissions_agree_with_oracle_on_fanout_flows() {
 }
 
 /// A *recorded batch* — the capability PR 2 lacked — yields journals
-/// identical to recorded one-by-one submission.
+/// identical to recorded one-by-one submission, on a fan-out flow
+/// (the single-outstanding-task restriction is gone: per-instance job
+/// order on a 1-worker shard is deterministic even when batch-mates
+/// interleave in the same queue).
 #[test]
 fn recorded_batch_equals_recorded_singles() {
-    let (schema, sv) = chain_fixture();
+    let fanout = flow(41_003);
+    let (schema, sv) = (Arc::clone(&fanout.schema), fanout.sources.clone());
     let strategy: Strategy = "PSE100".parse().unwrap();
     let singles = EngineServer::with_shards(1, 1, strategy).unwrap();
     let batched = EngineServer::with_shards(1, 1, strategy).unwrap();

@@ -4,8 +4,8 @@
 
 use decision_flows::dflowgen::{generate, PatternParams};
 use decision_flows::dflowperf::{
-    max_work_for_throughput, run_open_load, solve_unit_time, solve_unit_time_with_lmpl, unit_sweep,
-    DbFunction, LoadConfig,
+    max_work_for_throughput, pattern_sweep, solve_unit_time, solve_unit_time_with_lmpl, Arrival,
+    DbFunction, SimDb, Workload,
 };
 use decision_flows::prelude::Strategy;
 use decision_flows::simdb::{measure_db_function_open, DbConfig};
@@ -34,27 +34,24 @@ fn calibrate() -> DbFunction {
 fn littles_law_holds_in_open_load() {
     let fl = flows(4);
     let st: Strategy = "PCE100".parse().unwrap();
-    let out = run_open_load(
-        &fl,
-        st,
-        DbConfig::default(),
-        LoadConfig {
-            arrival_rate_per_sec: 2.0,
-            total_instances: 250,
-            warmup_instances: 50,
-            seed: 21,
-            shared_query_cache: false,
-        },
-    );
+    let out = Workload::new(fl)
+        .arrivals(Arrival::Poisson { rate: 2.0 })
+        .instances(250)
+        .warmup(50)
+        .seed(21)
+        .strategy(st)
+        .run(&SimDb::default())
+        .expect("valid workload");
     // Unit-level Little's law: mean units in system = unit arrival rate
     // × mean unit response. Unit arrival rate = Th × mean work.
     let th = 2.0;
-    let expected_gmpl = th * out.work_units.mean() * out.mean_unit_time_ms / 1000.0;
-    let rel = (out.mean_gmpl - expected_gmpl).abs() / expected_gmpl;
+    let expected_gmpl =
+        th * out.work.mean() * out.sim.expect("simdb stats").mean_unit_time_ms / 1000.0;
+    let rel = (out.sim.expect("simdb stats").mean_gmpl - expected_gmpl).abs() / expected_gmpl;
     assert!(
         rel < 0.25,
         "Little's law: measured Gmpl {:.2} vs Th×Work×UnitTime {:.2} ({:.0}% off)",
-        out.mean_gmpl,
+        out.sim.expect("simdb stats").mean_gmpl,
         expected_gmpl,
         rel * 100.0
     );
@@ -68,24 +65,20 @@ fn analytic_model_accurate_for_sequential_program() {
     let fl = flows(8);
     let st: Strategy = "PCE0".parse().unwrap();
     let th = 2.0;
-    let sweep = unit_sweep(pattern(), st, 8, 7_000);
-    let u = solve_unit_time(&db, th, sweep.mean_work)
+    let sweep = pattern_sweep(pattern(), st, 8, 7_000);
+    let u = solve_unit_time(&db, th, sweep.mean_work())
         .stable_ms()
         .unwrap();
-    let predicted = u * sweep.mean_time;
-    let out = run_open_load(
-        &fl,
-        st,
-        DbConfig::default(),
-        LoadConfig {
-            arrival_rate_per_sec: th,
-            total_instances: 300,
-            warmup_instances: 60,
-            seed: 9,
-            shared_query_cache: false,
-        },
-    );
-    let measured = out.responses_ms.mean();
+    let predicted = u * sweep.mean_response();
+    let out = Workload::new(fl)
+        .arrivals(Arrival::Poisson { rate: th })
+        .instances(300)
+        .warmup(60)
+        .seed(9)
+        .strategy(st)
+        .run(&SimDb::default())
+        .expect("valid workload");
+    let measured = out.responses.mean();
     let err = (predicted - measured).abs() / measured;
     assert!(
         err < 0.20,
@@ -100,25 +93,21 @@ fn lmpl_corrected_model_accurate_for_parallel_program() {
     let fl = flows(8);
     let st: Strategy = "PCC100".parse().unwrap();
     let th = 2.0;
-    let sweep = unit_sweep(pattern(), st, 8, 7_000);
-    let lmpl = (sweep.mean_work / sweep.mean_time).max(1.0);
-    let u = solve_unit_time_with_lmpl(&db, th, sweep.mean_work, lmpl)
+    let sweep = pattern_sweep(pattern(), st, 8, 7_000);
+    let lmpl = (sweep.mean_work() / sweep.mean_response()).max(1.0);
+    let u = solve_unit_time_with_lmpl(&db, th, sweep.mean_work(), lmpl)
         .stable_ms()
         .unwrap();
-    let predicted = u * sweep.mean_time;
-    let out = run_open_load(
-        &fl,
-        st,
-        DbConfig::default(),
-        LoadConfig {
-            arrival_rate_per_sec: th,
-            total_instances: 300,
-            warmup_instances: 60,
-            seed: 9,
-            shared_query_cache: false,
-        },
-    );
-    let measured = out.responses_ms.mean();
+    let predicted = u * sweep.mean_response();
+    let out = Workload::new(fl)
+        .arrivals(Arrival::Poisson { rate: th })
+        .instances(300)
+        .warmup(60)
+        .seed(9)
+        .strategy(st)
+        .run(&SimDb::default())
+        .expect("valid workload");
+    let measured = out.responses.mean();
     let err = (predicted - measured).abs() / measured;
     assert!(
         err < 0.25,
@@ -126,10 +115,10 @@ fn lmpl_corrected_model_accurate_for_parallel_program() {
         err * 100.0
     );
     // And the plain Equation (6) under-predicts for bursty programs.
-    let plain = solve_unit_time(&db, th, sweep.mean_work)
+    let plain = solve_unit_time(&db, th, sweep.mean_work())
         .stable_ms()
         .unwrap()
-        * sweep.mean_time;
+        * sweep.mean_response();
     assert!(
         plain < measured,
         "plain model underestimates parallel programs"
@@ -162,20 +151,16 @@ fn response_time_explodes_past_saturation() {
     let fl = flows(2);
     let st: Strategy = "PCE0".parse().unwrap();
     let mk = |th: f64| {
-        run_open_load(
-            &fl,
-            st,
-            DbConfig::default(),
-            LoadConfig {
-                arrival_rate_per_sec: th,
-                total_instances: 150,
-                warmup_instances: 30,
-                seed: 4,
-                shared_query_cache: false,
-            },
-        )
-        .responses_ms
-        .mean()
+        Workload::new(fl.clone())
+            .arrivals(Arrival::Poisson { rate: th })
+            .instances(150)
+            .warmup(30)
+            .seed(4)
+            .strategy(st)
+            .run(&SimDb::default())
+            .expect("valid workload")
+            .responses
+            .mean()
     };
     let stable = mk(1.0);
     let saturated = mk(8.0); // offered ≈ 1000 units/s > 400 units/s capacity

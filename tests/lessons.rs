@@ -4,7 +4,7 @@
 //! roughly where — on reduced-size sweeps so they run in test time.
 
 use decision_flows::dflowgen::PatternParams;
-use decision_flows::dflowperf::unit_sweep;
+use decision_flows::dflowperf::{pattern_sweep, LoadReport};
 use decision_flows::prelude::Strategy;
 
 fn params(pct_enabled: u32) -> PatternParams {
@@ -23,6 +23,11 @@ fn s(v: &str) -> Strategy {
 const REPS: u32 = 12;
 const SEED: u64 = 0x1_E550;
 
+/// One (pattern, strategy) sweep cell on the unified Workload surface.
+fn unit_sweep(params: PatternParams, strategy: Strategy, reps: u32, seed: u64) -> LoadReport {
+    pattern_sweep(params, strategy, reps, seed)
+}
+
 /// Lesson 1: the Propagation Algorithm reduces both response time and
 /// work, with the most significant benefit when the proportion of
 /// disabled nodes is large (> 20%).
@@ -31,7 +36,7 @@ fn lesson1_propagation_reduces_work_most_at_low_enabled() {
     let gain_at = |pct: u32| {
         let p = unit_sweep(params(pct), s("PCE0"), REPS, SEED);
         let n = unit_sweep(params(pct), s("NCE0"), REPS, SEED);
-        1.0 - p.mean_work / n.mean_work
+        1.0 - p.mean_work() / n.mean_work()
     };
     let g10 = gain_at(10);
     let g50 = gain_at(50);
@@ -45,7 +50,7 @@ fn lesson1_propagation_reduces_work_most_at_low_enabled() {
     // And time improves too (sequential time == work in unit model).
     let p = unit_sweep(params(25), s("PCE0"), REPS, SEED);
     let n = unit_sweep(params(25), s("NCE0"), REPS, SEED);
-    assert!(p.mean_time < n.mean_time);
+    assert!(p.mean_response() < n.mean_response());
 }
 
 /// Lesson 2: with propagation on, Conservative usually beats
@@ -57,7 +62,7 @@ fn lesson2_conservative_vs_speculative_tradeoff() {
     let extra_at = |pct: u32| {
         let c = unit_sweep(params(pct), s("PCE100"), REPS, SEED);
         let sp = unit_sweep(params(pct), s("PSE100"), REPS, SEED);
-        (sp.mean_work - c.mean_work) / c.mean_work
+        (sp.mean_work() - c.mean_work()) / c.mean_work()
     };
     let extra_low = extra_at(25);
     let extra_high = extra_at(90);
@@ -69,7 +74,7 @@ fn lesson2_conservative_vs_speculative_tradeoff() {
     // Speculation never hurts response time (it only adds overlap).
     let c = unit_sweep(params(75), s("PCE100"), REPS, SEED);
     let sp = unit_sweep(params(75), s("PSE100"), REPS, SEED);
-    assert!(sp.mean_time <= c.mean_time + 1e-9);
+    assert!(sp.mean_response() <= c.mean_response() + 1e-9);
 }
 
 /// Lesson 3: with propagation on, topologically-Earliest scheduling is
@@ -82,12 +87,12 @@ fn lesson3_earliest_beats_cheapest_with_propagation() {
         let e = unit_sweep(params(75), format!("PCE{p}").parse().unwrap(), REPS, SEED);
         let c = unit_sweep(params(75), format!("PCC{p}").parse().unwrap(), REPS, SEED);
         assert!(
-            e.mean_time <= c.mean_time * 1.05,
+            e.mean_response() <= c.mean_response() * 1.05,
             "Earliest should not lose to Cheapest at {p}%: {} vs {}",
-            e.mean_time,
-            c.mean_time
+            e.mean_response(),
+            c.mean_response()
         );
-        if e.mean_time < c.mean_time * 0.95 {
+        if e.mean_response() < c.mean_response() * 0.95 {
             strictly_better = true;
         }
     }
@@ -99,7 +104,7 @@ fn lesson3_earliest_beats_cheapest_with_propagation() {
     // "consume approximately the same amount of work").
     let e = unit_sweep(params(75), s("PCE40"), REPS, SEED);
     let c = unit_sweep(params(75), s("PCC40"), REPS, SEED);
-    let rel = (e.mean_work - c.mean_work).abs() / c.mean_work;
+    let rel = (e.mean_work() - c.mean_work()).abs() / c.mean_work();
     assert!(rel < 0.10, "work difference between heuristics: {rel:.3}");
 }
 
@@ -110,10 +115,10 @@ fn lesson3_inverse_cheapest_fine_without_propagation() {
     let e = unit_sweep(params(50), s("NCE0"), REPS, SEED);
     let c = unit_sweep(params(50), s("NCC0"), REPS, SEED);
     assert!(
-        c.mean_work <= e.mean_work * 1.05,
+        c.mean_work() <= e.mean_work() * 1.05,
         "without P, cheapest-first work {} should not exceed earliest {}",
-        c.mean_work,
-        e.mean_work
+        c.mean_work(),
+        e.mean_work()
     );
 }
 
@@ -123,13 +128,13 @@ fn lesson3_inverse_cheapest_fine_without_propagation() {
 fn figure6_headline_parallelism_cuts_time() {
     let seq = unit_sweep(params(75), s("PCE0"), REPS, SEED);
     let par = unit_sweep(params(75), s("PCE100"), REPS, SEED);
-    let reduction = 1.0 - par.mean_time / seq.mean_time;
+    let reduction = 1.0 - par.mean_response() / seq.mean_response();
     assert!(
         reduction > 0.45,
         "expected ≳60% reduction, got {:.0}%",
         reduction * 100.0
     );
-    let extra_work = (par.mean_work - seq.mean_work) / seq.mean_work;
+    let extra_work = (par.mean_work() - seq.mean_work()) / seq.mean_work();
     assert!(
         extra_work < 0.10,
         "conservative parallelism adds little work, got {:.0}%",
@@ -147,7 +152,7 @@ fn diameter_controls_parallel_speedup() {
             pct_enabled: 75,
             ..Default::default()
         };
-        unit_sweep(p, s("PCE100"), REPS, SEED).mean_time
+        unit_sweep(p, s("PCE100"), REPS, SEED).mean_response()
     };
     let t1 = time_at_rows(1);
     let t4 = time_at_rows(4);
