@@ -6,21 +6,30 @@
 //! on the `Server` backend — batched `submit_many` waves, wall-clock
 //! latency, per-shard gauges — and reports post-warmup
 //! instances/second, mean response, the deepest per-shard job queue
-//! observed at the end, and how many shards actually executed work.
+//! observed at the end, how many shards actually executed work, and
+//! the per-stage latency percentiles from the server's telemetry
+//! (queue-wait / execute / end-to-end). A second table breaks the
+//! whole sweep's latency down by pipeline stage, from the merged
+//! per-run histograms.
 //!
 //! Flags:
 //!
 //! * `--smoke` — a reduced matrix (2 shard counts × 2 strategies,
 //!   1/4 of the instances) sized for CI: it proves the sweep runs
 //!   end to end and seeds the perf trajectory without spending
-//!   minutes;
+//!   minutes; it also *asserts* that every stage histogram of every
+//!   run is non-empty, so a silently dead telemetry path fails CI;
 //! * `--json PATH` — additionally emit the result table as a
 //!   `BENCH_*.json` snapshot (see `ResultTable::to_json`), which the
-//!   CI bench-smoke job publishes into the job summary.
+//!   CI bench-smoke job publishes into the job summary;
+//! * `--prom PATH` — write the last run's telemetry in Prometheus
+//!   text exposition format (the CI bench-smoke job publishes it as
+//!   an artifact).
 
 use std::path::PathBuf;
 
 use decisionflow::engine::Strategy;
+use decisionflow::telemetry::{HistogramSnapshot, TelemetrySnapshot};
 use dflow_bench::harness::{f1, f2, ResultTable};
 use dflowgen::{generate, GeneratedFlow, PatternParams};
 use dflowperf::{Arrival, Server, Workload};
@@ -28,11 +37,13 @@ use dflowperf::{Arrival, Server, Workload};
 struct Args {
     smoke: bool,
     json: Option<PathBuf>,
+    prom: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut smoke = false;
     let mut json = None;
+    let mut prom = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -42,11 +53,22 @@ fn parse_args() -> Args {
                     args.next().expect("--json needs a file path"),
                 ))
             }
-            other => panic!("unknown flag {other:?} (expected --smoke / --json PATH)"),
+            "--prom" => {
+                prom = Some(PathBuf::from(
+                    args.next().expect("--prom needs a file path"),
+                ))
+            }
+            other => {
+                panic!("unknown flag {other:?} (expected --smoke / --json PATH / --prom PATH)")
+            }
         }
     }
-    Args { smoke, json }
+    Args { smoke, json, prom }
 }
+
+/// The stages the sweep-wide breakdown table reports, in pipeline
+/// order (matching `decisionflow::telemetry::Stage::ALL`).
+const STAGES: [&str; 5] = ["route", "validate", "queue_wait", "execute", "e2e"];
 
 fn main() {
     let args = parse_args();
@@ -80,8 +102,14 @@ fn main() {
             "mean_resp_ms",
             "shards_used",
             "max_queue",
+            "p50_queue_ms",
+            "p50_exec_ms",
+            "p99_e2e_ms",
         ],
     );
+    // Sweep-wide per-stage histograms, merged across every run.
+    let mut merged: Vec<HistogramSnapshot> = vec![HistogramSnapshot::default(); STAGES.len()];
+    let mut last_snapshot: Option<TelemetrySnapshot> = None;
     for &shards in shard_counts {
         for &strategy in &strategies {
             let out = Workload::new(flows.clone())
@@ -99,6 +127,23 @@ fn main() {
                 .expect("server build");
             assert_eq!(out.completed, total_instances);
             let side = out.server.as_ref().expect("server stats");
+            let tele = &side.telemetry;
+            for (i, name) in STAGES.iter().enumerate() {
+                let h = tele
+                    .stage(name)
+                    .unwrap_or_else(|| panic!("stage {name} missing from telemetry"));
+                if args.smoke {
+                    assert!(
+                        !h.is_empty(),
+                        "smoke: stage {name} histogram empty at shards={shards} {strategy}"
+                    );
+                }
+                merged[i].merge(h);
+            }
+            let empty = HistogramSnapshot::default();
+            let queue = tele.stage("queue_wait").unwrap_or(&empty);
+            let exec = tele.stage("execute").unwrap_or(&empty);
+            let e2e = tele.stage("e2e").unwrap_or(&empty);
             t.row(vec![
                 shards.to_string(),
                 strategy.to_string(),
@@ -106,11 +151,39 @@ fn main() {
                 f2(out.responses.mean()),
                 side.shards_used.to_string(),
                 side.stats.max_queue_depth().to_string(),
+                f2(queue.p50_ms()),
+                f2(exec.p50_ms()),
+                f2(e2e.p99_ms()),
             ]);
+            last_snapshot = Some(tele.clone());
         }
     }
     t.emit("shard_scaling.csv");
     if let Some(path) = &args.json {
         t.emit_json(path);
+    }
+
+    let mut stage_table = ResultTable::new(
+        format!("Per-stage latency{mode} — merged across the whole sweep"),
+        &["stage", "count", "p50_ms", "p90_ms", "p99_ms"],
+    );
+    for (name, h) in STAGES.iter().zip(&merged) {
+        stage_table.row(vec![
+            name.to_string(),
+            h.count().to_string(),
+            f2(h.p50_ms()),
+            f2(h.p90_ms()),
+            f2(h.p99_ms()),
+        ]);
+    }
+    stage_table.emit("shard_scaling_stages.csv");
+
+    if let Some(path) = &args.prom {
+        let snap = last_snapshot.expect("at least one run");
+        if let Err(e) = std::fs::write(path, snap.render_prometheus()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("prometheus exposition -> {}", path.display());
+        }
     }
 }

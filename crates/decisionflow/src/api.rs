@@ -28,9 +28,17 @@
 //!   pollers and load drivers react to completions instead of
 //!   spinning on `try_wait`.
 //!
+//! Every server submission is also metered: the hot path records
+//! per-stage latencies into the shard-local histograms of
+//! [`crate::telemetry`] (snapshot via [`EngineServer::telemetry`]),
+//! and each [`InstanceResult`] carries its own
+//! [`StageTimings`](crate::telemetry::StageTimings) breakdown.
+//!
 //! [`EngineServer::submit`]: crate::server::EngineServer::submit
 //! [`EngineServer::submit_many`]: crate::server::EngineServer::submit_many
 //! [`EngineServer::subscribe`]: crate::server::EngineServer::subscribe
+//! [`EngineServer::telemetry`]: crate::server::EngineServer::telemetry
+//! [`InstanceResult`]: crate::server::InstanceResult
 //! [`InstanceResult::journal`]: crate::server::InstanceResult::journal
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -84,8 +84,28 @@ impl InstanceMetrics {
 /// the submission / dispatch / completion hot paths.
 ///
 /// Gauges (`queued_jobs`, `in_flight`) move both ways; the `submitted`
-/// / `completed` counters are monotone. All updates are `Relaxed`: the
-/// numbers are observability, not synchronization.
+/// / `completed` / `abandoned` / `deadline_exceeded` counters are
+/// monotone.
+///
+/// # Snapshot coherence
+///
+/// Increments are `Release` and [`snapshot`](Self::snapshot) loads are
+/// `Acquire`, reading `completed` and `abandoned` *before* `submitted`.
+/// Every completion increment happens-after its own submission
+/// increment (the instance travels from the submitting thread to the
+/// completing worker through the shard's job channel, whose
+/// send/receive pair establishes the ordering), so an acquire-read of
+/// `completed` means every counted completion's submission increment is
+/// also visible to the later `submitted` read. Hence a snapshot taken
+/// *while submissions race* still satisfies, per shard:
+///
+/// * `completed ≤ submitted`
+/// * `completed + abandoned ≤ submitted`
+///
+/// No such inequality is promised for `in_flight` under race (its
+/// decrement is a separate operation that may or may not be visible);
+/// the exact identity `submitted = completed + abandoned + in_flight`
+/// holds at quiescence — see [`ShardStats::accounts_exactly`].
 ///
 /// [`EngineServer`]: crate::server::EngineServer
 #[derive(Debug, Default)]
@@ -102,6 +122,8 @@ pub struct ShardGauges {
     /// Instances that died without delivering a result (a panicking
     /// task body abandoned them).
     abandoned: AtomicU64,
+    /// Completed instances that stabilized after their deadline.
+    deadline_exceeded: AtomicU64,
 }
 
 impl ShardGauges {
@@ -112,43 +134,62 @@ impl ShardGauges {
 
     /// A task execution entered the shard's job queue.
     pub fn job_enqueued(&self) {
-        self.queued_jobs.fetch_add(1, Ordering::Relaxed);
+        self.queued_jobs.fetch_add(1, Ordering::Release);
     }
 
     /// A worker thread dequeued a task execution.
     pub fn job_dequeued(&self) {
-        self.queued_jobs.fetch_sub(1, Ordering::Relaxed);
+        self.queued_jobs.fetch_sub(1, Ordering::Release);
     }
 
     /// An instance was routed to this shard.
     pub fn instance_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Release);
+        self.in_flight.fetch_add(1, Ordering::Release);
     }
 
     /// An instance completed on this shard.
     pub fn instance_completed(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Release);
+        self.in_flight.fetch_sub(1, Ordering::Release);
     }
 
     /// An instance died without delivering a result (its task body
     /// panicked); it is no longer in flight.
     pub fn instance_abandoned(&self) {
-        self.abandoned.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.abandoned.fetch_add(1, Ordering::Release);
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+
+    /// A completed instance stabilized after its deadline (counted in
+    /// addition to [`instance_completed`](Self::instance_completed)).
+    pub fn instance_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Release);
     }
 
     /// Snapshot the gauges into a plain [`ShardStats`] record.
+    ///
+    /// Reads the monotone counters `completed` and `abandoned` *first*
+    /// and `submitted` *last* (all `Acquire`), so the snapshot never
+    /// reports `completed > submitted` or `completed + abandoned >
+    /// submitted` even while submissions race — see the
+    /// [type-level docs](ShardGauges#snapshot-coherence).
     pub fn snapshot(&self, shard: usize, workers: usize) -> ShardStats {
+        let completed = self.completed.load(Ordering::Acquire);
+        let abandoned = self.abandoned.load(Ordering::Acquire);
+        let deadline_exceeded = self.deadline_exceeded.load(Ordering::Acquire);
+        let queued_jobs = self.queued_jobs.load(Ordering::Acquire);
+        let in_flight = self.in_flight.load(Ordering::Acquire);
+        let submitted = self.submitted.load(Ordering::Acquire);
         ShardStats {
             shard,
             workers,
-            queued_jobs: self.queued_jobs.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            abandoned: self.abandoned.load(Ordering::Relaxed),
+            queued_jobs,
+            in_flight,
+            submitted,
+            completed,
+            abandoned,
+            deadline_exceeded,
         }
     }
 }
@@ -170,6 +211,23 @@ pub struct ShardStats {
     pub completed: u64,
     /// Instances that died without delivering a result.
     pub abandoned: u64,
+    /// Completed instances that stabilized after their deadline.
+    pub deadline_exceeded: u64,
+}
+
+impl ShardStats {
+    /// The exact lifecycle identity `submitted = completed + abandoned
+    /// + in_flight`.
+    ///
+    /// This is a *quiescent-state* check: it holds whenever no
+    /// submission or completion is mid-update on this shard (e.g.
+    /// after every submitted ticket has been waited on). Under racing
+    /// traffic only the inequalities `completed ≤ submitted` and
+    /// `completed + abandoned ≤ submitted` are guaranteed — see
+    /// [`ShardGauges`](ShardGauges#snapshot-coherence).
+    pub fn accounts_exactly(&self) -> bool {
+        self.submitted == self.completed + self.abandoned + self.in_flight as u64
+    }
 }
 
 /// Aggregated point-in-time statistics for a sharded engine server:
@@ -214,6 +272,19 @@ impl ServerStats {
     /// Total instances that died without delivering a result.
     pub fn abandoned(&self) -> u64 {
         self.shards.iter().map(|s| s.abandoned).sum()
+    }
+
+    /// Total completed instances that stabilized after their deadline.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.shards.iter().map(|s| s.deadline_exceeded).sum()
+    }
+
+    /// `true` when every shard satisfies the exact lifecycle identity
+    /// `submitted = completed + abandoned + in_flight` — see
+    /// [`ShardStats::accounts_exactly`] for when this is guaranteed
+    /// (quiescence) versus merely likely (racing traffic).
+    pub fn accounts_exactly(&self) -> bool {
+        self.shards.iter().all(|s| s.accounts_exactly())
     }
 
     /// Deepest per-shard job queue (0 for an empty server).
@@ -297,6 +368,34 @@ mod tests {
         assert_eq!(stats.shards_used(), 2);
         assert_eq!(stats.shards[0].shard, 0);
         assert_eq!(stats.shards[1].workers, 2);
+        assert_eq!(stats.deadline_exceeded(), 0);
+        assert!(
+            stats.accounts_exactly(),
+            "quiescent gauges satisfy the lifecycle identity"
+        );
+    }
+
+    #[test]
+    fn deadline_exceeded_counts_and_accounting() {
+        let g = ShardGauges::new();
+        g.instance_submitted();
+        g.instance_submitted();
+        g.instance_submitted();
+        g.instance_completed();
+        g.instance_deadline_exceeded();
+        g.instance_abandoned();
+        let s = g.snapshot(0, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.in_flight, 1);
+        assert!(s.accounts_exactly());
+        // A torn snapshot (here: forged) fails the identity.
+        let torn = ShardStats {
+            submitted: 4,
+            ..s.clone()
+        };
+        assert!(!torn.accounts_exactly());
     }
 
     #[test]

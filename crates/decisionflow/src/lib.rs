@@ -85,6 +85,7 @@
 //! | [`rules`] | business-rule synthesis framework |
 //! | [`report`] | execution audit trail → nested-relation export |
 //! | [`server`] | the sharded multi-threaded execution module of §3 (Figure 2) |
+//! | [`telemetry`] | per-stage latency histograms, span tracing, Prometheus/JSON exposition |
 //! | [`dsl`] | textual schema language (declarative-workflow lineage) |
 
 #![warn(missing_docs)]
@@ -101,6 +102,7 @@ pub mod server;
 pub mod snapshot;
 pub mod state;
 pub mod task;
+pub mod telemetry;
 pub mod value;
 
 /// One-stop imports for typical users.
@@ -127,5 +129,6 @@ pub mod prelude {
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;
     pub use crate::task::{Cost, Task};
+    pub use crate::telemetry::{StageTimings, Telemetry, TelemetrySnapshot};
     pub use crate::value::Value;
 }

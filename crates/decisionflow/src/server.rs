@@ -13,6 +13,7 @@
 //!    │ workers   │  │ workers   │  │ workers   │  private thread pool
 //!    └───────────┘  └───────────┘  └───────────┘
 //!          ├── per-shard gauges ──▶ ServerStats   (aggregated snapshot)
+//!          ├── stage histograms ──▶ Telemetry     (Prometheus/JSON snapshot)
 //!          └── instance events  ──▶ ServerEvents  (bounded subscriptions)
 //! ```
 //!
@@ -45,7 +46,13 @@
 //!   in-flight instances, submitted/completed/abandoned counters)
 //!   which [`EngineServer::stats`] aggregates into a [`ServerStats`]
 //!   snapshot, and every instance lifecycle transition is published to
-//!   [`subscribe`]rs as an [`InstanceEvent`].
+//!   [`subscribe`]rs as an [`InstanceEvent`];
+//! * the hot path is additionally instrumented end-to-end — submit →
+//!   route → validate → enqueue → dequeue → execute → complete — into
+//!   shard-local [`crate::telemetry`] histograms; the
+//!   [`EngineServer::telemetry`] handle snapshots them (and the
+//!   recent-span ring) into Prometheus or JSON, and every
+//!   [`InstanceResult`] carries its own [`StageTimings`].
 //!
 //! Submission itself is the unified [`Request`] → [`Ticket`] surface
 //! of [`crate::api`]: journaling, per-request strategy overrides,
@@ -74,6 +81,7 @@ use crate::journal::{Journal, JournalWriter, SharedJournalWriter};
 use crate::report::ExecutionRecord;
 use crate::schema::{AttrId, Schema};
 use crate::snapshot::SnapshotError;
+use crate::telemetry::{ShardTelemetry, SpanRecord, SpanRecorder, StageTimings, Telemetry};
 
 /// Result of one instance executed by the server.
 #[derive(Clone, Debug)]
@@ -108,6 +116,11 @@ pub struct InstanceResult {
     /// pacers use to tally **late drops** without re-deriving the
     /// budget from [`Ticket::deadline`] themselves.
     pub deadline_exceeded: bool,
+    /// Per-stage latency breakdown of this instance's trip through the
+    /// server (route / validate / queue-wait / execute / end-to-end) —
+    /// the same numbers the server's [`Telemetry`] histograms
+    /// aggregate. Always `Some` for server-executed instances.
+    pub stage_timings: Option<StageTimings>,
 }
 
 /// The instance's result can never arrive. This happens when the
@@ -251,7 +264,19 @@ struct Instance {
     id: u64,
     shard: usize,
     runtime: Mutex<InstanceRuntime>,
+    /// Submission entry time (`t0` of [`SubmitTimings`]): the zero
+    /// point of both [`InstanceResult::elapsed`] and the `e2e` stage.
     started: Instant,
+    /// Durations of the submission-path stages, measured by
+    /// `submit`/`submit_many` before the instance existed.
+    route: Duration,
+    validate: Duration,
+    /// When the first scheduling round entered the shard's job queue.
+    enqueued_at: Instant,
+    /// When a worker picked the first round up (set by the initial
+    /// pump job); `enqueued_at → dequeued_at` is the `queue_wait`
+    /// stage, `dequeued_at → completion` the `execute` stage.
+    dequeued_at: Mutex<Option<Instant>>,
     done_tx: Sender<InstanceResult>,
     /// `Some` iff the request asked for journal capture; the snapshot
     /// taken at completion becomes [`InstanceResult::journal`].
@@ -274,6 +299,15 @@ struct Instance {
     gauges: Arc<ShardGauges>,
     live: LiveTable,
     events: Arc<EventHub>,
+    /// The owning shard's stage histograms and the server-wide span
+    /// ring; both are written exactly once, at completion.
+    tele: Arc<ShardTelemetry>,
+    spans: Arc<SpanRecorder>,
+}
+
+/// Saturating nanosecond count of a [`Duration`].
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 impl Instance {
@@ -304,15 +338,32 @@ impl Instance {
                             None => (None, r.finish(0).err().map(|e| e.to_string())),
                         },
                     };
+                    // Stage boundaries: the submission path measured
+                    // route/validate, the first pump job stamped the
+                    // queue-wait → execute transition; completion is
+                    // now. (A worker that died before the first pump
+                    // cannot reach this branch, so `dequeued_at` is
+                    // set — but fall back to the enqueue time rather
+                    // than panic.)
+                    let now = Instant::now();
+                    let dequeued = inst.dequeued_at.lock().unwrap_or(inst.enqueued_at);
+                    let timings = StageTimings {
+                        route_ns: dur_ns(inst.route),
+                        validate_ns: dur_ns(inst.validate),
+                        queue_wait_ns: dur_ns(dequeued.saturating_duration_since(inst.enqueued_at)),
+                        execute_ns: dur_ns(now.saturating_duration_since(dequeued)),
+                        e2e_ns: dur_ns(now.saturating_duration_since(inst.started)),
+                    };
                     finished = Some(InstanceResult {
                         record: ExecutionRecord::from_runtime(&rt, 0),
-                        elapsed: inst.started.elapsed(),
+                        elapsed: now.saturating_duration_since(inst.started),
                         shard: inst.shard,
                         instance_id: inst.id,
                         label: inst.label.clone(),
                         journal,
                         journal_error,
-                        deadline_exceeded: inst.deadline.is_some_and(|d| Instant::now() > d),
+                        deadline_exceeded: inst.deadline.is_some_and(|d| now > d),
+                        stage_timings: Some(timings),
                     });
                 }
             } else {
@@ -345,6 +396,19 @@ impl Instance {
         }
         if let Some(result) = finished {
             inst.live.lock().remove(&inst.id);
+            if let Some(t) = &result.stage_timings {
+                inst.tele.record_timings(t);
+                inst.spans.record(SpanRecord {
+                    instance_id: inst.id,
+                    shard: inst.shard,
+                    label: result.label.clone(),
+                    timings: *t,
+                    deadline_exceeded: result.deadline_exceeded,
+                });
+            }
+            if result.deadline_exceeded {
+                inst.gauges.instance_deadline_exceeded();
+            }
             inst.gauges.instance_completed();
             // Publish before sending, so a subscriber that reacts to a
             // delivered result always finds its Completed event.
@@ -413,10 +477,22 @@ struct Shard {
     gauges: Arc<ShardGauges>,
     live: LiveTable,
     events: Arc<EventHub>,
+    /// Shard-local stage histograms: workers record completions here
+    /// with zero cross-shard contention; [`EngineServer::telemetry`]
+    /// aggregates at snapshot time.
+    tele: Arc<ShardTelemetry>,
+    /// The server-wide span ring (shared: spans are one-per-completion
+    /// rare, unlike the five-samples-per-instance histograms).
+    spans: Arc<SpanRecorder>,
 }
 
 impl Shard {
-    fn new(index: usize, workers: usize, events: Arc<EventHub>) -> Result<Shard, ServerBuildError> {
+    fn new(
+        index: usize,
+        workers: usize,
+        events: Arc<EventHub>,
+        spans: Arc<SpanRecorder>,
+    ) -> Result<Shard, ServerBuildError> {
         let gauges = Arc::new(ShardGauges::new());
         let pool = WorkerPool::new(index, workers, Arc::clone(&gauges)).map_err(|source| {
             ServerBuildError {
@@ -432,6 +508,8 @@ impl Shard {
             gauges,
             live: Arc::new(Mutex::new(HashMap::new())),
             events,
+            tele: Arc::new(ShardTelemetry::new()),
+            spans,
         })
     }
 
@@ -449,6 +527,7 @@ impl Shard {
         display_name: String,
         prepared: PreparedRuntime,
         deadline: Option<Instant>,
+        timings: SubmitTimings,
     ) {
         self.gauges.instance_submitted();
         self.live.lock().insert(id, display_name);
@@ -463,7 +542,11 @@ impl Shard {
             id,
             shard: self.index,
             runtime: Mutex::new(prepared.runtime),
-            started: Instant::now(),
+            started: timings.t0,
+            route: timings.route,
+            validate: timings.validate,
+            enqueued_at: Instant::now(),
+            dequeued_at: Mutex::new(None),
             done_tx: prepared.done_tx,
             recorder: prepared.recorder,
             label,
@@ -474,6 +557,8 @@ impl Shard {
             gauges: Arc::clone(&self.gauges),
             live: Arc::clone(&self.live),
             events: Arc::clone(&self.events),
+            tele: Arc::clone(&self.tele),
+            spans: Arc::clone(&self.spans),
         });
         // Kick off the first scheduling round *on the owning shard's
         // worker pool*, not on the submitting thread. Correctness is
@@ -487,7 +572,12 @@ impl Shard {
         // single worker (after this one handoff), making recorded
         // fan-out executions byte-deterministic on
         // `with_shards(n, 1, …)` servers.
-        if !self.pool.spawn(Box::new(move || Instance::pump(&inst))) {
+        if !self.pool.spawn(Box::new(move || {
+            // A worker has the instance: the queue-wait stage ends
+            // here, the execute stage begins.
+            *inst.dequeued_at.lock() = Some(Instant::now());
+            Instance::pump(&inst)
+        })) {
             // Every worker of this shard is already dead; the dropped
             // job just released the instance's last Arc, which
             // surfaces ServerGone on the ticket instead of wedging it.
@@ -505,6 +595,18 @@ struct PreparedRuntime {
     done_tx: Sender<InstanceResult>,
 }
 
+/// Submission-path stage boundaries, measured by `submit` /
+/// `submit_many` and carried into the [`Instance`] so the completion
+/// path can assemble the full [`StageTimings`].
+struct SubmitTimings {
+    /// Submission entry — zero point of the `e2e` stage.
+    t0: Instant,
+    /// Entry → shard routed and schema resolved.
+    route: Duration,
+    /// Routed → request validated and runtime built.
+    validate: Duration,
+}
+
 /// The sharded multi-threaded decision-flow execution server.
 pub struct EngineServer {
     shards: Vec<Shard>,
@@ -512,6 +614,8 @@ pub struct EngineServer {
     /// Monotone instance-id source; ids are hashed to pick a shard.
     next_id: AtomicU64,
     events: Arc<EventHub>,
+    /// Server-wide ring of recent completed-instance spans.
+    spans: Arc<SpanRecorder>,
 }
 
 /// Errors from [`EngineServer::submit`] and
@@ -545,6 +649,10 @@ impl std::error::Error for SubmitError {}
 
 /// Default buffer capacity of an [`EngineServer::subscribe`] stream.
 const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Capacity of the server's completed-instance span ring (see
+/// [`Telemetry::recent_spans`]).
+const DEFAULT_SPAN_CAPACITY: usize = 256;
 
 impl EngineServer {
     /// Default shard count: the machine's available parallelism
@@ -582,14 +690,23 @@ impl EngineServer {
         let base = workers / nshards;
         let extra = workers % nshards;
         let events = Arc::new(EventHub::new());
+        let spans = Arc::new(SpanRecorder::new(DEFAULT_SPAN_CAPACITY));
         let shards = (0..nshards)
-            .map(|i| Shard::new(i, base + usize::from(i < extra), Arc::clone(&events)))
+            .map(|i| {
+                Shard::new(
+                    i,
+                    base + usize::from(i < extra),
+                    Arc::clone(&events),
+                    Arc::clone(&spans),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EngineServer {
             shards,
             strategy,
             next_id: AtomicU64::new(0),
             events,
+            spans,
         })
     }
 
@@ -606,14 +723,23 @@ impl EngineServer {
             "worker pool needs at least one thread"
         );
         let events = Arc::new(EventHub::new());
+        let spans = Arc::new(SpanRecorder::new(DEFAULT_SPAN_CAPACITY));
         let shards = (0..shards)
-            .map(|i| Shard::new(i, workers_per_shard, Arc::clone(&events)))
+            .map(|i| {
+                Shard::new(
+                    i,
+                    workers_per_shard,
+                    Arc::clone(&events),
+                    Arc::clone(&spans),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EngineServer {
             shards,
             strategy,
             next_id: AtomicU64::new(0),
             events,
+            spans,
         })
     }
 
@@ -663,6 +789,21 @@ impl EngineServer {
                 .iter()
                 .map(|s| s.gauges.snapshot(s.index, s.workers))
                 .collect(),
+        }
+    }
+
+    /// Handle onto the server's runtime telemetry: per-stage latency
+    /// histograms (shard-local, lock-free — aggregated only when the
+    /// handle [`snapshot`](Telemetry::snapshot)s), lifecycle counters,
+    /// and the recent-span ring. The handle holds `Arc`s, so it stays
+    /// valid (and cheap to poll once a second from a dashboard thread)
+    /// for as long as the caller keeps it — see
+    /// `examples/server_dashboard.rs`.
+    pub fn telemetry(&self) -> Telemetry {
+        Telemetry {
+            shards: self.shards.iter().map(|s| Arc::clone(&s.tele)).collect(),
+            gauges: self.shards.iter().map(|s| Arc::clone(&s.gauges)).collect(),
+            spans: Arc::clone(&self.spans),
         }
     }
 
@@ -799,6 +940,7 @@ impl EngineServer {
     ///
     /// [`register`]: EngineServer::register
     pub fn submit(&self, request: impl Into<Request>) -> Result<Ticket, SubmitError> {
+        let t0 = Instant::now();
         let request = request.into();
         let id = self.next_id();
         let shard = self.shard_for(id);
@@ -806,13 +948,23 @@ impl EngineServer {
             Some(inline) => Arc::clone(inline),
             None => shard.schema_for(request.schema_name().expect("named or inline"))?,
         };
+        let routed = Instant::now();
         let (prepared, done_rx) = self.prepare(schema, &request)?;
+        let validated = Instant::now();
         // An unrepresentable deadline (e.g. Duration::MAX budget)
         // saturates to "no deadline" rather than panicking.
-        let deadline = request
-            .deadline
-            .and_then(|budget| Instant::now().checked_add(budget));
-        shard.start(id, request.display_name(), prepared, deadline);
+        let deadline = request.deadline.and_then(|budget| t0.checked_add(budget));
+        shard.start(
+            id,
+            request.display_name(),
+            prepared,
+            deadline,
+            SubmitTimings {
+                t0,
+                route: routed.saturating_duration_since(t0),
+                validate: validated.saturating_duration_since(routed),
+            },
+        );
         Ok(Ticket::new(done_rx, id, shard.index, deadline))
     }
 
@@ -833,6 +985,7 @@ impl EngineServer {
         I: IntoIterator,
         I::Item: Into<Request>,
     {
+        let t0 = Instant::now();
         let requests: Vec<Request> = requests.into_iter().map(Into::into).collect();
         // Phase 1 — route: assign ids and group request indices by shard.
         let ids: Vec<u64> = requests.iter().map(|_| self.next_id()).collect();
@@ -840,12 +993,16 @@ impl EngineServer {
         for (i, &id) in ids.iter().enumerate() {
             by_shard[self.shard_for(id).index].push(i);
         }
+        // The whole batch shares the routing phase; validation is
+        // timed per request below.
+        let route = Instant::now().saturating_duration_since(t0);
         // Phase 2 — validate: per shard, resolve named schemas under
         // one read-lock acquisition (memoized per distinct name) and
         // build every runtime. Nothing has started yet, so any failure
         // aborts the whole batch cleanly.
         let mut prepared: Vec<Option<(PreparedRuntime, Receiver<InstanceResult>)>> = Vec::new();
         prepared.resize_with(requests.len(), || None);
+        let mut validates: Vec<Duration> = vec![Duration::ZERO; requests.len()];
         for (sidx, indices) in by_shard.iter().enumerate() {
             if indices.is_empty() {
                 continue;
@@ -854,6 +1011,7 @@ impl EngineServer {
             let mut memo: HashMap<&str, Arc<Schema>> = HashMap::new();
             for &i in indices {
                 let request = &requests[i];
+                let validate_start = Instant::now();
                 let schema = match request.schema() {
                     Some(inline) => Arc::clone(inline),
                     None => {
@@ -872,6 +1030,7 @@ impl EngineServer {
                     }
                 };
                 prepared[i] = Some(self.prepare(schema, request)?);
+                validates[i] = Instant::now().saturating_duration_since(validate_start);
             }
         }
         // Phase 3 — start everything, tickets in submission order.
@@ -881,7 +1040,17 @@ impl EngineServer {
             let (ready, done_rx) = prepared[i].take().expect("validated above");
             let shard = self.shard_for(ids[i]);
             let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
-            shard.start(ids[i], request.display_name(), ready, deadline);
+            shard.start(
+                ids[i],
+                request.display_name(),
+                ready,
+                deadline,
+                SubmitTimings {
+                    t0,
+                    route,
+                    validate: validates[i],
+                },
+            );
             tickets.push(Ticket::new(done_rx, ids[i], shard.index, deadline));
         }
         Ok(tickets)

@@ -1,0 +1,257 @@
+//! Exposition formats: one snapshot, two renderings.
+//!
+//! A [`TelemetrySnapshot`] is the plain-data aggregation of a server's
+//! per-shard telemetry (see [`Telemetry::snapshot`]). It serializes to
+//! canonical JSON ([`TelemetrySnapshot::to_json`] /
+//! [`TelemetrySnapshot::from_json`] round-trip losslessly) and renders
+//! to the Prometheus text exposition format
+//! ([`TelemetrySnapshot::render_prometheus`]) — counters as
+//! `dflow_<name>_total`, gauges as `dflow_<name>`, and every stage
+//! histogram as one `dflow_stage_latency_seconds` family labelled by
+//! stage, with cumulative `le` buckets in seconds. Both renderings
+//! expose the same numbers; the telemetry test suite cross-checks
+//! them.
+//!
+//! [`Telemetry::snapshot`]: super::Telemetry::snapshot
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use super::histogram::{bucket_upper, HistogramSnapshot};
+
+/// A named monotone counter value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Metric name (snake_case, e.g. `instances_submitted`).
+    pub name: String,
+    /// Counter value summed over all shards.
+    pub value: u64,
+}
+
+/// A named up/down gauge value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeValue {
+    /// Metric name (snake_case, e.g. `instances_in_flight`).
+    pub name: String,
+    /// Gauge value summed over all shards.
+    pub value: i64,
+}
+
+/// One pipeline stage's latency histogram, merged over all shards.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Stage name (see [`Stage::name`](super::Stage::name)).
+    pub stage: String,
+    /// Merged per-shard histogram.
+    pub histogram: HistogramSnapshot,
+}
+
+/// Point-in-time aggregation of a server's telemetry: counters,
+/// gauges, and per-stage latency histograms, merged across shards.
+/// Obtained from [`Telemetry::snapshot`](super::Telemetry::snapshot);
+/// plain data, safe to ship across threads or serialize.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Number of shards the snapshot aggregates.
+    pub shards: usize,
+    /// Monotone counters, sorted by name.
+    pub counters: Vec<CounterValue>,
+    /// Up/down gauges, sorted by name.
+    pub gauges: Vec<GaugeValue>,
+    /// Per-stage latency histograms, in pipeline order.
+    pub stages: Vec<StageLatency>,
+}
+
+impl TelemetrySnapshot {
+    /// Value of the counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of the gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The latency histogram of stage `name`, if present.
+    pub fn stage(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == name)
+            .map(|s| &s.histogram)
+    }
+
+    /// Canonical JSON rendering (deterministic field order).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parse a snapshot back from [`to_json`](Self::to_json) output.
+    pub fn from_json(s: &str) -> Result<TelemetrySnapshot, serde::Error> {
+        serde::json::from_str(s)
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters become `dflow_<name>_total`, gauges `dflow_<name>`
+    /// (plus `dflow_shards`), and the stage histograms one
+    /// `dflow_stage_latency_seconds` histogram family labelled
+    /// `stage="<name>"` with cumulative `le` buckets in seconds
+    /// (trailing empty buckets elided, `+Inf` always present).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# HELP dflow_shards Number of server shards.");
+        let _ = writeln!(out, "# TYPE dflow_shards gauge");
+        let _ = writeln!(out, "dflow_shards {}", self.shards);
+        for c in &self.counters {
+            let name = sanitize(&c.name);
+            let _ = writeln!(out, "# TYPE dflow_{name}_total counter");
+            let _ = writeln!(out, "dflow_{name}_total {}", c.value);
+        }
+        for g in &self.gauges {
+            let name = sanitize(&g.name);
+            let _ = writeln!(out, "# TYPE dflow_{name} gauge");
+            let _ = writeln!(out, "dflow_{name} {}", g.value);
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP dflow_stage_latency_seconds Per-stage instance latency."
+            );
+            let _ = writeln!(out, "# TYPE dflow_stage_latency_seconds histogram");
+        }
+        for s in &self.stages {
+            let stage = sanitize(&s.stage);
+            let h = &s.histogram;
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&c| c > 0)
+                .unwrap_or(0)
+                .min(h.buckets.len().saturating_sub(1));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate().take(last + 1) {
+                cum += c;
+                let _ = writeln!(
+                    out,
+                    "dflow_stage_latency_seconds_bucket{{stage=\"{stage}\",le=\"{}\"}} {cum}",
+                    le_seconds(bucket_upper(i)),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "dflow_stage_latency_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}",
+                h.count(),
+            );
+            let _ = writeln!(
+                out,
+                "dflow_stage_latency_seconds_sum{{stage=\"{stage}\"}} {}",
+                h.sum_ns as f64 / 1e9,
+            );
+            let _ = writeln!(
+                out,
+                "dflow_stage_latency_seconds_count{{stage=\"{stage}\"}} {}",
+                h.count(),
+            );
+        }
+        out
+    }
+}
+
+/// Bucket upper bound (nanoseconds) as a Prometheus `le` value in
+/// seconds. The overflow bucket's bound is unrepresentable; it is
+/// only ever rendered as `+Inf` by the caller.
+fn le_seconds(upper_ns: u64) -> String {
+    format!("{}", upper_ns as f64 / 1e9)
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; anything else
+/// becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::histogram::LatencyHistogram;
+
+    fn sample() -> TelemetrySnapshot {
+        let h = LatencyHistogram::new();
+        h.record_ns(1_000);
+        h.record_ns(2_000_000);
+        TelemetrySnapshot {
+            shards: 2,
+            counters: vec![CounterValue {
+                name: "instances_submitted".into(),
+                value: 2,
+            }],
+            gauges: vec![GaugeValue {
+                name: "instances_in_flight".into(),
+                value: 0,
+            }],
+            stages: vec![StageLatency {
+                stage: "e2e".into(),
+                histogram: h.snapshot(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn lookup_helpers_find_by_name() {
+        let snap = sample();
+        assert_eq!(snap.counter("instances_submitted"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("instances_in_flight"), Some(0));
+        assert_eq!(snap.stage("e2e").unwrap().count(), 2);
+        assert!(snap.stage("route").is_none());
+    }
+
+    #[test]
+    fn prometheus_rendering_has_expected_lines() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("dflow_shards 2"), "{text}");
+        assert!(text.contains("dflow_instances_submitted_total 2"), "{text}");
+        assert!(text.contains("dflow_instances_in_flight 0"), "{text}");
+        assert!(
+            text.contains("dflow_stage_latency_seconds_count{stage=\"e2e\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dflow_stage_latency_seconds_bucket{stage=\"e2e\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative bucket decreased: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn sanitize_replaces_illegal_chars() {
+        assert_eq!(sanitize("queue.wait-p99"), "queue_wait_p99");
+        assert_eq!(sanitize("ok_name:x9"), "ok_name:x9");
+    }
+}

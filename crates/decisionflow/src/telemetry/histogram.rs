@@ -1,0 +1,307 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`LatencyHistogram`] is a fixed array of atomic bucket counters
+//! with power-of-two nanosecond boundaries: bucket 0 holds exact
+//! zeros, bucket `i` (for `1 ≤ i < `[`BUCKET_COUNT`]` − 1`) holds
+//! samples in `[2^(i−1), 2^i)`, and the last bucket saturates —
+//! everything at or above [`OVERFLOW_NS`] lands there, so no sample is
+//! ever lost however absurd. Recording is one `fetch_add` per sample
+//! (plus a running sum and max), making the hot path safe to call from
+//! every worker thread with zero coordination; percentiles are
+//! extracted from a [`HistogramSnapshot`] by a cumulative bucket walk,
+//! so a reported quantile is the *upper bound* of the bucket holding
+//! the nearest-rank sample — within one bucket width of the exact
+//! order statistic (a property the telemetry test suite checks against
+//! raw sample lists).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: `{0}`, 42 power-of-two octaves covering
+/// 1 ns … ~73 min, and one saturating overflow bucket.
+pub const BUCKET_COUNT: usize = 44;
+
+/// Samples at or above this value (2^42 ns ≈ 73 minutes) land in the
+/// saturating overflow bucket.
+pub const OVERFLOW_NS: u64 = 1 << (BUCKET_COUNT as u64 - 2);
+
+/// Bucket index for a sample of `ns` nanoseconds.
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0 for the zero bucket).
+pub fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        (1 << i) - 1
+    }
+}
+
+/// A lock-free latency histogram with log-spaced (power-of-two
+/// nanosecond) buckets. See the [module docs](self) for the bucket
+/// layout. Updates are `Relaxed` atomics: the histogram is an
+/// observability surface, not a synchronization primitive, and a
+/// snapshot taken mid-record may miss the in-flight sample.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record one sample given as a [`Duration`] (saturating at
+    /// `u64::MAX` nanoseconds, far inside the overflow bucket anyway).
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Copy the current counters into an immutable
+    /// [`HistogramSnapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`]: plain counters that
+/// can be merged across shards, serialized, and walked for
+/// percentiles.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_lower`] /
+    /// [`bucket_upper`] for the boundaries).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded samples, nanoseconds (wrapping on overflow,
+    /// which takes ~584 years of accumulated latency).
+    pub sum_ns: u64,
+    /// Largest sample ever recorded, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Mean sample in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / n as f64 / 1e6
+        }
+    }
+
+    /// Nearest-rank quantile in nanoseconds: the upper bound of the
+    /// bucket containing the rank-`⌈q·n⌉` sample, capped at the
+    /// largest recorded sample. Within one bucket width of the exact
+    /// order statistic; 0 when empty. `q` is clamped to `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// [`quantile_ns`](Self::quantile_ns) in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1e6
+    }
+
+    /// Median latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 90th-percentile latency, milliseconds.
+    pub fn p90_ms(&self) -> f64 {
+        self.quantile_ms(0.90)
+    }
+
+    /// 99th-percentile latency, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise addition) —
+    /// how per-shard histograms aggregate into a server-wide view at
+    /// snapshot time.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum_ns = self.sum_ns.wrapping_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_tight() {
+        // Bucket i covers [2^(i-1), 2^i): both edges must classify
+        // consistently with lower/upper.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for i in 1..BUCKET_COUNT - 1 {
+            let lo = bucket_lower(i);
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn zero_samples_yield_zero_everything() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile_ns(0.5), 0);
+        assert_eq!(s.mean_ms(), 0.0);
+        assert_eq!(s.p99_ms(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = LatencyHistogram::new();
+        h.record_ns(1_234_567);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        // One sample: every quantile reports it exactly (the max cap
+        // tightens the bucket's upper bound to the sample itself).
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile_ns(q), 1_234_567, "q={q}");
+        }
+        assert_eq!(s.max_ns, 1_234_567);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates() {
+        let h = LatencyHistogram::new();
+        h.record_ns(OVERFLOW_NS); // first value of the overflow bucket
+        h.record_ns(u64::MAX); // absurd sample: still counted
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.buckets[BUCKET_COUNT - 1], 2);
+        assert_eq!(s.quantile_ns(1.0), u64::MAX);
+        assert_eq!(s.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn exact_zero_counts_in_the_zero_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~1µs), 10 slow (~1ms): p50 in the fast
+        // bucket, p99 in the slow one.
+        for _ in 0..90 {
+            h.record_ns(1_000);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert!(s.quantile_ns(0.5) < 2_048, "p50 = {}", s.quantile_ns(0.5));
+        assert!(
+            s.quantile_ns(0.99) >= 524_288,
+            "p99 = {}",
+            s.quantile_ns(0.99)
+        );
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_keeps_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(100);
+        a.record_ns(200);
+        b.record_ns(1_000_000);
+        let mut sa = a.snapshot();
+        let sb = b.snapshot();
+        sa.merge(&sb);
+        assert_eq!(sa.count(), 3);
+        assert_eq!(sa.sum_ns, 1_000_300);
+        assert_eq!(sa.max_ns, 1_000_000);
+    }
+}

@@ -1,0 +1,356 @@
+//! Runtime telemetry: per-stage latency histograms, span tracing, and
+//! a Prometheus/JSON metrics surface.
+//!
+//! The paper's claims are measurements; this module is how the live
+//! server produces them. Every instance's trip through the
+//! [`EngineServer`] is timestamped at the stage boundaries
+//!
+//! ```text
+//! submit ──route──▶ validate ──enqueue──▶ dequeue ──execute──▶ complete
+//!    └────────────────────────── e2e ───────────────────────────┘
+//! ```
+//!
+//! and recorded into **per-shard** [`LatencyHistogram`]s — lock-free
+//! log-bucketed atomics with zero cross-shard contention, aggregated
+//! only at snapshot time exactly like `ShardGauges::snapshot`. The
+//! stages ([`Stage`]):
+//!
+//! | stage | interval |
+//! |---|---|
+//! | `route` | submission entry → shard chosen, schema resolved |
+//! | `validate` | source validation + runtime construction |
+//! | `queue_wait` | first scheduling round enqueued → picked up by a worker |
+//! | `execute` | worker pickup → target stabilization |
+//! | `e2e` | submission entry → target stabilization |
+//!
+//! Three consumption surfaces, all hanging off
+//! [`EngineServer::telemetry`]:
+//!
+//! * [`Telemetry::snapshot`] → [`TelemetrySnapshot`], which renders as
+//!   canonical JSON ([`TelemetrySnapshot::to_json`]) or Prometheus
+//!   text ([`TelemetrySnapshot::render_prometheus`]);
+//! * [`Telemetry::recent_spans`] → the last N completed instances'
+//!   full [`StageTimings`] breakdowns (a bounded, drop-counting ring —
+//!   see [`SpanRecorder`]);
+//! * per-result: every `InstanceResult` carries its own
+//!   [`StageTimings`].
+//!
+//! The building blocks — [`Registry`], [`Counter`], [`Gauge`],
+//! [`LatencyHistogram`] — are public and server-independent, so
+//! drivers and benches can meter their own pipelines the same way.
+//!
+//! [`EngineServer`]: crate::server::EngineServer
+//! [`EngineServer::telemetry`]: crate::server::EngineServer::telemetry
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::metrics::ShardGauges;
+
+pub mod exposition;
+pub mod histogram;
+pub mod registry;
+pub mod spans;
+
+pub use exposition::{CounterValue, GaugeValue, StageLatency, TelemetrySnapshot};
+pub use histogram::{
+    bucket_index, bucket_lower, bucket_upper, HistogramSnapshot, LatencyHistogram, BUCKET_COUNT,
+    OVERFLOW_NS,
+};
+pub use registry::{Counter, Gauge, MetricSnapshot, Registry};
+pub use spans::{SpanRecord, SpanRecorder};
+
+/// The instrumented stages of an instance's trip through the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Submission entry → shard routed and schema resolved.
+    Route,
+    /// Request validation and runtime construction.
+    Validate,
+    /// First scheduling round enqueued → picked up by a worker.
+    QueueWait,
+    /// Worker pickup → target stabilization.
+    Execute,
+    /// Submission entry → target stabilization (the whole trip).
+    EndToEnd,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Route,
+        Stage::Validate,
+        Stage::QueueWait,
+        Stage::Execute,
+        Stage::EndToEnd,
+    ];
+
+    /// Snake_case stage name, as used in metric names and snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Route => "route",
+            Stage::Validate => "validate",
+            Stage::QueueWait => "queue_wait",
+            Stage::Execute => "execute",
+            Stage::EndToEnd => "e2e",
+        }
+    }
+}
+
+/// Per-stage latency breakdown of one completed instance, in
+/// nanoseconds. Attached to every server `InstanceResult` and to
+/// every [`SpanRecord`].
+///
+/// The first four stages partition the instance's critical path (up
+/// to scheduling gaps of a few hundred nanoseconds between stage
+/// boundaries), so their sum tracks [`e2e_ns`](Self::e2e_ns) closely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Submission entry → shard routed and schema resolved.
+    pub route_ns: u64,
+    /// Request validation and runtime construction.
+    pub validate_ns: u64,
+    /// First scheduling round enqueued → picked up by a worker.
+    pub queue_wait_ns: u64,
+    /// Worker pickup → target stabilization.
+    pub execute_ns: u64,
+    /// Submission entry → target stabilization.
+    pub e2e_ns: u64,
+}
+
+impl StageTimings {
+    /// The recorded duration of one stage.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        match stage {
+            Stage::Route => self.route_ns,
+            Stage::Validate => self.validate_ns,
+            Stage::QueueWait => self.queue_wait_ns,
+            Stage::Execute => self.execute_ns,
+            Stage::EndToEnd => self.e2e_ns,
+        }
+    }
+
+    /// Sum of the four component stages (everything except `e2e`,
+    /// which spans them).
+    pub fn sum_of_stages_ns(&self) -> u64 {
+        self.route_ns + self.validate_ns + self.queue_wait_ns + self.execute_ns
+    }
+}
+
+/// One shard's telemetry: a [`Registry`] whose stage histograms are
+/// pre-resolved into an array for single-indirection recording on the
+/// completion path. Each shard owns its own `ShardTelemetry`, so
+/// recording never contends across shards.
+#[derive(Debug)]
+pub struct ShardTelemetry {
+    registry: Registry,
+    stages: [Arc<LatencyHistogram>; Stage::ALL.len()],
+}
+
+impl Default for ShardTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardTelemetry {
+    /// Fresh shard telemetry with every [`Stage`] histogram
+    /// registered.
+    pub fn new() -> ShardTelemetry {
+        let registry = Registry::new();
+        let stages = Stage::ALL.map(|s| registry.histogram(s.name()));
+        ShardTelemetry { registry, stages }
+    }
+
+    /// Record one stage sample, nanoseconds.
+    pub fn record_stage(&self, stage: Stage, ns: u64) {
+        self.stages[stage as usize].record_ns(ns);
+    }
+
+    /// Record a completed instance's full breakdown (all five
+    /// stages).
+    pub fn record_timings(&self, t: &StageTimings) {
+        for stage in Stage::ALL {
+            self.record_stage(stage, t.stage_ns(stage));
+        }
+    }
+
+    /// The underlying registry, for registering additional metrics
+    /// alongside the stage histograms.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// Cloneable handle onto a server's telemetry, obtained from
+/// [`EngineServer::telemetry`](crate::server::EngineServer::telemetry).
+/// Holds `Arc`s into the per-shard registries and the span ring, so it
+/// keeps working (and stays cheap to poll) while — and even after —
+/// the server runs.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    pub(crate) shards: Vec<Arc<ShardTelemetry>>,
+    pub(crate) gauges: Vec<Arc<ShardGauges>>,
+    pub(crate) spans: Arc<SpanRecorder>,
+}
+
+impl Telemetry {
+    /// Number of shards observed.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregate every shard's registry and gauges into one
+    /// [`TelemetrySnapshot`]: counters and gauges sum name-wise,
+    /// histograms merge bucket-wise, and the server's lifecycle
+    /// counters (submitted / completed / abandoned /
+    /// deadline-exceeded, in-flight, queue depth) plus the span ring's
+    /// totals are folded in as `instances_*` / `jobs_queued` /
+    /// `spans_*` metrics.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+        let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.registry().snapshot() {
+                match metric {
+                    MetricSnapshot::Counter(v) => *counters.entry(name).or_default() += v,
+                    MetricSnapshot::Gauge(v) => *gauges.entry(name).or_default() += v,
+                    MetricSnapshot::Histogram(h) => {
+                        hists.entry(name).or_default().merge(&h);
+                    }
+                }
+            }
+        }
+        for (i, g) in self.gauges.iter().enumerate() {
+            let s = g.snapshot(i, 0);
+            *counters.entry("instances_submitted".into()).or_default() += s.submitted;
+            *counters.entry("instances_completed".into()).or_default() += s.completed;
+            *counters.entry("instances_abandoned".into()).or_default() += s.abandoned;
+            *counters
+                .entry("instances_deadline_exceeded".into())
+                .or_default() += s.deadline_exceeded;
+            *gauges.entry("instances_in_flight".into()).or_default() += s.in_flight as i64;
+            *gauges.entry("jobs_queued".into()).or_default() += s.queued_jobs as i64;
+        }
+        *counters.entry("spans_recorded".into()).or_default() += self.spans.recorded();
+        *counters.entry("spans_evicted".into()).or_default() += self.spans.evicted();
+        // Stage histograms first, in pipeline order; any additional
+        // registered histograms follow alphabetically.
+        let mut stages = Vec::new();
+        for stage in Stage::ALL {
+            if let Some(h) = hists.remove(stage.name()) {
+                stages.push(StageLatency {
+                    stage: stage.name().to_string(),
+                    histogram: h,
+                });
+            }
+        }
+        for (name, h) in hists {
+            stages.push(StageLatency {
+                stage: name,
+                histogram: h,
+            });
+        }
+        TelemetrySnapshot {
+            shards: self.shards.len(),
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterValue { name, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, value)| GaugeValue { name, value })
+                .collect(),
+            stages,
+        }
+    }
+
+    /// The most recent completed-instance spans, oldest first (at
+    /// most [`SpanRecorder::capacity`] of them).
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        self.spans.recent()
+    }
+
+    /// Spans evicted from the ring to make room for newer ones — the
+    /// drop count of the incident buffer.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.evicted()
+    }
+
+    /// Convenience: [`snapshot`](Self::snapshot) rendered as
+    /// Prometheus text, ready to serve from a scrape endpoint.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["route", "validate", "queue_wait", "execute", "e2e"]);
+    }
+
+    #[test]
+    fn stage_timings_sum_components() {
+        let t = StageTimings {
+            route_ns: 1,
+            validate_ns: 2,
+            queue_wait_ns: 3,
+            execute_ns: 4,
+            e2e_ns: 11,
+        };
+        assert_eq!(t.sum_of_stages_ns(), 10);
+        assert_eq!(t.stage_ns(Stage::QueueWait), 3);
+        assert_eq!(t.stage_ns(Stage::EndToEnd), 11);
+    }
+
+    #[test]
+    fn shard_telemetry_records_into_stage_histograms() {
+        let tele = ShardTelemetry::new();
+        tele.record_timings(&StageTimings {
+            route_ns: 10,
+            validate_ns: 20,
+            queue_wait_ns: 30,
+            execute_ns: 40,
+            e2e_ns: 100,
+        });
+        for stage in Stage::ALL {
+            let h = tele.registry().histogram(stage.name()).snapshot();
+            assert_eq!(h.count(), 1, "stage {}", stage.name());
+        }
+    }
+
+    #[test]
+    fn snapshot_merges_shards_and_orders_stages() {
+        let a = Arc::new(ShardTelemetry::new());
+        let b = Arc::new(ShardTelemetry::new());
+        a.record_stage(Stage::EndToEnd, 1_000);
+        b.record_stage(Stage::EndToEnd, 2_000);
+        a.registry().counter("custom_hits").add(3);
+        b.registry().counter("custom_hits").add(4);
+        let tele = Telemetry {
+            shards: vec![a, b],
+            gauges: vec![Arc::new(ShardGauges::new()), Arc::new(ShardGauges::new())],
+            spans: Arc::new(SpanRecorder::new(8)),
+        };
+        let snap = tele.snapshot();
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.counter("custom_hits"), Some(7));
+        assert_eq!(snap.counter("instances_submitted"), Some(0));
+        assert_eq!(snap.gauge("instances_in_flight"), Some(0));
+        assert_eq!(snap.stage("e2e").unwrap().count(), 2);
+        let stage_names: Vec<&str> = snap.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            stage_names,
+            ["route", "validate", "queue_wait", "execute", "e2e"],
+            "pipeline order preserved"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Ring-buffer span recorder: the last N completed instances with
+//! their full stage breakdowns, for incident analysis.
+//!
+//! Histograms answer *"where does time go on average?"*; spans answer
+//! *"what did the slow one do?"*. Every completed instance deposits a
+//! [`SpanRecord`] into a bounded ring buffer — when full, the oldest
+//! record is evicted and counted (the same drop-counting contract as
+//! `ServerEvents` buffers), so the recorder can never grow without
+//! bound or wedge the completion path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use super::StageTimings;
+
+/// One completed instance's trace: identity plus the per-stage
+/// latency breakdown ([`StageTimings`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Server-assigned instance id (matches tickets and events).
+    pub instance_id: u64,
+    /// Shard that executed the instance.
+    pub shard: usize,
+    /// The request's label, if any.
+    pub label: Option<String>,
+    /// Per-stage latency breakdown.
+    pub timings: StageTimings,
+    /// Whether the instance stabilized after its deadline.
+    pub deadline_exceeded: bool,
+}
+
+/// Bounded ring buffer of recent [`SpanRecord`]s with eviction
+/// counting. Recording takes one short mutex hold; the recorder is
+/// shared server-wide (spans are rare — one per instance completion —
+/// so cross-shard contention is negligible, unlike the per-stage
+/// histograms which record five samples per instance and stay
+/// shard-local).
+#[derive(Debug)]
+pub struct SpanRecorder {
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+    recorded: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SpanRecorder {
+    /// A recorder keeping at most `capacity` recent spans (at least 1).
+    pub fn new(capacity: usize) -> SpanRecorder {
+        SpanRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            recorded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deposit a span, evicting (and counting) the oldest when full.
+    pub fn record(&self, span: SpanRecord) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Total spans ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted to make room (the drop count: `recorded −
+    /// evicted` ≤ capacity spans are retained).
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64) -> SpanRecord {
+        SpanRecord {
+            instance_id: id,
+            shard: 0,
+            label: None,
+            timings: StageTimings::default(),
+            deadline_exceeded: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let r = SpanRecorder::new(3);
+        for id in 0..5 {
+            r.record(span(id));
+        }
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.evicted(), 2);
+        let ids: Vec<u64> = r.recent().iter().map(|s| s.instance_id).collect();
+        assert_eq!(ids, [2, 3, 4], "oldest evicted, order preserved");
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let r = SpanRecorder::new(0);
+        r.record(span(1));
+        r.record(span(2));
+        assert_eq!(r.recent().len(), 1);
+        assert_eq!(r.evicted(), 1);
+    }
+}

@@ -67,6 +67,6 @@ pub use sweep::{
     unit_sweep_with_options, SweepResult,
 };
 pub use workload::{
-    Arrival, Backend, LatencyUnit, LoadError, LoadReport, Percentiles, PhaseCounts, Server,
-    ServerSideStats, SimDb, SimDbStats, UnitTime, Workload,
+    Arrival, Backend, LatencyUnit, LoadError, LoadReport, OnServer, Percentiles, PhaseCounts,
+    Server, ServerSideStats, SimDb, SimDbStats, UnitTime, Workload,
 };

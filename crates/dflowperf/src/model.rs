@@ -29,6 +29,18 @@
 //! 2. **program choice** — combine the guideline map `minT(Work)` with
 //!    `UnitTime(Work)` to predict `TimeInSeconds = minT(W) × UnitTime(W)`
 //!    and pick the `W` (and its strategy) minimizing it (Figure 9(b)).
+//!
+//! The model's `TimeInSeconds` in Equation (3) is the *execution*
+//! component of response time; the real server's runtime telemetry
+//! measures the same decomposition empirically. A
+//! [`crate::workload::Server`] run embeds a
+//! `decisionflow::telemetry::TelemetrySnapshot` in its
+//! [`ServerSideStats`](crate::workload::ServerSideStats): the `execute`
+//! stage histogram is the measured counterpart of Equation (3), and
+//! `queue_wait` is the backlog term the infinite-resource model omits —
+//! comparing their percentiles against the `e2e` histogram shows
+//! directly whether a saturating run is execution-bound (UnitTime
+//! inflation, Equation 1) or queueing-bound.
 
 use crate::dbfunc::DbFunction;
 

@@ -55,6 +55,7 @@ use decisionflow::engine::{scheduler, InstanceRuntime, RuntimeOptions, ServerSta
 use decisionflow::schema::AttrId;
 use decisionflow::server::{EngineServer, ServerBuildError};
 use decisionflow::snapshot::complete_snapshot;
+use decisionflow::telemetry::TelemetrySnapshot;
 use decisionflow::value::Value;
 use desim::{exp_time, Model, Scheduler, SimTime, Simulation, Tally};
 use dflowgen::{generate, GeneratedFlow, PatternParams};
@@ -405,6 +406,12 @@ pub struct ServerSideStats {
     pub stats: ServerStats,
     /// Distinct shards that executed at least one instance.
     pub shards_used: usize,
+    /// The server's telemetry at the end of the run: per-stage latency
+    /// histograms (route / validate / queue-wait / execute / e2e) and
+    /// lifecycle counters, so a load report decomposes its end-to-end
+    /// latency into where the time actually went — renderable as JSON
+    /// or Prometheus text.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Measured outcome of one [`Workload`] run — the same shape on every
@@ -1070,209 +1077,225 @@ impl Server {
             self.shards
         };
         let server = EngineServer::with_shards(shards, self.workers_per_shard, strategy)?;
-        for (i, flow) in workload.flows.iter().enumerate() {
-            server.register(format!("flow{i}"), std::sync::Arc::clone(&flow.schema));
-        }
+        register_flows(&server, workload);
         Ok(server)
     }
+}
 
-    fn request(workload: &Workload, i: usize) -> Request {
-        let flow = &workload.flows[i % workload.flows.len()];
-        let mut req = Request::named(format!("flow{}", i % workload.flows.len()))
-            .sources(flow.sources.clone())
-            .options(workload.options);
-        if let Some(budget) = workload.deadline {
-            req = req.deadline(budget);
-        }
-        req
+/// Register the workload's flows into `server` as `flow0`, `flow1`, …
+/// — the names [`server_request`] submits against. [`OnServer`] calls
+/// this on a *caller-owned* server, overwriting any schemas previously
+/// registered under those names.
+fn register_flows(server: &EngineServer, workload: &Workload) {
+    for (i, flow) in workload.flows.iter().enumerate() {
+        server.register(format!("flow{i}"), std::sync::Arc::clone(&flow.schema));
     }
+}
 
-    /// Closed waves: `clients`-sized `submit_many` batches, each wave
-    /// awaited before the next.
-    fn run_closed(
-        &self,
-        workload: &Workload,
-        strategy: Strategy,
-        total: usize,
-        clients: usize,
-    ) -> Result<LoadReport, LoadError> {
-        let server = self.build(strategy, workload)?;
-        let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
-        let mut shards_seen = std::collections::HashSet::new();
-        let t0 = Instant::now();
-        // Starts when the first wave containing a measured instance is
-        // submitted, so the throughput window covers every measured
-        // instance but neither server construction nor pure-warmup
-        // waves.
-        let mut measure_t0: Option<Instant> = None;
-        let mut next = 0usize;
-        while next < total {
-            let wave = clients.min(total - next);
-            if measure_t0.is_none() && next + wave > workload.warmup {
-                measure_t0 = Some(Instant::now());
-            }
-            let tickets = server
-                .submit_many((0..wave).map(|k| Self::request(workload, next + k)))
-                .map_err(|e| LoadError::Exec(e.to_string()))?;
-            for (k, t) in tickets.into_iter().enumerate() {
-                acc.settle_ticket(next + k, t, &mut shards_seen);
-            }
-            next += wave;
-        }
-        let wall = t0.elapsed();
-        let measured_wall = measure_t0.map(|t| t.elapsed()).unwrap_or(wall);
-        let mut report = acc.into_report(ReportFrame {
-            backend: self.name(),
-            workload,
-            strategy,
-            submitted: total,
-            window_secs: measured_wall.as_secs_f64().max(1e-9),
-            wall,
-            latency_unit: LatencyUnit::Millis,
-        });
-        report.server = Some(ServerSideStats {
-            stats: server.stats(),
-            shards_used: shards_seen.len(),
-        });
-        Ok(report)
+/// The `i`-th request of a server run. The strategy is set explicitly
+/// (not left to the server default) so a borrowed [`OnServer`] backend
+/// runs the workload's strategy even when the caller built the server
+/// with a different one.
+fn server_request(workload: &Workload, strategy: Strategy, i: usize) -> Request {
+    let flow = &workload.flows[i % workload.flows.len()];
+    let mut req = Request::named(format!("flow{}", i % workload.flows.len()))
+        .sources(flow.sources.clone())
+        .options(workload.options)
+        .strategy(strategy);
+    if let Some(budget) = workload.deadline {
+        req = req.deadline(budget);
     }
+    req
+}
 
-    /// Open Poisson pacing: the calling thread is the pacer. It
-    /// submits each instance at its (seeded, exponential-gap) arrival
-    /// time and spends the idle time between arrivals consuming the
-    /// server's event stream, collecting each completed instance's
-    /// result the moment its `Completed` event lands — no ticket
-    /// polling. Pacing continues regardless of backlog: that is what
-    /// makes the system saturate when offered load exceeds capacity.
-    fn run_open(
-        &self,
-        workload: &Workload,
-        strategy: Strategy,
-        total: usize,
-        rate: f64,
-    ) -> Result<LoadReport, LoadError> {
-        let server = self.build(strategy, workload)?;
-        // Submitted + Completed/Abandoned per instance, plus headroom:
-        // sized so the consumer (which drains continuously) never
-        // forces drops; a fallback below handles the pathological case
-        // anyway.
-        let events = server.subscribe_with_capacity(2 * total + 64);
-        let mut rng = StdRng::seed_from_u64(workload.seed);
-        let mean = SimTime::from_secs_f64(1.0 / rate);
-        let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
-        let mut pending: HashMap<u64, (usize, decisionflow::api::Ticket)> = HashMap::new();
-        let mut shards_seen = std::collections::HashSet::new();
-        let t0 = Instant::now();
-        let mut measure_t0 = t0;
-        let mut last_done = t0;
-        let mut next_arrival = t0;
-        let mut submitted = 0usize;
-        let mut accounted = 0usize;
-
-        let settle = |ev: decisionflow::api::InstanceEvent,
-                      pending: &mut HashMap<u64, (usize, decisionflow::api::Ticket)>,
-                      acc: &mut Accounting,
-                      shards_seen: &mut std::collections::HashSet<usize>,
-                      accounted: &mut usize,
-                      last_done: &mut Instant| {
-            use decisionflow::api::InstanceEvent as E;
-            match ev {
-                E::Submitted { .. } => {}
-                E::Completed { instance_id, .. } | E::Abandoned { instance_id, .. } => {
-                    if let Some((idx, ticket)) = pending.remove(&instance_id) {
-                        // A terminal event is published just before
-                        // the result is sent (or the sender dropped),
-                        // so this wait is at most a few microseconds —
-                        // and it is the only wait the pacer ever does
-                        // on a ticket.
-                        acc.settle_ticket(idx, ticket, shards_seen);
-                        *accounted += 1;
-                        *last_done = Instant::now();
-                    }
-                }
-            }
-        };
-
-        while accounted < total {
-            if submitted < total {
-                let now = Instant::now();
-                if now >= next_arrival {
-                    if submitted == workload.warmup {
-                        measure_t0 = now;
-                    }
-                    let ticket = server
-                        .submit(Self::request(workload, submitted))
-                        .map_err(|e| LoadError::Exec(e.to_string()))?;
-                    pending.insert(ticket.instance_id(), (submitted, ticket));
-                    submitted += 1;
-                    let gap = exp_time(&mut rng, mean);
-                    next_arrival += Duration::from_secs_f64(gap.as_secs_f64());
-                    continue;
-                }
-                // Idle until the next arrival: react to completions.
-                let wait = next_arrival.saturating_duration_since(now);
-                match events.recv_timeout(wait) {
-                    Ok(Some(ev)) => settle(
-                        ev,
-                        &mut pending,
-                        &mut acc,
-                        &mut shards_seen,
-                        &mut accounted,
-                        &mut last_done,
-                    ),
-                    Ok(None) => {}
-                    Err(_gone) => break,
-                }
-            } else {
-                // Everything submitted: drain the event stream. If the
-                // subscription ever dropped events (it should not: the
-                // buffer covers the whole run), fall back to waiting
-                // the remaining tickets directly so the run still
-                // accounts exactly.
-                if events.dropped() > 0 {
-                    for (idx, ticket) in pending.drain().map(|(_, v)| v) {
-                        acc.settle_ticket(idx, ticket, &mut shards_seen);
-                        last_done = Instant::now();
-                    }
-                    break;
-                }
-                match events.recv_timeout(Duration::from_millis(50)) {
-                    Ok(Some(ev)) => settle(
-                        ev,
-                        &mut pending,
-                        &mut acc,
-                        &mut shards_seen,
-                        &mut accounted,
-                        &mut last_done,
-                    ),
-                    Ok(None) => {}
-                    Err(_gone) => break,
-                }
-            }
+/// Closed waves against an already-built server: `clients`-sized
+/// `submit_many` batches, each wave awaited before the next.
+fn run_closed_on(
+    server: &EngineServer,
+    backend: &'static str,
+    workload: &Workload,
+    strategy: Strategy,
+    total: usize,
+    clients: usize,
+) -> Result<LoadReport, LoadError> {
+    let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
+    let mut shards_seen = std::collections::HashSet::new();
+    let t0 = Instant::now();
+    // Starts when the first wave containing a measured instance is
+    // submitted, so the throughput window covers every measured
+    // instance but neither server construction nor pure-warmup
+    // waves.
+    let mut measure_t0: Option<Instant> = None;
+    let mut next = 0usize;
+    while next < total {
+        let wave = clients.min(total - next);
+        if measure_t0.is_none() && next + wave > workload.warmup {
+            measure_t0 = Some(Instant::now());
         }
-        // Any instance still unaccounted (event stream gone) is lost.
-        for _ in pending.drain() {
-            acc.abandoned();
+        let tickets = server
+            .submit_many((0..wave).map(|k| server_request(workload, strategy, next + k)))
+            .map_err(|e| LoadError::Exec(e.to_string()))?;
+        for (k, t) in tickets.into_iter().enumerate() {
+            acc.settle_ticket(next + k, t, &mut shards_seen);
         }
-        let wall = t0.elapsed();
-        let window = last_done
-            .saturating_duration_since(measure_t0)
-            .as_secs_f64();
-        let mut report = acc.into_report(ReportFrame {
-            backend: self.name(),
-            workload,
-            strategy,
-            submitted: total,
-            window_secs: window.max(1e-9),
-            wall,
-            latency_unit: LatencyUnit::Millis,
-        });
-        report.server = Some(ServerSideStats {
-            stats: server.stats(),
-            shards_used: shards_seen.len(),
-        });
-        Ok(report)
+        next += wave;
     }
+    let wall = t0.elapsed();
+    let measured_wall = measure_t0.map(|t| t.elapsed()).unwrap_or(wall);
+    let mut report = acc.into_report(ReportFrame {
+        backend,
+        workload,
+        strategy,
+        submitted: total,
+        window_secs: measured_wall.as_secs_f64().max(1e-9),
+        wall,
+        latency_unit: LatencyUnit::Millis,
+    });
+    report.server = Some(ServerSideStats {
+        stats: server.stats(),
+        shards_used: shards_seen.len(),
+        telemetry: server.telemetry().snapshot(),
+    });
+    Ok(report)
+}
+
+/// Open Poisson pacing against an already-built server: the calling
+/// thread is the pacer. It submits each instance at its (seeded,
+/// exponential-gap) arrival time and spends the idle time between
+/// arrivals consuming the server's event stream, collecting each
+/// completed instance's result the moment its `Completed` event lands
+/// — no ticket polling. Pacing continues regardless of backlog: that
+/// is what makes the system saturate when offered load exceeds
+/// capacity.
+fn run_open_on(
+    server: &EngineServer,
+    backend: &'static str,
+    workload: &Workload,
+    strategy: Strategy,
+    total: usize,
+    rate: f64,
+) -> Result<LoadReport, LoadError> {
+    // Submitted + Completed/Abandoned per instance, plus headroom:
+    // sized so the consumer (which drains continuously) never
+    // forces drops; a fallback below handles the pathological case
+    // anyway.
+    let events = server.subscribe_with_capacity(2 * total + 64);
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mean = SimTime::from_secs_f64(1.0 / rate);
+    let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
+    let mut pending: HashMap<u64, (usize, decisionflow::api::Ticket)> = HashMap::new();
+    let mut shards_seen = std::collections::HashSet::new();
+    let t0 = Instant::now();
+    let mut measure_t0 = t0;
+    let mut last_done = t0;
+    let mut next_arrival = t0;
+    let mut submitted = 0usize;
+    let mut accounted = 0usize;
+
+    let settle = |ev: decisionflow::api::InstanceEvent,
+                  pending: &mut HashMap<u64, (usize, decisionflow::api::Ticket)>,
+                  acc: &mut Accounting,
+                  shards_seen: &mut std::collections::HashSet<usize>,
+                  accounted: &mut usize,
+                  last_done: &mut Instant| {
+        use decisionflow::api::InstanceEvent as E;
+        match ev {
+            E::Submitted { .. } => {}
+            E::Completed { instance_id, .. } | E::Abandoned { instance_id, .. } => {
+                if let Some((idx, ticket)) = pending.remove(&instance_id) {
+                    // A terminal event is published just before
+                    // the result is sent (or the sender dropped),
+                    // so this wait is at most a few microseconds —
+                    // and it is the only wait the pacer ever does
+                    // on a ticket.
+                    acc.settle_ticket(idx, ticket, shards_seen);
+                    *accounted += 1;
+                    *last_done = Instant::now();
+                }
+            }
+        }
+    };
+
+    while accounted < total {
+        if submitted < total {
+            let now = Instant::now();
+            if now >= next_arrival {
+                if submitted == workload.warmup {
+                    measure_t0 = now;
+                }
+                let ticket = server
+                    .submit(server_request(workload, strategy, submitted))
+                    .map_err(|e| LoadError::Exec(e.to_string()))?;
+                pending.insert(ticket.instance_id(), (submitted, ticket));
+                submitted += 1;
+                let gap = exp_time(&mut rng, mean);
+                next_arrival += Duration::from_secs_f64(gap.as_secs_f64());
+                continue;
+            }
+            // Idle until the next arrival: react to completions.
+            let wait = next_arrival.saturating_duration_since(now);
+            match events.recv_timeout(wait) {
+                Ok(Some(ev)) => settle(
+                    ev,
+                    &mut pending,
+                    &mut acc,
+                    &mut shards_seen,
+                    &mut accounted,
+                    &mut last_done,
+                ),
+                Ok(None) => {}
+                Err(_gone) => break,
+            }
+        } else {
+            // Everything submitted: drain the event stream. If the
+            // subscription ever dropped events (it should not: the
+            // buffer covers the whole run), fall back to waiting
+            // the remaining tickets directly so the run still
+            // accounts exactly.
+            if events.dropped() > 0 {
+                for (idx, ticket) in pending.drain().map(|(_, v)| v) {
+                    acc.settle_ticket(idx, ticket, &mut shards_seen);
+                    last_done = Instant::now();
+                }
+                break;
+            }
+            match events.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(ev)) => settle(
+                    ev,
+                    &mut pending,
+                    &mut acc,
+                    &mut shards_seen,
+                    &mut accounted,
+                    &mut last_done,
+                ),
+                Ok(None) => {}
+                Err(_gone) => break,
+            }
+        }
+    }
+    // Any instance still unaccounted (event stream gone) is lost.
+    for _ in pending.drain() {
+        acc.abandoned();
+    }
+    let wall = t0.elapsed();
+    let window = last_done
+        .saturating_duration_since(measure_t0)
+        .as_secs_f64();
+    let mut report = acc.into_report(ReportFrame {
+        backend,
+        workload,
+        strategy,
+        submitted: total,
+        window_secs: window.max(1e-9),
+        wall,
+        latency_unit: LatencyUnit::Millis,
+    });
+    report.server = Some(ServerSideStats {
+        stats: server.stats(),
+        shards_used: shards_seen.len(),
+        telemetry: server.telemetry().snapshot(),
+    });
+    Ok(report)
 }
 
 impl Backend for Server {
@@ -1282,9 +1305,63 @@ impl Backend for Server {
 
     fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
         let Resolved { strategy, total } = workload.resolve()?;
+        let server = self.build(strategy, workload)?;
         match workload.arrival {
-            Arrival::Closed { clients, .. } => self.run_closed(workload, strategy, total, clients),
-            Arrival::Poisson { rate } => self.run_open(workload, strategy, total, rate),
+            Arrival::Closed { clients, .. } => {
+                run_closed_on(&server, self.name(), workload, strategy, total, clients)
+            }
+            Arrival::Poisson { rate } => {
+                run_open_on(&server, self.name(), workload, strategy, total, rate)
+            }
+        }
+    }
+}
+
+/// A [`Backend`] that runs the workload on a **caller-owned**
+/// [`EngineServer`] instead of building a private one — the workload
+/// becomes one load source among whatever else the server is doing,
+/// and its effects show up in the server's own
+/// [`telemetry`](EngineServer::telemetry), stats, and event streams
+/// (which is exactly what a live dashboard wants; see
+/// `examples/server_dashboard.rs`).
+///
+/// Differences from [`Server`]:
+///
+/// * the server's shard/worker layout is whatever the caller built;
+/// * [`run`](Backend::run) registers the workload's flows into the
+///   server as `flow0`, `flow1`, … — overwriting schemas previously
+///   registered under those names;
+/// * every request carries the workload's strategy explicitly, so the
+///   server's default strategy does not leak into the run;
+/// * the final [`ServerSideStats`] snapshot aggregates the server's
+///   whole history, not just this workload's instances.
+#[derive(Clone, Copy)]
+pub struct OnServer<'a> {
+    server: &'a EngineServer,
+}
+
+impl<'a> OnServer<'a> {
+    /// Run workloads on `server` instead of a freshly built one.
+    pub fn new(server: &'a EngineServer) -> OnServer<'a> {
+        OnServer { server }
+    }
+}
+
+impl Backend for OnServer<'_> {
+    fn name(&self) -> &'static str {
+        "server"
+    }
+
+    fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
+        let Resolved { strategy, total } = workload.resolve()?;
+        register_flows(self.server, workload);
+        match workload.arrival {
+            Arrival::Closed { clients, .. } => {
+                run_closed_on(self.server, self.name(), workload, strategy, total, clients)
+            }
+            Arrival::Poisson { rate } => {
+                run_open_on(self.server, self.name(), workload, strategy, total, rate)
+            }
         }
     }
 }
