@@ -1,0 +1,182 @@
+//! Pass (a): tri-valued abstract interpretation of enabling conditions.
+//!
+//! The abstract environment views every attribute whose runtime fate is
+//! unknown as [`AttrView::Unstable`] and every attribute already proven
+//! dead as stable ⊥ ([`Value::Null`]) — exactly how a disabled
+//! attribute looks to the runtime once its condition decides `False`.
+//! Because [`Expr::eval`] is monotone under refinement, any decided
+//! verdict over this coarsest-possible environment holds for **every**
+//! concrete instance:
+//!
+//! * `False` → the attribute is *dead*: disabled on all inputs (DF001);
+//! * `True`  → the attribute is *always enabled*: its task runs on all
+//!   inputs, so an eager strategy may schedule it unconditionally;
+//! * `Unknown` → genuinely input-dependent (*dynamic*).
+//!
+//! One sweep in topological order reaches the fixpoint: enabling
+//! references point backward in topo order (the dependency graph is
+//! acyclic and unions enabling edges), so every referenced attribute is
+//! classified before its consumers are evaluated, and dead verdicts
+//! cascade (an attribute gated on `dead > 5` is itself dead, one gated
+//! on `isnull(dead)` is always enabled).
+
+use crate::expr::{AttrView, Tri, ValueEnv};
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+
+use super::{Code, Finding, Severity};
+
+/// Static classification of one attribute's enabling condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum CondClass {
+    /// Statically true: enabled on every instance (sources included).
+    Always,
+    /// Statically false: disabled (⊥) on every instance.
+    Dead,
+    /// Input-dependent: undecidable ahead of time.
+    Dynamic,
+}
+
+/// Result of the condition pass: one [`CondClass`] per attribute.
+pub(super) struct CondFacts {
+    class: Vec<CondClass>,
+}
+
+impl CondFacts {
+    pub(super) fn class(&self, a: AttrId) -> CondClass {
+        self.class[a.index()]
+    }
+
+    pub(super) fn is_dead(&self, a: AttrId) -> bool {
+        self.class(a) == CondClass::Dead
+    }
+
+    /// Non-source attributes statically proven enabled, in id order.
+    pub(super) fn always_enabled(&self, schema: &Schema) -> Vec<AttrId> {
+        schema
+            .attr_ids()
+            .filter(|&a| !schema.is_source(a) && self.class(a) == CondClass::Always)
+            .collect()
+    }
+
+    /// Statically-dead attributes, in id order.
+    pub(super) fn dead_attrs(&self, schema: &Schema) -> Vec<AttrId> {
+        schema.attr_ids().filter(|&a| self.is_dead(a)).collect()
+    }
+}
+
+/// The coarsest abstraction of any runtime instance: dead attributes
+/// are stable ⊥, everything else (sources included) is unstable.
+struct AbsEnv {
+    dead: Vec<bool>,
+    null: Value,
+}
+
+impl ValueEnv for AbsEnv {
+    fn view(&self, a: AttrId) -> AttrView<'_> {
+        if self.dead.get(a.index()).copied().unwrap_or(false) {
+            AttrView::Stable(&self.null)
+        } else {
+            AttrView::Unstable
+        }
+    }
+}
+
+/// Run the abstract interpretation to its fixpoint.
+pub(super) fn interpret(schema: &Schema) -> CondFacts {
+    let n = schema.len();
+    let mut class = vec![CondClass::Dynamic; n];
+    let mut env = AbsEnv {
+        dead: vec![false; n],
+        null: Value::Null,
+    };
+    for &a in schema.topo_order() {
+        if schema.is_source(a) {
+            class[a.index()] = CondClass::Always;
+            continue;
+        }
+        class[a.index()] = match schema.attr(a).enabling.eval(&env) {
+            Tri::False => {
+                env.dead[a.index()] = true;
+                CondClass::Dead
+            }
+            Tri::True => CondClass::Always,
+            Tri::Unknown => CondClass::Dynamic,
+        };
+    }
+    CondFacts { class }
+}
+
+/// Emit the condition-pass findings: DF001 (dead, Error when the dead
+/// attribute is a target), DF005 (always enabled, Info), DF007 (a
+/// still-dynamic condition reading a dead attribute, Info).
+pub(super) fn report(schema: &Schema, facts: &CondFacts, findings: &mut Vec<Finding>) {
+    for a in schema.attr_ids() {
+        if schema.is_source(a) {
+            continue;
+        }
+        let def = schema.attr(a);
+        match facts.class(a) {
+            CondClass::Dead => {
+                let on_target = def.target;
+                let sev = if on_target {
+                    Severity::Error
+                } else {
+                    Severity::Warn
+                };
+                let mut f = Finding::new(
+                    Code::DeadAttr,
+                    sev,
+                    format!(
+                        "enabling condition is statically false: {:?} can never be \
+                         enabled and always stabilizes to ⊥",
+                        def.name
+                    ),
+                )
+                .on_attr(def.name.clone())
+                .detail(format!("condition: {}", def.enabling));
+                if on_target {
+                    f = f.detail("this attribute is a target: the flow can never produce it");
+                }
+                findings.push(f);
+            }
+            CondClass::Always => {
+                findings.push(
+                    Finding::new(
+                        Code::AlwaysEnabled,
+                        Severity::Info,
+                        format!(
+                            "enabling condition is statically true: {:?} is enabled on \
+                             every instance (safe to schedule eagerly)",
+                            def.name
+                        ),
+                    )
+                    .on_attr(def.name.clone()),
+                );
+            }
+            CondClass::Dynamic => {
+                let dead_refs: Vec<&str> = schema
+                    .enabling_refs(a)
+                    .iter()
+                    .filter(|&&r| facts.is_dead(r))
+                    .map(|&r| schema.attr(r).name.as_str())
+                    .collect();
+                if !dead_refs.is_empty() {
+                    findings.push(
+                        Finding::new(
+                            Code::RefsDeadAttr,
+                            Severity::Info,
+                            format!(
+                                "enabling condition of {:?} reads statically-dead \
+                                 attribute(s): those predicates are constant",
+                                def.name
+                            ),
+                        )
+                        .on_attr(def.name.clone())
+                        .detail(format!("dead references: {}", dead_refs.join(", "))),
+                    );
+                }
+            }
+        }
+    }
+}

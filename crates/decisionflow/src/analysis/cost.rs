@@ -1,0 +1,102 @@
+//! Pass (c): per-target completion-cost envelopes.
+//!
+//! Unit-time semantics charge each launched task its [`Cost`] in time
+//! units, with unlimited parallelism across ready tasks. Two DAG
+//! sweeps bound every target's completion time:
+//!
+//! * **max** — node-weighted longest path to the target over the
+//!   *union* graph (data ∪ enabling edges). An attribute stabilizes no
+//!   later than the latest of its union-parents' stabilizations plus
+//!   its own cost (zero for sources and statically-dead attributes,
+//!   whose ⊥ verdict costs nothing to reach). This is a sound upper
+//!   bound for the all-eager strategy at 100% permitted; lazier
+//!   strategies can only be *slower*, so a deadline above `max_cost`
+//!   is achievable and one below it is at risk (DF010 Warn).
+//!
+//! * **min** — longest *data-edge* chain of statically
+//!   [always-enabled](super::AnalysisSummary::always_enabled)
+//!   attributes ending at the target. Every attribute on such a chain
+//!   provably executes on every instance, and each must finish before
+//!   the next can launch — mandatory sequential work **no** strategy
+//!   can avoid. A deadline below `min_cost` is infeasible outright
+//!   (DF010 Error). Targets not statically always-enabled get
+//!   `min_cost = 0`: on some inputs they may disable immediately.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{AttrId, Schema};
+use crate::task::Cost;
+
+use super::condition::{CondClass, CondFacts};
+
+/// Completion-cost bounds for one target attribute, in units of
+/// processing (the unit-time clock).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetEnvelope {
+    /// The target attribute.
+    pub target: AttrId,
+    /// Its name (for rendering without the schema at hand).
+    pub name: String,
+    /// Mandatory sequential work: no strategy completes the target in
+    /// fewer units on any input (0 if the target may disable).
+    pub min_cost: Cost,
+    /// Worst-case critical path: the all-eager strategy completes the
+    /// target within this many units on every input.
+    pub max_cost: Cost,
+}
+
+/// Compute the envelope of every target.
+pub(super) fn envelopes(schema: &Schema, facts: &CondFacts) -> Vec<TargetEnvelope> {
+    let n = schema.len();
+
+    // maxc[a]: latest stabilization over the union graph.
+    let mut maxc = vec![0 as Cost; n];
+    // minc[a]: mandatory work ending at `a`, meaningful only when `a`
+    // is always-enabled (sources count as always-enabled with cost 0).
+    let mut minc = vec![0 as Cost; n];
+
+    for &a in schema.topo_order() {
+        let i = a.index();
+        let def = schema.attr(a);
+
+        let late_parent = def
+            .inputs
+            .iter()
+            .chain(schema.enabling_refs(a))
+            .map(|&p| maxc[p.index()])
+            .max()
+            .unwrap_or(0);
+        let own = if schema.is_source(a) || facts.is_dead(a) {
+            0
+        } else {
+            schema.cost(a)
+        };
+        maxc[i] = late_parent + own;
+
+        if !schema.is_source(a) && facts.class(a) == CondClass::Always {
+            let mandatory_parent = def
+                .inputs
+                .iter()
+                .filter(|&&p| schema.is_source(p) || facts.class(p) == CondClass::Always)
+                .map(|&p| minc[p.index()])
+                .max()
+                .unwrap_or(0);
+            minc[i] = mandatory_parent + schema.cost(a);
+        }
+    }
+
+    schema
+        .targets()
+        .iter()
+        .map(|&t| TargetEnvelope {
+            target: t,
+            name: schema.attr(t).name.clone(),
+            min_cost: if facts.class(t) == CondClass::Always && !schema.is_source(t) {
+                minc[t.index()]
+            } else {
+                0
+            },
+            max_cost: maxc[t.index()],
+        })
+        .collect()
+}

@@ -1,0 +1,192 @@
+//! Pass (b): reachability and redundancy over the dependency graph.
+//!
+//! The dependency graph unions **data-flow** edges (task inputs) and
+//! **enabling-flow** edges (condition references). Two sweeps:
+//!
+//! * forward BFS from the sources over consumer lists — anything not
+//!   reached can never observe an input value (DF002);
+//! * backward BFS from the targets over in-edges — anything not
+//!   reached can never influence what the flow is asked to produce
+//!   (DF003, the paper's "unneeded attribute" made static).
+//!
+//! Plus a local redundancy check: an enabling reference that is *also*
+//! a data input of the same attribute adds no information — the data
+//! edge already forces the dependency (DF004) — and module-level
+//! rollups of the per-attribute verdicts (DF006).
+
+use std::collections::VecDeque;
+
+use crate::schema::{AttrId, Module, Schema};
+
+use super::condition::CondFacts;
+use super::{Code, Finding, Severity};
+
+/// Result of the reachability pass.
+pub(super) struct Reach {
+    from_source: Vec<bool>,
+    to_target: Vec<bool>,
+}
+
+impl Reach {
+    /// Attributes unreachable from every source, in id order.
+    pub(super) fn unreachable(&self, schema: &Schema) -> Vec<AttrId> {
+        schema
+            .attr_ids()
+            .filter(|&a| !self.from_source[a.index()])
+            .collect()
+    }
+
+    /// Attributes that cannot influence any target, in id order.
+    pub(super) fn irrelevant(&self, schema: &Schema) -> Vec<AttrId> {
+        schema
+            .attr_ids()
+            .filter(|&a| !self.to_target[a.index()])
+            .collect()
+    }
+}
+
+/// Run both BFS sweeps and emit DF002/DF003/DF004.
+pub(super) fn analyze(schema: &Schema, findings: &mut Vec<Finding>) -> Reach {
+    let n = schema.len();
+
+    let mut from_source = vec![false; n];
+    let mut queue: VecDeque<AttrId> = schema.sources().iter().copied().collect();
+    for &s in schema.sources() {
+        from_source[s.index()] = true;
+    }
+    while let Some(a) = queue.pop_front() {
+        for &c in schema
+            .data_consumers(a)
+            .iter()
+            .chain(schema.enabling_consumers(a))
+        {
+            if !from_source[c.index()] {
+                from_source[c.index()] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+
+    let mut to_target = vec![false; n];
+    let mut queue: VecDeque<AttrId> = schema.targets().iter().copied().collect();
+    for &t in schema.targets() {
+        to_target[t.index()] = true;
+    }
+    while let Some(a) = queue.pop_front() {
+        let def = schema.attr(a);
+        for &p in def.inputs.iter().chain(schema.enabling_refs(a)) {
+            if !to_target[p.index()] {
+                to_target[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+
+    for a in schema.attr_ids() {
+        let def = schema.attr(a);
+        if !from_source[a.index()] && !schema.is_source(a) {
+            findings.push(
+                Finding::new(
+                    Code::Unreachable,
+                    Severity::Warn,
+                    format!(
+                        "{:?} is unreachable from every source: no chain of data or \
+                         enabling edges connects an input to it",
+                        def.name
+                    ),
+                )
+                .on_attr(def.name.clone()),
+            );
+        }
+        if !to_target[a.index()] {
+            findings.push(
+                Finding::new(
+                    Code::NoTargetInfluence,
+                    Severity::Warn,
+                    format!(
+                        "{:?} cannot influence any target: no target reads it, \
+                         directly or transitively (dead code)",
+                        def.name
+                    ),
+                )
+                .on_attr(def.name.clone()),
+            );
+        }
+        let redundant: Vec<&str> = schema
+            .enabling_refs(a)
+            .iter()
+            .filter(|r| def.inputs.contains(r))
+            .map(|&r| schema.attr(r).name.as_str())
+            .collect();
+        if !redundant.is_empty() {
+            findings.push(
+                Finding::new(
+                    Code::RedundantEnablingEdge,
+                    Severity::Info,
+                    format!(
+                        "enabling condition of {:?} references its own data input(s); \
+                         the data edge already forces the dependency",
+                        def.name
+                    ),
+                )
+                .on_attr(def.name.clone())
+                .detail(format!("duplicated edges from: {}", redundant.join(", "))),
+            );
+        }
+    }
+
+    Reach {
+        from_source,
+        to_target,
+    }
+}
+
+/// Module-level rollup (DF006): a module every member of which is dead
+/// or target-irrelevant is an orphan — its enabling condition and all
+/// its tasks are wasted weight; an empty module is noted as Info.
+pub(super) fn module_orphans(
+    schema: &Schema,
+    modules: &[Module],
+    facts: &CondFacts,
+    reach: &Reach,
+    findings: &mut Vec<Finding>,
+) {
+    for m in modules {
+        if m.members.is_empty() {
+            findings.push(
+                Finding::new(
+                    Code::ModuleOrphan,
+                    Severity::Info,
+                    format!("module {:?} declares no attributes", m.path),
+                )
+                .on_module(m.path.clone()),
+            );
+            continue;
+        }
+        let all_dead = m.members.iter().all(|&a| facts.is_dead(a));
+        let all_irrelevant = m.members.iter().all(|&a| !reach.to_target[a.index()]);
+        if all_dead || all_irrelevant {
+            let why = if all_dead {
+                "every member is statically dead"
+            } else {
+                "no member can influence any target"
+            };
+            findings.push(
+                Finding::new(
+                    Code::ModuleOrphan,
+                    Severity::Warn,
+                    format!("module {:?} is an orphan: {why}", m.path),
+                )
+                .on_module(m.path.clone())
+                .detail(format!(
+                    "members: {}",
+                    m.members
+                        .iter()
+                        .map(|&a| schema.attr(a).name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            );
+        }
+    }
+}

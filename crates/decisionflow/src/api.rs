@@ -138,6 +138,7 @@ pub struct Request {
     pub(crate) journal_stream: Option<JournalStream>,
     pub(crate) deadline: Option<Duration>,
     pub(crate) label: Option<String>,
+    pub(crate) strict_analysis: bool,
 }
 
 impl Request {
@@ -151,6 +152,7 @@ impl Request {
             journal_stream: None,
             deadline: None,
             label: None,
+            strict_analysis: false,
         }
     }
 
@@ -253,6 +255,22 @@ impl Request {
         self
     }
 
+    /// Opt in to **strict static analysis**: before execution the
+    /// schema is run through [`crate::analysis::check`], and any
+    /// Error-level finding (e.g. DF001 on a target — the flow can
+    /// never produce what it is asked for) rejects the request with
+    /// [`RequestError::Analysis`] / `SubmitError::Analysis` instead of
+    /// running it. A rejected request does not consume a streaming
+    /// journal sink. Off by default: analysis walks the whole schema,
+    /// which is wasted work when the caller already linted it (e.g.
+    /// via [`EngineServer::register_checked`]).
+    ///
+    /// [`EngineServer::register_checked`]: crate::server::EngineServer::register_checked
+    pub fn strict_analysis(mut self, strict: bool) -> Request {
+        self.strict_analysis = strict;
+        self
+    }
+
     /// The registered-schema name this request targets, if any.
     pub fn schema_name(&self) -> Option<&str> {
         match &self.target {
@@ -318,6 +336,9 @@ pub enum RequestError {
     /// The request's [`stream_journal`](Request::stream_journal) sink
     /// was already consumed by an earlier execution of this request.
     StreamConsumed,
+    /// [`Request::strict_analysis`] was set and the static analyzer
+    /// found Error-level defects in the schema (the carried findings).
+    Analysis(Vec<crate::analysis::Finding>),
 }
 
 impl std::fmt::Display for RequestError {
@@ -337,6 +358,17 @@ impl std::fmt::Display for RequestError {
                 "the request's journal-stream sink was already consumed by an earlier \
                  execution; attach a fresh sink with Request::stream_journal"
             ),
+            RequestError::Analysis(findings) => {
+                write!(
+                    f,
+                    "strict analysis rejected the schema with {} error-level finding(s):",
+                    findings.len()
+                )?;
+                for finding in findings {
+                    write!(f, "\n  {finding}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -378,9 +410,17 @@ pub fn run(request: &Request) -> Result<RunReport, ExecError> {
     let strategy = request
         .strategy
         .ok_or(ExecError::Request(RequestError::MissingStrategy))?;
-    // Validate the sources *before* taking a one-shot streaming sink:
-    // a rejected request must not consume the sink (the caller fixes
-    // the bindings and runs the same request again).
+    // Strict analysis and source validation both run *before* taking a
+    // one-shot streaming sink: a rejected request must not consume the
+    // sink (the caller fixes the request and runs it again).
+    if request.strict_analysis {
+        let report = crate::analysis::check(schema);
+        if report.has_errors() {
+            return Err(ExecError::Request(RequestError::Analysis(
+                report.errors().cloned().collect(),
+            )));
+        }
+    }
     request.sources.validate(schema)?;
     let journal_mode = match &request.journal_stream {
         Some(stream) => unit_exec::JournalMode::Stream(
@@ -793,6 +833,70 @@ mod tests {
         let journal = recorded.journal.expect("requested journal");
         assert_eq!(journal.strategy, "PCE100");
         assert!(!journal.frames.is_empty());
+    }
+
+    #[test]
+    fn strict_analysis_rejects_dead_target() {
+        // Target gated statically false: the flow can never produce it.
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.synthesis("t", vec![s], Expr::Lit(false), |v| v[0].clone());
+        b.mark_target(t);
+        let schema = Arc::new(b.build().unwrap());
+
+        let req = Request::with_schema(Arc::clone(&schema))
+            .bind(s, 1i64)
+            .strategy("PSE100".parse().unwrap())
+            .strict_analysis(true);
+        let err = req.run().unwrap_err();
+        match err {
+            ExecError::Request(RequestError::Analysis(ref findings)) => {
+                assert!(findings
+                    .iter()
+                    .any(|f| f.code == crate::analysis::Code::DeadAttr
+                        && f.attr.as_deref() == Some("t")));
+                assert!(err.to_string().contains("DF001"));
+            }
+            other => panic!("expected Analysis rejection, got {other:?}"),
+        }
+
+        // Without strict mode the same request executes (the target
+        // stabilizes to ⊥, which is a valid complete snapshot).
+        let report = Request::with_schema(schema)
+            .bind(s, 1i64)
+            .strategy("PSE100".parse().unwrap())
+            .run()
+            .unwrap();
+        assert_eq!(report.outcome.runtime.stable_value(t), Some(&Value::Null));
+    }
+
+    #[test]
+    fn strict_analysis_accepts_clean_schema_and_spares_the_sink() {
+        let (schema, s, t) = tiny_schema();
+        let report = Request::with_schema(Arc::clone(&schema))
+            .bind(s, 3i64)
+            .strategy("PSE100".parse().unwrap())
+            .strict_analysis(true)
+            .run()
+            .unwrap();
+        assert_eq!(report.outcome.runtime.stable_value(t), Some(&Value::Int(3)));
+
+        // A strict rejection must not consume a streaming sink.
+        let mut b = SchemaBuilder::new();
+        let s2 = b.source("s");
+        let t2 = b.synthesis("t", vec![s2], Expr::Lit(false), |v| v[0].clone());
+        b.mark_target(t2);
+        let dead = Arc::new(b.build().unwrap());
+        let req = Request::with_schema(dead)
+            .bind(s2, 1i64)
+            .strategy("PSE100".parse().unwrap())
+            .stream_journal(Vec::new())
+            .strict_analysis(true);
+        assert!(req.run().is_err());
+        assert!(
+            req.journal_stream.as_ref().unwrap().take().is_some(),
+            "sink must survive an up-front rejection"
+        );
     }
 
     #[test]

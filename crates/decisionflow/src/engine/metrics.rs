@@ -134,36 +134,44 @@ impl ShardGauges {
 
     /// A task execution entered the shard's job queue.
     pub fn job_enqueued(&self) {
+        // ordering: Release publishes the bump to Acquire snapshots.
         self.queued_jobs.fetch_add(1, Ordering::Release);
     }
 
     /// A worker thread dequeued a task execution.
     pub fn job_dequeued(&self) {
+        // ordering: Release publishes the decrement to Acquire snapshots.
         self.queued_jobs.fetch_sub(1, Ordering::Release);
     }
 
     /// An instance was routed to this shard.
     pub fn instance_submitted(&self) {
+        // ordering: Release keeps `submitted` visible no later than the
+        // matching `in_flight` bump for Acquire snapshots.
         self.submitted.fetch_add(1, Ordering::Release);
-        self.in_flight.fetch_add(1, Ordering::Release);
+        self.in_flight.fetch_add(1, Ordering::Release); // ordering: see above
     }
 
     /// An instance completed on this shard.
     pub fn instance_completed(&self) {
+        // ordering: Release pairs with the Acquire loads in `snapshot`,
+        // which reads `completed` before `submitted` (coherence bound).
         self.completed.fetch_add(1, Ordering::Release);
-        self.in_flight.fetch_sub(1, Ordering::Release);
+        self.in_flight.fetch_sub(1, Ordering::Release); // ordering: see above
     }
 
     /// An instance died without delivering a result (its task body
     /// panicked); it is no longer in flight.
     pub fn instance_abandoned(&self) {
+        // ordering: Release pairs with the Acquire loads in `snapshot`.
         self.abandoned.fetch_add(1, Ordering::Release);
-        self.in_flight.fetch_sub(1, Ordering::Release);
+        self.in_flight.fetch_sub(1, Ordering::Release); // ordering: see above
     }
 
     /// A completed instance stabilized after its deadline (counted in
     /// addition to [`instance_completed`](Self::instance_completed)).
     pub fn instance_deadline_exceeded(&self) {
+        // ordering: Release pairs with the Acquire loads in `snapshot`.
         self.deadline_exceeded.fetch_add(1, Ordering::Release);
     }
 
@@ -175,12 +183,15 @@ impl ShardGauges {
     /// submitted` even while submissions race — see the
     /// [type-level docs](ShardGauges#snapshot-coherence).
     pub fn snapshot(&self, shard: usize, workers: usize) -> ShardStats {
+        // ordering: Acquire loads pair with the Release increments; the
+        // read order (monotone counters first, `submitted` last) keeps
+        // the snapshot coherent while submissions race.
         let completed = self.completed.load(Ordering::Acquire);
-        let abandoned = self.abandoned.load(Ordering::Acquire);
-        let deadline_exceeded = self.deadline_exceeded.load(Ordering::Acquire);
-        let queued_jobs = self.queued_jobs.load(Ordering::Acquire);
-        let in_flight = self.in_flight.load(Ordering::Acquire);
-        let submitted = self.submitted.load(Ordering::Acquire);
+        let abandoned = self.abandoned.load(Ordering::Acquire); // ordering: see above
+        let deadline_exceeded = self.deadline_exceeded.load(Ordering::Acquire); // ordering: see above
+        let queued_jobs = self.queued_jobs.load(Ordering::Acquire); // ordering: see above
+        let in_flight = self.in_flight.load(Ordering::Acquire); // ordering: see above
+        let submitted = self.submitted.load(Ordering::Acquire); // ordering: see above
         ShardStats {
             shard,
             workers,

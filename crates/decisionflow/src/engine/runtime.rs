@@ -223,6 +223,7 @@ impl InstanceRuntime {
         // (vacuous) conditions are True.
         for &s in schema.sources() {
             self.cond[s.index()] = Tri::True;
+            // invariant: sources.validate ran before the engine started.
             let v = sources.get(s).expect("validated").clone();
             self.mark_stable(s, AttrState::Value, v);
         }

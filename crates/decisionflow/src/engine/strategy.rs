@@ -55,6 +55,7 @@ impl Strategy {
 
     /// The paper's baseline-best sequential program `PCE0`.
     pub fn pce0() -> Self {
+        // invariant: literal parses; covered by the strategy parser tests.
         "PCE0".parse().expect("static strategy string")
     }
 

@@ -78,6 +78,7 @@
 //! | [`expr`] | enabling conditions, Kleene partial evaluation |
 //! | [`task`] | foreign (query) and synthesis tasks |
 //! | [`schema`] | flattened schemas, modular builder, validation |
+//! | [`analysis`] | ahead-of-time static analyzer: coded findings, eager-safe sets, cost envelopes |
 //! | [`snapshot`] | declarative semantics: the complete snapshot oracle |
 //! | [`state`] | the 7-state attribute automaton (paper Figure 3) |
 //! | [`engine`] | prequalifier (Propagation Algorithm), scheduler, executor |
@@ -90,6 +91,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod api;
 pub mod dsl;
 pub mod engine;
@@ -107,6 +109,10 @@ pub mod value;
 
 /// One-stop imports for typical users.
 pub mod prelude {
+    pub use crate::analysis::{
+        AnalysisSummary, Code as FindingCode, Finding, Report as AnalysisReport, Severity,
+        TargetEnvelope,
+    };
     pub use crate::api::{
         InstanceEvent, JournalStream, LiveInstance, Request, RequestError, RunReport, ServerEvents,
         Ticket,
@@ -124,7 +130,7 @@ pub mod prelude {
     pub use crate::rules::{CombiningPolicy, Rule, RuleAction, RuleSet};
     pub use crate::schema::{AttrId, ModularBuilder, Schema, SchemaBuilder, SchemaError};
     pub use crate::server::{
-        EngineServer, InstanceResult, ServerBuildError, ServerGone, SubmitError,
+        EngineServer, InstanceResult, SchemaRejected, ServerBuildError, ServerGone, SubmitError,
     };
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;

@@ -170,6 +170,13 @@ impl Schema {
     pub fn total_cost(&self) -> Cost {
         self.attrs.iter().map(|d| d.task.cost()).sum()
     }
+
+    /// Run the static analyzer over this schema. Shorthand for
+    /// [`crate::analysis::check`]; see [`crate::analysis`] for the
+    /// finding codes and the passes behind them.
+    pub fn analyze(&self) -> crate::analysis::Report {
+        crate::analysis::check(self)
+    }
 }
 
 impl fmt::Debug for Schema {

@@ -171,6 +171,24 @@ impl ModularBuilder {
         );
         self.inner.build()
     }
+
+    /// [`build`](Self::build), then run the static analyzer with this
+    /// builder's module table so module-level findings (DF006 orphans)
+    /// are included alongside the per-attribute passes. Structural
+    /// failures surface as [`SchemaError`] exactly as in `build` — the
+    /// analyzer shares its DF-code vocabulary via
+    /// [`SchemaError::code`], not a second validation pass.
+    pub fn build_checked(self) -> Result<(Schema, crate::analysis::Report), SchemaError> {
+        assert!(
+            self.stack.is_empty(),
+            "build_checked() with {} unclosed module(s)",
+            self.stack.len()
+        );
+        let modules = self.modules;
+        let schema = self.inner.build()?;
+        let report = crate::analysis::check_with_modules(&schema, &modules);
+        Ok((schema, report))
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +264,36 @@ mod tests {
     fn end_without_begin_panics() {
         let mut b = ModularBuilder::new();
         b.end_module();
+    }
+
+    #[test]
+    fn build_checked_reports_module_orphans() {
+        let mut b = ModularBuilder::new();
+        let s = b.source("s");
+        // A module gated statically false: every member is dead.
+        b.begin_module("dead_branch", Expr::Lit(false));
+        b.query("inner", 1, vec![s], Expr::Lit(true), |_| Value::Null);
+        b.end_module();
+        let t = b.query("t", 1, vec![s], Expr::Lit(true), |_| Value::Null);
+        b.mark_target(t);
+        let (schema, report) = b.build_checked().unwrap();
+        assert!(schema.lookup("inner").is_some());
+        let orphan = report
+            .findings
+            .iter()
+            .find(|f| f.code == crate::analysis::Code::ModuleOrphan)
+            .expect("DF006 present");
+        assert_eq!(orphan.module.as_deref(), Some("dead_branch"));
+        // The member itself is also flagged dead (DF001).
+        assert!(report.findings.iter().any(
+            |f| f.code == crate::analysis::Code::DeadAttr && f.attr.as_deref() == Some("inner")
+        ));
+    }
+
+    #[test]
+    fn build_checked_surfaces_schema_errors() {
+        let mut b = ModularBuilder::new();
+        b.source("s");
+        assert_eq!(b.build_checked().unwrap_err(), SchemaError::NoTargets);
     }
 }

@@ -45,8 +45,29 @@ pub enum SchemaError {
     Empty,
 }
 
+impl SchemaError {
+    /// The stable `DF0xx` diagnostic code of this error — the same
+    /// vocabulary [`crate::analysis`] findings use, so build-time
+    /// rejection and lint-time diagnostics are machine-matchable with
+    /// one code table (see `analysis::Code`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SchemaError::Empty => "DF020",
+            SchemaError::DuplicateName(_) => "DF021",
+            SchemaError::EmptyName => "DF022",
+            SchemaError::DanglingRef { .. } => "DF023",
+            SchemaError::SourceWithInputs(_) => "DF024",
+            SchemaError::SourceWithCondition(_) => "DF025",
+            SchemaError::SourceTarget(_) => "DF026",
+            SchemaError::NoTargets => "DF027",
+            SchemaError::Cycle(_) => "DF028",
+        }
+    }
+}
+
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match self {
             SchemaError::DuplicateName(n) => write!(f, "duplicate attribute name {n:?}"),
             SchemaError::EmptyName => write!(f, "attribute with empty name"),
@@ -353,10 +374,12 @@ mod tests {
     fn error_messages_render() {
         let e = SchemaError::Cycle("boom".into());
         assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().starts_with("DF028: "));
         let e = SchemaError::DanglingRef {
             from: "q".into(),
             to: crate::schema::AttrId::from_index(3),
         };
         assert!(e.to_string().contains("a3"));
+        assert_eq!(e.code(), "DF023");
     }
 }

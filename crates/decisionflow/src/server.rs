@@ -231,6 +231,7 @@ impl WorkerPool {
     /// the ticket observes [`ServerGone`].
     fn spawn(&self, job: Job) -> bool {
         self.gauges.job_enqueued();
+        // invariant: tx is Some until drop(); spawn is never called during teardown.
         match self.tx.as_ref().expect("pool alive").send(job) {
             Ok(()) => true,
             Err(_) => {
@@ -629,6 +630,9 @@ pub enum SubmitError {
     /// The request's [`Request::stream_journal`] sink was already
     /// consumed by an earlier submission of the same request.
     StreamConsumed,
+    /// The request opted into [`Request::strict_analysis`] and the
+    /// static analyzer found Error-level defects in the schema.
+    Analysis(Vec<crate::analysis::Finding>),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -641,11 +645,44 @@ impl std::fmt::Display for SubmitError {
                 "the request's journal-stream sink was already consumed by an earlier \
                  submission; attach a fresh sink with Request::stream_journal"
             ),
+            SubmitError::Analysis(findings) => {
+                write!(
+                    f,
+                    "strict analysis rejected the schema with {} error-level finding(s):",
+                    findings.len()
+                )?;
+                for finding in findings {
+                    write!(f, "\n  {finding}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why [`EngineServer::register_checked`] refused a schema: the
+/// analyzer's full [`Report`](crate::analysis::Report), whose
+/// Error-level findings explain the rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaRejected {
+    /// The complete analysis report (errors plus any warnings/infos).
+    /// Boxed so the error variant stays small on the `Result` path.
+    pub report: Box<crate::analysis::Report>,
+}
+
+impl std::fmt::Display for SchemaRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schema registration rejected by static analysis:")?;
+        for finding in self.report.errors() {
+            write!(f, "\n  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SchemaRejected {}
 
 /// Default buffer capacity of an [`EngineServer::subscribe`] stream.
 const DEFAULT_EVENT_CAPACITY: usize = 1024;
@@ -772,6 +809,31 @@ impl EngineServer {
         }
     }
 
+    /// [`register`](EngineServer::register) with a static-analysis
+    /// gate: the schema is analyzed first ([`crate::analysis::check`])
+    /// and registration is refused when the report carries any
+    /// Error-level finding — a schema whose target can never stabilize
+    /// to a value should be rejected at the repository boundary, not
+    /// at the millionth submission. On success the full report is
+    /// returned so callers can log warnings (dead attributes,
+    /// unreachable branches) or consume the
+    /// [`always_enabled`](crate::analysis::AnalysisSummary::always_enabled)
+    /// optimization facts.
+    pub fn register_checked(
+        &self,
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+    ) -> Result<crate::analysis::Report, SchemaRejected> {
+        let report = crate::analysis::check(&schema);
+        if report.has_errors() {
+            return Err(SchemaRejected {
+                report: Box::new(report),
+            });
+        }
+        self.register(name, schema);
+        Ok(report)
+    }
+
     /// Registered schema names.
     pub fn schema_names(&self) -> Vec<String> {
         // Every shard holds an identical replica; read the first.
@@ -862,9 +924,16 @@ impl EngineServer {
         request: &Request,
     ) -> Result<(PreparedRuntime, Receiver<InstanceResult>), SubmitError> {
         let strategy = request.strategy.unwrap_or(self.strategy);
-        // Validate the sources *before* taking a one-shot streaming
-        // sink: a rejected request must not consume the sink (the
-        // caller fixes the bindings and resubmits the same request).
+        // Strict analysis and source validation both run *before*
+        // taking a one-shot streaming sink: a rejected request must
+        // not consume the sink (the caller fixes the request and
+        // resubmits it).
+        if request.strict_analysis {
+            let report = crate::analysis::check(&schema);
+            if report.has_errors() {
+                return Err(SubmitError::Analysis(report.errors().cloned().collect()));
+            }
+        }
         request
             .sources
             .validate(&schema)
@@ -946,6 +1015,7 @@ impl EngineServer {
         let shard = self.shard_for(id);
         let schema = match request.schema() {
             Some(inline) => Arc::clone(inline),
+            // invariant: Request construction guarantees a schema or a name.
             None => shard.schema_for(request.schema_name().expect("named or inline"))?,
         };
         let routed = Instant::now();
@@ -1015,6 +1085,7 @@ impl EngineServer {
                 let schema = match request.schema() {
                     Some(inline) => Arc::clone(inline),
                     None => {
+                        // invariant: Request construction guarantees a schema or a name.
                         let name = request.schema_name().expect("named or inline");
                         match memo.get(name) {
                             Some(s) => Arc::clone(s),
@@ -1037,6 +1108,7 @@ impl EngineServer {
         let now = Instant::now();
         let mut tickets = Vec::with_capacity(requests.len());
         for (i, request) in requests.iter().enumerate() {
+            // invariant: phase 2 filled every slot or returned early.
             let (ready, done_rx) = prepared[i].take().expect("validated above");
             let shard = self.shard_for(ids[i]);
             let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
@@ -1108,6 +1180,70 @@ mod tests {
         );
         b.mark_target(t);
         (Arc::new(b.build().unwrap()), s)
+    }
+
+    /// A buildable schema with a statically-dead target (DF001 Error).
+    fn dead_target_schema() -> (Arc<Schema>, AttrId) {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let t = b.synthesis("t", vec![s], Expr::Lit(false), |v| v[0].clone());
+        b.mark_target(t);
+        (Arc::new(b.build().unwrap()), s)
+    }
+
+    #[test]
+    fn register_checked_gates_on_analysis_errors() {
+        let server = EngineServer::new(1, "PSE100".parse().unwrap()).unwrap();
+
+        let report = server
+            .register_checked("ok", slow_schema(0))
+            .expect("clean schema registers");
+        assert!(!report.has_errors());
+        assert!(server.schema_names().contains(&"ok".to_string()));
+
+        let (dead, _) = dead_target_schema();
+        let rejected = server.register_checked("dead", dead).unwrap_err();
+        assert!(rejected.report.has_errors());
+        assert!(rejected.to_string().contains("DF001"));
+        assert!(
+            !server.schema_names().contains(&"dead".to_string()),
+            "rejected schema must not enter the registry"
+        );
+    }
+
+    #[test]
+    fn strict_submission_rejects_error_schemas() {
+        let server = EngineServer::new(1, "PSE100".parse().unwrap()).unwrap();
+        let (dead, s) = dead_target_schema();
+
+        // Plain submission still executes (the ⊥ target is a valid
+        // complete snapshot); strict opts into rejection.
+        let ok = server
+            .submit(Request::with_schema(Arc::clone(&dead)).bind(s, 1i64))
+            .unwrap();
+        assert_eq!(
+            ok.wait().unwrap().record.outcome("t").unwrap().state,
+            AttrState::Disabled
+        );
+
+        let err = server
+            .submit(
+                Request::with_schema(dead)
+                    .bind(s, 1i64)
+                    .strict_analysis(true),
+            )
+            .unwrap_err();
+        match err {
+            SubmitError::Analysis(findings) => {
+                assert!(findings
+                    .iter()
+                    .all(|f| f.severity == crate::analysis::Severity::Error));
+                assert!(findings
+                    .iter()
+                    .any(|f| f.code == crate::analysis::Code::DeadAttr));
+            }
+            other => panic!("expected Analysis, got {other:?}"),
+        }
     }
 
     #[test]

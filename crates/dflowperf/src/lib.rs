@@ -19,10 +19,6 @@
 //! * [`solve_unit_time`], [`max_work_for_throughput`],
 //!   [`predict_response_ms`] — the analytical model, Equations (1)–(6).
 //!
-//! The pre-redesign drivers (`unit_sweep`, `run_open_load`,
-//! `run_server_load`) are deprecated one-release wrappers over
-//! `Workload`.
-//!
 //! ```
 //! use dflowperf::{Arrival, SimDb, UnitTime, Workload};
 //! use dflowgen::{generate, PatternParams};
@@ -45,27 +41,18 @@
 #![warn(missing_docs)]
 
 mod dbfunc;
-mod driver;
 mod guideline;
 mod model;
 mod sweep;
 mod workload;
 
 pub use dbfunc::DbFunction;
-#[allow(deprecated)]
-pub use driver::{
-    run_open_load, run_server_load, LoadConfig, LoadOutcome, ServerLoadConfig, ServerLoadOutcome,
-};
 pub use guideline::{recommend_program, GuidelineMap, Recommendation, StrategyPoint};
 pub use model::{
     max_work_for_throughput, predict_response_ms, solve_unit_time, solve_unit_time_with_lmpl,
     stable_gmpl, UnitTimeSolution,
 };
-#[allow(deprecated)]
-pub use sweep::{
-    guideline_for_pattern, pattern_sweep, pattern_sweep_with_options, portfolio, unit_sweep,
-    unit_sweep_with_options, SweepResult,
-};
+pub use sweep::{guideline_for_pattern, pattern_sweep, pattern_sweep_with_options, portfolio};
 pub use workload::{
     Arrival, Backend, LatencyUnit, LoadError, LoadReport, OnServer, Percentiles, PhaseCounts,
     Server, ServerSideStats, SimDb, SimDbStats, UnitTime, Workload,

@@ -4,45 +4,13 @@
 //! The paper's Figures 5–8 plot per-strategy averages over generated
 //! schemas of a given pattern. A sweep is
 //! `Workload::from_pattern(params, reps, base_seed)` run on the
-//! oracle-checked [`UnitTime`] backend; the legacy `unit_sweep`
-//! entry points survive one release as deprecated wrappers.
+//! oracle-checked [`UnitTime`] backend.
 
 use decisionflow::engine::{RuntimeOptions, Strategy};
 use dflowgen::PatternParams;
-use serde::{Deserialize, Serialize};
 
 use crate::guideline::GuidelineMap;
 use crate::workload::{LoadReport, UnitTime, Workload};
-
-/// Averaged outcome of one (pattern, strategy) cell.
-#[deprecated(since = "0.2.0", note = "use LoadReport (Workload::run on UnitTime)")]
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct SweepResult {
-    /// The strategy measured.
-    pub strategy: Strategy,
-    /// Mean Work (units of processing per instance).
-    pub mean_work: f64,
-    /// Mean TimeInUnits.
-    pub mean_time: f64,
-    /// Mean wasted work (speculation discarded), units.
-    pub mean_wasted: f64,
-    /// Mean number of attributes detected unneeded.
-    pub mean_unneeded: f64,
-    /// Replications.
-    pub reps: u32,
-}
-
-#[allow(deprecated)]
-impl SweepResult {
-    /// Convert to a guideline-map point.
-    pub fn point(&self) -> crate::guideline::StrategyPoint {
-        crate::guideline::StrategyPoint {
-            strategy: self.strategy,
-            work: self.mean_work,
-            time_units: self.mean_time,
-        }
-    }
-}
 
 /// The oracle-checked unit-time sweep behind every figure: `reps`
 /// flows of `params` (seeds `base_seed..base_seed+reps`), each run
@@ -72,46 +40,6 @@ pub fn pattern_sweep_with_options(
         .options(options)
         .run(&UnitTime::checked())
         .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Run one (pattern, strategy) cell over `reps` replicated flows.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Workload::from_pattern(params, reps, seed).strategy(s).run(&UnitTime::checked())"
-)]
-#[allow(deprecated)]
-pub fn unit_sweep(
-    params: PatternParams,
-    strategy: Strategy,
-    reps: u32,
-    base_seed: u64,
-) -> SweepResult {
-    unit_sweep_with_options(params, strategy, reps, base_seed, RuntimeOptions::default())
-}
-
-/// [`unit_sweep`] with engine ablation options (e.g. backward
-/// propagation disabled).
-#[deprecated(
-    since = "0.2.0",
-    note = "use Workload::from_pattern(..).options(..).run(&UnitTime::checked())"
-)]
-#[allow(deprecated)]
-pub fn unit_sweep_with_options(
-    params: PatternParams,
-    strategy: Strategy,
-    reps: u32,
-    base_seed: u64,
-    options: RuntimeOptions,
-) -> SweepResult {
-    let report = pattern_sweep_with_options(params, strategy, reps, base_seed, options);
-    SweepResult {
-        strategy,
-        mean_work: report.mean_work(),
-        mean_time: report.mean_response(),
-        mean_wasted: report.mean_wasted(),
-        mean_unneeded: report.mean_unneeded(),
-        reps,
-    }
 }
 
 /// Build the guideline map of a pattern (Figure 8) from a strategy set.
@@ -172,20 +100,6 @@ mod tests {
         assert_eq!(a.mean_work(), b.mean_work());
         assert_eq!(a.mean_response(), b.mean_response());
         assert_eq!(a.percentiles, b.percentiles);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_workload() {
-        let legacy = unit_sweep(small(), "PSE100".parse().unwrap(), 5, 100);
-        let report = Workload::from_pattern(small(), 5, 100)
-            .strategy("PSE100".parse().unwrap())
-            .run(&UnitTime::checked())
-            .unwrap();
-        assert_eq!(legacy.mean_work, report.mean_work());
-        assert_eq!(legacy.mean_time, report.mean_response());
-        assert_eq!(legacy.mean_wasted, report.mean_wasted());
-        assert_eq!(legacy.mean_unneeded, report.mean_unneeded());
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl Workload {
 
     /// Sweep convenience: generate `reps` flows of `params` (seeds
     /// `base_seed..base_seed+reps`) and run each once, sequentially —
-    /// the shape `unit_sweep` always had.
+    /// the shape [`pattern_sweep`](crate::pattern_sweep) builds on.
     pub fn from_pattern(params: PatternParams, reps: u32, base_seed: u64) -> Workload {
         let flows: Vec<GeneratedFlow> = (0..reps)
             .map(|i| generate(params, base_seed + u64::from(i)).expect("valid pattern"))
@@ -1611,5 +1611,93 @@ mod tests {
         assert_eq!(p.p99, 99.0);
         assert_eq!(p.max, 100.0);
         assert_eq!(Percentiles::from_samples(vec![]), Percentiles::default());
+    }
+
+    /// The shared query cache offloads the database (the paper's
+    /// concluding "overlapping data" question).
+    #[test]
+    fn shared_cache_offloads_the_database() {
+        let fl = flows(1, small());
+        let base = Workload::new(fl)
+            .arrivals(Arrival::Poisson { rate: 6.0 })
+            .instances(80)
+            .warmup(20)
+            .seed(77)
+            .strategy("PCE100".parse().unwrap());
+        let cold = base.clone().run(&SimDb::default()).unwrap();
+        let cached = base
+            .run(&SimDb {
+                db: DbConfig::default(),
+                shared_query_cache: true,
+            })
+            .unwrap();
+        let (cold_sim, cached_sim) = (cold.sim.unwrap(), cached.sim.unwrap());
+        assert_eq!(cold_sim.cache_hits, 0);
+        assert!(
+            cached_sim.cache_hits > 0,
+            "overlapping data must hit the cache"
+        );
+        assert!(
+            cached_sim.mean_gmpl < cold_sim.mean_gmpl,
+            "cache offloads the DB: gmpl {} vs {}",
+            cached_sim.mean_gmpl,
+            cold_sim.mean_gmpl
+        );
+        assert!(
+            cached.responses.mean() < cold.responses.mean(),
+            "cache cuts response time: {} vs {}",
+            cached.responses.mean(),
+            cold.responses.mean()
+        );
+    }
+
+    /// Parallel strategies beat sequential ones at light load.
+    #[test]
+    fn parallel_strategy_beats_sequential_at_light_load() {
+        let base = Workload::new(flows(3, small()))
+            .arrivals(Arrival::Poisson { rate: 1.0 })
+            .instances(30)
+            .warmup(5)
+            .seed(12);
+        let seq = base
+            .clone()
+            .strategy("PCE0".parse().unwrap())
+            .run(&SimDb::default())
+            .unwrap();
+        let par = base
+            .strategy("PCE100".parse().unwrap())
+            .run(&SimDb::default())
+            .unwrap();
+        assert!(
+            par.responses.mean() < seq.responses.mean(),
+            "parallelism wins when the DB is idle: {} vs {}",
+            par.responses.mean(),
+            seq.responses.mean()
+        );
+    }
+
+    /// Work on the unit-time backend predicts work on the simulated
+    /// database closely (same engine, different clock; exact equality
+    /// is not guaranteed — unneeded-pruning races launches under
+    /// simulated timing, and speculation is timing-dependent by
+    /// design).
+    #[test]
+    fn unit_and_simdb_agree_on_work() {
+        let w = Workload::new(flows(2, small()))
+            .instances(8)
+            .arrivals(Arrival::Closed {
+                clients: 1,
+                waves: 8,
+            })
+            .strategy("PCE100".parse().unwrap());
+        let unit = w.run(&UnitTime::checked()).unwrap();
+        let sim = w.run(&SimDb::default()).unwrap();
+        let rel = (unit.mean_work() - sim.mean_work()).abs() / unit.mean_work();
+        assert!(
+            rel < 0.2,
+            "unit {} vs simdb {}",
+            unit.mean_work(),
+            sim.mean_work()
+        );
     }
 }

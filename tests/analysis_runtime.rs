@@ -1,0 +1,205 @@
+//! Cross-validation of the static analyzer against the runtime: what
+//! `decisionflow::analysis` proves ahead of time must be exactly what
+//! every execution strategy does.
+//!
+//! * a DF001-dead attribute is **never launched** by any of the 8
+//!   strategies at any `%Permitted` — not even speculatively;
+//! * `AnalysisSummary::always_enabled` attributes are always executed
+//!   to a value by the eager conservative strategy (backward
+//!   propagation ablated, so pruning cannot excuse a skip);
+//! * the DF010 deadline-feasibility verdicts agree with unit-time
+//!   outcomes: an Error budget is missed by every strategy, a clean
+//!   budget is met by the all-eager full-parallel strategy.
+
+use std::sync::Arc;
+
+use decision_flows::decisionflow::analysis;
+use decision_flows::decisionflow::engine::{run_unit_time_with_options, RuntimeOptions};
+use decision_flows::decisionflow::journal::Event;
+use decision_flows::dflowgen::{generate, GeneratedFlow, PatternParams};
+use decision_flows::prelude::{
+    AttrId, AttrState, Expr, FindingCode, Request, Schema, SchemaBuilder, Severity,
+    Strategy as EngineStrategy,
+};
+use proptest::prelude::*;
+
+fn arb_params() -> impl proptest::strategy::Strategy<Value = PatternParams> {
+    (
+        6usize..20,         // nb_nodes
+        1usize..4,          // nb_rows (clamped below)
+        30u32..=100,        // pct_enabled
+        0u32..=100,         // pct_enabler
+        (1u64..4, 0u64..5), // module_cost (lo, extra)
+    )
+        .prop_map(|(nodes, rows, en, enr, (clo, cextra))| PatternParams {
+            nb_nodes: nodes,
+            nb_rows: rows.min(nodes),
+            pct_enabled: en,
+            pct_enabler: enr,
+            module_cost: (clo, clo + cextra),
+            ..Default::default()
+        })
+}
+
+/// Rebuild `flow`'s schema with the enabling condition of `victim`
+/// replaced by `false` — the statically-dead mutation `dflow-lint
+/// matrix --kill` applies, here under test control. Attribute ids,
+/// tasks, inputs, and targets are preserved.
+fn with_dead_attr(flow: &GeneratedFlow, victim: AttrId) -> Arc<Schema> {
+    let schema = &flow.schema;
+    let mut b = SchemaBuilder::new();
+    for a in schema.attr_ids() {
+        let def = schema.attr(a);
+        let id = if schema.is_source(a) {
+            b.source(def.name.clone())
+        } else {
+            let enabling = if a == victim {
+                Expr::Lit(false)
+            } else {
+                def.enabling.clone()
+            };
+            b.attr(
+                def.name.clone(),
+                def.task.clone(),
+                def.inputs.clone(),
+                enabling,
+            )
+        };
+        assert_eq!(id, a, "rebuild preserves attribute ids");
+        if def.target {
+            b.mark_target(id);
+        }
+    }
+    Arc::new(b.build().expect("mutation preserves validity"))
+}
+
+/// Non-source, non-target attributes — the mutation candidates.
+fn internal_attrs(schema: &Schema) -> Vec<AttrId> {
+    schema
+        .attr_ids()
+        .filter(|&a| !schema.is_source(a) && !schema.attr(a).target)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A statically-dead attribute is flagged DF001 by the analyzer
+    /// and never launched by any strategy × %Permitted — the lint
+    /// verdict is a true runtime guarantee, speculation included.
+    #[test]
+    fn dead_attr_is_never_executed(params in arb_params(), seed in 0u64..500,
+                                   pick in any::<usize>()) {
+        let flow = generate(params, seed).expect("valid params");
+        let candidates = internal_attrs(&flow.schema);
+        prop_assert!(!candidates.is_empty(), "every generated flow has internal nodes");
+        let victim = candidates[pick % candidates.len()];
+        let victim_name = flow.schema.attr(victim).name.clone();
+        let mutated = with_dead_attr(&flow, victim);
+
+        // Static verdict: DF001 names the attribute; the summary's
+        // dead set contains it.
+        let report = analysis::check(&mutated);
+        prop_assert!(
+            report.findings.iter().any(|f| f.code == FindingCode::DeadAttr
+                && f.severity >= Severity::Warn
+                && f.attr.as_deref() == Some(victim_name.as_str())),
+            "DF001 must name {victim_name}:\n{}", report.to_text()
+        );
+        prop_assert!(report.summary.dead.contains(&victim));
+
+        // Runtime agreement: no strategy ever launches the victim.
+        for permitted in [0u8, 40, 100] {
+            for strategy in EngineStrategy::all_at(permitted) {
+                let run = Request::with_schema(Arc::clone(&mutated))
+                    .sources(flow.sources.clone())
+                    .strategy(strategy)
+                    .record_journal(true)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{strategy} failed on seed {seed}: {e}"));
+                let journal = run.journal.expect("journal requested");
+                prop_assert!(
+                    !journal.frames.iter().any(|f| matches!(
+                        f.event, Event::Launch { attr, .. } if attr == victim)),
+                    "{strategy} (permitted {permitted}) launched dead attr {victim_name}"
+                );
+                prop_assert_eq!(
+                    run.outcome.runtime.state(victim),
+                    AttrState::Disabled,
+                    "{} must leave {} disabled", strategy, &victim_name
+                );
+            }
+        }
+    }
+
+    /// `AnalysisSummary::always_enabled` is the eager-safe set: under
+    /// the conservative eager strategy with backward propagation
+    /// ablated (so unneeded-pruning cannot skip work), every member
+    /// executes to a stable value on every instance.
+    #[test]
+    fn always_enabled_attrs_execute_under_eager(params in arb_params(), seed in 0u64..500) {
+        let flow = generate(params, seed).expect("valid params");
+        let report = analysis::check(&flow.schema);
+        let outcome = run_unit_time_with_options(
+            &flow.schema,
+            "PCE100".parse().unwrap(),
+            &flow.sources,
+            RuntimeOptions { disable_backward: true },
+        ).expect("engine clean");
+        for &a in &report.summary.always_enabled {
+            prop_assert_eq!(
+                outcome.runtime.state(a),
+                AttrState::Value,
+                "always-enabled {} must stabilize to a value",
+                &flow.schema.attr(a).name
+            );
+        }
+    }
+
+    /// DF010 deadline verdicts agree with the unit-time backend: an
+    /// Error-level budget (below the mandatory chain) is missed by
+    /// every strategy; a budget covering the worst-case envelope is
+    /// met by the all-eager full-parallel strategy and lints clean.
+    #[test]
+    fn deadline_verdicts_agree_with_unit_time(params in arb_params(), seed in 0u64..500) {
+        let flow = generate(params, seed).expect("valid params");
+        let report = analysis::check(&flow.schema);
+        let min: u64 = report.summary.targets.iter().map(|t| t.min_cost).max().unwrap_or(0);
+        let max: u64 = report.summary.targets.iter().map(|t| t.max_cost).max().unwrap_or(0);
+
+        if min > 0 {
+            let tight = min - 1;
+            prop_assert!(
+                report.check_deadline(tight).iter().any(|f| f.severity == Severity::Error
+                    && f.code == FindingCode::DeadlineInfeasible),
+                "budget {tight} below mandatory cost {min} must be an Error"
+            );
+            for strategy in EngineStrategy::all_at(100) {
+                let out = run_unit_time_with_options(
+                    &flow.schema, strategy, &flow.sources, RuntimeOptions::default(),
+                ).expect("engine clean");
+                prop_assert!(
+                    out.time_units > tight,
+                    "{strategy} finished in {} units, beating the proven-infeasible \
+                     budget {tight}", out.time_units
+                );
+            }
+        }
+
+        // The max envelope upper-bounds the eager full-parallel run,
+        // so a budget of `max` lints clean and is actually met.
+        prop_assert!(report.check_deadline(max).is_empty(),
+            "budget == worst-case envelope must lint clean");
+        let eager = run_unit_time_with_options(
+            &flow.schema,
+            "PCE100".parse().unwrap(),
+            &flow.sources,
+            RuntimeOptions::default(),
+        ).expect("engine clean");
+        prop_assert!(
+            eager.time_units <= max,
+            "PCE100 took {} units, above the static worst case {max}",
+            eager.time_units
+        );
+    }
+}
