@@ -1,0 +1,263 @@
+//! `durable_crash` — SIGKILL crash/recover smoke for the durable
+//! event store (the CI `durability` job).
+//!
+//! The process re-executes itself: the parent spawns `durable_crash
+//! serve DIR` (a durable [`EngineServer`] submitting load forever),
+//! lets it seal a few dozen instances, then kills it with **SIGKILL**
+//! — no destructors, no flush, a real crash mid-append. The parent
+//! then walks the full recovery protocol on the survivor directory:
+//!
+//! 1. reopen — torn tails must be warnings, never a refusal;
+//! 2. `recover_pending` — re-execute every accepted-but-unsealed
+//!    instance exactly once;
+//! 3. `fsck` — the recovered store must carry zero error findings;
+//! 4. time travel — sample sealed instances, reconstruct their
+//!    journals from the WAL, and replay them through the
+//!    [`ReplayEngine`].
+//!
+//! Any violated invariant exits `1`; `--json FILE` always writes the
+//! final [`FsckReport`] (the CI failure artifact). The store directory
+//! is left on disk for `dflow-store fsck`/`ls` post-mortems.
+//!
+//! ```text
+//! durable_crash [--dir DIR] [--json FILE]
+//! ```
+//!
+//! [`EngineServer`]: decisionflow::server::EngineServer
+//! [`ReplayEngine`]: decisionflow::journal::ReplayEngine
+//! [`FsckReport`]: decisionflow::store::FsckReport
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::sync::Arc;
+
+use decisionflow::journal::ReplayEngine;
+use decisionflow::prelude::{EngineServer, Request};
+use decisionflow::store::{self, FsckReport};
+use dflowgen::{generate, PatternParams};
+
+/// Parent and child must regenerate the identical schema: recovery
+/// verifies the fingerprint persisted at acceptance.
+const FLOW_SEED: u64 = 20_260_808;
+const SCHEMA: &str = "crash-flow";
+const SHARDS: usize = 2;
+const WORKERS_PER_SHARD: usize = 1;
+
+/// Submissions the parent waits for before pulling the trigger —
+/// enough load that the kill lands with instances in flight.
+const SUBMISSIONS_BEFORE_KILL: usize = 48;
+
+fn flow() -> dflowgen::GeneratedFlow {
+    generate(
+        PatternParams {
+            nb_nodes: 24,
+            nb_rows: 3,
+            pct_enabled: 70,
+            ..Default::default()
+        },
+        FLOW_SEED,
+    )
+    .expect("crash-flow pattern is valid")
+}
+
+fn open(dir: &Path) -> EngineServer {
+    EngineServer::open_with_shards(dir, SHARDS, WORKERS_PER_SHARD, "PSE100".parse().unwrap())
+        .unwrap_or_else(|e| {
+            eprintln!(
+                "durable_crash: store at {} refused to open: {e}",
+                dir.display()
+            );
+            std::process::exit(1)
+        })
+}
+
+/// Child mode: submit durable instances forever, reporting each
+/// submission on stdout so the parent knows when to kill. Tickets are
+/// resolved with a lag so the seal stream trails the accept stream —
+/// the kill then reliably catches accepted-but-unsealed instances.
+fn serve(dir: &Path) -> ! {
+    let server = open(dir);
+    let flow = flow();
+    server.register(SCHEMA, Arc::clone(&flow.schema));
+    let mut inflight = std::collections::VecDeque::new();
+    let mut stdout = std::io::stdout();
+    for n in 0.. {
+        let ticket = server
+            .submit(
+                Request::named(SCHEMA)
+                    .sources(flow.sources.clone())
+                    .durable(true),
+            )
+            .expect("durable submit");
+        inflight.push_back(ticket);
+        if inflight.len() > 8 {
+            let _ = inflight.pop_front().expect("non-empty").wait();
+        }
+        let _ = writeln!(stdout, "submitted {n}");
+        let _ = stdout.flush();
+    }
+    unreachable!("submission loop never returns");
+}
+
+fn crash_then_recover(dir: &Path, json: Option<&Path>) -> Result<(), String> {
+    let _ = std::fs::remove_dir_all(dir);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .arg("serve")
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn serve child: {e}"))?;
+
+    let lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let mut seen = 0usize;
+    for line in lines {
+        if line.is_err() {
+            break;
+        }
+        seen += 1;
+        if seen >= SUBMISSIONS_BEFORE_KILL {
+            break;
+        }
+    }
+    // SIGKILL: the child gets no chance to flush or run destructors.
+    child.kill().map_err(|e| format!("kill serve child: {e}"))?;
+    let _ = child.wait();
+    if seen < SUBMISSIONS_BEFORE_KILL {
+        return Err(format!(
+            "serve child exited after {seen}/{SUBMISSIONS_BEFORE_KILL} submissions instead of being killed"
+        ));
+    }
+    println!("killed serve child after {seen} submissions");
+
+    // Reopen the crashed store and walk the recovery protocol.
+    let server = open(dir);
+    let store = Arc::clone(server.store().expect("durable server has a store"));
+    let recovered = store.recovered();
+    let sealed_before = recovered.sealed.len();
+    let pending = recovered.pending.len();
+    println!(
+        "reopened: {sealed_before} sealed, {pending} pending, {} warning(s)",
+        recovered.findings.len()
+    );
+    if sealed_before + pending == 0 {
+        return Err("kill landed before any instance was accepted — no recovery exercised".into());
+    }
+
+    let schema = flow().schema;
+    server.register(SCHEMA, Arc::clone(&schema));
+    let tickets = server
+        .recover_pending()
+        .map_err(|e| format!("recover_pending: {e}"))?;
+    if tickets.len() != pending {
+        return Err(format!(
+            "recovery re-enqueued {} instance(s), expected the {pending} pending",
+            tickets.len()
+        ));
+    }
+    for ticket in tickets {
+        let id = ticket.instance_id();
+        ticket
+            .wait()
+            .map_err(|_| format!("re-executed instance {id} was abandoned"))?;
+    }
+    println!("re-executed {pending} pending instance(s)");
+    drop(server);
+
+    let report = store::fsck(dir).map_err(|e| format!("fsck: {e}"))?;
+    write_report(json, &report)?;
+    if !report.ok() {
+        return Err(format!(
+            "fsck found errors after recovery:\n{}",
+            report.to_text()
+        ));
+    }
+
+    let state = store::inspect(dir).map_err(|e| format!("inspect: {e}"))?;
+    if !state.pending.is_empty() {
+        return Err(format!(
+            "{} instance(s) still pending after recovery",
+            state.pending.len()
+        ));
+    }
+    if state.sealed.len() != sealed_before + pending {
+        return Err(format!(
+            "{} sealed after recovery, expected {}",
+            state.sealed.len(),
+            sealed_before + pending
+        ));
+    }
+    for summary in state.sealed.iter().take(3) {
+        let id = summary.instance_id;
+        let journal =
+            store::fetch_journal(dir, id).map_err(|e| format!("fetch_journal({id}): {e}"))?;
+        let outcome = ReplayEngine::new(Arc::clone(&schema), journal)
+            .map_err(|d| format!("instance {id} journal rejected: {d}"))?
+            .replay()
+            .map_err(|d| format!("instance {id} diverged on replay: {d}"))?;
+        println!(
+            "instance {id}: replayed, {} frame(s) verified",
+            outcome.frames_verified
+        );
+    }
+    println!(
+        "crash/recover smoke ok: {} sealed, fsck clean ({} warning(s))",
+        state.sealed.len(),
+        report.warnings
+    );
+    Ok(())
+}
+
+fn write_report(json: Option<&Path>, report: &FsckReport) -> Result<(), String> {
+    let Some(path) = json else { return Ok(()) };
+    std::fs::write(path, serde::json::to_string(report))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!("fsck report -> {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        let dir = args.get(1).map(PathBuf::from).unwrap_or_else(|| {
+            eprintln!("usage: durable_crash serve DIR");
+            std::process::exit(2)
+        });
+        serve(&dir);
+    }
+    let mut dir = PathBuf::from("target/durable-crash-store");
+    let mut json = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--dir" => match iter.next() {
+                Some(v) => dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--dir needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match iter.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--json needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\nusage: durable_crash [--dir DIR] [--json FILE]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match crash_then_recover(&dir, json.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("durable_crash: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

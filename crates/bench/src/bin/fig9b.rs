@@ -256,6 +256,7 @@ fn open_load_vs_real_server(args: &Args) {
             .run(&Server {
                 shards,
                 workers_per_shard: workers,
+                ..Server::default()
             })
             .expect("server build");
         assert!(

@@ -123,6 +123,7 @@ fn main() {
                 .run(&Server {
                     shards,
                     workers_per_shard: 2,
+                    ..Server::default()
                 })
                 .expect("server build");
             assert_eq!(out.completed, total_instances);

@@ -4,9 +4,9 @@
 //! in CI instead:
 //!
 //! * **No bare `.unwrap()`** in hot-path files (`decisionflow`'s
-//!   `server.rs` and everything under `engine/`): a worker or shard
-//!   thread panicking takes instances with it, so every panic site
-//!   must be a documented `.expect(..)`.
+//!   `server.rs` and everything under `engine/` and `store/`): a
+//!   worker, shard, or WAL-appender thread panicking takes instances
+//!   with it, so every panic site must be a documented `.expect(..)`.
 //! * **Every `.expect(` in those files carries a `// invariant:`
 //!   comment** on the same or the previous line, naming why the value
 //!   is always there.
@@ -14,6 +14,11 @@
 //!   `Release`, `AcqRel`) anywhere in `decisionflow/src` carries a
 //!   `// ordering:` comment on the same or the previous line, naming
 //!   what the ordering pairs with.
+//! * **Every fsync site** (`.sync_all(` / `.sync_data(`) anywhere in
+//!   `decisionflow/src` carries a `// durability:` comment on the
+//!   same or the previous line, naming what the sync makes durable —
+//!   fsyncs are the WAL's only persistence points *and* its dominant
+//!   cost, so each one must justify itself.
 //!
 //! Test modules (everything from the first `#[cfg(test)]` to end of
 //! file) and comment lines are exempt — tests may unwrap freely.
@@ -37,17 +42,20 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Hot-path files: a panic here unwinds a shard worker.
+/// Hot-path files: a panic here unwinds a shard worker or a WAL
+/// appender lane.
 fn hot_path_files(root: &Path) -> Vec<PathBuf> {
     let src = root.join("crates/decisionflow/src");
     let mut files = vec![src.join("server.rs")];
-    let engine = src.join("engine");
-    let entries =
-        std::fs::read_dir(&engine).unwrap_or_else(|e| panic!("read_dir {}: {e}", engine.display()));
-    for entry in entries {
-        let path = entry.expect("readable dir entry").path();
-        if path.extension().is_some_and(|x| x == "rs") {
-            files.push(path);
+    for dir in ["engine", "store"] {
+        let dir = src.join(dir);
+        let entries =
+            std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()));
+        for entry in entries {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|x| x == "rs") {
+                files.push(path);
+            }
         }
     }
     files.sort();
@@ -137,6 +145,14 @@ fn lint_file(path: &Path, hot: bool, violations: &mut Vec<String>) {
             violations.push(format!(
                 "{rel}:{lineno}: non-Relaxed atomic ordering without a `// ordering:` \
                  comment on this or the previous line"
+            ));
+        }
+        if (line.contains(".sync_all(") || line.contains(".sync_data("))
+            && !annotated(&lines, idx, &source, "// durability:")
+        {
+            violations.push(format!(
+                "{rel}:{lineno}: fsync without a `// durability:` comment on this or \
+                 the previous line naming what it makes durable"
             ));
         }
     }

@@ -471,7 +471,8 @@ pub fn check(schema: &Schema) -> Report {
     check_with_modules(schema, &[])
 }
 
-/// [`check`] plus module-level passes over [`ModularBuilder`] metadata
+/// [`check`] plus module-level passes over
+/// [`ModularBuilder`](crate::schema::ModularBuilder) metadata
 /// (DF006 module orphans). The module table comes from
 /// [`ModularBuilder::modules`](crate::schema::ModularBuilder::modules)
 /// — or use

@@ -139,6 +139,7 @@ pub struct Request {
     pub(crate) deadline: Option<Duration>,
     pub(crate) label: Option<String>,
     pub(crate) strict_analysis: bool,
+    pub(crate) durable: bool,
 }
 
 impl Request {
@@ -153,6 +154,7 @@ impl Request {
             deadline: None,
             label: None,
             strict_analysis: false,
+            durable: false,
         }
     }
 
@@ -268,6 +270,27 @@ impl Request {
     /// [`EngineServer::register_checked`]: crate::server::EngineServer::register_checked
     pub fn strict_analysis(mut self, strict: bool) -> Request {
         self.strict_analysis = strict;
+        self
+    }
+
+    /// Make this request **durable**: the server write-ahead-logs its
+    /// acceptance, every decision frame, and its seal to the
+    /// [`EventStore`](crate::store::EventStore) it was opened over, so
+    /// a crash between acceptance and completion re-executes it on
+    /// recovery and its journal can be reconstructed byte-for-byte
+    /// with [`EventStore::fetch_journal`] at any later time.
+    ///
+    /// Durable requests must target a **registered schema by name**
+    /// ([`Request::named`]) — an inline `Arc<Schema>` carries task
+    /// closures, which cannot be persisted — and the server must have
+    /// been opened with [`EngineServer::open`]; violating either
+    /// rejects the submission up front. Only meaningful for server
+    /// submission; in-process [`run`] ignores it.
+    ///
+    /// [`EventStore::fetch_journal`]: crate::store::EventStore::fetch_journal
+    /// [`EngineServer::open`]: crate::server::EngineServer::open
+    pub fn durable(mut self, durable: bool) -> Request {
+        self.durable = durable;
         self
     }
 
@@ -774,11 +797,13 @@ mod tests {
             })
             .record_journal(true)
             .deadline(Duration::from_secs(5))
-            .label("tagged");
+            .label("tagged")
+            .durable(true);
         assert!(req.schema().is_some());
         assert_eq!(req.schema_name(), None);
         assert_eq!(req.display_name(), "tagged");
         assert!(req.record_journal);
+        assert!(req.durable);
         assert_eq!(req.deadline, Some(Duration::from_secs(5)));
         assert!(req.options.disable_backward);
 

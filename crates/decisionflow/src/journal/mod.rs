@@ -52,7 +52,7 @@ pub use divergence::{Divergence, DivergenceKind};
 pub use frame::{Clock, Event, Frame};
 pub use replay::{ReplayEngine, ReplayOutcome};
 pub use stream::{read_journal, MemorySink};
-pub use writer::{JournalWriter, SharedJournalWriter};
+pub use writer::{bind_sources, JournalWriter, SharedJournalWriter};
 
 use serde::{Deserialize, Serialize};
 

@@ -152,15 +152,37 @@ fn malformed(detail: impl std::fmt::Display) -> JournalError {
 /// no footer, a footer frame count disagreeing with the frames
 /// actually present, or any content after the footer is rejected as
 /// malformed — a truncated capture can never masquerade as a complete
-/// flight record.
-pub fn read_journal<R: BufRead>(reader: R) -> Result<Journal, JournalError> {
-    let mut lines = reader.lines();
+/// flight record. Truncation errors carry the **byte offset and line
+/// number** of the torn point, so recovery triage can seek straight
+/// to it instead of re-scanning the tape.
+pub fn read_journal<R: BufRead>(mut reader: R) -> Result<Journal, JournalError> {
+    // Read lines by hand so every record's byte offset is known: the
+    // `lines()` iterator strips the terminators that position error
+    // messages need.
+    fn next_line<R: BufRead>(
+        reader: &mut R,
+        buf: &mut String,
+        offset: &mut u64,
+        lineno: &mut u64,
+    ) -> io::Result<Option<()>> {
+        *offset += buf.len() as u64;
+        buf.clear();
+        if reader.read_line(buf)? == 0 {
+            return Ok(None);
+        }
+        *lineno += 1;
+        Ok(Some(()))
+    }
+    let mut offset: u64 = 0; // byte offset of the line in `buf`
+    let mut lineno: u64 = 0; // 1-based line number of the line in `buf`
+    let mut buf = String::new();
+
     let header_line = loop {
-        match lines.next() {
-            None => return Err(malformed("empty journal stream")),
-            Some(Err(e)) => return Err(malformed(format!("stream read failed: {e}"))),
-            Some(Ok(l)) if l.trim().is_empty() => continue,
-            Some(Ok(l)) => break l,
+        match next_line(&mut reader, &mut buf, &mut offset, &mut lineno) {
+            Err(e) => return Err(malformed(format!("stream read failed: {e}"))),
+            Ok(None) => return Err(malformed("empty journal stream")),
+            Ok(Some(())) if buf.trim().is_empty() => continue,
+            Ok(Some(())) => break buf.trim_end_matches(['\n', '\r']).to_string(),
         }
     };
     let content =
@@ -182,39 +204,65 @@ pub fn read_journal<R: BufRead>(reader: R) -> Result<Journal, JournalError> {
 
     let mut frames: Vec<Frame> = Vec::new();
     let mut footer: Option<StreamFooter> = None;
-    for (lineno, line) in lines.enumerate() {
-        let line = line.map_err(|e| malformed(format!("stream read failed: {e}")))?;
+    // Position of the last record line seen: where the tape tore when
+    // the footer turns out to be missing.
+    let mut last_record: (u64, u64) = (0, 1);
+    loop {
+        match next_line(&mut reader, &mut buf, &mut offset, &mut lineno) {
+            Err(e) => return Err(malformed(format!("stream read failed: {e}"))),
+            Ok(None) => break,
+            Ok(Some(())) => {}
+        }
+        let (line_offset, line_no) = (offset, lineno);
+        let line = buf.trim_end_matches(['\n', '\r']);
         if line.trim().is_empty() {
             continue;
         }
         if footer.is_some() {
             return Err(malformed(format!(
-                "content after footer at line {}",
-                lineno + 2
+                "content after footer at byte {line_offset}, line {line_no}"
             )));
         }
-        let content = serde::json::parse(&line)
-            .map_err(|e| malformed(format!("bad line {}: {e}", lineno + 2)))?;
-        let map = content
-            .as_map()
-            .ok_or_else(|| malformed(format!("line {} is not an object", lineno + 2)))?;
+        last_record = (line_offset, line_no);
+        let content = serde::json::parse(line)
+            .map_err(|e| malformed(format!("bad line {line_no} (byte {line_offset}): {e}")))?;
+        let map = content.as_map().ok_or_else(|| {
+            malformed(format!(
+                "line {line_no} (byte {line_offset}) is not an object"
+            ))
+        })?;
         if map.iter().any(|(k, _)| k == "event") {
-            let frame = Frame::from_content(&content)
-                .map_err(|e| malformed(format!("bad frame at line {}: {e}", lineno + 2)))?;
+            let frame = Frame::from_content(&content).map_err(|e| {
+                malformed(format!(
+                    "bad frame at line {line_no} (byte {line_offset}): {e}"
+                ))
+            })?;
             frames.push(frame);
         } else {
-            let f = StreamFooter::from_content(&content)
-                .map_err(|e| malformed(format!("bad footer at line {}: {e}", lineno + 2)))?;
+            let f = StreamFooter::from_content(&content).map_err(|e| {
+                malformed(format!(
+                    "bad footer at line {line_no} (byte {line_offset}): {e}"
+                ))
+            })?;
             footer = Some(f);
         }
     }
-    let footer = footer
-        .ok_or_else(|| malformed("missing footer (capture still running, or truncated stream)"))?;
+    let end = offset + buf.len() as u64;
+    let footer = footer.ok_or_else(|| {
+        malformed(format!(
+            "missing footer (capture still running, or truncated stream): tape ends at \
+             byte {end} after {lineno} line(s); last record at byte {}, line {}",
+            last_record.0, last_record.1
+        ))
+    })?;
     if footer.frames != frames.len() as u64 {
         return Err(malformed(format!(
-            "footer claims {} frames but stream holds {} (truncated stream)",
+            "footer claims {} frames but stream holds {} (truncated stream): \
+             footer at byte {}, line {}",
             footer.frames,
-            frames.len()
+            frames.len(),
+            last_record.0,
+            last_record.1
         )));
     }
     Ok(Journal {

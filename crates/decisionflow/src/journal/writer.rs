@@ -52,6 +52,22 @@ impl std::fmt::Debug for Streaming {
     }
 }
 
+/// The journal header's source bindings for one instance of `schema`:
+/// the bound values in **schema source order**, named. This is the
+/// single definition of the header's `sources` field — live capture
+/// ([`JournalWriter`]) and the durable store's journal reconstruction
+/// ([`crate::store::fetch_journal`]) both go through it, which is what
+/// makes a reconstructed tape byte-identical to the captured one.
+pub fn bind_sources(schema: &Schema, sources: &SourceValues) -> Vec<(String, Value)> {
+    let mut bound: Vec<(String, Value)> = Vec::with_capacity(schema.sources().len());
+    for &s in schema.sources() {
+        if let Some(v) = sources.get(s) {
+            bound.push((schema.attr(s).name.clone(), v.clone()));
+        }
+    }
+    bound
+}
+
 /// Accumulates frames for one instance execution.
 #[derive(Debug)]
 pub struct JournalWriter {
@@ -71,12 +87,7 @@ impl JournalWriter {
     /// `sources` must be the exact bindings the instance runs with;
     /// they are embedded in the journal so replay needs nothing else.
     pub fn new(schema: &Schema, strategy: Strategy, sources: &SourceValues) -> JournalWriter {
-        let mut bound: Vec<(String, Value)> = Vec::with_capacity(schema.sources().len());
-        for &s in schema.sources() {
-            if let Some(v) = sources.get(s) {
-                bound.push((schema.attr(s).name.clone(), v.clone()));
-            }
-        }
+        let bound = bind_sources(schema, sources);
         JournalWriter {
             strategy: strategy.to_string(),
             disable_backward: false,

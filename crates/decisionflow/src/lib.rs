@@ -86,6 +86,7 @@
 //! | [`rules`] | business-rule synthesis framework |
 //! | [`report`] | execution audit trail → nested-relation export |
 //! | [`server`] | the sharded multi-threaded execution module of §3 (Figure 2) |
+//! | [`store`] | durable event store: segmented WAL, crash recovery, time-travel replay |
 //! | [`telemetry`] | per-stage latency histograms, span tracing, Prometheus/JSON exposition |
 //! | [`dsl`] | textual schema language (declarative-workflow lineage) |
 
@@ -103,6 +104,7 @@ pub mod schema;
 pub mod server;
 pub mod snapshot;
 pub mod state;
+pub mod store;
 pub mod task;
 pub mod telemetry;
 pub mod value;
@@ -130,11 +132,15 @@ pub mod prelude {
     pub use crate::rules::{CombiningPolicy, Rule, RuleAction, RuleSet};
     pub use crate::schema::{AttrId, ModularBuilder, Schema, SchemaBuilder, SchemaError};
     pub use crate::server::{
-        EngineServer, InstanceResult, SchemaRejected, ServerBuildError, ServerGone, SubmitError,
+        EngineServer, InstanceResult, RecoverError, SchemaRejected, ServerBuildError, ServerGone,
+        ServerOpenError, SubmitError,
     };
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;
+    pub use crate::store::{
+        EventStore, FsckReport, SealOutcome, SealedSummary, StoreConfig, StoreError, StoreEvent,
+    };
     pub use crate::task::{Cost, Task};
-    pub use crate::telemetry::{StageTimings, Telemetry, TelemetrySnapshot};
+    pub use crate::telemetry::{MetricsServer, StageTimings, Telemetry, TelemetrySnapshot};
     pub use crate::value::Value;
 }

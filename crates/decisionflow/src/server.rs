@@ -68,7 +68,8 @@
 //! [`subscribe`]: EngineServer::subscribe
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -76,11 +77,20 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::api::{EventHub, InstanceEvent, LiveInstance, Request, ServerEvents, Ticket};
-use crate::engine::{scheduler, InstanceRuntime, ServerStats, ShardGauges, Strategy};
-use crate::journal::{Journal, JournalWriter, SharedJournalWriter};
+use crate::engine::{
+    scheduler, InstanceRuntime, RuntimeOptions, ServerStats, ShardGauges, Strategy,
+};
+use crate::journal::{
+    bind_sources, schema_fingerprint, Event, Journal, JournalSink, JournalWriter,
+    SharedJournalWriter,
+};
 use crate::report::ExecutionRecord;
 use crate::schema::{AttrId, Schema};
-use crate::snapshot::SnapshotError;
+use crate::snapshot::{SnapshotError, SourceValues};
+use crate::store::WalRecorder;
+use crate::store::{
+    EventStore, PersistedRequest, SealOutcome, StoreConfig, StoreError, StoreEvent,
+};
 use crate::telemetry::{ShardTelemetry, SpanRecord, SpanRecorder, StageTimings, Telemetry};
 
 /// Result of one instance executed by the server.
@@ -282,6 +292,10 @@ struct Instance {
     /// `Some` iff the request asked for journal capture; the snapshot
     /// taken at completion becomes [`InstanceResult::journal`].
     recorder: Option<SharedJournalWriter>,
+    /// `Some` iff the request was durable: the write-ahead recorder
+    /// that persists every decision frame and, at completion, the
+    /// instance's seal.
+    wal: Option<Arc<WalRecorder>>,
     /// The request's label, forwarded into results and events.
     label: Option<String>,
     /// Absolute completion deadline derived from [`Request::deadline`]
@@ -355,6 +369,20 @@ impl Instance {
                         execute_ns: dur_ns(now.saturating_duration_since(dequeued)),
                         e2e_ns: dur_ns(now.saturating_duration_since(inst.started)),
                     };
+                    let deadline_exceeded = inst.deadline.is_some_and(|d| now > d);
+                    // Seal the durable tape inside this critical
+                    // section — under the same runtime-lock hold that
+                    // froze the live journal — so speculative
+                    // stragglers landing afterwards are excluded from
+                    // both tapes identically and the reconstructed
+                    // journal stays byte-equal to the captured one.
+                    if let Some(wal) = &inst.wal {
+                        wal.seal(if deadline_exceeded {
+                            SealOutcome::DeadlineExceeded
+                        } else {
+                            SealOutcome::Completed
+                        });
+                    }
                     finished = Some(InstanceResult {
                         record: ExecutionRecord::from_runtime(&rt, 0),
                         elapsed: now.saturating_duration_since(inst.started),
@@ -363,7 +391,7 @@ impl Instance {
                         label: inst.label.clone(),
                         journal,
                         journal_error,
-                        deadline_exceeded: inst.deadline.is_some_and(|d| now > d),
+                        deadline_exceeded,
                         stage_timings: Some(timings),
                     });
                 }
@@ -371,26 +399,33 @@ impl Instance {
                 let schema = Arc::clone(rt.schema());
                 let in_flight = rt.in_flight_count();
                 let cands = rt.candidates();
-                match &inst.recorder {
-                    Some(recorder) if !cands.is_empty() => {
-                        let picks =
-                            scheduler::select(&schema, rt.strategy(), cands.clone(), in_flight);
-                        let round = inst.rounds.fetch_add(1, Ordering::Relaxed);
-                        recorder.record(crate::journal::Event::Round {
-                            round,
-                            candidates: cands,
-                            picked: picks.clone(),
-                        });
-                        for a in picks {
-                            let inputs = rt.launch(a);
-                            launches.push((a, inputs));
-                        }
+                let recording = inst.recorder.is_some() || inst.wal.is_some();
+                if recording && !cands.is_empty() {
+                    let picks = scheduler::select(&schema, rt.strategy(), cands.clone(), in_flight);
+                    let round = inst.rounds.fetch_add(1, Ordering::Relaxed);
+                    let event = Event::Round {
+                        round,
+                        candidates: cands,
+                        picked: picks.clone(),
+                    };
+                    // Both recorders see the identical event under the
+                    // same runtime-lock hold, so their logical clocks
+                    // advance in lockstep and a journal reconstructed
+                    // from the WAL matches the live capture.
+                    if let Some(recorder) = &inst.recorder {
+                        recorder.record(event.clone());
                     }
-                    _ => {
-                        for a in scheduler::select(&schema, rt.strategy(), cands, in_flight) {
-                            let inputs = rt.launch(a);
-                            launches.push((a, inputs));
-                        }
+                    if let Some(wal) = &inst.wal {
+                        wal.record(event);
+                    }
+                    for a in picks {
+                        let inputs = rt.launch(a);
+                        launches.push((a, inputs));
+                    }
+                } else {
+                    for a in scheduler::select(&schema, rt.strategy(), cands, in_flight) {
+                        let inputs = rt.launch(a);
+                        launches.push((a, inputs));
                     }
                 }
             }
@@ -459,6 +494,13 @@ impl Drop for Instance {
         if !*self.finished.lock() {
             self.live.lock().remove(&self.id);
             self.gauges.instance_abandoned();
+            // A durable abandoned instance is sealed as such: its
+            // lifecycle *did* end (delivering nothing), and recovery
+            // must not re-execute it — re-running a flow whose task
+            // body panics deterministically would panic again forever.
+            if let Some(wal) = &self.wal {
+                wal.seal(SealOutcome::Abandoned);
+            }
             self.events.publish(|clock| InstanceEvent::Abandoned {
                 clock,
                 instance_id: self.id,
@@ -550,6 +592,7 @@ impl Shard {
             dequeued_at: Mutex::new(None),
             done_tx: prepared.done_tx,
             recorder: prepared.recorder,
+            wal: prepared.wal,
             label,
             deadline,
             finished: Mutex::new(false),
@@ -592,8 +635,30 @@ impl Shard {
 struct PreparedRuntime {
     runtime: InstanceRuntime,
     recorder: Option<SharedJournalWriter>,
+    /// Write-ahead recorder for durable requests; the runtime's sink
+    /// already tees into it.
+    wal: Option<Arc<WalRecorder>>,
     label: Option<String>,
     done_tx: Sender<InstanceResult>,
+}
+
+/// Journal sink fanning one event stream out to the live recorder and
+/// the write-ahead log. The engine already serializes sink calls under
+/// the instance's runtime lock, so both sides observe the identical
+/// clock-ordered stream — which is what makes a WAL-reconstructed
+/// journal byte-equal to the live capture.
+struct TeeSink {
+    live: Option<SharedJournalWriter>,
+    wal: Arc<WalRecorder>,
+}
+
+impl JournalSink for TeeSink {
+    fn record(&mut self, event: Event) {
+        if let Some(live) = &mut self.live {
+            JournalSink::record(live, event.clone());
+        }
+        self.wal.record(event);
+    }
 }
 
 /// Submission-path stage boundaries, measured by `submit` /
@@ -617,6 +682,161 @@ pub struct EngineServer {
     events: Arc<EventHub>,
     /// Server-wide ring of recent completed-instance spans.
     spans: Arc<SpanRecorder>,
+    /// The durable event store, present iff the server was built with
+    /// [`EngineServer::open`] / [`EngineServer::open_with_shards`].
+    store: Option<Arc<EventStore>>,
+    /// Latched by the first [`EngineServer::recover_pending`] call so
+    /// recovery re-enqueues each crashed instance exactly once.
+    recovered_once: AtomicBool,
+}
+
+impl Drop for EngineServer {
+    fn drop(&mut self) {
+        // A worker thread can hold an instance's last `Arc` (and with
+        // it the store's) for a moment after the final ticket
+        // resolves, so the WAL appender lanes may outlive this drop
+        // with a channel backlog still volatile. The barrier makes
+        // every record appended by finished instances durable before
+        // the handle goes away — reopening the same directory then
+        // scans a complete log instead of racing the stragglers.
+        if let Some(store) = &self.store {
+            let _ = store.sync();
+        }
+    }
+}
+
+/// Why [`EngineServer::open`] failed: either the worker pools could
+/// not be built or the durable store refused to open (IO failure, or
+/// corruption that recovery cannot safely skip).
+#[derive(Debug)]
+pub enum ServerOpenError {
+    /// Worker-thread spawning failed.
+    Build(ServerBuildError),
+    /// The event store could not be opened or scanned.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServerOpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerOpenError::Build(e) => write!(f, "{e}"),
+            ServerOpenError::Store(e) => write!(f, "failed to open the event store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerOpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerOpenError::Build(e) => Some(e),
+            ServerOpenError::Store(e) => Some(e),
+        }
+    }
+}
+
+/// Why [`EngineServer::recover_pending`] could not re-enqueue a
+/// crashed instance. Recovery is all-or-nothing over the pending set:
+/// the first unrecoverable instance aborts it, so an operator fixes
+/// the registry (or inspects the store with `dflow-store`) and retries
+/// rather than silently losing accepted work.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The server has no durable store (built with
+    /// [`EngineServer::new`] instead of [`EngineServer::open`]).
+    NoStore,
+    /// A pending instance names a schema that is not registered on
+    /// this server.
+    UnknownSchema {
+        /// The instance awaiting re-execution.
+        instance_id: u64,
+        /// The schema name it was accepted against.
+        schema: String,
+    },
+    /// The schema registered under the pending instance's name is
+    /// structurally different from the one it was accepted against.
+    FingerprintMismatch {
+        /// The instance awaiting re-execution.
+        instance_id: u64,
+        /// The schema name it was accepted against.
+        schema: String,
+        /// Fingerprint persisted at acceptance.
+        stored: u64,
+        /// Fingerprint of the currently registered schema.
+        current: u64,
+    },
+    /// A persisted source binding names an attribute the schema does
+    /// not have (implies a fingerprint bug, so it is its own error).
+    UnknownSource {
+        /// The instance awaiting re-execution.
+        instance_id: u64,
+        /// The unresolvable source-attribute name.
+        source: String,
+    },
+    /// The persisted strategy string no longer parses.
+    BadStrategy {
+        /// The instance awaiting re-execution.
+        instance_id: u64,
+        /// The unparsable strategy string.
+        strategy: String,
+    },
+    /// Re-submission itself failed.
+    Submit(SubmitError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::NoStore => {
+                write!(
+                    f,
+                    "server has no durable store; build it with EngineServer::open"
+                )
+            }
+            RecoverError::UnknownSchema {
+                instance_id,
+                schema,
+            } => write!(
+                f,
+                "pending instance {instance_id} names schema {schema:?}, which is not \
+                 registered; register it before recover_pending"
+            ),
+            RecoverError::FingerprintMismatch {
+                instance_id,
+                schema,
+                stored,
+                current,
+            } => write!(
+                f,
+                "pending instance {instance_id}: schema {schema:?} changed since acceptance \
+                 (fingerprint {stored:#018x} on file, {current:#018x} registered)"
+            ),
+            RecoverError::UnknownSource {
+                instance_id,
+                source,
+            } => write!(
+                f,
+                "pending instance {instance_id}: persisted source {source:?} does not resolve \
+                 in the registered schema"
+            ),
+            RecoverError::BadStrategy {
+                instance_id,
+                strategy,
+            } => write!(
+                f,
+                "pending instance {instance_id}: persisted strategy {strategy:?} does not parse"
+            ),
+            RecoverError::Submit(e) => write!(f, "re-submission failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Submit(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Errors from [`EngineServer::submit`] and
@@ -633,6 +853,18 @@ pub enum SubmitError {
     /// The request opted into [`Request::strict_analysis`] and the
     /// static analyzer found Error-level defects in the schema.
     Analysis(Vec<crate::analysis::Finding>),
+    /// The request set [`Request::durable`] but the server has no
+    /// event store (built with [`EngineServer::new`] instead of
+    /// [`EngineServer::open`]).
+    DurableWithoutStore,
+    /// The request set [`Request::durable`] with an inline schema;
+    /// durability requires a registered schema name (task closures
+    /// cannot be persisted).
+    DurableInlineSchema,
+    /// The write-ahead log rejected the acceptance record (its
+    /// appender lane failed). Carries the store error's rendering —
+    /// the request was *not* accepted.
+    Store(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -656,6 +888,17 @@ impl std::fmt::Display for SubmitError {
                 }
                 Ok(())
             }
+            SubmitError::DurableWithoutStore => write!(
+                f,
+                "durable request on a server without an event store; build the server with \
+                 EngineServer::open"
+            ),
+            SubmitError::DurableInlineSchema => write!(
+                f,
+                "durable request with an inline schema; durability requires a registered \
+                 schema name (Request::named)"
+            ),
+            SubmitError::Store(e) => write!(f, "write-ahead log rejected the request: {e}"),
         }
     }
 }
@@ -744,6 +987,8 @@ impl EngineServer {
             next_id: AtomicU64::new(0),
             events,
             spans,
+            store: None,
+            recovered_once: AtomicBool::new(false),
         })
     }
 
@@ -777,7 +1022,66 @@ impl EngineServer {
             next_id: AtomicU64::new(0),
             events,
             spans,
+            store: None,
+            recovered_once: AtomicBool::new(false),
         })
+    }
+
+    /// Start a **durable** server over the event store at `path`
+    /// (created if absent): like [`EngineServer::new`], plus requests
+    /// marked [`Request::durable`] are write-ahead-logged to one
+    /// appender lane per shard.
+    ///
+    /// Opening replays the log first — torn tails from a crash are
+    /// tolerated, real corruption refuses to open — and the instance-id
+    /// counter resumes above every id on file, so recovered and new
+    /// instances never collide. Accepted-but-unsealed instances are
+    /// exposed via [`EventStore::recovered`]; call
+    /// [`EngineServer::recover_pending`] (after re-registering schemas)
+    /// to re-execute them.
+    pub fn open(
+        path: impl AsRef<Path>,
+        workers: usize,
+        strategy: Strategy,
+    ) -> Result<EngineServer, ServerOpenError> {
+        let server = EngineServer::new(workers, strategy).map_err(ServerOpenError::Build)?;
+        server.attach_store(path.as_ref())
+    }
+
+    /// [`EngineServer::open`] with an explicit shard layout, mirroring
+    /// [`EngineServer::with_shards`].
+    pub fn open_with_shards(
+        path: impl AsRef<Path>,
+        shards: usize,
+        workers_per_shard: usize,
+        strategy: Strategy,
+    ) -> Result<EngineServer, ServerOpenError> {
+        let server = EngineServer::with_shards(shards, workers_per_shard, strategy)
+            .map_err(ServerOpenError::Build)?;
+        server.attach_store(path.as_ref())
+    }
+
+    /// Open the event store with one appender lane per shard and
+    /// resume the id counter above everything on file.
+    fn attach_store(mut self, path: &Path) -> Result<EngineServer, ServerOpenError> {
+        let config = StoreConfig {
+            lanes: self.shards.len(),
+            ..StoreConfig::default()
+        };
+        let store = EventStore::open_with(path, config).map_err(ServerOpenError::Store)?;
+        self.next_id = AtomicU64::new(store.recovered().next_instance_id);
+        self.store = Some(Arc::new(store));
+        Ok(self)
+    }
+
+    /// The durable event store, present iff the server was built with
+    /// [`EngineServer::open`]. Use it to inspect
+    /// [`recovered`](EventStore::recovered) state, force a group
+    /// commit with [`sync`](EventStore::sync), or reconstruct any
+    /// sealed instance's journal with
+    /// [`fetch_journal`](EventStore::fetch_journal).
+    pub fn store(&self) -> Option<&Arc<EventStore>> {
+        self.store.as_ref()
     }
 
     /// Number of shards.
@@ -866,6 +1170,11 @@ impl EngineServer {
             shards: self.shards.iter().map(|s| Arc::clone(&s.tele)).collect(),
             gauges: self.shards.iter().map(|s| Arc::clone(&s.gauges)).collect(),
             spans: Arc::clone(&self.spans),
+            extras: self
+                .store
+                .iter()
+                .map(|s| Arc::clone(s.registry()))
+                .collect(),
         }
     }
 
@@ -915,13 +1224,52 @@ impl EngineServer {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Check a durable request's up-front requirements and hand back
+    /// the store to log it to. Runs *before* [`prepare`](Self::prepare)
+    /// — a durable rejection must not consume a streaming sink.
+    fn durable_store(&self, request: &Request) -> Result<Option<Arc<EventStore>>, SubmitError> {
+        if !request.durable {
+            return Ok(None);
+        }
+        let store = self
+            .store
+            .as_ref()
+            .ok_or(SubmitError::DurableWithoutStore)?;
+        if request.schema_name().is_none() {
+            return Err(SubmitError::DurableInlineSchema);
+        }
+        Ok(Some(Arc::clone(store)))
+    }
+
+    /// Everything the store needs to re-execute `request` after a
+    /// crash and to reconstruct its journal header byte-for-byte.
+    fn persist_request(&self, id: u64, schema: &Schema, request: &Request) -> PersistedRequest {
+        PersistedRequest {
+            instance_id: id,
+            schema: request
+                .schema_name()
+                // invariant: durable_store already rejected inline schemas.
+                .expect("durable implies named")
+                .to_string(),
+            strategy: request.strategy.unwrap_or(self.strategy).to_string(),
+            disable_backward: request.options.disable_backward,
+            schema_fingerprint: schema_fingerprint(schema),
+            sources: bind_sources(schema, &request.sources),
+            label: request.label.clone(),
+            deadline_ms: request
+                .deadline
+                .map(|d| d.as_millis().min(u64::MAX as u128) as u64),
+        }
+    }
+
     /// Validate one request against its resolved schema: build the
-    /// runtime (attaching the journal recorder when asked) without
-    /// starting anything.
+    /// runtime (attaching the journal recorder and/or the write-ahead
+    /// recorder when asked) without starting anything.
     fn prepare(
         &self,
         schema: Arc<Schema>,
         request: &Request,
+        wal: Option<Arc<WalRecorder>>,
     ) -> Result<(PreparedRuntime, Receiver<InstanceResult>), SubmitError> {
         let strategy = request.strategy.unwrap_or(self.strategy);
         // Strict analysis and source validation both run *before*
@@ -956,29 +1304,41 @@ impl EngineServer {
             }
             None => None,
         };
-        let (runtime, recorder) = if let Some(writer) = writer {
+        let recorder = writer.map(|writer| {
             let recorder = SharedJournalWriter::new(writer);
             recorder.set_disable_backward(request.options.disable_backward);
-            let rt = InstanceRuntime::with_options_recorded(
+            recorder
+        });
+        // The runtime's sink: the live recorder, the write-ahead
+        // recorder, or a tee into both — durability is an orthogonal
+        // option, exactly like journaling itself.
+        let sink: Option<Box<dyn JournalSink>> = match (&recorder, &wal) {
+            (_, Some(wal)) => Some(Box::new(TeeSink {
+                live: recorder.clone(),
+                wal: Arc::clone(wal),
+            })),
+            (Some(recorder), None) => Some(Box::new(recorder.clone())),
+            (None, None) => None,
+        };
+        let runtime = if let Some(sink) = sink {
+            InstanceRuntime::with_options_recorded(
                 schema,
                 strategy,
                 &request.sources,
                 request.options,
-                Box::new(recorder.clone()),
+                sink,
             )
-            .map_err(SubmitError::Sources)?;
-            (rt, Some(recorder))
+            .map_err(SubmitError::Sources)?
         } else {
-            let rt =
-                InstanceRuntime::with_options(schema, strategy, &request.sources, request.options)
-                    .map_err(SubmitError::Sources)?;
-            (rt, None)
+            InstanceRuntime::with_options(schema, strategy, &request.sources, request.options)
+                .map_err(SubmitError::Sources)?
         };
         let (done_tx, done_rx) = unbounded();
         Ok((
             PreparedRuntime {
                 runtime,
                 recorder,
+                wal,
                 label: request.label.clone(),
                 done_tx,
             },
@@ -1009,9 +1369,24 @@ impl EngineServer {
     ///
     /// [`register`]: EngineServer::register
     pub fn submit(&self, request: impl Into<Request>) -> Result<Ticket, SubmitError> {
-        let t0 = Instant::now();
-        let request = request.into();
         let id = self.next_id();
+        self.submit_as(request.into(), id, 0, None)
+    }
+
+    /// The shared submission path: validate, write-ahead-log (durable
+    /// requests), start. `attempt`/`requeue` distinguish a fresh
+    /// acceptance (attempt 0, logs `RequestAccepted`) from a recovery
+    /// re-execution (logs `RequestRequeued` — acceptance is already on
+    /// file from the crashed run).
+    fn submit_as(
+        &self,
+        request: Request,
+        id: u64,
+        attempt: u32,
+        requeue: Option<u32>,
+    ) -> Result<Ticket, SubmitError> {
+        let t0 = Instant::now();
+        let store = self.durable_store(&request)?;
         let shard = self.shard_for(id);
         let schema = match request.schema() {
             Some(inline) => Arc::clone(inline),
@@ -1019,7 +1394,28 @@ impl EngineServer {
             None => shard.schema_for(request.schema_name().expect("named or inline"))?,
         };
         let routed = Instant::now();
-        let (prepared, done_rx) = self.prepare(schema, &request)?;
+        let wal = store
+            .as_ref()
+            .map(|s| Arc::new(WalRecorder::new(Arc::clone(s), shard.index, id, attempt)));
+        let (prepared, done_rx) = self.prepare(schema.clone(), &request, wal)?;
+        // Log acceptance only after validation passed, and *before*
+        // the first scheduling round can run: both the acceptance
+        // record and the instance's frames go down the same per-shard
+        // lane channel, so this send ordering is the on-disk ordering.
+        if let Some(store) = &store {
+            let event = match requeue {
+                None => StoreEvent::RequestAccepted {
+                    request: self.persist_request(id, &schema, &request),
+                },
+                Some(next_attempt) => StoreEvent::RequestRequeued {
+                    instance_id: id,
+                    attempt: next_attempt,
+                },
+            };
+            store
+                .append(shard.index, event)
+                .map_err(|e| SubmitError::Store(e.to_string()))?;
+        }
         let validated = Instant::now();
         // An unrepresentable deadline (e.g. Duration::MAX budget)
         // saturates to "no deadline" rather than panicking.
@@ -1036,6 +1432,87 @@ impl EngineServer {
             },
         );
         Ok(Ticket::new(done_rx, id, shard.index, deadline))
+    }
+
+    /// Re-execute every accepted-but-unsealed instance the store
+    /// recovered, returning their tickets in instance-id order.
+    ///
+    /// Call it once, after re-registering the schemas the pending
+    /// instances name (recovery verifies each schema's structural
+    /// fingerprint against the one persisted at acceptance). Each
+    /// re-execution keeps its original instance id — and therefore its
+    /// shard and WAL lane — and logs a `RequestRequeued` record with a
+    /// bumped attempt number, so the exactly-once seal invariant holds
+    /// per attempt and [`EventStore::fetch_journal`] serves the sealed
+    /// attempt's tape. Deadlines are re-armed from now: the original
+    /// wall-clock budget is meaningless across a crash.
+    ///
+    /// A second call is a no-op returning no tickets — re-enqueueing
+    /// the same instance twice would violate exactly-once.
+    pub fn recover_pending(&self) -> Result<Vec<Ticket>, RecoverError> {
+        let store = self.store.as_ref().ok_or(RecoverError::NoStore)?;
+        // ordering: latch-before-read; one winner re-enqueues.
+        if self.recovered_once.swap(true, Ordering::SeqCst) {
+            return Ok(Vec::new());
+        }
+        let pending = store.recovered().pending.clone();
+        let mut tickets = Vec::with_capacity(pending.len());
+        for p in pending {
+            let req = &p.request;
+            let id = req.instance_id;
+            let shard = self.shard_for(id);
+            let schema =
+                shard
+                    .schema_for(&req.schema)
+                    .map_err(|_| RecoverError::UnknownSchema {
+                        instance_id: id,
+                        schema: req.schema.clone(),
+                    })?;
+            let current = schema_fingerprint(&schema);
+            if current != req.schema_fingerprint {
+                return Err(RecoverError::FingerprintMismatch {
+                    instance_id: id,
+                    schema: req.schema.clone(),
+                    stored: req.schema_fingerprint,
+                    current,
+                });
+            }
+            let mut sources = SourceValues::new();
+            for (name, value) in &req.sources {
+                let attr = schema
+                    .lookup(name)
+                    .ok_or_else(|| RecoverError::UnknownSource {
+                        instance_id: id,
+                        source: name.clone(),
+                    })?;
+                sources.set(attr, value.clone());
+            }
+            let strategy: Strategy =
+                req.strategy
+                    .parse()
+                    .map_err(|_| RecoverError::BadStrategy {
+                        instance_id: id,
+                        strategy: req.strategy.clone(),
+                    })?;
+            let mut rebuilt = Request::named(&req.schema)
+                .sources(sources)
+                .strategy(strategy)
+                .options(RuntimeOptions {
+                    disable_backward: req.disable_backward,
+                })
+                .durable(true);
+            if let Some(label) = &req.label {
+                rebuilt = rebuilt.label(label.clone());
+            }
+            if let Some(ms) = req.deadline_ms {
+                rebuilt = rebuilt.deadline(Duration::from_millis(ms));
+            }
+            let ticket = self
+                .submit_as(rebuilt, id, p.next_attempt, Some(p.next_attempt))
+                .map_err(RecoverError::Submit)?;
+            tickets.push(ticket);
+        }
+        Ok(tickets)
     }
 
     /// Submit a batch of requests in one call, amortizing routing and
@@ -1072,6 +1549,8 @@ impl EngineServer {
         // aborts the whole batch cleanly.
         let mut prepared: Vec<Option<(PreparedRuntime, Receiver<InstanceResult>)>> = Vec::new();
         prepared.resize_with(requests.len(), || None);
+        let mut persists: Vec<Option<PersistedRequest>> = Vec::new();
+        persists.resize_with(requests.len(), || None);
         let mut validates: Vec<Duration> = vec![Duration::ZERO; requests.len()];
         for (sidx, indices) in by_shard.iter().enumerate() {
             if indices.is_empty() {
@@ -1082,6 +1561,7 @@ impl EngineServer {
             for &i in indices {
                 let request = &requests[i];
                 let validate_start = Instant::now();
+                let store = self.durable_store(request)?;
                 let schema = match request.schema() {
                     Some(inline) => Arc::clone(inline),
                     None => {
@@ -1100,7 +1580,11 @@ impl EngineServer {
                         }
                     }
                 };
-                prepared[i] = Some(self.prepare(schema, request)?);
+                let wal = store.map(|s| Arc::new(WalRecorder::new(s, sidx, ids[i], 0)));
+                if wal.is_some() {
+                    persists[i] = Some(self.persist_request(ids[i], &schema, request));
+                }
+                prepared[i] = Some(self.prepare(schema, request, wal)?);
                 validates[i] = Instant::now().saturating_duration_since(validate_start);
             }
         }
@@ -1111,6 +1595,20 @@ impl EngineServer {
             // invariant: phase 2 filled every slot or returned early.
             let (ready, done_rx) = prepared[i].take().expect("validated above");
             let shard = self.shard_for(ids[i]);
+            // Log acceptance just before starting, preserving the
+            // lane-channel ordering guarantee of `submit_as`. A lane
+            // failure here aborts the rest of the batch (earlier
+            // instances already started keep running; their tickets
+            // are lost with the error — the lane is latched failed, so
+            // the server is degraded anyway).
+            if let (Some(persist), Some(store)) = (persists[i].take(), self.store.as_ref()) {
+                store
+                    .append(
+                        shard.index,
+                        StoreEvent::RequestAccepted { request: persist },
+                    )
+                    .map_err(|e| SubmitError::Store(e.to_string()))?;
+            }
             let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
             shard.start(
                 ids[i],

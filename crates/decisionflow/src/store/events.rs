@@ -1,0 +1,237 @@
+//! The typed event model of the durable store.
+//!
+//! Every record in the write-ahead log is one [`StoreEvent`], a small
+//! closed vocabulary mirroring the instance lifecycle the TLA+
+//! snapshot-lifecycle spec checks: a request is **accepted**, zero or
+//! more decision **frames** are appended while it executes (reusing
+//! the journal's [`Frame`] wire format verbatim, so a tape
+//! reconstructed from the log is byte-identical to live capture), and
+//! the instance is **sealed** exactly once — completed, abandoned, or
+//! past its deadline. A crash interrupts that sequence; recovery
+//! appends a [`RequestRequeued`](StoreEvent::RequestRequeued) record
+//! with a bumped attempt number and the lifecycle resumes, so the
+//! exactly-once invariant is stated *per attempt* and the latest
+//! sealed attempt is the instance's history of record.
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::Frame;
+use crate::value::Value;
+
+/// How an instance's lifecycle ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SealOutcome {
+    /// The instance stabilized and delivered its result in full.
+    Completed,
+    /// The instance died without delivering a result (a panicking task
+    /// body abandoned it).
+    Abandoned,
+    /// The instance stabilized after its deadline (delivered in full,
+    /// but counted as a late drop by the load layer).
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for SealOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealOutcome::Completed => write!(f, "completed"),
+            SealOutcome::Abandoned => write!(f, "abandoned"),
+            SealOutcome::DeadlineExceeded => write!(f, "deadline-exceeded"),
+        }
+    }
+}
+
+/// Everything needed to re-execute an accepted request after a crash
+/// *and* to reconstruct its journal header byte-for-byte.
+///
+/// Durable requests must name a registered schema (an inline
+/// `Arc<Schema>` holds task code, which cannot be persisted); the
+/// stored [`schema_fingerprint`](Self::schema_fingerprint) lets
+/// recovery verify that the schema re-registered under that name is
+/// structurally the same one the request was accepted against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PersistedRequest {
+    /// The instance id the server assigned at acceptance (stable
+    /// across re-execution).
+    pub instance_id: u64,
+    /// Registered schema name the request targets.
+    pub schema: String,
+    /// Strategy string (e.g. `"PCE100"`), exactly as stamped into the
+    /// journal header.
+    pub strategy: String,
+    /// Whether backward (unneeded-attribute) propagation was disabled.
+    pub disable_backward: bool,
+    /// Structural fingerprint of the schema at acceptance.
+    pub schema_fingerprint: u64,
+    /// Bound source values in schema source order — the journal
+    /// header's `sources` field.
+    pub sources: Vec<(String, Value)>,
+    /// Optional request label.
+    pub label: Option<String>,
+    /// Deadline budget in milliseconds, if any, re-armed from the
+    /// moment of re-submission on recovery.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One durable record in the write-ahead log.
+///
+/// Serialized as canonical JSON (externally tagged, like every other
+/// journal structure) inside a length-prefixed, checksummed WAL frame
+/// — see [`wal`](super::wal) for the byte layout.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StoreEvent {
+    /// First record of every segment: which appender lane wrote it,
+    /// its sequence number in that lane, and the store format version.
+    SegmentOpened {
+        /// Appender lane (one per shard).
+        lane: usize,
+        /// Monotone segment sequence number within the lane.
+        segment: u64,
+        /// Store format version ([`STORE_VERSION`](super::STORE_VERSION)).
+        version: u32,
+    },
+    /// A request passed validation and was assigned an instance id.
+    RequestAccepted {
+        /// The persisted request (attempt 0).
+        request: PersistedRequest,
+    },
+    /// Recovery re-enqueued an unsealed instance for re-execution;
+    /// frames of earlier attempts are superseded.
+    RequestRequeued {
+        /// The instance being re-executed.
+        instance_id: u64,
+        /// The new attempt number (previous attempt + 1).
+        attempt: u32,
+    },
+    /// One decision frame of an executing instance, in the journal's
+    /// wire format.
+    FrameAppended {
+        /// The instance the frame belongs to.
+        instance_id: u64,
+        /// Which execution attempt produced it.
+        attempt: u32,
+        /// The frame, clock-stamped in arrival order within the
+        /// attempt.
+        frame: Frame,
+    },
+    /// The instance's lifecycle ended — exactly once per attempt, and
+    /// (absent recovery bugs) exactly once per instance.
+    InstanceSealed {
+        /// The instance being sealed.
+        instance_id: u64,
+        /// The attempt that ended.
+        attempt: u32,
+        /// How it ended.
+        outcome: SealOutcome,
+    },
+    /// Last record of a cleanly closed segment: how many records it
+    /// holds (the seal itself included). A segment without one was cut
+    /// short by a crash — expected, and tolerated at its tail.
+    SegmentSealed {
+        /// Total records in the segment, seal included.
+        records: u64,
+    },
+}
+
+impl StoreEvent {
+    /// The instance this event concerns, if any.
+    pub fn instance_id(&self) -> Option<u64> {
+        match self {
+            StoreEvent::RequestAccepted { request } => Some(request.instance_id),
+            StoreEvent::RequestRequeued { instance_id, .. }
+            | StoreEvent::FrameAppended { instance_id, .. }
+            | StoreEvent::InstanceSealed { instance_id, .. } => Some(*instance_id),
+            StoreEvent::SegmentOpened { .. } | StoreEvent::SegmentSealed { .. } => None,
+        }
+    }
+
+    /// Short tag for listings and findings.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StoreEvent::SegmentOpened { .. } => "segment-opened",
+            StoreEvent::RequestAccepted { .. } => "request-accepted",
+            StoreEvent::RequestRequeued { .. } => "request-requeued",
+            StoreEvent::FrameAppended { .. } => "frame-appended",
+            StoreEvent::InstanceSealed { .. } => "instance-sealed",
+            StoreEvent::SegmentSealed { .. } => "segment-sealed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Event;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            StoreEvent::SegmentOpened {
+                lane: 2,
+                segment: 7,
+                version: 1,
+            },
+            StoreEvent::RequestAccepted {
+                request: PersistedRequest {
+                    instance_id: 41,
+                    schema: "loans".into(),
+                    strategy: "PCE100".into(),
+                    disable_backward: false,
+                    schema_fingerprint: 0xDEAD_BEEF,
+                    sources: vec![("income".into(), Value::Int(52_000))],
+                    label: Some("probe".into()),
+                    deadline_ms: Some(250),
+                },
+            },
+            StoreEvent::RequestRequeued {
+                instance_id: 41,
+                attempt: 1,
+            },
+            StoreEvent::FrameAppended {
+                instance_id: 41,
+                attempt: 1,
+                frame: Frame {
+                    clock: 3,
+                    event: Event::Unneeded {
+                        attr: AttrId::from_index(4),
+                    },
+                },
+            },
+            StoreEvent::InstanceSealed {
+                instance_id: 41,
+                attempt: 1,
+                outcome: SealOutcome::Completed,
+            },
+            StoreEvent::SegmentSealed { records: 6 },
+        ];
+        for ev in events {
+            let json = serde::json::to_string(&ev);
+            let back: StoreEvent = serde::json::from_str(&json).expect("round trip");
+            assert_eq!(back, ev, "{json}");
+        }
+    }
+
+    #[test]
+    fn instance_id_extraction() {
+        assert_eq!(StoreEvent::SegmentSealed { records: 1 }.instance_id(), None);
+        assert_eq!(
+            StoreEvent::InstanceSealed {
+                instance_id: 9,
+                attempt: 0,
+                outcome: SealOutcome::Abandoned,
+            }
+            .instance_id(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(SealOutcome::Completed.to_string(), "completed");
+        assert_eq!(
+            SealOutcome::DeadlineExceeded.to_string(),
+            "deadline-exceeded"
+        );
+    }
+}

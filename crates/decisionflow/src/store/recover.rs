@@ -1,0 +1,586 @@
+//! Recovery: scan the segment files, rebuild per-instance lifecycle
+//! state, and report every defect with its position.
+//!
+//! The scan applies the same rejection discipline the streaming
+//! journal reader uses for truncated tapes, adapted to a crash-safe
+//! log: a **torn tail** (an incomplete final frame) is the expected
+//! SIGKILL artifact — reported as a warning with its byte offset and
+//! skipped — while a mid-file checksum mismatch, an undecodable
+//! payload, or a lifecycle-invariant breach (a record for an instance
+//! never accepted, a double seal, a duplicate attempt) is an **error**
+//! that [`EventStore::open`](super::EventStore::open) refuses to build
+//! on.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::journal::Frame;
+
+use super::events::{PersistedRequest, SealOutcome, StoreEvent};
+use super::wal::scan_segment;
+use super::StoreError;
+
+/// How serious a scan finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Expected crash artifact (torn tail); recovery proceeds.
+    Warning,
+    /// Corruption or a lifecycle-invariant breach; `open` refuses.
+    Error,
+}
+
+/// One defect found while scanning the store.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Segment file name (empty for store-wide lifecycle findings).
+    pub segment: String,
+    /// Byte offset of the defective record's frame start.
+    pub offset: u64,
+    /// Zero-based record index within the segment.
+    pub record: u64,
+    /// Warning (torn tail) or error (corruption / invariant breach).
+    pub severity: Severity,
+    /// What is wrong, positions included.
+    pub detail: String,
+}
+
+/// Lifecycle state of one instance, aggregated across every segment.
+#[derive(Clone, Debug)]
+pub struct InstanceState {
+    /// The accepted request (attempt 0).
+    pub request: PersistedRequest,
+    /// Latest attempt number seen (0 = never requeued).
+    pub attempt: u32,
+    /// Requeue attempt numbers seen (for duplicate detection —
+    /// segments are scanned in lane order, not wall-clock order).
+    requeues: Vec<u32>,
+    /// Latest seal, if any: `(attempt, outcome)`.
+    pub seal: Option<(u32, SealOutcome)>,
+    /// Total seal records seen (more than one is an invariant breach).
+    pub seals: u32,
+    /// Total frame records seen, all attempts.
+    pub frames: u64,
+}
+
+/// Which frames the scan should keep in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum FrameKeep {
+    /// Lifecycle state only (cheapest; what `open` uses).
+    None,
+    /// Frames of one instance (what `fetch_journal` uses).
+    One(u64),
+    /// Every frame (what `compact` uses).
+    All,
+}
+
+/// Everything a full scan of the store directory produced.
+#[derive(Debug)]
+pub(super) struct StoreScan {
+    /// Per-instance lifecycle state, ordered by instance id.
+    pub instances: BTreeMap<u64, InstanceState>,
+    /// Defects, in scan order.
+    pub findings: Vec<Finding>,
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Intact records decoded.
+    pub records: u64,
+    /// Total bytes across all segments.
+    pub bytes: u64,
+    /// Highest segment sequence number per lane (for fresh-segment
+    /// numbering at reopen).
+    pub max_segment: BTreeMap<usize, u64>,
+    /// Kept frames: instance id → `(attempt, frame)` in append order
+    /// per lane (empty unless requested via [`FrameKeep`]).
+    pub frames: BTreeMap<u64, Vec<(u32, Frame)>>,
+}
+
+/// A parsed segment file name.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) struct SegmentFile {
+    /// Appender lane.
+    pub lane: usize,
+    /// Sequence number within the lane.
+    pub seq: u64,
+    /// Full path.
+    pub path: PathBuf,
+}
+
+/// Build the canonical segment file name for `(lane, seq)`.
+pub(super) fn segment_name(lane: usize, seq: u64) -> String {
+    format!("wal-{lane:03}-{seq:06}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    let (lane, seq) = rest.split_once('-')?;
+    Some((lane.parse().ok()?, seq.parse().ok()?))
+}
+
+/// The store's segment files, sorted by `(lane, seq)`. Non-matching
+/// directory entries are ignored.
+pub(super) fn segment_files(dir: &Path) -> Result<Vec<SegmentFile>, StoreError> {
+    let mut files = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io("read store dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("read store dir entry", e))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some((lane, seq)) = parse_segment_name(name) {
+            files.push(SegmentFile { lane, seq, path });
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scan every segment under `dir`, decode records, aggregate instance
+/// lifecycle state, and collect findings. Never fails on torn or
+/// corrupt *data* (that becomes findings); only I/O errors propagate.
+pub(super) fn scan_store(dir: &Path, keep: FrameKeep) -> Result<StoreScan, StoreError> {
+    let mut scan = StoreScan {
+        instances: BTreeMap::new(),
+        findings: Vec::new(),
+        segments: 0,
+        records: 0,
+        bytes: 0,
+        max_segment: BTreeMap::new(),
+        frames: BTreeMap::new(),
+    };
+    // Events whose instance was not yet accepted at the time their
+    // *lane* was scanned: cross-lane order is not total, so orphan
+    // checks run after every segment has been read.
+    let mut deferred: Vec<(String, u64, StoreEvent)> = Vec::new();
+    for file in segment_files(dir)? {
+        let name = file
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("wal-???")
+            .to_string();
+        let mut bytes = Vec::new();
+        std::fs::File::open(&file.path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| StoreError::io(&format!("read segment {name}"), e))?;
+        scan.segments += 1;
+        scan.bytes += bytes.len() as u64;
+        let top = scan.max_segment.entry(file.lane).or_insert(0);
+        *top = (*top).max(file.seq);
+        let (records, defect) = scan_segment(&bytes);
+        scan.records += records.len() as u64;
+        for record in &records {
+            let text = match std::str::from_utf8(&record.payload) {
+                Ok(t) => t,
+                Err(_) => {
+                    scan.findings.push(Finding {
+                        segment: name.clone(),
+                        offset: record.offset,
+                        record: record.index,
+                        severity: Severity::Error,
+                        detail: format!(
+                            "record {} at offset {} is not UTF-8",
+                            record.index, record.offset
+                        ),
+                    });
+                    continue;
+                }
+            };
+            let event: StoreEvent = match serde::json::from_str(text) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    scan.findings.push(Finding {
+                        segment: name.clone(),
+                        offset: record.offset,
+                        record: record.index,
+                        severity: Severity::Error,
+                        detail: format!(
+                            "record {} at offset {} does not decode as a store event: {e}",
+                            record.index, record.offset
+                        ),
+                    });
+                    continue;
+                }
+            };
+            apply_event(&mut scan, keep, &name, record.offset, event, &mut deferred);
+        }
+        if let Some(d) = defect {
+            scan.findings.push(Finding {
+                segment: name.clone(),
+                offset: d.offset,
+                record: d.record,
+                severity: if d.torn {
+                    Severity::Warning
+                } else {
+                    Severity::Error
+                },
+                detail: d.detail,
+            });
+        }
+    }
+    // Second pass: events that arrived (in lane order) before their
+    // accept record was scanned resolve now; still-orphaned ones are
+    // invariant breaches.
+    let still_orphaned: Vec<(String, u64, StoreEvent)> = std::mem::take(&mut deferred)
+        .into_iter()
+        .filter_map(|(seg, off, ev)| {
+            let mut redeferred = Vec::new();
+            apply_event(&mut scan, keep, &seg, off, ev, &mut redeferred);
+            redeferred.into_iter().next()
+        })
+        .collect();
+    for (seg, off, ev) in still_orphaned {
+        // Orphaned *frames* are a legitimate crash artifact: the
+        // submit path appends an instance's construction frames
+        // before its accept record (prepare runs first), so a crash
+        // can persist the frames and tear off the acceptance. The
+        // request was never durably accepted — drop its frames with
+        // a warning. An orphaned seal or requeue, by contrast, cannot
+        // be produced by a crash (the accept record precedes both in
+        // the same lane, and a crash keeps prefixes): corruption.
+        let crash_artifact = matches!(ev, StoreEvent::FrameAppended { .. });
+        scan.findings.push(Finding {
+            segment: seg,
+            offset: off,
+            record: 0,
+            severity: if crash_artifact {
+                Severity::Warning
+            } else {
+                Severity::Error
+            },
+            detail: if crash_artifact {
+                format!(
+                    "frame at offset {off} for instance {} whose accept record never \
+                     became durable — dropped (crash before acceptance)",
+                    ev.instance_id().unwrap_or(0)
+                )
+            } else {
+                format!(
+                    "{} record at offset {off} references instance {} which was never accepted",
+                    ev.tag(),
+                    ev.instance_id().unwrap_or(0)
+                )
+            },
+        });
+    }
+    // Lifecycle invariants over the aggregated state.
+    for (id, inst) in &scan.instances {
+        if inst.seals > 1 {
+            scan.findings.push(Finding {
+                segment: String::new(),
+                offset: 0,
+                record: 0,
+                severity: Severity::Error,
+                detail: format!(
+                    "instance {id} sealed {} times (exactly-once lifecycle breached)",
+                    inst.seals
+                ),
+            });
+        }
+        if let Some((attempt, _)) = inst.seal {
+            if attempt < inst.attempt {
+                scan.findings.push(Finding {
+                    segment: String::new(),
+                    offset: 0,
+                    record: 0,
+                    severity: Severity::Error,
+                    detail: format!(
+                        "instance {id} was requeued (attempt {}) after being sealed at \
+                         attempt {attempt}",
+                        inst.attempt
+                    ),
+                });
+            }
+        }
+    }
+    // Frames arrive in lane order, which within one attempt is clock
+    // order; across attempts sort by (attempt, clock) so callers can
+    // slice the latest attempt directly.
+    for frames in scan.frames.values_mut() {
+        frames.sort_by_key(|(attempt, frame)| (*attempt, frame.clock));
+    }
+    Ok(scan)
+}
+
+fn apply_event(
+    scan: &mut StoreScan,
+    keep: FrameKeep,
+    segment: &str,
+    offset: u64,
+    event: StoreEvent,
+    deferred: &mut Vec<(String, u64, StoreEvent)>,
+) {
+    match event {
+        StoreEvent::SegmentOpened { .. } | StoreEvent::SegmentSealed { .. } => {}
+        StoreEvent::RequestAccepted { request } => {
+            let id = request.instance_id;
+            if scan.instances.contains_key(&id) {
+                scan.findings.push(Finding {
+                    segment: segment.to_string(),
+                    offset,
+                    record: 0,
+                    severity: Severity::Error,
+                    detail: format!("instance {id} accepted more than once (offset {offset})"),
+                });
+                return;
+            }
+            scan.instances.insert(
+                id,
+                InstanceState {
+                    request,
+                    attempt: 0,
+                    requeues: Vec::new(),
+                    seal: None,
+                    seals: 0,
+                    frames: 0,
+                },
+            );
+        }
+        StoreEvent::RequestRequeued {
+            instance_id,
+            attempt,
+        } => match scan.instances.get_mut(&instance_id) {
+            Some(inst) => {
+                if attempt == 0 || inst.requeues.contains(&attempt) {
+                    scan.findings.push(Finding {
+                        segment: segment.to_string(),
+                        offset,
+                        record: 0,
+                        severity: Severity::Error,
+                        detail: format!(
+                            "instance {instance_id} requeued with duplicate or zero \
+                             attempt number {attempt}"
+                        ),
+                    });
+                } else {
+                    inst.requeues.push(attempt);
+                }
+                inst.attempt = inst.attempt.max(attempt);
+            }
+            None => deferred.push((
+                segment.to_string(),
+                offset,
+                StoreEvent::RequestRequeued {
+                    instance_id,
+                    attempt,
+                },
+            )),
+        },
+        StoreEvent::FrameAppended {
+            instance_id,
+            attempt,
+            frame,
+        } => match scan.instances.get_mut(&instance_id) {
+            Some(inst) => {
+                inst.frames += 1;
+                let wanted = match keep {
+                    FrameKeep::None => false,
+                    FrameKeep::One(id) => id == instance_id,
+                    FrameKeep::All => true,
+                };
+                if wanted {
+                    scan.frames
+                        .entry(instance_id)
+                        .or_default()
+                        .push((attempt, frame));
+                }
+            }
+            None => deferred.push((
+                segment.to_string(),
+                offset,
+                StoreEvent::FrameAppended {
+                    instance_id,
+                    attempt,
+                    frame,
+                },
+            )),
+        },
+        StoreEvent::InstanceSealed {
+            instance_id,
+            attempt,
+            outcome,
+        } => match scan.instances.get_mut(&instance_id) {
+            Some(inst) => {
+                inst.seals += 1;
+                match inst.seal {
+                    Some((prev, _)) if prev >= attempt => {}
+                    _ => inst.seal = Some((attempt, outcome)),
+                }
+            }
+            None => deferred.push((
+                segment.to_string(),
+                offset,
+                StoreEvent::InstanceSealed {
+                    instance_id,
+                    attempt,
+                    outcome,
+                },
+            )),
+        },
+    }
+}
+
+/// An instance the crash interrupted: accepted but never sealed.
+#[derive(Clone, Debug)]
+pub struct PendingInstance {
+    /// The persisted request to re-execute.
+    pub request: PersistedRequest,
+    /// The attempt number re-execution should stamp (latest + 1).
+    pub next_attempt: u32,
+}
+
+/// One sealed instance in the store's history.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SealedSummary {
+    /// Instance id.
+    pub instance_id: u64,
+    /// Schema name the request targeted.
+    pub schema: String,
+    /// Request label, if any.
+    pub label: Option<String>,
+    /// How the lifecycle ended.
+    pub outcome: SealOutcome,
+    /// The attempt that was sealed.
+    pub attempt: u32,
+    /// Frame records on file (all attempts).
+    pub frames: u64,
+}
+
+/// What [`EventStore::open`](super::EventStore::open) recovered from
+/// disk.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveredState {
+    /// Accepted-but-unsealed instances, ready for re-execution, in
+    /// instance-id order.
+    pub pending: Vec<PendingInstance>,
+    /// Sealed history, in instance-id order.
+    pub sealed: Vec<SealedSummary>,
+    /// One above the highest instance id on file (the reopened
+    /// server's id counter starts here).
+    pub next_instance_id: u64,
+    /// Scan findings (warnings only — errors abort `open`).
+    pub findings: Vec<Finding>,
+}
+
+impl RecoveredState {
+    pub(super) fn from_scan(scan: &StoreScan) -> RecoveredState {
+        let mut state = RecoveredState::default();
+        for (id, inst) in &scan.instances {
+            state.next_instance_id = state.next_instance_id.max(id + 1);
+            match inst.seal {
+                Some((attempt, outcome)) => state.sealed.push(SealedSummary {
+                    instance_id: *id,
+                    schema: inst.request.schema.clone(),
+                    label: inst.request.label.clone(),
+                    outcome,
+                    attempt,
+                    frames: inst.frames,
+                }),
+                None => state.pending.push(PendingInstance {
+                    request: inst.request.clone(),
+                    next_attempt: inst.attempt + 1,
+                }),
+            }
+        }
+        state.findings = scan.findings.clone();
+        state
+    }
+}
+
+/// Structured result of a read-only integrity check ([`fsck`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FsckReport {
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Intact records decoded.
+    pub records: u64,
+    /// Total bytes on file.
+    pub bytes: u64,
+    /// Instances accepted.
+    pub accepted: u64,
+    /// Instances sealed.
+    pub sealed: u64,
+    /// Instances accepted but not sealed (pending re-execution).
+    pub pending: u64,
+    /// Findings of [`Severity::Warning`].
+    pub warnings: usize,
+    /// Findings of [`Severity::Error`].
+    pub errors: usize,
+    /// Every finding, in scan order.
+    pub findings: Vec<Finding>,
+}
+
+impl FsckReport {
+    /// `true` when the store has no error-severity findings (torn
+    /// tails are tolerated).
+    pub fn ok(&self) -> bool {
+        self.errors == 0
+    }
+
+    /// Render as a human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{} segment(s), {} record(s), {} byte(s)\n\
+             accepted {}  sealed {}  pending {}\n",
+            self.segments, self.records, self.bytes, self.accepted, self.sealed, self.pending
+        );
+        for f in &self.findings {
+            let sev = match f.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "ERROR",
+            };
+            if f.segment.is_empty() {
+                out.push_str(&format!("{sev}: {}\n", f.detail));
+            } else {
+                out.push_str(&format!("{sev}: {}: {}\n", f.segment, f.detail));
+            }
+        }
+        out.push_str(if self.ok() {
+            "fsck: ok\n"
+        } else {
+            "fsck: FAILED\n"
+        });
+        out
+    }
+}
+
+/// Read-only integrity check of the store at `dir`: decode every
+/// segment, verify checksums and the exactly-once lifecycle, and
+/// report every defect with its segment, byte offset, and record
+/// index. Torn tails are warnings; everything else is an error.
+pub fn fsck(dir: &Path) -> Result<FsckReport, StoreError> {
+    let scan = scan_store(dir, FrameKeep::None)?;
+    let sealed = scan.instances.values().filter(|i| i.seal.is_some()).count() as u64;
+    let warnings = scan
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warning)
+        .count();
+    Ok(FsckReport {
+        segments: scan.segments,
+        records: scan.records,
+        bytes: scan.bytes,
+        accepted: scan.instances.len() as u64,
+        sealed,
+        pending: scan.instances.len() as u64 - sealed,
+        warnings,
+        errors: scan.findings.len() - warnings,
+        findings: scan.findings,
+    })
+}
+
+/// Read-only scan of the store at `dir`: the same
+/// [`RecoveredState`] that [`EventStore::open`] would compute,
+/// without spawning appender lanes or starting fresh segments —
+/// what `dflow-store ls` uses to inspect a live or dead store.
+/// Unlike `open`, error-severity findings do not abort; they ride
+/// along in [`RecoveredState::findings`].
+///
+/// [`EventStore::open`]: super::EventStore::open
+pub fn inspect(dir: &Path) -> Result<RecoveredState, StoreError> {
+    let scan = scan_store(dir, FrameKeep::None)?;
+    Ok(RecoveredState::from_scan(&scan))
+}

@@ -51,6 +51,7 @@ use crate::engine::metrics::ShardGauges;
 
 pub mod exposition;
 pub mod histogram;
+pub mod http;
 pub mod registry;
 pub mod spans;
 
@@ -59,6 +60,7 @@ pub use histogram::{
     bucket_index, bucket_lower, bucket_upper, HistogramSnapshot, LatencyHistogram, BUCKET_COUNT,
     OVERFLOW_NS,
 };
+pub use http::MetricsServer;
 pub use registry::{Counter, Gauge, MetricSnapshot, Registry};
 pub use spans::{SpanRecord, SpanRecorder};
 
@@ -194,6 +196,11 @@ pub struct Telemetry {
     pub(crate) shards: Vec<Arc<ShardTelemetry>>,
     pub(crate) gauges: Vec<Arc<ShardGauges>>,
     pub(crate) spans: Arc<SpanRecorder>,
+    /// Additional registries merged into every snapshot — the durable
+    /// store's WAL metrics (`wal_*` counters, append/fsync
+    /// histograms) ride along here when the server was opened over
+    /// one.
+    pub(crate) extras: Vec<Arc<Registry>>,
 }
 
 impl Telemetry {
@@ -213,8 +220,13 @@ impl Telemetry {
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
         let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
         let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
-        for shard in &self.shards {
-            for (name, metric) in shard.registry().snapshot() {
+        let registries = self
+            .shards
+            .iter()
+            .map(|s| s.registry())
+            .chain(self.extras.iter().map(|r| r.as_ref()));
+        for registry in registries {
+            for (name, metric) in registry.snapshot() {
                 match metric {
                     MetricSnapshot::Counter(v) => *counters.entry(name).or_default() += v,
                     MetricSnapshot::Gauge(v) => *gauges.entry(name).or_default() += v,
@@ -335,14 +347,22 @@ mod tests {
         b.record_stage(Stage::EndToEnd, 2_000);
         a.registry().counter("custom_hits").add(3);
         b.registry().counter("custom_hits").add(4);
+        let extra = Arc::new(Registry::new());
+        extra.counter("wal_appends").add(5);
         let tele = Telemetry {
             shards: vec![a, b],
             gauges: vec![Arc::new(ShardGauges::new()), Arc::new(ShardGauges::new())],
             spans: Arc::new(SpanRecorder::new(8)),
+            extras: vec![extra],
         };
         let snap = tele.snapshot();
         assert_eq!(snap.shards, 2);
         assert_eq!(snap.counter("custom_hits"), Some(7));
+        assert_eq!(
+            snap.counter("wal_appends"),
+            Some(5),
+            "extra registries merge into the snapshot"
+        );
         assert_eq!(snap.counter("instances_submitted"), Some(0));
         assert_eq!(snap.gauge("instances_in_flight"), Some(0));
         assert_eq!(snap.stage("e2e").unwrap().count(), 2);

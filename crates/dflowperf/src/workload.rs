@@ -1049,12 +1049,19 @@ impl Backend for SimDb {
 /// `Request::deadline`).
 ///
 /// [`ServerEvents`]: decisionflow::api::ServerEvents
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Server {
     /// Number of shards (`0` = the machine's available parallelism).
     pub shards: usize,
     /// Worker threads per shard.
     pub workers_per_shard: usize,
+    /// When set, the server is opened **durable** over the event store
+    /// at this path ([`EngineServer::open_with_shards`]) and every
+    /// request is submitted with [`Request::durable`] — the load run
+    /// then measures the write-ahead-logged hot path, and the
+    /// resulting `wal_*` metrics ride along in the report's telemetry
+    /// snapshot.
+    pub durable_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Server {
@@ -1062,6 +1069,7 @@ impl Default for Server {
         Server {
             shards: 0,
             workers_per_shard: 1,
+            durable_dir: None,
         }
     }
 }
@@ -1076,7 +1084,13 @@ impl Server {
         } else {
             self.shards
         };
-        let server = EngineServer::with_shards(shards, self.workers_per_shard, strategy)?;
+        let server = match &self.durable_dir {
+            None => EngineServer::with_shards(shards, self.workers_per_shard, strategy)?,
+            Some(dir) => {
+                EngineServer::open_with_shards(dir, shards, self.workers_per_shard, strategy)
+                    .map_err(|e| LoadError::Exec(e.to_string()))?
+            }
+        };
         register_flows(&server, workload);
         Ok(server)
     }
@@ -1096,12 +1110,13 @@ fn register_flows(server: &EngineServer, workload: &Workload) {
 /// (not left to the server default) so a borrowed [`OnServer`] backend
 /// runs the workload's strategy even when the caller built the server
 /// with a different one.
-fn server_request(workload: &Workload, strategy: Strategy, i: usize) -> Request {
+fn server_request(workload: &Workload, strategy: Strategy, i: usize, durable: bool) -> Request {
     let flow = &workload.flows[i % workload.flows.len()];
     let mut req = Request::named(format!("flow{}", i % workload.flows.len()))
         .sources(flow.sources.clone())
         .options(workload.options)
-        .strategy(strategy);
+        .strategy(strategy)
+        .durable(durable);
     if let Some(budget) = workload.deadline {
         req = req.deadline(budget);
     }
@@ -1117,6 +1132,7 @@ fn run_closed_on(
     strategy: Strategy,
     total: usize,
     clients: usize,
+    durable: bool,
 ) -> Result<LoadReport, LoadError> {
     let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
     let mut shards_seen = std::collections::HashSet::new();
@@ -1133,7 +1149,7 @@ fn run_closed_on(
             measure_t0 = Some(Instant::now());
         }
         let tickets = server
-            .submit_many((0..wave).map(|k| server_request(workload, strategy, next + k)))
+            .submit_many((0..wave).map(|k| server_request(workload, strategy, next + k, durable)))
             .map_err(|e| LoadError::Exec(e.to_string()))?;
         for (k, t) in tickets.into_iter().enumerate() {
             acc.settle_ticket(next + k, t, &mut shards_seen);
@@ -1151,6 +1167,11 @@ fn run_closed_on(
         wall,
         latency_unit: LatencyUnit::Millis,
     });
+    // A durable run quiesces the WAL before the snapshot, so the
+    // report's `wal_*` metrics cover every append the run enqueued.
+    if let Some(store) = server.store() {
+        let _ = store.sync();
+    }
     report.server = Some(ServerSideStats {
         stats: server.stats(),
         shards_used: shards_seen.len(),
@@ -1174,6 +1195,7 @@ fn run_open_on(
     strategy: Strategy,
     total: usize,
     rate: f64,
+    durable: bool,
 ) -> Result<LoadReport, LoadError> {
     // Submitted + Completed/Abandoned per instance, plus headroom:
     // sized so the consumer (which drains continuously) never
@@ -1224,7 +1246,7 @@ fn run_open_on(
                     measure_t0 = now;
                 }
                 let ticket = server
-                    .submit(server_request(workload, strategy, submitted))
+                    .submit(server_request(workload, strategy, submitted, durable))
                     .map_err(|e| LoadError::Exec(e.to_string()))?;
                 pending.insert(ticket.instance_id(), (submitted, ticket));
                 submitted += 1;
@@ -1290,6 +1312,11 @@ fn run_open_on(
         wall,
         latency_unit: LatencyUnit::Millis,
     });
+    // A durable run quiesces the WAL before the snapshot, so the
+    // report's `wal_*` metrics cover every append the run enqueued.
+    if let Some(store) = server.store() {
+        let _ = store.sync();
+    }
     report.server = Some(ServerSideStats {
         stats: server.stats(),
         shards_used: shards_seen.len(),
@@ -1306,13 +1333,26 @@ impl Backend for Server {
     fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
         let Resolved { strategy, total } = workload.resolve()?;
         let server = self.build(strategy, workload)?;
+        let durable = self.durable_dir.is_some();
         match workload.arrival {
-            Arrival::Closed { clients, .. } => {
-                run_closed_on(&server, self.name(), workload, strategy, total, clients)
-            }
-            Arrival::Poisson { rate } => {
-                run_open_on(&server, self.name(), workload, strategy, total, rate)
-            }
+            Arrival::Closed { clients, .. } => run_closed_on(
+                &server,
+                self.name(),
+                workload,
+                strategy,
+                total,
+                clients,
+                durable,
+            ),
+            Arrival::Poisson { rate } => run_open_on(
+                &server,
+                self.name(),
+                workload,
+                strategy,
+                total,
+                rate,
+                durable,
+            ),
         }
     }
 }
@@ -1338,12 +1378,24 @@ impl Backend for Server {
 #[derive(Clone, Copy)]
 pub struct OnServer<'a> {
     server: &'a EngineServer,
+    durable: bool,
 }
 
 impl<'a> OnServer<'a> {
     /// Run workloads on `server` instead of a freshly built one.
     pub fn new(server: &'a EngineServer) -> OnServer<'a> {
-        OnServer { server }
+        OnServer {
+            server,
+            durable: false,
+        }
+    }
+
+    /// Submit every request with [`Request::durable`]. The borrowed
+    /// server must have been built with `EngineServer::open` (it needs
+    /// an event store), or every submission fails.
+    pub fn durable(mut self, durable: bool) -> OnServer<'a> {
+        self.durable = durable;
+        self
     }
 }
 
@@ -1356,12 +1408,24 @@ impl Backend for OnServer<'_> {
         let Resolved { strategy, total } = workload.resolve()?;
         register_flows(self.server, workload);
         match workload.arrival {
-            Arrival::Closed { clients, .. } => {
-                run_closed_on(self.server, self.name(), workload, strategy, total, clients)
-            }
-            Arrival::Poisson { rate } => {
-                run_open_on(self.server, self.name(), workload, strategy, total, rate)
-            }
+            Arrival::Closed { clients, .. } => run_closed_on(
+                self.server,
+                self.name(),
+                workload,
+                strategy,
+                total,
+                clients,
+                self.durable,
+            ),
+            Arrival::Poisson { rate } => run_open_on(
+                self.server,
+                self.name(),
+                workload,
+                strategy,
+                total,
+                rate,
+                self.durable,
+            ),
         }
     }
 }
@@ -1401,6 +1465,7 @@ mod tests {
             .run(&Server {
                 shards: 2,
                 workers_per_shard: 1,
+                ..Server::default()
             })
             .unwrap();
         for r in [&unit, &sim, &server] {
@@ -1534,6 +1599,7 @@ mod tests {
             .run(&Server {
                 shards: 4,
                 workers_per_shard: 1,
+                ..Server::default()
             })
             .unwrap();
         assert_eq!(r.completed, 64);
@@ -1545,6 +1611,42 @@ mod tests {
         assert_eq!(side.stats.completed(), 64);
         assert_eq!(side.stats.in_flight(), 0);
         assert_eq!(side.stats.queued_jobs(), 0);
+    }
+
+    #[test]
+    fn server_durable_mode_logs_and_reports_wal_metrics() {
+        let dir = std::env::temp_dir().join(format!(
+            "dflowperf-durable-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let r = Workload::new(flows(2, small()))
+            .arrivals(Arrival::Closed {
+                clients: 4,
+                waves: 3,
+            })
+            .strategy("PCE100".parse().unwrap())
+            .run(&Server {
+                shards: 2,
+                workers_per_shard: 1,
+                durable_dir: Some(dir.clone()),
+            })
+            .unwrap();
+        assert_eq!(r.completed, 12);
+        let tele = &r.server.as_ref().unwrap().telemetry;
+        assert!(
+            tele.counter("wal_appends").unwrap_or(0) > 0,
+            "durable runs surface WAL metrics in the report's telemetry"
+        );
+        // The store outlives the run: every instance is sealed on disk.
+        let store = decisionflow::store::EventStore::open(&dir).unwrap();
+        assert_eq!(store.recovered().pending.len(), 0, "nothing left pending");
+        assert_eq!(store.recovered().sealed.len(), 12);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1566,6 +1668,7 @@ mod tests {
             .run(&Server {
                 shards: 2,
                 workers_per_shard: 1,
+                ..Server::default()
             })
             .unwrap();
         assert_eq!(r.submitted, 40);

@@ -1,0 +1,350 @@
+//! Durable event store: crash recovery and time-travel replay,
+//! end-to-end through `EngineServer::open`.
+//!
+//! The crash model is **prefix truncation**: a kill can only lose a
+//! suffix of the write-ahead log (fsync-ordered appends never leave
+//! holes), so chopping the lane's byte stream at an arbitrary offset —
+//! at a record boundary or mid-record — reproduces every state a real
+//! SIGKILL can leave behind. For deterministic boundaries and random
+//! cuts alike, a reopened server must:
+//!
+//! * tolerate the torn tail (warnings, never errors);
+//! * partition the surviving accepted instances into sealed + pending
+//!   with no overlap and no loss;
+//! * re-execute exactly the pending ones once (`recover_pending` is
+//!   latched; already-sealed instances keep their attempt-0 tape);
+//! * end fully sealed, fsck-clean, with every sealed journal replaying
+//!   through the `ReplayEngine` — and first-life journals that
+//!   survived the cut byte-identical to their pre-crash capture.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use decision_flows::decisionflow::store;
+use decision_flows::dflowgen::{generate, PatternParams};
+use decision_flows::prelude::*;
+use proptest::prelude::*;
+
+/// Fresh scratch directory for one store; removed on clean test exit,
+/// left behind on panic for post-mortem `dflow-store fsck`.
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dflow-durability-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pattern(nodes: usize, pct: u32) -> PatternParams {
+    PatternParams {
+        nb_nodes: nodes,
+        nb_rows: 3,
+        pct_enabled: pct,
+        ..Default::default()
+    }
+}
+
+/// One shard so the store has exactly one WAL lane: the log is a
+/// single totally-ordered byte stream and "truncate at offset N" is
+/// unambiguous.
+fn open_server(dir: &Path) -> EngineServer {
+    EngineServer::open_with_shards(dir, 1, 2, "PSE100".parse().unwrap()).expect("open store")
+}
+
+/// Run `count` durable instances to completion, one at a time so the
+/// lane's record order follows submission order. Returns each
+/// instance's id with its live-captured tape bytes.
+fn first_life(
+    dir: &Path,
+    schema: &Arc<Schema>,
+    sources: &SourceValues,
+    count: u64,
+) -> Vec<(u64, Vec<u8>)> {
+    let server = open_server(dir);
+    server.register("f", Arc::clone(schema));
+    let mut lives = Vec::new();
+    for _ in 0..count {
+        let ticket = server
+            .submit(
+                Request::named("f")
+                    .sources(sources.clone())
+                    .durable(true)
+                    .record_journal(true),
+            )
+            .expect("durable submit");
+        let id = ticket.instance_id();
+        let result = ticket.wait().expect("instance completes");
+        let journal = result.journal.expect("journal requested");
+        lives.push((id, tape(&journal)));
+    }
+    lives
+}
+
+fn tape(journal: &Journal) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    journal.write_stream(&mut bytes).expect("serialize tape");
+    bytes
+}
+
+/// Lane 0's segment files in append order, with their byte contents.
+fn lane0_segments(dir: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("store dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-000-") && n.ends_with(".seg"))
+        })
+        .collect();
+    segs.sort();
+    segs.into_iter()
+        .map(|p| {
+            let bytes = std::fs::read(&p).expect("read segment");
+            (p, bytes)
+        })
+        .collect()
+}
+
+/// Chop the lane's concatenated byte stream at `cut`: segments wholly
+/// past the cut are deleted, the one containing it is truncated.
+fn truncate_lane(dir: &Path, cut: u64) {
+    let mut consumed = 0u64;
+    for (path, bytes) in lane0_segments(dir) {
+        let len = bytes.len() as u64;
+        if consumed >= cut {
+            std::fs::remove_file(&path).expect("drop post-cut segment");
+        } else if consumed + len > cut {
+            std::fs::write(&path, &bytes[..(cut - consumed) as usize]).expect("truncate segment");
+        }
+        consumed += len;
+    }
+}
+
+/// Offsets (into the lane's concatenated stream) at which each WAL
+/// record ends, decoded from the `[len u32 LE][crc u32 LE][payload]`
+/// framing. Offset 0 is included: "crash before anything committed".
+fn record_boundaries(dir: &Path) -> Vec<u64> {
+    let stream: Vec<u8> = lane0_segments(dir)
+        .into_iter()
+        .flat_map(|(_, bytes)| bytes)
+        .collect();
+    let mut boundaries = vec![0u64];
+    let mut at = 0usize;
+    while at + 8 <= stream.len() {
+        let len = u32::from_le_bytes(stream[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+        assert!(at <= stream.len(), "first life left a torn record");
+        boundaries.push(at as u64);
+    }
+    boundaries
+}
+
+/// Crash a fully-sealed store at byte `cut`, then drive it through
+/// the full recovery protocol, checking every invariant listed in the
+/// module docs. `lives` holds each first-life instance's tape.
+fn crash_and_recover(dir: &Path, schema: &Arc<Schema>, lives: &[(u64, Vec<u8>)], cut: u64) {
+    truncate_lane(dir, cut);
+
+    // Reopen: the torn tail and any acceptance-less construction
+    // frames must come back as warnings, never as a refusal to open.
+    let server = open_server(dir);
+    let recovered = server.store().expect("durable server").recovered().clone();
+    let sealed: BTreeMap<u64, u32> = recovered
+        .sealed
+        .iter()
+        .map(|s| (s.instance_id, s.attempt))
+        .collect();
+    let pending: Vec<u64> = recovered
+        .pending
+        .iter()
+        .map(|p| p.request.instance_id)
+        .collect();
+    for (id, attempt) in &sealed {
+        assert_eq!(
+            *attempt, 0,
+            "instance {id} sealed pre-crash on its first attempt"
+        );
+        assert!(
+            !pending.contains(id),
+            "instance {id} both sealed and pending"
+        );
+    }
+    let submitted: Vec<u64> = lives.iter().map(|(id, _)| *id).collect();
+    for id in sealed.keys().chain(&pending) {
+        assert!(submitted.contains(id), "unknown instance {id} recovered");
+    }
+    // New ids must never collide with anything on file.
+    let max_on_file = sealed.keys().chain(&pending).max().copied();
+    if let Some(max) = max_on_file {
+        assert!(
+            recovered.next_instance_id > max,
+            "id counter resumes past the log"
+        );
+    }
+
+    // Exactly-once re-execution: one ticket per pending instance, in
+    // id order, and the latch makes a second call a no-op.
+    server.register("f", Arc::clone(schema));
+    let tickets = server.recover_pending().expect("recovery re-enqueues");
+    let recovered_ids: Vec<u64> = tickets.iter().map(|t| t.instance_id()).collect();
+    assert_eq!(
+        recovered_ids, pending,
+        "recovery re-executes exactly the pending set"
+    );
+    assert!(
+        server
+            .recover_pending()
+            .expect("latched call succeeds")
+            .is_empty(),
+        "second recover_pending must re-enqueue nothing"
+    );
+    for ticket in tickets {
+        ticket.wait().expect("re-executed instance completes");
+    }
+    drop(server);
+
+    // Second reopen: everything the truncated log accepted is sealed —
+    // zero accepted-instance loss, nothing executed twice.
+    let state = store::inspect(dir).expect("post-recovery store opens");
+    assert!(
+        state.pending.is_empty(),
+        "no pending instances after recovery"
+    );
+    let resealed: BTreeMap<u64, u32> = state
+        .sealed
+        .iter()
+        .map(|s| (s.instance_id, s.attempt))
+        .collect();
+    let mut accepted: Vec<u64> = sealed.keys().chain(&pending).copied().collect();
+    accepted.sort_unstable();
+    assert_eq!(
+        resealed.keys().copied().collect::<Vec<_>>(),
+        accepted,
+        "every accepted instance is sealed after recovery"
+    );
+    for (id, attempt) in &resealed {
+        if sealed.contains_key(id) {
+            assert_eq!(*attempt, 0, "pre-crash seal of {id} survives untouched");
+        } else {
+            assert!(
+                *attempt >= 1,
+                "re-executed instance {id} seals a bumped attempt"
+            );
+        }
+    }
+    let report = store::fsck(dir).expect("fsck scans");
+    assert!(
+        report.ok(),
+        "only warnings after recovery:\n{}",
+        report.to_text()
+    );
+
+    // Time travel: every sealed journal replays, and tapes sealed
+    // before the crash are byte-identical to their live capture.
+    for (id, attempt) in &resealed {
+        let journal = store::fetch_journal(dir, *id).expect("sealed journal reconstructs");
+        if *attempt == 0 {
+            let (_, live) = lives
+                .iter()
+                .find(|(lid, _)| lid == id)
+                .expect("known instance");
+            assert_eq!(
+                &tape(&journal),
+                live,
+                "instance {id} tape drifted across the crash"
+            );
+        }
+        let outcome = ReplayEngine::new(Arc::clone(schema), journal)
+            .expect("journal header valid")
+            .replay()
+            .expect("recovered journal replays without divergence");
+        assert!(
+            outcome.frames_verified > 0,
+            "replay of {id} verified its frames"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Time-travel baseline, no crash: the journal reconstructed from the
+/// WAL is byte-for-byte the journal the live execution captured, and
+/// it replays cleanly.
+#[test]
+fn fetch_journal_matches_live_capture_byte_for_byte() {
+    let flow = generate(pattern(18, 60), 7_001).expect("valid pattern");
+    let dir = scratch("tape");
+    let lives = first_life(&dir, &flow.schema, &flow.sources, 6);
+    for (id, live) in &lives {
+        let journal = store::fetch_journal(&dir, *id).expect("sealed journal reconstructs");
+        assert_eq!(
+            &tape(&journal),
+            live,
+            "instance {id}: WAL tape != live tape"
+        );
+        ReplayEngine::new(Arc::clone(&flow.schema), journal)
+            .expect("journal header valid")
+            .replay()
+            .expect("fetched journal replays");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deterministic tears: exactly at a record boundary (the clean-crash
+/// case) and a few bytes past one (a torn record). Both first-life
+/// stores are byte-copies of the same run, so the two cuts exercise
+/// the same log.
+#[test]
+fn tears_at_record_boundaries_and_mid_record_recover() {
+    let flow = generate(pattern(16, 50), 4_400).expect("valid pattern");
+    let master = scratch("boundary-master");
+    let lives = first_life(&master, &flow.schema, &flow.sources, 4);
+    let boundaries = record_boundaries(&master);
+    assert!(boundaries.len() > 4, "four instances leave several records");
+
+    let mid_boundary = boundaries[boundaries.len() / 2];
+    let torn = boundaries[boundaries.len() / 2] + 5;
+    let everything = *boundaries.last().unwrap();
+    for (tag, cut) in [
+        ("clean", mid_boundary),
+        ("torn", torn),
+        ("nothing-lost", everything),
+        ("all-lost", 0),
+    ] {
+        let dir = scratch(&format!("boundary-{tag}"));
+        copy_store(&master, &dir);
+        crash_and_recover(&dir, &flow.schema, &lives, cut);
+    }
+    let _ = std::fs::remove_dir_all(&master);
+}
+
+fn copy_store(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create copy dir");
+    for entry in std::fs::read_dir(from).expect("read store dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_file() {
+            std::fs::copy(&path, to.join(path.file_name().unwrap())).expect("copy segment");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random flows, random cut offsets: whatever byte the "crash"
+    /// lands on, recovery upholds the exactly-once protocol.
+    #[test]
+    fn random_truncation_recovers_exactly_once(seed in any::<u64>(), cut_seed in any::<u64>()) {
+        let flow = generate(pattern(10 + (seed % 12) as usize, (seed % 101) as u32), seed)
+            .expect("valid pattern");
+        let dir = scratch("random");
+        let lives = first_life(&dir, &flow.schema, &flow.sources, 5);
+        let total: u64 = lane0_segments(&dir).iter().map(|(_, b)| b.len() as u64).sum();
+        crash_and_recover(&dir, &flow.schema, &lives, cut_seed % (total + 1));
+    }
+}

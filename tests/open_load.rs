@@ -147,6 +147,7 @@ fn overload_workload_accounts_on_all_backends() {
         .run(&Server {
             shards: 2,
             workers_per_shard: 1,
+            ..Server::default()
         })
         .expect("server build");
     for r in [&unit, &sim, &server] {
@@ -182,6 +183,7 @@ fn server_tight_deadline_counts_late_drops() {
         .run(&Server {
             shards: 1,
             workers_per_shard: 1,
+            ..Server::default()
         })
         .expect("server build");
     assert_eq!(r.submitted, 60);

@@ -68,6 +68,7 @@ fn workload_report_decomposes_latency_into_stages() {
         .run(&Server {
             shards: 2,
             workers_per_shard: 2,
+            ..Server::default()
         })
         .expect("workload run");
     assert_eq!(report.completed, 160);
