@@ -91,6 +91,13 @@ impl JournalStream {
     pub(crate) fn take(&self) -> Option<Box<dyn std::io::Write + Send>> {
         self.sink.lock().take()
     }
+
+    /// Is the sink already gone? Validation peeks here so an
+    /// already-consumed request is rejected *before* any durable
+    /// lifecycle record is logged for it.
+    pub(crate) fn is_consumed(&self) -> bool {
+        self.sink.lock().is_none()
+    }
 }
 
 impl std::fmt::Debug for JournalStream {
@@ -287,7 +294,21 @@ impl Request {
     /// rejects the submission up front. Only meaningful for server
     /// submission; in-process [`run`] ignores it.
     ///
+    /// **Acceptance durability is group-committed**: `submit`
+    /// returning a [`Ticket`] means the acceptance
+    /// record is *queued* on its WAL lane, not yet fsynced — a crash
+    /// in that sub-millisecond window can lose the acceptance
+    /// entirely (the caller still holds the error-free ticket, but
+    /// recovery will not re-execute the request). Callers that need a
+    /// durable acknowledgment should call [`EventStore::sync`] (via
+    /// [`EngineServer::store`](crate::server::EngineServer::store)) —
+    /// the explicit barrier that blocks until everything queued
+    /// before it, acceptance and seal records alike, is on disk.
+    /// Dropping the server takes the same barrier, so a clean
+    /// shutdown never strands queued records.
+    ///
     /// [`EventStore::fetch_journal`]: crate::store::EventStore::fetch_journal
+    /// [`EventStore::sync`]: crate::store::EventStore::sync
     /// [`EngineServer::open`]: crate::server::EngineServer::open
     pub fn durable(mut self, durable: bool) -> Request {
         self.durable = durable;

@@ -1262,9 +1262,42 @@ impl EngineServer {
         }
     }
 
-    /// Validate one request against its resolved schema: build the
-    /// runtime (attaching the journal recorder and/or the write-ahead
-    /// recorder when asked) without starting anything.
+    /// Validate one request against its resolved schema — strict
+    /// analysis and source binding — without consuming anything: no
+    /// one-shot streaming sink is taken and no WAL record is sent, so
+    /// a rejected request leaves no trace (the caller fixes it and
+    /// resubmits). Must pass before a durable request's lifecycle
+    /// record is logged *and* before [`prepare`](Self::prepare) builds
+    /// the runtime.
+    fn validate_request(&self, schema: &Schema, request: &Request) -> Result<(), SubmitError> {
+        if request.strict_analysis {
+            let report = crate::analysis::check(schema);
+            if report.has_errors() {
+                return Err(SubmitError::Analysis(report.errors().cloned().collect()));
+            }
+        }
+        request
+            .sources
+            .validate(schema)
+            .map_err(SubmitError::Sources)?;
+        // Peek, don't take: the caller owns the request, so a sink
+        // present here is still present when `prepare` consumes it.
+        if let Some(stream) = &request.journal_stream {
+            if stream.is_consumed() {
+                return Err(SubmitError::StreamConsumed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Build one validated request's runtime (attaching the journal
+    /// recorder and/or the write-ahead recorder when asked) without
+    /// starting anything. Callers run
+    /// [`validate_request`](Self::validate_request) first; for a
+    /// durable request the lifecycle record must already be on the
+    /// lane, because constructing the runtime streams the instance's
+    /// eager-initialization frames into `wal` — frames must never
+    /// precede their lifecycle record on disk.
     fn prepare(
         &self,
         schema: Arc<Schema>,
@@ -1272,20 +1305,6 @@ impl EngineServer {
         wal: Option<Arc<WalRecorder>>,
     ) -> Result<(PreparedRuntime, Receiver<InstanceResult>), SubmitError> {
         let strategy = request.strategy.unwrap_or(self.strategy);
-        // Strict analysis and source validation both run *before*
-        // taking a one-shot streaming sink: a rejected request must
-        // not consume the sink (the caller fixes the request and
-        // resubmits it).
-        if request.strict_analysis {
-            let report = crate::analysis::check(&schema);
-            if report.has_errors() {
-                return Err(SubmitError::Analysis(report.errors().cloned().collect()));
-            }
-        }
-        request
-            .sources
-            .validate(&schema)
-            .map_err(SubmitError::Sources)?;
         // Streaming takes precedence over buffered capture, mirroring
         // the in-process path: the journal lives on the sink and the
         // result's `journal` field stays `None`.
@@ -1367,6 +1386,14 @@ impl EngineServer {
     /// # Ok::<(), decisionflow::server::SubmitError>(())
     /// ```
     ///
+    /// For a [durable](Request::durable) request, the returned ticket
+    /// acknowledges that the acceptance record is **queued** on its
+    /// WAL lane, not yet fsynced — durability follows at the lane's
+    /// next group commit. Call [`EventStore::sync`] via
+    /// [`store`](EngineServer::store) when a durable acknowledgment
+    /// is needed before acting on the ticket; see [`Request::durable`]
+    /// for the full semantics.
+    ///
     /// [`register`]: EngineServer::register
     pub fn submit(&self, request: impl Into<Request>) -> Result<Ticket, SubmitError> {
         let id = self.next_id();
@@ -1394,14 +1421,14 @@ impl EngineServer {
             None => shard.schema_for(request.schema_name().expect("named or inline"))?,
         };
         let routed = Instant::now();
-        let wal = store
-            .as_ref()
-            .map(|s| Arc::new(WalRecorder::new(Arc::clone(s), shard.index, id, attempt)));
-        let (prepared, done_rx) = self.prepare(schema.clone(), &request, wal)?;
+        self.validate_request(&schema, &request)?;
         // Log acceptance only after validation passed, and *before*
-        // the first scheduling round can run: both the acceptance
-        // record and the instance's frames go down the same per-shard
-        // lane channel, so this send ordering is the on-disk ordering.
+        // `prepare` constructs the runtime: building the runtime
+        // already streams the instance's eager-initialization frames,
+        // and both the lifecycle record and those frames go down the
+        // same per-shard lane channel, so this send ordering is the
+        // on-disk ordering — no frame can ever precede its accept (or
+        // requeue) record, even if a crash tears the tail anywhere.
         if let Some(store) = &store {
             let event = match requeue {
                 None => StoreEvent::RequestAccepted {
@@ -1416,6 +1443,23 @@ impl EngineServer {
                 .append(shard.index, event)
                 .map_err(|e| SubmitError::Store(e.to_string()))?;
         }
+        let wal = store
+            .as_ref()
+            .map(|s| Arc::new(WalRecorder::new(Arc::clone(s), shard.index, id, attempt)));
+        let (prepared, done_rx) = match self.prepare(schema.clone(), &request, wal.clone()) {
+            Ok(ok) => ok,
+            Err(e) => {
+                // The lifecycle record is already on the lane. The
+                // remaining failure mode (a consumed one-shot stream
+                // sink) must not leave the instance accepted-but-
+                // unsealed, or recovery would re-execute a request the
+                // caller was told failed — seal it abandoned.
+                if let Some(wal) = &wal {
+                    wal.seal(SealOutcome::Abandoned);
+                }
+                return Err(e);
+            }
+        };
         let validated = Instant::now();
         // An unrepresentable deadline (e.g. Duration::MAX budget)
         // saturates to "no deadline" rather than panicking.
@@ -1545,10 +1589,13 @@ impl EngineServer {
         let route = Instant::now().saturating_duration_since(t0);
         // Phase 2 — validate: per shard, resolve named schemas under
         // one read-lock acquisition (memoized per distinct name) and
-        // build every runtime. Nothing has started yet, so any failure
+        // validate every request. Runtimes are NOT built here: building
+        // one streams a durable instance's construction frames to its
+        // WAL lane, and no frame may precede its acceptance record on
+        // disk. Nothing has been logged or started yet, so any failure
         // aborts the whole batch cleanly.
-        let mut prepared: Vec<Option<(PreparedRuntime, Receiver<InstanceResult>)>> = Vec::new();
-        prepared.resize_with(requests.len(), || None);
+        let mut schemas: Vec<Option<Arc<Schema>>> = Vec::new();
+        schemas.resize_with(requests.len(), || None);
         let mut persists: Vec<Option<PersistedRequest>> = Vec::new();
         persists.resize_with(requests.len(), || None);
         let mut validates: Vec<Duration> = vec![Duration::ZERO; requests.len()];
@@ -1580,35 +1627,59 @@ impl EngineServer {
                         }
                     }
                 };
-                let wal = store.map(|s| Arc::new(WalRecorder::new(s, sidx, ids[i], 0)));
-                if wal.is_some() {
+                self.validate_request(&schema, request)?;
+                if store.is_some() {
                     persists[i] = Some(self.persist_request(ids[i], &schema, request));
                 }
-                prepared[i] = Some(self.prepare(schema, request, wal)?);
+                schemas[i] = Some(schema);
                 validates[i] = Instant::now().saturating_duration_since(validate_start);
             }
         }
-        // Phase 3 — start everything, tickets in submission order.
+        // Phase 3 — log acceptance, build, start: tickets come back in
+        // submission order. Per request the acceptance record goes down
+        // the lane *before* `prepare` streams the runtime's
+        // construction frames onto it, preserving the on-disk ordering
+        // guarantee of `submit_as`. A lane failure here aborts the rest
+        // of the batch (earlier instances already started keep running;
+        // their tickets are lost with the error — the lane is latched
+        // failed, so the server is degraded anyway).
         let now = Instant::now();
         let mut tickets = Vec::with_capacity(requests.len());
         for (i, request) in requests.iter().enumerate() {
-            // invariant: phase 2 filled every slot or returned early.
-            let (ready, done_rx) = prepared[i].take().expect("validated above");
             let shard = self.shard_for(ids[i]);
-            // Log acceptance just before starting, preserving the
-            // lane-channel ordering guarantee of `submit_as`. A lane
-            // failure here aborts the rest of the batch (earlier
-            // instances already started keep running; their tickets
-            // are lost with the error — the lane is latched failed, so
-            // the server is degraded anyway).
-            if let (Some(persist), Some(store)) = (persists[i].take(), self.store.as_ref()) {
-                store
-                    .append(
+            // invariant: phase 2 filled every slot or returned early.
+            let schema = schemas[i].take().expect("validated above");
+            let wal = match (persists[i].take(), self.store.as_ref()) {
+                (Some(persist), Some(store)) => {
+                    store
+                        .append(
+                            shard.index,
+                            StoreEvent::RequestAccepted { request: persist },
+                        )
+                        .map_err(|e| SubmitError::Store(e.to_string()))?;
+                    Some(Arc::new(WalRecorder::new(
+                        Arc::clone(store),
                         shard.index,
-                        StoreEvent::RequestAccepted { request: persist },
-                    )
-                    .map_err(|e| SubmitError::Store(e.to_string()))?;
-            }
+                        ids[i],
+                        0,
+                    )))
+                }
+                _ => None,
+            };
+            let build_start = Instant::now();
+            let (ready, done_rx) = match self.prepare(schema, request, wal.clone()) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    // Same discipline as `submit_as`: the acceptance is
+                    // already on the lane, so an instance that cannot
+                    // build must not be left for recovery to re-execute.
+                    if let Some(wal) = &wal {
+                        wal.seal(SealOutcome::Abandoned);
+                    }
+                    return Err(e);
+                }
+            };
+            validates[i] += Instant::now().saturating_duration_since(build_start);
             let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
             shard.start(
                 ids[i],

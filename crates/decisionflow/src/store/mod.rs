@@ -411,10 +411,15 @@ pub struct CompactReport {
 ///
 /// Requires exclusive access (no live [`EventStore`] over `dir`).
 /// Refuses a store with error-severity findings — run [`fsck`] first.
-/// Not crash-atomic: the old segments are renamed to `*.bak` before
-/// the compacted segment takes their place and are deleted last, so if
-/// the process dies mid-compaction, restore by renaming the `*.bak`
-/// files back and deleting the compacted segment.
+/// Not crash-atomic, but fail-safe: the old segments are renamed to
+/// `*.seg.bak` before the compacted segment takes their place and are
+/// deleted last, and as long as any `*.seg.bak` or `compact.tmp` file
+/// remains, every scan ([`EventStore::open`], [`fsck`], `compact`
+/// itself) refuses to proceed rather than silently misread a partial
+/// segment set. If the process dies mid-compaction: when the compacted
+/// segment (the highest-numbered `wal-000-*.seg`) is present and
+/// complete, delete the leftovers; otherwise rename each `*.seg.bak`
+/// back to `*.seg` and delete `compact.tmp`.
 pub fn compact(dir: &Path) -> Result<CompactReport, StoreError> {
     let scan = scan_store(dir, FrameKeep::All)?;
     if let Some(err) = scan.findings.iter().find(|f| f.severity == Severity::Error) {
@@ -963,6 +968,38 @@ mod tests {
     }
 
     #[test]
+    fn orphaned_frames_still_advance_the_id_counter() {
+        let dir = tmp_dir("orphan-id");
+        {
+            let store = EventStore::open(&dir).unwrap();
+            // Frames for instance 7 whose accept record never became
+            // durable (the torn-acceptance crash artifact).
+            store
+                .append(
+                    0,
+                    StoreEvent::FrameAppended {
+                        instance_id: 7,
+                        attempt: 0,
+                        frame: frame(0),
+                    },
+                )
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let store = EventStore::open(&dir).unwrap();
+        let rec = store.recovered();
+        assert!(rec.findings.iter().any(|f| f.severity == Severity::Warning));
+        // The dropped orphan must still reserve its id: resuming at 0
+        // would hand id 7 to a fresh request and later scans would
+        // attribute the stale frames to it.
+        assert_eq!(rec.next_instance_id, 8);
+        assert!(rec.pending.is_empty());
+        assert!(rec.sealed.is_empty());
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn torn_tail_is_tolerated_and_reported() {
         let dir = tmp_dir("torn");
         {
@@ -1167,6 +1204,58 @@ mod tests {
         assert_eq!(store.recovered().pending.len(), 1);
         assert_eq!(store.recovered().pending[0].request.instance_id, 2);
         assert_eq!(store.recovered().sealed.len(), 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_compaction_refuses_open_until_restored() {
+        let dir = tmp_dir("compact-crash");
+        {
+            let store = EventStore::open(&dir).unwrap();
+            store
+                .append(
+                    0,
+                    StoreEvent::RequestAccepted {
+                        request: request(1),
+                    },
+                )
+                .unwrap();
+            store
+                .append(
+                    0,
+                    StoreEvent::InstanceSealed {
+                        instance_id: 1,
+                        attempt: 0,
+                        outcome: SealOutcome::Completed,
+                    },
+                )
+                .unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a crash in compact()'s swap window: every original
+        // stashed away, replacement not yet installed. The scanner
+        // would otherwise see an empty store and "succeed".
+        let seg = recover::segment_files(&dir).unwrap().pop().unwrap().path;
+        let bak = seg.with_extension("seg.bak");
+        std::fs::rename(&seg, &bak).unwrap();
+        std::fs::write(dir.join("compact.tmp"), b"partial").unwrap();
+        match EventStore::open(&dir) {
+            Err(StoreError::Corrupt(detail)) => {
+                assert!(detail.contains("interrupted compaction"), "{detail}");
+                assert!(detail.contains("compact.tmp"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let report = fsck(&dir).unwrap();
+        assert!(!report.ok(), "fsck must flag the debris");
+        assert!(compact(&dir).is_err(), "compact must refuse the debris");
+        // The documented manual restore brings the store back intact.
+        std::fs::rename(&bak, &seg).unwrap();
+        std::fs::remove_file(dir.join("compact.tmp")).unwrap();
+        let store = EventStore::open(&dir).unwrap();
+        assert_eq!(store.recovered().sealed.len(), 1);
+        assert_eq!(store.recovered().next_instance_id, 2);
         drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -92,6 +92,12 @@ pub(super) struct StoreScan {
     /// Highest segment sequence number per lane (for fresh-segment
     /// numbering at reopen).
     pub max_segment: BTreeMap<usize, u64>,
+    /// One above the highest instance id referenced by *any* record —
+    /// including orphaned frames/requeues/seals whose accept record a
+    /// crash tore away. The reopened id counter must clear these too,
+    /// or a new request could reuse an orphan's id and later scans
+    /// would attribute the stale frames to it.
+    pub next_instance_floor: u64,
     /// Kept frames: instance id → `(attempt, frame)` in append order
     /// per lane (empty unless requested via [`FrameKeep`]).
     pub frames: BTreeMap<u64, Vec<(u32, Frame)>>,
@@ -117,6 +123,29 @@ fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
     let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
     let (lane, seq) = rest.split_once('-')?;
     Some((lane.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Leftovers of an interrupted [`compact`](super::compact): the
+/// staging file and/or stashed originals. Their presence means the
+/// segment set may be incomplete — `compact` renames every original
+/// to `*.seg.bak` before installing the replacement, so a crash in
+/// that window can leave *only* files the segment scan ignores, and
+/// proceeding would silently open an empty store (restarting instance
+/// ids at 0, colliding with everything in the backups).
+pub(super) fn compaction_debris(dir: &Path) -> Result<Vec<String>, StoreError> {
+    let mut debris = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io("read store dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("read store dir entry", e))?;
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        if name == "compact.tmp" || name.ends_with(".seg.bak") {
+            debris.push(name);
+        }
+    }
+    debris.sort();
+    Ok(debris)
 }
 
 /// The store's segment files, sorted by `(lane, seq)`. Non-matching
@@ -149,8 +178,29 @@ pub(super) fn scan_store(dir: &Path, keep: FrameKeep) -> Result<StoreScan, Store
         records: 0,
         bytes: 0,
         max_segment: BTreeMap::new(),
+        next_instance_floor: 0,
         frames: BTreeMap::new(),
     };
+    // An interrupted compaction may have stashed part (or all) of the
+    // segment set under names this scan ignores; building on what is
+    // left would silently misread the store. Refuse until a human
+    // resolves it.
+    let debris = compaction_debris(dir)?;
+    if !debris.is_empty() {
+        scan.findings.push(Finding {
+            segment: String::new(),
+            offset: 0,
+            record: 0,
+            severity: Severity::Error,
+            detail: format!(
+                "interrupted compaction: leftover file(s) {} — if the compacted segment \
+                 (highest-numbered wal-000-*.seg) is present and complete, delete the \
+                 *.seg.bak files and compact.tmp; otherwise restore by renaming each \
+                 *.seg.bak back to *.seg and deleting compact.tmp",
+                debris.join(", ")
+            ),
+        });
+    }
     // Events whose instance was not yet accepted at the time their
     // *lane* was scanned: cross-lane order is not total, so orphan
     // checks run after every segment has been read.
@@ -233,14 +283,16 @@ pub(super) fn scan_store(dir: &Path, keep: FrameKeep) -> Result<StoreScan, Store
         })
         .collect();
     for (seg, off, ev) in still_orphaned {
-        // Orphaned *frames* are a legitimate crash artifact: the
-        // submit path appends an instance's construction frames
-        // before its accept record (prepare runs first), so a crash
-        // can persist the frames and tear off the acceptance. The
-        // request was never durably accepted — drop its frames with
-        // a warning. An orphaned seal or requeue, by contrast, cannot
-        // be produced by a crash (the accept record precedes both in
-        // the same lane, and a crash keeps prefixes): corruption.
+        // The submit path appends the lifecycle record before any
+        // frame on the same lane, so a prefix-keeping crash should
+        // never strand frames without their acceptance. Orphaned
+        // *frames* are still tolerated as warnings — logs written
+        // before that ordering guarantee held carry them, and their
+        // instance was never durably accepted, so dropping them loses
+        // nothing (the id they reference stays reserved via the
+        // next-instance floor, so it can never be reissued and
+        // misattributed). An orphaned seal or requeue, by contrast,
+        // cannot be produced by any version of the writer: corruption.
         let crash_artifact = matches!(ev, StoreEvent::FrameAppended { .. });
         scan.findings.push(Finding {
             segment: seg,
@@ -313,6 +365,9 @@ fn apply_event(
     event: StoreEvent,
     deferred: &mut Vec<(String, u64, StoreEvent)>,
 ) {
+    if let Some(id) = event.instance_id() {
+        scan.next_instance_floor = scan.next_instance_floor.max(id + 1);
+    }
     match event {
         StoreEvent::SegmentOpened { .. } | StoreEvent::SegmentSealed { .. } => {}
         StoreEvent::RequestAccepted { request } => {
@@ -458,8 +513,10 @@ pub struct RecoveredState {
     pub pending: Vec<PendingInstance>,
     /// Sealed history, in instance-id order.
     pub sealed: Vec<SealedSummary>,
-    /// One above the highest instance id on file (the reopened
-    /// server's id counter starts here).
+    /// One above the highest instance id referenced by any record on
+    /// file — orphaned frames whose acceptance a crash tore away count
+    /// too (the reopened server's id counter starts here, so ids are
+    /// never reused).
     pub next_instance_id: u64,
     /// Scan findings (warnings only — errors abort `open`).
     pub findings: Vec<Finding>,
@@ -467,7 +524,14 @@ pub struct RecoveredState {
 
 impl RecoveredState {
     pub(super) fn from_scan(scan: &StoreScan) -> RecoveredState {
-        let mut state = RecoveredState::default();
+        // The floor covers every id referenced anywhere in the log —
+        // orphaned frames of a torn-off acceptance included — so a
+        // reopened server can never hand a fresh request an id whose
+        // stale frames a later scan would attribute to it.
+        let mut state = RecoveredState {
+            next_instance_id: scan.next_instance_floor,
+            ..RecoveredState::default()
+        };
         for (id, inst) in &scan.instances {
             state.next_instance_id = state.next_instance_id.max(id + 1);
             match inst.seal {

@@ -33,7 +33,7 @@
 //! [`TelemetrySnapshot::to_json`]: crate::telemetry::TelemetrySnapshot::to_json
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -104,8 +104,19 @@ impl Drop for MetricsServer {
         // ordering: pairs with the accept-loop load (see above).
         self.shutdown.store(true, Ordering::SeqCst);
         // `incoming()` blocks in accept(2); a throwaway self-connect
-        // wakes it so it observes the flag and exits.
-        let _ = TcpStream::connect(self.addr);
+        // wakes it so it observes the flag and exits. A wildcard bind
+        // (0.0.0.0 / ::) is not a connectable destination on every
+        // platform — aim the wake-up at loopback on the bound port.
+        let wake = if self.addr.ip().is_unspecified() {
+            let loopback: IpAddr = match self.addr {
+                SocketAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect(wake);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -243,6 +254,18 @@ mod tests {
         assert!(status.contains("404"), "{status}");
         let (status, _) = get(addr, "POST /metrics HTTP/1.1");
         assert!(status.contains("405"), "{status}");
+    }
+
+    #[test]
+    fn drop_stops_a_wildcard_bound_listener() {
+        // 0.0.0.0 is not a connectable destination everywhere; the
+        // drop-side wake-up must aim at loopback or join() hangs until
+        // an external client happens to connect.
+        let server = MetricsServer::bind("0.0.0.0:0", test_telemetry()).expect("bind");
+        let addr = server.addr();
+        drop(server);
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "listener thread must exit on drop");
     }
 
     #[test]

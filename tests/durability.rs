@@ -323,6 +323,64 @@ fn tears_at_record_boundaries_and_mid_record_recover() {
     let _ = std::fs::remove_dir_all(&master);
 }
 
+/// Regression: within a lane, every instance's lifecycle record (its
+/// acceptance, or the requeue of a later attempt) must hit the log
+/// before any frame of that attempt. Building a runtime streams its
+/// eager-initialization frames, so a submit path that prepared first
+/// would let a crash persist frames for an instance that was never
+/// durably accepted — and the orphans could be mis-attributed if the
+/// id were ever reissued.
+#[test]
+fn lifecycle_records_precede_frames_on_disk() {
+    let flow = generate(pattern(14, 70), 9_900).expect("valid pattern");
+    let dir = scratch("record-order");
+    let lives = first_life(&dir, &flow.schema, &flow.sources, 3);
+    let mut seen: Vec<(u64, u32)> = Vec::new();
+    let mut frames = 0u64;
+    for (path, bytes) in lane0_segments(&dir) {
+        let (records, defect) = store::wal::scan_segment(&bytes);
+        assert!(
+            defect.is_none(),
+            "clean shutdown leaves no defect in {path:?}"
+        );
+        for record in records {
+            let text = std::str::from_utf8(&record.payload).expect("utf8 payload");
+            let event: store::StoreEvent = serde::json::from_str(text).expect("store event");
+            match event {
+                store::StoreEvent::RequestAccepted { request } => {
+                    seen.push((request.instance_id, 0));
+                }
+                store::StoreEvent::RequestRequeued {
+                    instance_id,
+                    attempt,
+                } => {
+                    seen.push((instance_id, attempt));
+                }
+                store::StoreEvent::FrameAppended {
+                    instance_id,
+                    attempt,
+                    ..
+                } => {
+                    frames += 1;
+                    assert!(
+                        seen.contains(&(instance_id, attempt)),
+                        "frame for instance {instance_id} attempt {attempt} precedes \
+                         its lifecycle record on disk"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        lives.len(),
+        "one lifecycle record per submitted instance"
+    );
+    assert!(frames > 0, "durable instances leave frames");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn copy_store(from: &Path, to: &Path) {
     std::fs::create_dir_all(to).expect("create copy dir");
     for entry in std::fs::read_dir(from).expect("read store dir") {
