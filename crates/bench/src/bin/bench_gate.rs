@@ -14,12 +14,18 @@
 //! bench_gate check --baseline results/BENCH_baseline_shard_scaling.json \
 //!                  --current BENCH_shard_scaling.json \
 //!                  --metric throughput/s [--tolerance 0.20]
+//! bench_gate scaling --current BENCH_shard_scaling.json \
+//!                  [--base-shards 1] [--target-shards 4] [--min-ratio 2.5]
 //! bench_gate bless --baseline results/BENCH_baseline_shard_scaling.json \
 //!                  --current BENCH_shard_scaling.json
 //! ```
 //!
 //! `check` exits 0 (all within tolerance) or 1 (regression / missing
-//! row / unreadable snapshot). `bless` copies the current snapshot
+//! row / unreadable snapshot). `scaling` is the scaling-*efficiency*
+//! row: within one snapshot, every strategy's throughput at
+//! `--target-shards` must be at least `--min-ratio ×` its throughput
+//! at `--base-shards` — so "N shards ≈ 1 shard" fails CI even when no
+//! per-cell number regressed. `bless` copies the current snapshot
 //! over the baseline — run it locally and commit the refreshed file
 //! when a slowdown (or a benchmark change) is intentional.
 
@@ -29,11 +35,14 @@ use std::process::ExitCode;
 
 struct Args {
     command: String,
-    baseline: PathBuf,
+    baseline: Option<PathBuf>,
     current: PathBuf,
     metric: String,
     key: Vec<String>,
     tolerance: f64,
+    base_shards: String,
+    target_shards: String,
+    min_ratio: f64,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +53,9 @@ fn parse_args() -> Args {
     let mut metric = "throughput/s".to_string();
     let mut key = "shards,strategy".to_string();
     let mut tolerance = 0.20;
+    let mut base_shards = "1".to_string();
+    let mut target_shards = "4".to_string();
+    let mut min_ratio = 2.5;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
@@ -59,16 +71,26 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("--tolerance needs a float"))
             }
+            "--base-shards" => base_shards = value(),
+            "--target-shards" => target_shards = value(),
+            "--min-ratio" => {
+                min_ratio = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--min-ratio needs a float"))
+            }
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
     Args {
         command,
-        baseline: baseline.unwrap_or_else(|| usage("--baseline is required")),
+        baseline,
         current: current.unwrap_or_else(|| usage("--current is required")),
         metric,
         key: key.split(',').map(|k| k.trim().to_string()).collect(),
         tolerance,
+        base_shards,
+        target_shards,
+        min_ratio,
     }
 }
 
@@ -77,6 +99,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: bench_gate check --baseline PATH --current PATH \
          [--metric NAME] [--key COL,COL] [--tolerance FRACTION]\n       \
+         bench_gate scaling --current PATH [--metric NAME] \
+         [--base-shards N] [--target-shards N] [--min-ratio FLOAT]\n       \
          bench_gate bless --baseline PATH --current PATH"
     );
     std::process::exit(2);
@@ -126,14 +150,20 @@ fn load_rows(path: &Path, metric: &str, key: &[String]) -> Result<BTreeMap<Strin
     Ok(out)
 }
 
+fn require_baseline(args: &Args) -> Result<&Path, String> {
+    args.baseline
+        .as_deref()
+        .ok_or_else(|| format!("bench_gate: {} requires --baseline", args.command))
+}
+
 fn check(args: &Args) -> Result<(), String> {
-    let baseline = load_rows(&args.baseline, &args.metric, &args.key)?;
+    let baseline = load_rows(require_baseline(args)?, &args.metric, &args.key)?;
     let current = load_rows(&args.current, &args.metric, &args.key)?;
     let mut failures = Vec::new();
     println!(
         "bench_gate: {} vs blessed {} ({} rows, metric {:?}, tolerance {:.0}%)",
         args.current.display(),
-        args.baseline.display(),
+        require_baseline(args)?.display(),
         baseline.len(),
         args.metric,
         args.tolerance * 100.0
@@ -184,10 +214,109 @@ fn check(args: &Args) -> Result<(), String> {
     }
 }
 
+/// The scaling-efficiency gate: within one snapshot, every strategy
+/// must deliver at least `min_ratio ×` its `base_shards` throughput
+/// at `target_shards`. This is what catches "N shards ≈ 1 shard" —
+/// a flat curve where every individual cell still beats its blessed
+/// floor.
+fn scaling(args: &Args) -> Result<(), String> {
+    let rows = load_rows(&args.current, &args.metric, &args.key)?;
+    // Keys look like "shards=N strategy=S" (the default --key); index
+    // the metric by (shards, strategy).
+    let mut by_cell: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for (key, &value) in &rows {
+        let mut shards = None;
+        let mut strategy = None;
+        for part in key.split_whitespace() {
+            if let Some(v) = part.strip_prefix("shards=") {
+                shards = Some(v.to_string());
+            } else if let Some(v) = part.strip_prefix("strategy=") {
+                strategy = Some(v.to_string());
+            }
+        }
+        let (Some(sh), Some(st)) = (shards, strategy) else {
+            return Err(format!(
+                "bench_gate scaling: row [{key}] lacks shards=/strategy= coordinates \
+                 (pass --key shards,strategy)"
+            ));
+        };
+        by_cell.insert((sh, st), value);
+    }
+    println!(
+        "bench_gate: scaling efficiency of {} ({} shards must be ≥ {:.2}× {} shards, metric {:?})",
+        args.current.display(),
+        args.target_shards,
+        args.min_ratio,
+        args.base_shards,
+        args.metric,
+    );
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    let strategies: Vec<String> = by_cell
+        .keys()
+        .filter(|(sh, _)| *sh == args.base_shards)
+        .map(|(_, st)| st.clone())
+        .collect();
+    for st in &strategies {
+        let base = by_cell[&(args.base_shards.clone(), st.clone())];
+        let Some(&target) = by_cell.get(&(args.target_shards.clone(), st.clone())) else {
+            failures.push(format!(
+                "strategy {st}: no row at shards={}",
+                args.target_shards
+            ));
+            continue;
+        };
+        compared += 1;
+        let ratio = if base.abs() > f64::EPSILON {
+            target / base
+        } else {
+            0.0
+        };
+        let verdict = if ratio < args.min_ratio { "FLAT" } else { "ok" };
+        println!(
+            "  [{st}] {base:.1} @ {bs} shards -> {target:.1} @ {ts} shards = {ratio:.2}x {verdict}",
+            bs = args.base_shards,
+            ts = args.target_shards,
+        );
+        if ratio < args.min_ratio {
+            failures.push(format!(
+                "strategy {st}: {ts}-shard throughput is only {ratio:.2}× the \
+                 {bs}-shard figure (required ≥ {min:.2}×)",
+                ts = args.target_shards,
+                bs = args.base_shards,
+                min = args.min_ratio,
+            ));
+        }
+    }
+    if compared == 0 {
+        failures.push(format!(
+            "no strategy has rows at both shards={} and shards={}",
+            args.base_shards, args.target_shards
+        ));
+    }
+    if failures.is_empty() {
+        println!("bench_gate: PASS (scaling)");
+        Ok(())
+    } else {
+        let mut msg = String::from("bench_gate: FAIL (scaling)\n");
+        for f in &failures {
+            msg.push_str("  ");
+            msg.push_str(f);
+            msg.push('\n');
+        }
+        msg.push_str(
+            "shard scaling collapsed: profile the submit → route → queue → execute → \
+             complete pipeline before touching the gate threshold.",
+        );
+        Err(msg)
+    }
+}
+
 fn bless(args: &Args) -> Result<(), String> {
     // Validate the current snapshot parses before blessing it.
+    let baseline = require_baseline(args)?;
     let rows = load_rows(&args.current, &args.metric, &args.key)?;
-    let diff: Vec<String> = match load_rows(&args.baseline, &args.metric, &args.key) {
+    let diff: Vec<String> = match load_rows(baseline, &args.metric, &args.key) {
         Ok(old) => rows
             .iter()
             .map(|(k, v)| match old.get(k) {
@@ -200,11 +329,11 @@ fn bless(args: &Args) -> Result<(), String> {
             .map(|(k, v)| format!("  [{k}] -> {v:.1}"))
             .collect(),
     };
-    std::fs::copy(&args.current, &args.baseline)
-        .map_err(|e| format!("cannot bless {}: {e}", args.baseline.display()))?;
+    std::fs::copy(&args.current, baseline)
+        .map_err(|e| format!("cannot bless {}: {e}", baseline.display()))?;
     println!(
         "bench_gate: blessed {} <- {} ({} rows)",
-        args.baseline.display(),
+        baseline.display(),
         args.current.display(),
         rows.len()
     );
@@ -218,6 +347,7 @@ fn main() -> ExitCode {
     let args = parse_args();
     let result = match args.command.as_str() {
         "check" => check(&args),
+        "scaling" => scaling(&args),
         "bless" => bless(&args),
         other => usage(&format!("unknown command {other:?}")),
     };

@@ -62,7 +62,12 @@ fn flow() -> dflowgen::GeneratedFlow {
 }
 
 fn open(dir: &Path) -> EngineServer {
-    EngineServer::open_with_shards(dir, SHARDS, WORKERS_PER_SHARD, "PSE100".parse().unwrap())
+    EngineServer::builder()
+        .shards(SHARDS)
+        .workers_per_shard(WORKERS_PER_SHARD)
+        .strategy("PSE100".parse().unwrap())
+        .durable(dir)
+        .build()
         .unwrap_or_else(|e| {
             eprintln!(
                 "durable_crash: store at {} refused to open: {e}",

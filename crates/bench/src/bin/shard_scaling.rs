@@ -12,6 +12,17 @@
 //! whole sweep's latency down by pipeline stage, from the merged
 //! per-run histograms.
 //!
+//! Each task carries a wall-clock delay proportional to its declared
+//! cost ([`GeneratedFlow::with_unit_delay`]), modeling the paper's
+//! setting where tasks are remote-service queries that *wait*, not
+//! local compute: a shard's capacity is then its worker count (how
+//! many queries it can hold in flight), so N shards provide N× the
+//! service capacity and the sweep measures how much of that the
+//! submit → route → queue → complete harness actually delivers. A
+//! CPU-bound body would instead saturate the host's cores and cap the
+//! curve at core count, measuring the machine rather than the
+//! harness.
+//!
 //! Flags:
 //!
 //! * `--smoke` — a reduced matrix (2 shard counts × 2 strategies,
@@ -79,8 +90,17 @@ fn main() {
         ..Default::default()
     };
     let n_flows: u64 = if args.smoke { 2 } else { 4 };
+    // 100µs per cost unit ≈ 5–10ms of simulated query latency per
+    // instance: long enough that shard capacity (workers holding
+    // sleeping queries) dominates, short enough to keep the sweep in
+    // seconds.
+    let unit_delay = std::time::Duration::from_micros(100);
     let flows: Vec<GeneratedFlow> = (0..n_flows)
-        .map(|i| generate(params, 0x5CA1E + i).expect("valid pattern"))
+        .map(|i| {
+            generate(params, 0x5CA1E + i)
+                .expect("valid pattern")
+                .with_unit_delay(unit_delay)
+        })
         .collect();
     let strategy_names: &[&str] = if args.smoke {
         &["PCE100", "PSE100"]

@@ -22,6 +22,6 @@ pub mod strategy;
 pub mod unit_exec;
 
 pub use metrics::{InstanceMetrics, ServerStats, ShardGauges, ShardStats};
-pub use runtime::{InstanceRuntime, RuntimeOptions, Stalled};
+pub use runtime::{InstanceRuntime, RuntimeOptions, RuntimeScratch, Stalled};
 pub use strategy::{Heuristic, ParseStrategyError, Strategy};
 pub use unit_exec::{run_unit_time, run_unit_time_with_options, ExecError, UnitOutcome};

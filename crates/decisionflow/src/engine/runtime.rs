@@ -57,6 +57,56 @@ pub struct RuntimeOptions {
     pub disable_backward: bool,
 }
 
+/// Reusable allocation scratch for [`InstanceRuntime`] construction.
+///
+/// Building a runtime allocates a dozen per-attribute vectors; on the
+/// server's submission hot path that cost is paid once per instance.
+/// A scratch holds those buffers after an instance retires
+/// ([`InstanceRuntime::reclaim`]) so the next construction on the same
+/// shard ([`InstanceRuntime::with_options_in`]) reuses the capacity
+/// instead of round-tripping the allocator. A `Default` scratch is
+/// empty and behaves exactly like allocating fresh.
+#[derive(Default)]
+pub struct RuntimeScratch {
+    state: Vec<AttrState>,
+    values: Vec<Value>,
+    cond: Vec<Tri>,
+    pending_inputs: Vec<u32>,
+    pending_refs: Vec<u32>,
+    in_flight: Vec<bool>,
+    need_count: Vec<u32>,
+    enab_edges_dead: Vec<bool>,
+    data_edges_dead: Vec<bool>,
+    target_alive: Vec<bool>,
+    pool: Vec<AttrId>,
+    in_pool: Vec<bool>,
+    stable_queue: VecDeque<AttrId>,
+}
+
+impl RuntimeScratch {
+    /// Reset every buffer to the initial runtime state for a schema of
+    /// `n` attributes, reusing existing capacity.
+    fn reset(&mut self, n: usize) {
+        fn refill<T: Clone>(v: &mut Vec<T>, n: usize, x: T) {
+            v.clear();
+            v.resize(n, x);
+        }
+        refill(&mut self.state, n, AttrState::Uninitialized);
+        refill(&mut self.values, n, Value::Null);
+        refill(&mut self.cond, n, Tri::Unknown);
+        refill(&mut self.pending_inputs, n, 0);
+        refill(&mut self.pending_refs, n, 0);
+        refill(&mut self.in_flight, n, false);
+        refill(&mut self.need_count, n, 0);
+        refill(&mut self.enab_edges_dead, n, false);
+        refill(&mut self.data_edges_dead, n, false);
+        refill(&mut self.target_alive, n, false);
+        refill(&mut self.in_pool, n, false);
+        self.pool.clear();
+        self.stable_queue.clear();
+    }
+}
+
 /// The runtime of one decision-flow instance.
 pub struct InstanceRuntime {
     schema: Arc<Schema>,
@@ -142,7 +192,27 @@ impl InstanceRuntime {
         sources: &SourceValues,
         options: RuntimeOptions,
     ) -> Result<Self, SnapshotError> {
-        Self::build(schema, strategy, sources, options, None)
+        Self::build(
+            schema,
+            strategy,
+            sources,
+            options,
+            None,
+            RuntimeScratch::default(),
+        )
+    }
+
+    /// Like [`InstanceRuntime::with_options`], building into a
+    /// reclaimed [`RuntimeScratch`] so the per-attribute vectors reuse
+    /// a retired instance's capacity instead of allocating fresh.
+    pub fn with_options_in(
+        scratch: RuntimeScratch,
+        schema: Arc<Schema>,
+        strategy: Strategy,
+        sources: &SourceValues,
+        options: RuntimeOptions,
+    ) -> Result<Self, SnapshotError> {
+        Self::build(schema, strategy, sources, options, None, scratch)
     }
 
     /// Like [`InstanceRuntime::with_options`], additionally recording
@@ -156,7 +226,27 @@ impl InstanceRuntime {
         options: RuntimeOptions,
         sink: Box<dyn JournalSink>,
     ) -> Result<Self, SnapshotError> {
-        Self::build(schema, strategy, sources, options, Some(sink))
+        Self::build(
+            schema,
+            strategy,
+            sources,
+            options,
+            Some(sink),
+            RuntimeScratch::default(),
+        )
+    }
+
+    /// Like [`InstanceRuntime::with_options_recorded`], building into a
+    /// reclaimed [`RuntimeScratch`].
+    pub fn with_options_recorded_in(
+        scratch: RuntimeScratch,
+        schema: Arc<Schema>,
+        strategy: Strategy,
+        sources: &SourceValues,
+        options: RuntimeOptions,
+        sink: Box<dyn JournalSink>,
+    ) -> Result<Self, SnapshotError> {
+        Self::build(schema, strategy, sources, options, Some(sink), scratch)
     }
 
     fn build(
@@ -165,32 +255,59 @@ impl InstanceRuntime {
         sources: &SourceValues,
         options: RuntimeOptions,
         sink: Option<Box<dyn JournalSink>>,
+        mut scratch: RuntimeScratch,
     ) -> Result<Self, SnapshotError> {
         sources.validate(&schema)?;
         let n = schema.len();
+        scratch.reset(n);
         let mut rt = InstanceRuntime {
             strategy,
             options,
-            state: vec![AttrState::Uninitialized; n],
-            values: vec![Value::Null; n],
-            cond: vec![Tri::Unknown; n],
-            pending_inputs: vec![0; n],
-            pending_refs: vec![0; n],
-            in_flight: vec![false; n],
-            need_count: vec![0; n],
-            enab_edges_dead: vec![false; n],
-            data_edges_dead: vec![false; n],
-            target_alive: vec![false; n],
+            state: scratch.state,
+            values: scratch.values,
+            cond: scratch.cond,
+            pending_inputs: scratch.pending_inputs,
+            pending_refs: scratch.pending_refs,
+            in_flight: scratch.in_flight,
+            need_count: scratch.need_count,
+            enab_edges_dead: scratch.enab_edges_dead,
+            data_edges_dead: scratch.data_edges_dead,
+            target_alive: scratch.target_alive,
             unstable_targets: 0,
-            pool: Vec::new(),
-            in_pool: vec![false; n],
-            stable_queue: VecDeque::new(),
+            pool: scratch.pool,
+            in_pool: scratch.in_pool,
+            stable_queue: scratch.stable_queue,
             metrics: InstanceMetrics::new(),
             sink,
             schema,
         };
         rt.initialize(sources);
         Ok(rt)
+    }
+
+    /// Strip this runtime's per-attribute buffers into a
+    /// [`RuntimeScratch`] for reuse by a later construction. The
+    /// runtime stays safe to query (`is_complete`, `metrics`) but its
+    /// snapshot views are hollowed out, so callers take any final
+    /// [`ExecutionRecord`](crate::report::ExecutionRecord) *before*
+    /// reclaiming. Intended for retired instances — the server calls it
+    /// when the last reference to a finished instance drops.
+    pub fn reclaim(&mut self) -> RuntimeScratch {
+        RuntimeScratch {
+            state: std::mem::take(&mut self.state),
+            values: std::mem::take(&mut self.values),
+            cond: std::mem::take(&mut self.cond),
+            pending_inputs: std::mem::take(&mut self.pending_inputs),
+            pending_refs: std::mem::take(&mut self.pending_refs),
+            in_flight: std::mem::take(&mut self.in_flight),
+            need_count: std::mem::take(&mut self.need_count),
+            enab_edges_dead: std::mem::take(&mut self.enab_edges_dead),
+            data_edges_dead: std::mem::take(&mut self.data_edges_dead),
+            target_alive: std::mem::take(&mut self.target_alive),
+            pool: std::mem::take(&mut self.pool),
+            in_pool: std::mem::take(&mut self.in_pool),
+            stable_queue: std::mem::take(&mut self.stable_queue),
+        }
     }
 
     fn initialize(&mut self, sources: &SourceValues) {
@@ -355,12 +472,23 @@ impl InstanceRuntime {
     /// may become eligible again later are retained.
     pub fn candidates(&mut self) -> Vec<AttrId> {
         let mut out = Vec::with_capacity(self.pool.len());
-        let mut keep = Vec::with_capacity(self.pool.len());
+        self.candidates_into(&mut out);
+        out
+    }
+
+    /// [`candidates`](Self::candidates) into a caller-owned buffer
+    /// (cleared first): the scheduling loop reuses one buffer across
+    /// rounds instead of allocating per round. The pool itself is
+    /// compacted in place.
+    pub fn candidates_into(&mut self, out: &mut Vec<AttrId>) {
+        out.clear();
+        let mut w = 0;
         for idx in 0..self.pool.len() {
             let a = self.pool[idx];
             if self.is_candidate(a) {
+                self.pool[w] = a;
+                w += 1;
                 out.push(a);
-                keep.push(a);
             } else {
                 // A candidate leaves the pool for good when its fate is
                 // sealed: stable, launched, computed, or unneeded. Only
@@ -368,8 +496,7 @@ impl InstanceRuntime {
                 self.in_pool[a.index()] = false;
             }
         }
-        self.pool = keep;
-        out
+        self.pool.truncate(w);
     }
 
     /// Commit to executing `a`'s task: records the work (queries are

@@ -43,15 +43,27 @@ pub fn select(
     mut candidates: Vec<AttrId>,
     in_flight: usize,
 ) -> Vec<AttrId> {
+    select_into(schema, strategy, &mut candidates, in_flight);
+    candidates
+}
+
+/// [`select`] operating in place on a caller-owned buffer: the buffer
+/// is ordered by the heuristic and truncated to the launch budget, so
+/// a scheduling loop can reuse one allocation across rounds.
+pub fn select_into(
+    schema: &Schema,
+    strategy: Strategy,
+    candidates: &mut Vec<AttrId>,
+    in_flight: usize,
+) {
     if candidates.is_empty() {
-        return candidates;
+        return;
     }
-    order_candidates(schema, strategy.heuristic, &mut candidates);
+    order_candidates(schema, strategy.heuristic, candidates);
     let n = strategy
         .launch_budget(candidates.len(), in_flight)
         .min(candidates.len());
     candidates.truncate(n);
-    candidates
 }
 
 #[cfg(test)]

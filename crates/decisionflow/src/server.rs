@@ -2,27 +2,30 @@
 //! sharded multi-threaded server.
 //!
 //! ```text
-//!                         EngineServer
-//!   submit / submit_many ──▶ route by hash(instance id) ──┐
-//!          ┌──────────────┬──────────────┬────────────────┘
+//!              EngineServer::builder() ─▶ EngineServer
+//!   submit / submit_many ──▶ route round-robin, id = k·N + shard ──┐
+//!          ┌──────────────┬──────────────┬──────────────────────────┘
 //!          ▼              ▼              ▼
 //!       shard 0        shard 1   …   shard N−1    (N = available cores)
 //!    ┌───────────┐  ┌───────────┐  ┌───────────┐
 //!    │ schemas   │  │ schemas   │  │ schemas   │  registry replica
+//!    │ id seq    │  │ id seq    │  │ id seq    │  sharded id counter
 //!    │ instances │  │ instances │  │ instances │  live-instance slice
 //!    │ workers   │  │ workers   │  │ workers   │  private thread pool
+//!    │ arena     │  │ arena     │  │ arena     │  runtime scratch pool
+//!    │ event lane│  │ event lane│  │ event lane│  per-shard event ring
 //!    └───────────┘  └───────────┘  └───────────┘
 //!          ├── per-shard gauges ──▶ ServerStats   (aggregated snapshot)
 //!          ├── stage histograms ──▶ Telemetry     (Prometheus/JSON snapshot)
-//!          └── instance events  ──▶ ServerEvents  (bounded subscriptions)
+//!          └── per-shard lanes  ──▶ ServerEvents  (merging subscriber)
 //! ```
 //!
 //! The engine "works in a multi-thread fashion, so that parallel
 //! processing of multiple flow instances, and multiple tasks within
 //! one instance is possible". Flow instances are mutually independent,
-//! so the server shards them across cores instead of funnelling every
-//! submission through one global registry lock, one job channel, and
-//! one worker pool:
+//! so the server shards them across cores **shared-nothing**: the hot
+//! path from submission to completion touches no cross-shard lock, no
+//! global counter, and no global event channel:
 //!
 //! * the **schema repository** is replicated per shard ([`register`]
 //!   writes every replica; the submission hot path only ever takes its
@@ -31,17 +34,26 @@
 //!   instances routed to it) and a private pool of worker threads —
 //!   the pool size plays the role of the external server's finite
 //!   multiprogramming level;
-//! * submissions are routed by a multiplicative hash of a monotone
-//!   instance id; [`submit_many`] groups a whole batch by shard so
-//!   routing and registry-lock acquisition are amortized over the
-//!   batch;
-//! * every scheduling round — including the *first* one, which is
-//!   handed to the owning shard's pool at submission rather than run
-//!   on the submitting thread — re-enters the three-phase loop
-//!   (evaluate → prequalify → schedule) under the instance lock; new
-//!   launches go back to the owning shard's pool, so on a 1-worker
-//!   shard the job queue (and any recorded journal, fan-out flows
-//!   included) is byte-deterministic;
+//! * **instance ids are allocated per shard**: submissions pick a
+//!   shard round-robin and draw from that shard's own sequence (the
+//!   k-th id of shard *i* on an *N*-shard server is `k·N + i`), so id
+//!   spaces stay disjoint — and `id mod N` recovers the owner — with
+//!   no cross-shard coordination; [`submit_many`] resolves routing
+//!   once for the whole batch and allocates one contiguous id block
+//!   per shard;
+//! * **runtime construction happens on the owning shard's pool**, not
+//!   the submitting thread: `submit` validates, logs acceptance, and
+//!   returns its [`Ticket`] immediately, while the expensive
+//!   [`InstanceRuntime`] build draws its buffers from a per-shard
+//!   **allocation arena** of reclaimed runtimes
+//!   ([`crate::engine::RuntimeScratch`]) — N shards build (and
+//!   execute) N instances truly concurrently;
+//! * every scheduling round — including the *first* one, which runs
+//!   on the same worker that built the runtime — re-enters the
+//!   three-phase loop (evaluate → prequalify → schedule) under the
+//!   instance lock; new launches go back to the owning shard's pool,
+//!   so on a 1-worker shard the job queue (and any recorded journal,
+//!   fan-out flows included) is byte-deterministic;
 //! * each shard maintains lock-free [`ShardGauges`] (queue depth,
 //!   in-flight instances, submitted/completed/abandoned counters)
 //!   which [`EngineServer::stats`] aggregates into a [`ServerStats`]
@@ -52,7 +64,11 @@
 //!   shard-local [`crate::telemetry`] histograms; the
 //!   [`EngineServer::telemetry`] handle snapshots them (and the
 //!   recent-span ring) into Prometheus or JSON, and every
-//!   [`InstanceResult`] carries its own [`StageTimings`].
+//!   [`InstanceResult`] carries its own [`StageTimings`];
+//! * lifecycle events are published to a **per-shard event lane** and
+//!   merged by each [`ServerEvents`] subscriber on its own thread —
+//!   completions on different shards never contend on one channel,
+//!   and the event clock is strictly increasing within each shard.
 //!
 //! Submission itself is the unified [`Request`] → [`Ticket`] surface
 //! of [`crate::api`]: journaling, per-request strategy overrides,
@@ -67,18 +83,21 @@
 //! [`submit_many`]: EngineServer::submit_many
 //! [`subscribe`]: EngineServer::subscribe
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
-use crate::api::{EventHub, InstanceEvent, LiveInstance, Request, ServerEvents, Ticket};
+use crate::api::{
+    EventHub, InstanceEvent, LiveInstance, Request, ServerEvents, Ticket, TicketBatch,
+};
 use crate::engine::{
-    scheduler, InstanceRuntime, RuntimeOptions, ServerStats, ShardGauges, Strategy,
+    scheduler, InstanceRuntime, RuntimeOptions, RuntimeScratch, ServerStats, ShardGauges, Strategy,
 };
 use crate::journal::{
     bind_sources, schema_fingerprint, Event, Journal, JournalSink, JournalWriter,
@@ -278,16 +297,20 @@ struct Instance {
     /// Submission entry time (`t0` of [`SubmitTimings`]): the zero
     /// point of both [`InstanceResult::elapsed`] and the `e2e` stage.
     started: Instant,
-    /// Durations of the submission-path stages, measured by
-    /// `submit`/`submit_many` before the instance existed.
+    /// Durations of the submission-path stages: route/validate are
+    /// measured by `submit`/`submit_many` on the caller's thread;
+    /// `validate` additionally includes the runtime-construction time
+    /// spent on the worker, folded in before the instance is built.
     route: Duration,
     validate: Duration,
-    /// When the first scheduling round entered the shard's job queue.
+    /// When the build job entered the shard's job queue.
     enqueued_at: Instant,
-    /// When a worker picked the first round up (set by the initial
-    /// pump job); `enqueued_at → dequeued_at` is the `queue_wait`
-    /// stage, `dequeued_at → completion` the `execute` stage.
-    dequeued_at: Mutex<Option<Instant>>,
+    /// When a worker picked the build job up; `enqueued_at →
+    /// dequeued_at` is the `queue_wait` stage.
+    dequeued_at: Instant,
+    /// When the runtime build finished and execution proper began;
+    /// `exec_start → completion` is the `execute` stage.
+    exec_start: Instant,
     done_tx: Sender<InstanceResult>,
     /// `Some` iff the request asked for journal capture; the snapshot
     /// taken at completion becomes [`InstanceResult::journal`].
@@ -318,6 +341,15 @@ struct Instance {
     /// ring; both are written exactly once, at completion.
     tele: Arc<ShardTelemetry>,
     spans: Arc<SpanRecorder>,
+    /// The owning shard's runtime-construction arena; the runtime's
+    /// buffers are reclaimed into it when the instance drops.
+    scratch: Arc<ScratchPool>,
+}
+
+thread_local! {
+    /// Per-worker candidate buffer, reused across scheduling rounds so
+    /// the prequalify → schedule hop allocates nothing.
+    static ROUND_BUF: RefCell<Vec<AttrId>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Saturating nanosecond count of a [`Duration`].
@@ -354,19 +386,17 @@ impl Instance {
                         },
                     };
                     // Stage boundaries: the submission path measured
-                    // route/validate, the first pump job stamped the
-                    // queue-wait → execute transition; completion is
-                    // now. (A worker that died before the first pump
-                    // cannot reach this branch, so `dequeued_at` is
-                    // set — but fall back to the enqueue time rather
-                    // than panic.)
+                    // route/validate (the worker folded its build time
+                    // into validate), the build job stamped the
+                    // queue-wait and execute starts; completion is now.
                     let now = Instant::now();
-                    let dequeued = inst.dequeued_at.lock().unwrap_or(inst.enqueued_at);
                     let timings = StageTimings {
                         route_ns: dur_ns(inst.route),
                         validate_ns: dur_ns(inst.validate),
-                        queue_wait_ns: dur_ns(dequeued.saturating_duration_since(inst.enqueued_at)),
-                        execute_ns: dur_ns(now.saturating_duration_since(dequeued)),
+                        queue_wait_ns: dur_ns(
+                            inst.dequeued_at.saturating_duration_since(inst.enqueued_at),
+                        ),
+                        execute_ns: dur_ns(now.saturating_duration_since(inst.exec_start)),
                         e2e_ns: dur_ns(now.saturating_duration_since(inst.started)),
                     };
                     let deadline_exceeded = inst.deadline.is_some_and(|d| now > d);
@@ -398,35 +428,48 @@ impl Instance {
             } else {
                 let schema = Arc::clone(rt.schema());
                 let in_flight = rt.in_flight_count();
-                let cands = rt.candidates();
                 let recording = inst.recorder.is_some() || inst.wal.is_some();
-                if recording && !cands.is_empty() {
-                    let picks = scheduler::select(&schema, rt.strategy(), cands.clone(), in_flight);
-                    let round = inst.rounds.fetch_add(1, Ordering::Relaxed);
-                    let event = Event::Round {
-                        round,
-                        candidates: cands,
-                        picked: picks.clone(),
-                    };
-                    // Both recorders see the identical event under the
-                    // same runtime-lock hold, so their logical clocks
-                    // advance in lockstep and a journal reconstructed
-                    // from the WAL matches the live capture.
-                    if let Some(recorder) = &inst.recorder {
-                        recorder.record(event.clone());
-                    }
-                    if let Some(wal) = &inst.wal {
-                        wal.record(event);
-                    }
-                    for a in picks {
-                        let inputs = rt.launch(a);
-                        launches.push((a, inputs));
+                if recording {
+                    let cands = rt.candidates();
+                    if !cands.is_empty() {
+                        let picks =
+                            scheduler::select(&schema, rt.strategy(), cands.clone(), in_flight);
+                        let round = inst.rounds.fetch_add(1, Ordering::Relaxed);
+                        let event = Event::Round {
+                            round,
+                            candidates: cands,
+                            picked: picks.clone(),
+                        };
+                        // Both recorders see the identical event under
+                        // the same runtime-lock hold, so their logical
+                        // clocks advance in lockstep and a journal
+                        // reconstructed from the WAL matches the live
+                        // capture.
+                        if let Some(recorder) = &inst.recorder {
+                            recorder.record(event.clone());
+                        }
+                        if let Some(wal) = &inst.wal {
+                            wal.record(event);
+                        }
+                        for a in picks {
+                            let inputs = rt.launch(a);
+                            launches.push((a, inputs));
+                        }
                     }
                 } else {
-                    for a in scheduler::select(&schema, rt.strategy(), cands, in_flight) {
-                        let inputs = rt.launch(a);
-                        launches.push((a, inputs));
-                    }
+                    // Unrecorded rounds (the hot path) run through the
+                    // worker's thread-local candidate buffer: the whole
+                    // prequalify → schedule → launch hop is
+                    // allocation-free apart from the input values.
+                    ROUND_BUF.with(|buf| {
+                        let mut cands = buf.borrow_mut();
+                        rt.candidates_into(&mut cands);
+                        scheduler::select_into(&schema, rt.strategy(), &mut cands, in_flight);
+                        for &a in cands.iter() {
+                            let inputs = rt.launch(a);
+                            launches.push((a, inputs));
+                        }
+                    });
                 }
             }
         }
@@ -448,11 +491,12 @@ impl Instance {
             inst.gauges.instance_completed();
             // Publish before sending, so a subscriber that reacts to a
             // delivered result always finds its Completed event.
-            inst.events.publish(|clock| InstanceEvent::Completed {
-                clock,
-                instance_id: inst.id,
-                shard: inst.shard,
-            });
+            inst.events
+                .publish(inst.shard, |clock| InstanceEvent::Completed {
+                    clock,
+                    instance_id: inst.id,
+                    shard: inst.shard,
+                });
             // Ignore send failure: the caller may have dropped the ticket.
             let _ = inst.done_tx.send(result);
             return;
@@ -491,7 +535,7 @@ impl Drop for Instance {
         // and the caught unwind released its references. It is no
         // longer in flight; account for it so the gauges stay honest,
         // and tell subscribers which instance was lost.
-        if !*self.finished.lock() {
+        if !*self.finished.get_mut() {
             self.live.lock().remove(&self.id);
             self.gauges.instance_abandoned();
             // A durable abandoned instance is sealed as such: its
@@ -501,21 +545,66 @@ impl Drop for Instance {
             if let Some(wal) = &self.wal {
                 wal.seal(SealOutcome::Abandoned);
             }
-            self.events.publish(|clock| InstanceEvent::Abandoned {
-                clock,
-                instance_id: self.id,
-                shard: self.shard,
-            });
+            self.events
+                .publish(self.shard, |clock| InstanceEvent::Abandoned {
+                    clock,
+                    instance_id: self.id,
+                    shard: self.shard,
+                });
+        }
+        // This was the last reference: no job (not even a speculative
+        // straggler) can touch the runtime anymore, so its buffers can
+        // be recycled into the shard's construction arena. The final
+        // ExecutionRecord was snapshotted at completion, before this.
+        self.scratch.put(self.runtime.get_mut().reclaim());
+    }
+}
+
+/// Upper bound on pooled construction buffers per shard. Enough to
+/// cover a deep job queue of builds without the arena itself becoming
+/// a memory hog when traffic bursts.
+const SCRATCH_POOL_CAP: usize = 32;
+
+/// Per-shard arena of reclaimed [`RuntimeScratch`] buffers: retiring
+/// instances push their construction vectors here and the next build
+/// on the same shard pops instead of allocating. Take and put both
+/// happen on the shard's own threads, so the mutex is effectively
+/// uncontended.
+struct ScratchPool {
+    slots: Mutex<Vec<RuntimeScratch>>,
+}
+
+impl ScratchPool {
+    fn new() -> ScratchPool {
+        ScratchPool {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take(&self) -> RuntimeScratch {
+        self.slots.lock().pop().unwrap_or_default()
+    }
+
+    fn put(&self, scratch: RuntimeScratch) {
+        let mut slots = self.slots.lock();
+        if slots.len() < SCRATCH_POOL_CAP {
+            slots.push(scratch);
         }
     }
 }
 
-/// One shard: a schema-registry replica, a slice of the live-instance
-/// table, a private worker pool, and the gauges observing all three.
+/// One shard: a schema-registry replica, an id sequence, a slice of
+/// the live-instance table, a private worker pool, a construction
+/// arena, and the gauges observing all of it.
 struct Shard {
     index: usize,
     workers: usize,
     schemas: RwLock<HashMap<String, Arc<Schema>>>,
+    /// Shard-local instance-id sequence: the k-th id allocated by
+    /// shard `i` of an `N`-shard server is `k·N + i`, so the id spaces
+    /// are disjoint without cross-shard coordination and `id mod N`
+    /// recovers the owner.
+    next_k: AtomicU64,
     pool: Arc<WorkerPool>,
     gauges: Arc<ShardGauges>,
     live: LiveTable,
@@ -527,6 +616,37 @@ struct Shard {
     /// The server-wide span ring (shared: spans are one-per-completion
     /// rare, unlike the five-samples-per-instance histograms).
     spans: Arc<SpanRecorder>,
+    /// Arena of reclaimed runtime-construction buffers.
+    scratch: Arc<ScratchPool>,
+}
+
+/// The shard-owned state a build job carries into the worker pool,
+/// cloned out of the [`Shard`] so the job is `'static`.
+struct ShardHandles {
+    index: usize,
+    pool: Arc<WorkerPool>,
+    gauges: Arc<ShardGauges>,
+    live: LiveTable,
+    events: Arc<EventHub>,
+    tele: Arc<ShardTelemetry>,
+    spans: Arc<SpanRecorder>,
+    scratch: Arc<ScratchPool>,
+}
+
+/// A validated, accepted request waiting for its runtime to be built
+/// on the owning shard's worker pool. Everything the worker needs is
+/// resolved on the submitting thread; the build job owns it outright.
+struct PendingStart {
+    request: Request,
+    schema: Arc<Schema>,
+    /// The request's strategy with the server default already applied.
+    strategy: Strategy,
+    /// Write-ahead recorder for durable requests; the acceptance
+    /// record is on the lane before the build job is enqueued.
+    wal: Option<Arc<WalRecorder>>,
+    done_tx: Sender<InstanceResult>,
+    deadline: Option<Instant>,
+    timings: SubmitTimings,
 }
 
 impl Shard {
@@ -547,12 +667,14 @@ impl Shard {
             index,
             workers,
             schemas: RwLock::new(HashMap::new()),
+            next_k: AtomicU64::new(0),
             pool: Arc::new(pool),
             gauges,
             live: Arc::new(Mutex::new(HashMap::new())),
             events,
             tele: Arc::new(ShardTelemetry::new()),
             spans,
+            scratch: Arc::new(ScratchPool::new()),
         })
     }
 
@@ -564,82 +686,218 @@ impl Shard {
             .ok_or_else(|| SubmitError::UnknownSchema(schema_name.to_string()))
     }
 
-    fn start(
-        &self,
-        id: u64,
-        display_name: String,
-        prepared: PreparedRuntime,
-        deadline: Option<Instant>,
-        timings: SubmitTimings,
-    ) {
-        self.gauges.instance_submitted();
-        self.live.lock().insert(id, display_name);
-        let label = prepared.label;
-        self.events.publish(|clock| InstanceEvent::Submitted {
-            clock,
-            instance_id: id,
-            shard: self.index,
-            label: label.clone(),
-        });
-        let inst = Arc::new(Instance {
-            id,
-            shard: self.index,
-            runtime: Mutex::new(prepared.runtime),
-            started: timings.t0,
-            route: timings.route,
-            validate: timings.validate,
-            enqueued_at: Instant::now(),
-            dequeued_at: Mutex::new(None),
-            done_tx: prepared.done_tx,
-            recorder: prepared.recorder,
-            wal: prepared.wal,
-            label,
-            deadline,
-            finished: Mutex::new(false),
-            rounds: AtomicU32::new(0),
+    /// Allocate `count` consecutive local sequence numbers; returns
+    /// the first. One uncontended fetch_add covers a whole batch.
+    fn alloc_seq(&self, count: u64) -> u64 {
+        self.next_k.fetch_add(count, Ordering::Relaxed)
+    }
+
+    /// The instance id of this shard's local sequence number `k` on an
+    /// `nshards`-shard server.
+    fn id_for(&self, k: u64, nshards: u64) -> u64 {
+        k * nshards + self.index as u64
+    }
+
+    fn handles(&self) -> ShardHandles {
+        ShardHandles {
+            index: self.index,
             pool: Arc::clone(&self.pool),
             gauges: Arc::clone(&self.gauges),
             live: Arc::clone(&self.live),
             events: Arc::clone(&self.events),
             tele: Arc::clone(&self.tele),
             spans: Arc::clone(&self.spans),
-        });
-        // Kick off the first scheduling round *on the owning shard's
-        // worker pool*, not on the submitting thread. Correctness is
-        // the same either way, but tape determinism is not: when the
-        // submitting thread enqueued the initial launches itself, a
-        // fast worker could complete the first task and enqueue its
-        // follow-ups *between* two initial enqueues, so the queue
-        // order — and therefore the journal's completion order on
-        // fan-out flows — raced. With the first round routed through
-        // the pool, every job of a 1-worker shard is enqueued by that
-        // single worker (after this one handoff), making recorded
-        // fan-out executions byte-deterministic on
-        // `with_shards(n, 1, …)` servers.
+            scratch: Arc::clone(&self.scratch),
+        }
+    }
+
+    /// Account for an accepted request and hand it to the shard's
+    /// worker pool. Runtime construction is the expensive half of
+    /// submission — moving it off the submitting thread and onto the
+    /// owning shard's pool is what lets N shards accept (and build) N
+    /// instances truly concurrently.
+    fn start(&self, id: u64, display_name: String, pending: PendingStart) {
+        self.gauges.instance_submitted();
+        self.live.lock().insert(id, display_name);
+        let label = pending.request.label.clone();
+        self.events
+            .publish(self.index, |clock| InstanceEvent::Submitted {
+                clock,
+                instance_id: id,
+                shard: self.index,
+                label,
+            });
+        self.enqueue_build(id, pending);
+    }
+
+    /// Enqueue the runtime-construction job for an already-accounted
+    /// submission. If every worker of the shard is dead the job can
+    /// never run: the submission accounting is undone and the WAL
+    /// sealed, exactly as if the instance was abandoned — the dropped
+    /// `done_tx` surfaces [`ServerGone`] on the ticket.
+    fn enqueue_build(&self, id: u64, pending: PendingStart) {
+        let h = self.handles();
+        let enqueued_at = Instant::now();
+        let wal = pending.wal.clone();
         if !self.pool.spawn(Box::new(move || {
-            // A worker has the instance: the queue-wait stage ends
-            // here, the execute stage begins.
-            *inst.dequeued_at.lock() = Some(Instant::now());
-            Instance::pump(&inst)
+            build_and_pump(id, pending, &h, enqueued_at)
         })) {
-            // Every worker of this shard is already dead; the dropped
-            // job just released the instance's last Arc, which
-            // surfaces ServerGone on the ticket instead of wedging it.
+            // The dropped job released `pending` — and with it
+            // `done_tx`, surfacing ServerGone on the ticket.
+            abandon_unbuilt(id, &self.handles(), wal.as_deref());
         }
     }
 }
 
-/// A validated request, ready to start: the runtime (with recorder
-/// already attached when journaling was requested) plus the completion
-/// sender and label.
-struct PreparedRuntime {
-    runtime: InstanceRuntime,
-    recorder: Option<SharedJournalWriter>,
-    /// Write-ahead recorder for durable requests; the runtime's sink
-    /// already tees into it.
+/// Bookkeeping for an accepted instance that will never get a runtime
+/// (its build failed, or the shard's pool is gone): exactly the
+/// abandonment path of [`Instance::drop`], minus the instance.
+fn abandon_unbuilt(id: u64, h: &ShardHandles, wal: Option<&WalRecorder>) {
+    h.live.lock().remove(&id);
+    h.gauges.instance_abandoned();
+    // Seal so recovery does not re-execute an instance the caller was
+    // told (via ServerGone) never delivered.
+    if let Some(wal) = wal {
+        wal.seal(SealOutcome::Abandoned);
+    }
+    h.events.publish(h.index, |clock| InstanceEvent::Abandoned {
+        clock,
+        instance_id: id,
+        shard: h.index,
+    });
+}
+
+/// Worker-side half of submission: build the instance runtime (reusing
+/// the shard's construction arena) and pump the first scheduling
+/// round. Running on the owning shard's pool preserves tape
+/// determinism: on a 1-worker shard every job — including this build —
+/// is enqueued and executed by that single worker after the one
+/// submission handoff, so recorded fan-out executions stay
+/// byte-deterministic.
+fn build_and_pump(id: u64, pending: PendingStart, h: &ShardHandles, enqueued_at: Instant) {
+    let build_start = Instant::now();
+    let PendingStart {
+        request,
+        schema,
+        strategy,
+        wal,
+        done_tx,
+        deadline,
+        timings,
+    } = pending;
+    let built = match build_runtime(h.scratch.take(), schema, strategy, &request, wal.clone()) {
+        Ok(ok) => ok,
+        Err(_) => {
+            // Validation already passed on the submitting thread, so
+            // the only failure left is the request's one-shot
+            // streaming sink being stolen by a concurrent resubmission
+            // racing this build. The instance was accepted; account it
+            // abandoned and drop `done_tx`, surfacing ServerGone.
+            abandon_unbuilt(id, h, wal.as_deref());
+            return;
+        }
+    };
+    let (runtime, recorder) = built;
+    let built_at = Instant::now();
+    let inst = Arc::new(Instance {
+        id,
+        shard: h.index,
+        runtime: Mutex::new(runtime),
+        started: timings.t0,
+        route: timings.route,
+        validate: timings.validate + built_at.saturating_duration_since(build_start),
+        enqueued_at,
+        dequeued_at: build_start,
+        exec_start: built_at,
+        done_tx,
+        recorder,
+        wal,
+        label: request.label,
+        deadline,
+        finished: Mutex::new(false),
+        rounds: AtomicU32::new(0),
+        pool: Arc::clone(&h.pool),
+        gauges: Arc::clone(&h.gauges),
+        live: Arc::clone(&h.live),
+        events: Arc::clone(&h.events),
+        tele: Arc::clone(&h.tele),
+        spans: Arc::clone(&h.spans),
+        scratch: Arc::clone(&h.scratch),
+    });
+    Instance::pump(&inst);
+}
+
+/// Build one validated request's runtime (attaching the journal
+/// recorder and/or the write-ahead recorder when asked) without
+/// starting anything. Callers run `validate_request` first; for a
+/// durable request the lifecycle record must already be on the lane,
+/// because constructing the runtime streams the instance's
+/// eager-initialization frames into `wal` — frames must never precede
+/// their lifecycle record on disk (the build job is enqueued after the
+/// acceptance append, and the frames stream from the same shard, so
+/// the lane ordering holds).
+fn build_runtime(
+    scratch: RuntimeScratch,
+    schema: Arc<Schema>,
+    strategy: Strategy,
+    request: &Request,
     wal: Option<Arc<WalRecorder>>,
-    label: Option<String>,
-    done_tx: Sender<InstanceResult>,
+) -> Result<(InstanceRuntime, Option<SharedJournalWriter>), SubmitError> {
+    // Streaming takes precedence over buffered capture, mirroring the
+    // in-process path: the journal lives on the sink and the result's
+    // `journal` field stays `None`.
+    let writer = match &request.journal_stream {
+        Some(stream) => {
+            let sink = stream.take().ok_or(SubmitError::StreamConsumed)?;
+            Some(JournalWriter::streaming(
+                &schema,
+                strategy,
+                &request.sources,
+                sink,
+            ))
+        }
+        None if request.record_journal => {
+            Some(JournalWriter::new(&schema, strategy, &request.sources))
+        }
+        None => None,
+    };
+    let recorder = writer.map(|writer| {
+        let recorder = SharedJournalWriter::new(writer);
+        recorder.set_disable_backward(request.options.disable_backward);
+        recorder
+    });
+    // The runtime's sink: the live recorder, the write-ahead recorder,
+    // or a tee into both — durability is an orthogonal option, exactly
+    // like journaling itself.
+    let sink: Option<Box<dyn JournalSink>> = match (&recorder, &wal) {
+        (_, Some(wal)) => Some(Box::new(TeeSink {
+            live: recorder.clone(),
+            wal: Arc::clone(wal),
+        })),
+        (Some(recorder), None) => Some(Box::new(recorder.clone())),
+        (None, None) => None,
+    };
+    let runtime = if let Some(sink) = sink {
+        InstanceRuntime::with_options_recorded_in(
+            scratch,
+            schema,
+            strategy,
+            &request.sources,
+            request.options,
+            sink,
+        )
+        .map_err(SubmitError::Sources)?
+    } else {
+        InstanceRuntime::with_options_in(
+            scratch,
+            schema,
+            strategy,
+            &request.sources,
+            request.options,
+        )
+        .map_err(SubmitError::Sources)?
+    };
+    Ok((runtime, recorder))
 }
 
 /// Journal sink fanning one event stream out to the live recorder and
@@ -674,11 +932,22 @@ struct SubmitTimings {
 }
 
 /// The sharded multi-threaded decision-flow execution server.
+///
+/// Built with [`EngineServer::builder`]; the former constructor matrix
+/// (`new`, `with_shards`, `open`, `open_with_shards`) survives one
+/// release as deprecated shims over the builder.
 pub struct EngineServer {
     shards: Vec<Shard>,
     strategy: Strategy,
-    /// Monotone instance-id source; ids are hashed to pick a shard.
-    next_id: AtomicU64,
+    /// Round-robin shard cursor for submissions — the only cross-shard
+    /// state on the submission path (one relaxed fetch_add); instance
+    /// ids themselves come from per-shard sequences.
+    route_cursor: AtomicUsize,
+    /// Per-subscriber, per-lane buffer capacity of [`subscribe`]
+    /// streams ([`ServerBuilder::event_capacity`]).
+    ///
+    /// [`subscribe`]: EngineServer::subscribe
+    event_capacity: usize,
     events: Arc<EventHub>,
     /// Server-wide ring of recent completed-instance spans.
     spans: Arc<SpanRecorder>,
@@ -721,6 +990,18 @@ impl std::fmt::Display for ServerOpenError {
         match self {
             ServerOpenError::Build(e) => write!(f, "{e}"),
             ServerOpenError::Store(e) => write!(f, "failed to open the event store: {e}"),
+        }
+    }
+}
+
+impl ServerOpenError {
+    /// Unwrap the build half for callers that configured no store
+    /// (the deprecated non-durable constructors).
+    fn into_build(self) -> ServerBuildError {
+        match self {
+            ServerOpenError::Build(e) => e,
+            // invariant: only reachable from builds without a durable dir.
+            ServerOpenError::Store(_) => unreachable!("no store was configured"),
         }
     }
 }
@@ -934,6 +1215,141 @@ const DEFAULT_EVENT_CAPACITY: usize = 1024;
 /// [`Telemetry::recent_spans`]).
 const DEFAULT_SPAN_CAPACITY: usize = 256;
 
+/// Configures and builds an [`EngineServer`] — the single construction
+/// surface replacing the former `new` / `with_shards` / `open` /
+/// `open_with_shards` matrix.
+///
+/// ```no_run
+/// # use decisionflow::server::EngineServer;
+/// let server = EngineServer::builder()
+///     .shards(4)
+///     .workers_per_shard(2)
+///     .strategy("PSE100".parse().unwrap())
+///     .event_capacity(4096)
+///     .build()?;
+/// # Ok::<(), decisionflow::server::ServerOpenError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    shards: Option<usize>,
+    workers_per_shard: Option<usize>,
+    workers: Option<usize>,
+    strategy: Option<Strategy>,
+    durable: Option<PathBuf>,
+    event_capacity: usize,
+}
+
+impl ServerBuilder {
+    /// Number of shards. Default: the machine's available parallelism
+    /// ([`EngineServer::default_shard_count`]).
+    pub fn shards(mut self, shards: usize) -> ServerBuilder {
+        assert!(shards > 0, "server needs at least one shard");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Worker threads per shard (default 1). Mutually exclusive with
+    /// [`workers`](ServerBuilder::workers).
+    pub fn workers_per_shard(mut self, workers_per_shard: usize) -> ServerBuilder {
+        assert!(
+            workers_per_shard > 0,
+            "worker pool needs at least one thread"
+        );
+        self.workers_per_shard = Some(workers_per_shard);
+        self
+    }
+
+    /// Total worker threads, spread over the shards (each shard gets
+    /// at least one; remainders go to the lowest-indexed shards).
+    /// Without an explicit [`shards`](ServerBuilder::shards) the
+    /// thread count also caps the shard count, reproducing the former
+    /// `EngineServer::new(workers, …)` layout: the total external
+    /// multiprogramming level — the aggregate number of concurrent
+    /// "external system" calls — is exactly `workers`.
+    ///
+    /// **Tradeoff:** an instance is pinned to one shard, so the tasks
+    /// *within* one instance only parallelize up to that shard's
+    /// worker count. Spreading optimizes cross-instance throughput —
+    /// the heavy-traffic regime; when intra-instance task parallelism
+    /// matters more, pick `.shards(1).workers_per_shard(n)`.
+    pub fn workers(mut self, workers: usize) -> ServerBuilder {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Default execution strategy for requests that don't override it.
+    /// Default: `PSE100`, the paper's headline strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> ServerBuilder {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Make the server **durable** over the event store at `dir`
+    /// (created if absent): requests marked [`Request::durable`] are
+    /// write-ahead-logged to one appender lane per shard.
+    ///
+    /// Building replays the log first — torn tails from a crash are
+    /// tolerated, real corruption refuses to open — and every shard's
+    /// id sequence resumes above every id on file, so recovered and
+    /// new instances never collide. Accepted-but-unsealed instances
+    /// are exposed via [`EventStore::recovered`]; call
+    /// [`EngineServer::recover_pending`] (after re-registering
+    /// schemas) to re-execute them.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> ServerBuilder {
+        self.durable = Some(dir.into());
+        self
+    }
+
+    /// Per-lane buffer capacity of every [`EngineServer::subscribe`]
+    /// stream (default 1024 events per shard lane). Bounded so a slow
+    /// subscriber can never wedge the server.
+    pub fn event_capacity(mut self, capacity: usize) -> ServerBuilder {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Build the server: spawn the shard pools and, when
+    /// [`durable`](ServerBuilder::durable) was set, open (and replay)
+    /// the event store.
+    pub fn build(self) -> Result<EngineServer, ServerOpenError> {
+        assert!(
+            self.workers.is_none() || self.workers_per_shard.is_none(),
+            "workers(total) and workers_per_shard(n) are mutually exclusive"
+        );
+        let layout: Vec<usize> = if let Some(w) = self.workers {
+            let nshards = self
+                .shards
+                .unwrap_or_else(|| EngineServer::default_shard_count().min(w));
+            assert!(
+                w >= nshards,
+                "workers({w}) must cover at least one thread per shard ({nshards})"
+            );
+            let base = w / nshards;
+            let extra = w % nshards;
+            (0..nshards)
+                .map(|i| base + usize::from(i < extra))
+                .collect()
+        } else {
+            let nshards = self
+                .shards
+                .unwrap_or_else(EngineServer::default_shard_count);
+            vec![self.workers_per_shard.unwrap_or(1); nshards]
+        };
+        let strategy = match self.strategy {
+            Some(s) => s,
+            // invariant: "PSE100" is a valid strategy string by construction.
+            None => "PSE100".parse().expect("default strategy parses"),
+        };
+        let server = EngineServer::build_layout(layout, strategy, self.event_capacity)
+            .map_err(ServerOpenError::Build)?;
+        match self.durable {
+            Some(dir) => server.attach_store(&dir),
+            None => Ok(server),
+        }
+    }
+}
+
 impl EngineServer {
     /// Default shard count: the machine's available parallelism
     /// (`1` when it cannot be determined). [`EngineServer::new`] and
@@ -945,131 +1361,141 @@ impl EngineServer {
             .unwrap_or(1)
     }
 
-    /// Start a server with `workers` task-execution threads in total,
-    /// running every instance under `strategy` (unless a [`Request`]
-    /// overrides it).
+    /// The one construction surface: configure shard layout,
+    /// durability, and event capacity, then
+    /// [`build`](ServerBuilder::build).
     ///
-    /// The threads are spread over `min(available_parallelism,
-    /// workers)` shards (every shard gets at least one thread), so the
-    /// total external multiprogramming level — the aggregate number of
-    /// concurrent "external system" calls — stays `workers` exactly as
-    /// before sharding.
-    ///
-    /// **Tradeoff:** an instance is pinned to one shard, so the tasks
-    /// *within* one instance can only parallelize up to that shard's
-    /// worker count (here `workers / shards`, i.e. ~1 when `workers`
-    /// ≤ core count). The default optimizes cross-instance throughput
-    /// — the heavy-traffic regime. When per-instance latency via
-    /// intra-instance task parallelism matters more, choose the
-    /// layout explicitly with [`EngineServer::with_shards`] (e.g.
-    /// `with_shards(1, workers, …)` reproduces the pre-sharding
-    /// single-pool behavior).
+    /// ```no_run
+    /// # use decisionflow::server::EngineServer;
+    /// let server = EngineServer::builder()
+    ///     .shards(4)
+    ///     .strategy("PSE100".parse().unwrap())
+    ///     .build()?;
+    /// # Ok::<(), decisionflow::server::ServerOpenError>(())
+    /// ```
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder {
+            shards: None,
+            workers_per_shard: None,
+            workers: None,
+            strategy: None,
+            durable: None,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Start a server with `workers` task-execution threads in total.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EngineServer::builder().workers(n).strategy(s).build()"
+    )]
     pub fn new(workers: usize, strategy: Strategy) -> Result<EngineServer, ServerBuildError> {
-        assert!(workers > 0, "worker pool needs at least one thread");
-        let nshards = Self::default_shard_count().min(workers);
-        let base = workers / nshards;
-        let extra = workers % nshards;
-        let events = Arc::new(EventHub::new());
-        let spans = Arc::new(SpanRecorder::new(DEFAULT_SPAN_CAPACITY));
-        let shards = (0..nshards)
-            .map(|i| {
-                Shard::new(
-                    i,
-                    base + usize::from(i < extra),
-                    Arc::clone(&events),
-                    Arc::clone(&spans),
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(EngineServer {
-            shards,
-            strategy,
-            next_id: AtomicU64::new(0),
-            events,
-            spans,
-            store: None,
-            recovered_once: AtomicBool::new(false),
-        })
+        EngineServer::builder()
+            .workers(workers)
+            .strategy(strategy)
+            .build()
+            .map_err(ServerOpenError::into_build)
     }
 
     /// Start a server with exactly `shards` shards of
     /// `workers_per_shard` threads each.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EngineServer::builder().shards(n).workers_per_shard(m).strategy(s).build()"
+    )]
     pub fn with_shards(
         shards: usize,
         workers_per_shard: usize,
         strategy: Strategy,
     ) -> Result<EngineServer, ServerBuildError> {
-        assert!(shards > 0, "server needs at least one shard");
-        assert!(
-            workers_per_shard > 0,
-            "worker pool needs at least one thread"
-        );
-        let events = Arc::new(EventHub::new());
-        let spans = Arc::new(SpanRecorder::new(DEFAULT_SPAN_CAPACITY));
-        let shards = (0..shards)
-            .map(|i| {
-                Shard::new(
-                    i,
-                    workers_per_shard,
-                    Arc::clone(&events),
-                    Arc::clone(&spans),
-                )
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(EngineServer {
-            shards,
-            strategy,
-            next_id: AtomicU64::new(0),
-            events,
-            spans,
-            store: None,
-            recovered_once: AtomicBool::new(false),
-        })
+        EngineServer::builder()
+            .shards(shards)
+            .workers_per_shard(workers_per_shard)
+            .strategy(strategy)
+            .build()
+            .map_err(ServerOpenError::into_build)
     }
 
-    /// Start a **durable** server over the event store at `path`
-    /// (created if absent): like [`EngineServer::new`], plus requests
-    /// marked [`Request::durable`] are write-ahead-logged to one
-    /// appender lane per shard.
-    ///
-    /// Opening replays the log first — torn tails from a crash are
-    /// tolerated, real corruption refuses to open — and the instance-id
-    /// counter resumes above every id on file, so recovered and new
-    /// instances never collide. Accepted-but-unsealed instances are
-    /// exposed via [`EventStore::recovered`]; call
-    /// [`EngineServer::recover_pending`] (after re-registering schemas)
-    /// to re-execute them.
+    /// Start a **durable** server over the event store at `path`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EngineServer::builder().workers(n).strategy(s).durable(path).build()"
+    )]
     pub fn open(
         path: impl AsRef<Path>,
         workers: usize,
         strategy: Strategy,
     ) -> Result<EngineServer, ServerOpenError> {
-        let server = EngineServer::new(workers, strategy).map_err(ServerOpenError::Build)?;
-        server.attach_store(path.as_ref())
+        EngineServer::builder()
+            .workers(workers)
+            .strategy(strategy)
+            .durable(path.as_ref())
+            .build()
     }
 
-    /// [`EngineServer::open`] with an explicit shard layout, mirroring
-    /// [`EngineServer::with_shards`].
+    /// Durable server with an explicit shard layout.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use EngineServer::builder().shards(n).workers_per_shard(m).strategy(s)\
+                .durable(path).build()"
+    )]
     pub fn open_with_shards(
         path: impl AsRef<Path>,
         shards: usize,
         workers_per_shard: usize,
         strategy: Strategy,
     ) -> Result<EngineServer, ServerOpenError> {
-        let server = EngineServer::with_shards(shards, workers_per_shard, strategy)
-            .map_err(ServerOpenError::Build)?;
-        server.attach_store(path.as_ref())
+        EngineServer::builder()
+            .shards(shards)
+            .workers_per_shard(workers_per_shard)
+            .strategy(strategy)
+            .durable(path.as_ref())
+            .build()
+    }
+
+    /// Construct the server for an explicit per-shard worker layout.
+    fn build_layout(
+        layout: Vec<usize>,
+        strategy: Strategy,
+        event_capacity: usize,
+    ) -> Result<EngineServer, ServerBuildError> {
+        assert!(!layout.is_empty(), "server needs at least one shard");
+        let events = Arc::new(EventHub::new(layout.len()));
+        let spans = Arc::new(SpanRecorder::new(DEFAULT_SPAN_CAPACITY));
+        let shards = layout
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Shard::new(i, w, Arc::clone(&events), Arc::clone(&spans)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EngineServer {
+            shards,
+            strategy,
+            route_cursor: AtomicUsize::new(0),
+            event_capacity,
+            events,
+            spans,
+            store: None,
+            recovered_once: AtomicBool::new(false),
+        })
     }
 
     /// Open the event store with one appender lane per shard and
-    /// resume the id counter above everything on file.
+    /// resume every shard's id sequence above everything on file.
     fn attach_store(mut self, path: &Path) -> Result<EngineServer, ServerOpenError> {
         let config = StoreConfig {
             lanes: self.shards.len(),
             ..StoreConfig::default()
         };
         let store = EventStore::open_with(path, config).map_err(ServerOpenError::Store)?;
-        self.next_id = AtomicU64::new(store.recovered().next_instance_id);
+        // Recovered ids keep their `id mod N` routing, so shard `i`
+        // must resume at the smallest k with k·N + i ≥ the recovered
+        // floor — new and recovered instances never collide.
+        let floor = store.recovered().next_instance_id;
+        let n = self.shards.len() as u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let k = floor.saturating_sub(i as u64).div_ceil(n);
+            shard.next_k.store(k, Ordering::Relaxed);
+        }
         self.store = Some(Arc::new(store));
         Ok(self)
     }
@@ -1196,32 +1622,37 @@ impl EngineServer {
     }
 
     /// Subscribe to the server's [`InstanceEvent`] stream with the
-    /// default buffer capacity. Events are published on every
-    /// submission, completion, and abandonment, stamped with a
-    /// server-wide monotone logical clock — so pollers, load drivers,
-    /// and open-arrival pacers can react to completions instead of
-    /// spinning on [`Ticket::try_wait`].
+    /// configured buffer capacity
+    /// ([`ServerBuilder::event_capacity`]). Events are published on
+    /// every submission, completion, and abandonment to the owning
+    /// shard's lane and merged by the subscriber; clocks are unique
+    /// server-wide and strictly increasing within each shard — so
+    /// pollers, load drivers, and open-arrival pacers can react to
+    /// completions instead of spinning on [`Ticket::try_wait`].
     pub fn subscribe(&self) -> ServerEvents {
-        self.subscribe_with_capacity(DEFAULT_EVENT_CAPACITY)
+        self.subscribe_with_capacity(self.event_capacity)
     }
 
-    /// [`subscribe`](EngineServer::subscribe) with an explicit buffer
-    /// capacity. The buffer is bounded so a slow subscriber can never
-    /// wedge the server: overflowing events are dropped for that
-    /// subscriber and counted by [`ServerEvents::dropped`].
+    /// [`subscribe`](EngineServer::subscribe) with an explicit
+    /// per-lane buffer capacity. The buffers are bounded so a slow
+    /// subscriber can never wedge the server: overflowing events are
+    /// dropped for that subscriber and counted by
+    /// [`ServerEvents::dropped`].
     pub fn subscribe_with_capacity(&self, capacity: usize) -> ServerEvents {
         self.events.subscribe(capacity)
     }
 
-    /// Route an instance id to a shard (Fibonacci multiplicative hash:
-    /// consecutive ids spread evenly without striding).
+    /// The shard owning instance id `id`: ids carry their shard in
+    /// `id mod shard_count` (allocation interleaves the per-shard
+    /// sequences), so routing is a single modulo over immutable state.
     fn shard_for(&self, id: u64) -> &Shard {
-        let h = (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize;
-        &self.shards[h % self.shards.len()]
+        &self.shards[(id % self.shards.len() as u64) as usize]
     }
 
-    fn next_id(&self) -> u64 {
-        self.next_id.fetch_add(1, Ordering::Relaxed)
+    /// Pick the next submission's shard round-robin.
+    fn route_shard(&self) -> &Shard {
+        let c = self.route_cursor.fetch_add(1, Ordering::Relaxed);
+        &self.shards[c % self.shards.len()]
     }
 
     /// Check a durable request's up-front requirements and hand back
@@ -1290,81 +1721,6 @@ impl EngineServer {
         Ok(())
     }
 
-    /// Build one validated request's runtime (attaching the journal
-    /// recorder and/or the write-ahead recorder when asked) without
-    /// starting anything. Callers run
-    /// [`validate_request`](Self::validate_request) first; for a
-    /// durable request the lifecycle record must already be on the
-    /// lane, because constructing the runtime streams the instance's
-    /// eager-initialization frames into `wal` — frames must never
-    /// precede their lifecycle record on disk.
-    fn prepare(
-        &self,
-        schema: Arc<Schema>,
-        request: &Request,
-        wal: Option<Arc<WalRecorder>>,
-    ) -> Result<(PreparedRuntime, Receiver<InstanceResult>), SubmitError> {
-        let strategy = request.strategy.unwrap_or(self.strategy);
-        // Streaming takes precedence over buffered capture, mirroring
-        // the in-process path: the journal lives on the sink and the
-        // result's `journal` field stays `None`.
-        let writer = match &request.journal_stream {
-            Some(stream) => {
-                let sink = stream.take().ok_or(SubmitError::StreamConsumed)?;
-                Some(JournalWriter::streaming(
-                    &schema,
-                    strategy,
-                    &request.sources,
-                    sink,
-                ))
-            }
-            None if request.record_journal => {
-                Some(JournalWriter::new(&schema, strategy, &request.sources))
-            }
-            None => None,
-        };
-        let recorder = writer.map(|writer| {
-            let recorder = SharedJournalWriter::new(writer);
-            recorder.set_disable_backward(request.options.disable_backward);
-            recorder
-        });
-        // The runtime's sink: the live recorder, the write-ahead
-        // recorder, or a tee into both — durability is an orthogonal
-        // option, exactly like journaling itself.
-        let sink: Option<Box<dyn JournalSink>> = match (&recorder, &wal) {
-            (_, Some(wal)) => Some(Box::new(TeeSink {
-                live: recorder.clone(),
-                wal: Arc::clone(wal),
-            })),
-            (Some(recorder), None) => Some(Box::new(recorder.clone())),
-            (None, None) => None,
-        };
-        let runtime = if let Some(sink) = sink {
-            InstanceRuntime::with_options_recorded(
-                schema,
-                strategy,
-                &request.sources,
-                request.options,
-                sink,
-            )
-            .map_err(SubmitError::Sources)?
-        } else {
-            InstanceRuntime::with_options(schema, strategy, &request.sources, request.options)
-                .map_err(SubmitError::Sources)?
-        };
-        let (done_tx, done_rx) = unbounded();
-        Ok((
-            PreparedRuntime {
-                runtime,
-                recorder,
-                wal,
-                label: request.label.clone(),
-                done_tx,
-            },
-            done_rx,
-        ))
-    }
-
     /// Submit one flow instance; returns immediately with a [`Ticket`].
     ///
     /// The request names a [`register`]ed schema (or carries one
@@ -1376,7 +1732,7 @@ impl EngineServer {
     /// # use decisionflow::api::Request;
     /// # use decisionflow::server::EngineServer;
     /// # use decisionflow::snapshot::SourceValues;
-    /// # let server = EngineServer::new(2, "PSE100".parse().unwrap()).unwrap();
+    /// # let server = EngineServer::builder().workers(2).build().unwrap();
     /// # let sources = SourceValues::new();
     /// let ticket = server.submit(
     ///     Request::named("flow").sources(sources).record_journal(true),
@@ -1396,15 +1752,13 @@ impl EngineServer {
     ///
     /// [`register`]: EngineServer::register
     pub fn submit(&self, request: impl Into<Request>) -> Result<Ticket, SubmitError> {
-        let id = self.next_id();
-        self.submit_as(request.into(), id, 0, None)
+        let shard = self.route_shard();
+        let id = shard.id_for(shard.alloc_seq(1), self.shards.len() as u64);
+        self.submit_to(shard, request.into(), id, 0, None)
     }
 
-    /// The shared submission path: validate, write-ahead-log (durable
-    /// requests), start. `attempt`/`requeue` distinguish a fresh
-    /// acceptance (attempt 0, logs `RequestAccepted`) from a recovery
-    /// re-execution (logs `RequestRequeued` — acceptance is already on
-    /// file from the crashed run).
+    /// Recovery re-submission: the instance keeps its original id, so
+    /// the owning shard is derived from it rather than round-robin.
     fn submit_as(
         &self,
         request: Request,
@@ -1412,9 +1766,33 @@ impl EngineServer {
         attempt: u32,
         requeue: Option<u32>,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_to(self.shard_for(id), request, id, attempt, requeue)
+    }
+
+    /// The shared submission path: validate, write-ahead-log (durable
+    /// requests), account, and enqueue the runtime build on the owning
+    /// shard's pool. `attempt`/`requeue` distinguish a fresh
+    /// acceptance (attempt 0, logs `RequestAccepted`) from a recovery
+    /// re-execution (logs `RequestRequeued` — acceptance is already on
+    /// file from the crashed run).
+    ///
+    /// Every synchronous rejection — unknown schema, invalid sources,
+    /// strict-analysis findings, durable misconfiguration, an
+    /// already-consumed streaming sink, a failed lane append — is
+    /// still returned from this call. The runtime build itself runs on
+    /// the shard; its only failure mode (the one-shot sink stolen by a
+    /// racing resubmission between validation and build) surfaces as
+    /// [`ServerGone`] on the ticket, like any abandoned instance.
+    fn submit_to(
+        &self,
+        shard: &Shard,
+        request: Request,
+        id: u64,
+        attempt: u32,
+        requeue: Option<u32>,
+    ) -> Result<Ticket, SubmitError> {
         let t0 = Instant::now();
         let store = self.durable_store(&request)?;
-        let shard = self.shard_for(id);
         let schema = match request.schema() {
             Some(inline) => Arc::clone(inline),
             // invariant: Request construction guarantees a schema or a name.
@@ -1423,12 +1801,13 @@ impl EngineServer {
         let routed = Instant::now();
         self.validate_request(&schema, &request)?;
         // Log acceptance only after validation passed, and *before*
-        // `prepare` constructs the runtime: building the runtime
-        // already streams the instance's eager-initialization frames,
-        // and both the lifecycle record and those frames go down the
-        // same per-shard lane channel, so this send ordering is the
-        // on-disk ordering — no frame can ever precede its accept (or
-        // requeue) record, even if a crash tears the tail anywhere.
+        // the build job is enqueued: building the runtime streams the
+        // instance's eager-initialization frames, and both the
+        // lifecycle record and those frames go down the same per-shard
+        // lane channel — the append below happens-before the enqueue,
+        // which happens-before the worker builds, so no frame can ever
+        // precede its accept (or requeue) record on disk, even if a
+        // crash tears the tail anywhere.
         if let Some(store) = &store {
             let event = match requeue {
                 None => StoreEvent::RequestAccepted {
@@ -1446,33 +1825,27 @@ impl EngineServer {
         let wal = store
             .as_ref()
             .map(|s| Arc::new(WalRecorder::new(Arc::clone(s), shard.index, id, attempt)));
-        let (prepared, done_rx) = match self.prepare(schema.clone(), &request, wal.clone()) {
-            Ok(ok) => ok,
-            Err(e) => {
-                // The lifecycle record is already on the lane. The
-                // remaining failure mode (a consumed one-shot stream
-                // sink) must not leave the instance accepted-but-
-                // unsealed, or recovery would re-execute a request the
-                // caller was told failed — seal it abandoned.
-                if let Some(wal) = &wal {
-                    wal.seal(SealOutcome::Abandoned);
-                }
-                return Err(e);
-            }
-        };
         let validated = Instant::now();
         // An unrepresentable deadline (e.g. Duration::MAX budget)
         // saturates to "no deadline" rather than panicking.
         let deadline = request.deadline.and_then(|budget| t0.checked_add(budget));
+        let strategy = request.strategy.unwrap_or(self.strategy);
+        let (done_tx, done_rx) = unbounded();
         shard.start(
             id,
             request.display_name(),
-            prepared,
-            deadline,
-            SubmitTimings {
-                t0,
-                route: routed.saturating_duration_since(t0),
-                validate: validated.saturating_duration_since(routed),
+            PendingStart {
+                request,
+                schema,
+                strategy,
+                wal,
+                done_tx,
+                deadline,
+                timings: SubmitTimings {
+                    t0,
+                    route: routed.saturating_duration_since(t0),
+                    validate: validated.saturating_duration_since(routed),
+                },
             },
         );
         Ok(Ticket::new(done_rx, id, shard.index, deadline))
@@ -1561,28 +1934,48 @@ impl EngineServer {
 
     /// Submit a batch of requests in one call, amortizing routing and
     /// registry-lock acquisition: the batch is grouped by destination
-    /// shard, each shard's registry read lock is taken once per group,
-    /// and each distinct schema name is resolved at most once per
-    /// shard. Journaling, strategy overrides, deadlines, and labels
+    /// shard once, each shard hands out one contiguous id block, each
+    /// shard's registry read lock is taken once per group, each
+    /// distinct schema name is resolved at most once per shard, and
+    /// each shard's `Submitted` events are published as one batch onto
+    /// its lane. Journaling, strategy overrides, deadlines, and labels
     /// are honored per request — a recorded batch is just a batch of
     /// recorded requests.
     ///
     /// Validation is all-or-nothing: if any request names an unknown
     /// schema or binds invalid sources, *no* instance is started and
-    /// the first error is returned. On success the tickets come back
-    /// in submission order.
-    pub fn submit_many<I>(&self, requests: I) -> Result<Vec<Ticket>, SubmitError>
+    /// the first error is returned. On success the returned
+    /// [`TicketBatch`] holds the tickets in submission order — wait on
+    /// all of them with [`TicketBatch::wait_all`], or peel off
+    /// [`Ticket`]s via [`TicketBatch::into_tickets`].
+    pub fn submit_many<I>(&self, requests: I) -> Result<TicketBatch, SubmitError>
     where
         I: IntoIterator,
         I::Item: Into<Request>,
     {
         let t0 = Instant::now();
         let requests: Vec<Request> = requests.into_iter().map(Into::into).collect();
-        // Phase 1 — route: assign ids and group request indices by shard.
-        let ids: Vec<u64> = requests.iter().map(|_| self.next_id()).collect();
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, &id) in ids.iter().enumerate() {
-            by_shard[self.shard_for(id).index].push(i);
+        // Phase 1 — route: spread the batch round-robin from one
+        // cursor draw, then allocate each shard's ids as a single
+        // contiguous block of its sequence.
+        let n = self.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let start = self
+            .route_cursor
+            .fetch_add(requests.len(), Ordering::Relaxed);
+        for i in 0..requests.len() {
+            by_shard[(start + i) % n].push(i);
+        }
+        let mut ids: Vec<u64> = vec![0; requests.len()];
+        for (sidx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[sidx];
+            let base = shard.alloc_seq(indices.len() as u64);
+            for (j, &i) in indices.iter().enumerate() {
+                ids[i] = shard.id_for(base + j as u64, n as u64);
+            }
         }
         // The whole batch shares the routing phase; validation is
         // timed per request below.
@@ -1635,66 +2028,108 @@ impl EngineServer {
                 validates[i] = Instant::now().saturating_duration_since(validate_start);
             }
         }
-        // Phase 3 — log acceptance, build, start: tickets come back in
-        // submission order. Per request the acceptance record goes down
-        // the lane *before* `prepare` streams the runtime's
-        // construction frames onto it, preserving the on-disk ordering
-        // guarantee of `submit_as`. A lane failure here aborts the rest
-        // of the batch (earlier instances already started keep running;
-        // their tickets are lost with the error — the lane is latched
-        // failed, so the server is degraded anyway).
+        // Phase 3 — per shard group: log acceptances, account the
+        // submissions, publish one batched `Submitted` burst onto the
+        // shard's event lane, and enqueue the runtime builds on the
+        // owning shard's pool. Tickets come back in submission order.
+        // Acceptance records go down the lane before the build jobs
+        // are enqueued, and each build streams its construction frames
+        // from the same shard — so no frame can precede its acceptance
+        // on disk, exactly as in `submit`. A lane failure aborts the
+        // rest of the batch: this group's already-accepted-but-
+        // unstarted requests are sealed abandoned so recovery cannot
+        // re-execute them; earlier groups already started keep running
+        // (the lane is latched failed, so the server is degraded
+        // anyway).
         let now = Instant::now();
-        let mut tickets = Vec::with_capacity(requests.len());
-        for (i, request) in requests.iter().enumerate() {
-            let shard = self.shard_for(ids[i]);
-            // invariant: phase 2 filled every slot or returned early.
-            let schema = schemas[i].take().expect("validated above");
-            let wal = match (persists[i].take(), self.store.as_ref()) {
-                (Some(persist), Some(store)) => {
-                    store
-                        .append(
-                            shard.index,
-                            StoreEvent::RequestAccepted { request: persist },
-                        )
-                        .map_err(|e| SubmitError::Store(e.to_string()))?;
-                    Some(Arc::new(WalRecorder::new(
-                        Arc::clone(store),
-                        shard.index,
-                        ids[i],
-                        0,
-                    )))
-                }
-                _ => None,
-            };
-            let build_start = Instant::now();
-            let (ready, done_rx) = match self.prepare(schema, request, wal.clone()) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    // Same discipline as `submit_as`: the acceptance is
-                    // already on the lane, so an instance that cannot
-                    // build must not be left for recovery to re-execute.
-                    if let Some(wal) = &wal {
-                        wal.seal(SealOutcome::Abandoned);
+        let mut requests: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
+        let mut slots: Vec<Option<Ticket>> = Vec::new();
+        slots.resize_with(requests.len(), || None);
+        for (sidx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = &self.shards[sidx];
+            let mut wals: Vec<Option<Arc<WalRecorder>>> = Vec::with_capacity(indices.len());
+            for &i in indices {
+                match (persists[i].take(), self.store.as_ref()) {
+                    (Some(persist), Some(store)) => {
+                        if let Err(e) =
+                            store.append(sidx, StoreEvent::RequestAccepted { request: persist })
+                        {
+                            for wal in wals.iter().flatten() {
+                                wal.seal(SealOutcome::Abandoned);
+                            }
+                            return Err(SubmitError::Store(e.to_string()));
+                        }
+                        wals.push(Some(Arc::new(WalRecorder::new(
+                            Arc::clone(store),
+                            sidx,
+                            ids[i],
+                            0,
+                        ))));
                     }
-                    return Err(e);
+                    _ => wals.push(None),
                 }
-            };
-            validates[i] += Instant::now().saturating_duration_since(build_start);
-            let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
-            shard.start(
-                ids[i],
-                request.display_name(),
-                ready,
-                deadline,
-                SubmitTimings {
-                    t0,
-                    route,
-                    validate: validates[i],
-                },
+            }
+            {
+                let mut live = shard.live.lock();
+                for &i in indices {
+                    shard.gauges.instance_submitted();
+                    // invariant: phase 3 visits each request index once.
+                    let name = requests[i].as_ref().expect("unconsumed").display_name();
+                    live.insert(ids[i], name);
+                }
+            }
+            // One publish_batch per shard: the whole group's Submitted
+            // events land on the lane under a single lock hold, before
+            // any of the group's build jobs can publish a completion.
+            shard.events.publish_batch(
+                sidx,
+                indices.iter().map(|&i| {
+                    let instance_id = ids[i];
+                    let label = requests[i].as_ref().and_then(|r| r.label.clone());
+                    move |clock| InstanceEvent::Submitted {
+                        clock,
+                        instance_id,
+                        shard: sidx,
+                        label,
+                    }
+                }),
             );
-            tickets.push(Ticket::new(done_rx, ids[i], shard.index, deadline));
+            for (j, &i) in indices.iter().enumerate() {
+                // invariant: each request index is in exactly one group.
+                let request = requests[i].take().expect("routed once");
+                // invariant: phase 2 filled every slot or returned early.
+                let schema = schemas[i].take().expect("validated above");
+                let strategy = request.strategy.unwrap_or(self.strategy);
+                let deadline = request.deadline.and_then(|budget| now.checked_add(budget));
+                let (done_tx, done_rx) = unbounded();
+                slots[i] = Some(Ticket::new(done_rx, ids[i], sidx, deadline));
+                shard.enqueue_build(
+                    ids[i],
+                    PendingStart {
+                        request,
+                        schema,
+                        strategy,
+                        wal: wals[j].clone(),
+                        done_tx,
+                        deadline,
+                        timings: SubmitTimings {
+                            t0,
+                            route,
+                            validate: validates[i],
+                        },
+                    },
+                );
+            }
         }
-        Ok(tickets)
+        let tickets: Vec<Ticket> = slots
+            .into_iter()
+            // invariant: every request index was routed to one group.
+            .map(|t| t.expect("ticket filled"))
+            .collect();
+        Ok(TicketBatch::new(tickets))
     }
 }
 
@@ -1760,9 +2195,28 @@ mod tests {
         (Arc::new(b.build().unwrap()), s)
     }
 
+    /// Builder shorthand: `workers` spread over the default shard layout.
+    fn server(workers: usize, strategy: &str) -> EngineServer {
+        EngineServer::builder()
+            .workers(workers)
+            .strategy(strategy.parse().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    /// Builder shorthand: explicit `shards` × `workers_per_shard` layout.
+    fn sharded(shards: usize, wps: usize, strategy: &str) -> EngineServer {
+        EngineServer::builder()
+            .shards(shards)
+            .workers_per_shard(wps)
+            .strategy(strategy.parse().unwrap())
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn register_checked_gates_on_analysis_errors() {
-        let server = EngineServer::new(1, "PSE100".parse().unwrap()).unwrap();
+        let server = server(1, "PSE100");
 
         let report = server
             .register_checked("ok", slow_schema(0))
@@ -1782,7 +2236,7 @@ mod tests {
 
     #[test]
     fn strict_submission_rejects_error_schemas() {
-        let server = EngineServer::new(1, "PSE100".parse().unwrap()).unwrap();
+        let server = server(1, "PSE100");
         let (dead, s) = dead_target_schema();
 
         // Plain submission still executes (the ⊥ target is a valid
@@ -1818,7 +2272,7 @@ mod tests {
     #[test]
     fn single_instance_completes_and_matches_oracle() {
         let schema = slow_schema(50);
-        let server = EngineServer::new(4, "PSE100".parse().unwrap()).unwrap();
+        let server = server(4, "PSE100");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -1841,7 +2295,7 @@ mod tests {
     #[test]
     fn inline_schema_submission_needs_no_registry() {
         let schema = slow_schema(5);
-        let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
+        let server = server(2, "PCE100");
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
         let snap = complete_snapshot(&schema, &sv).unwrap();
@@ -1867,7 +2321,7 @@ mod tests {
         let schema = slow_schema(5);
         // Server default is conservative-sequential; the request runs
         // speculative-parallel and the journal proves which one ran.
-        let server = EngineServer::new(2, "PCE0".parse().unwrap()).unwrap();
+        let server = server(2, "PCE0");
         assert_eq!(server.default_strategy(), "PCE0".parse().unwrap());
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
@@ -1888,7 +2342,7 @@ mod tests {
     #[test]
     fn many_concurrent_instances_all_correct() {
         let schema = slow_schema(20);
-        let server = EngineServer::new(8, "PSE100".parse().unwrap()).unwrap();
+        let server = server(8, "PSE100");
         server.register("flow", Arc::clone(&schema));
         let mut tickets = Vec::new();
         let mut expected = Vec::new();
@@ -1913,7 +2367,7 @@ mod tests {
     #[test]
     fn batch_submission_matches_one_by_one() {
         let schema = slow_schema(10);
-        let server = EngineServer::with_shards(4, 2, "PCE100".parse().unwrap()).unwrap();
+        let server = sharded(4, 2, "PCE100");
         server.register("flow", Arc::clone(&schema));
         let sources: Vec<SourceValues> = (0..24i64)
             .map(|i| {
@@ -1947,7 +2401,7 @@ mod tests {
     #[test]
     fn batch_is_all_or_nothing() {
         let schema = slow_schema(1);
-        let server = EngineServer::with_shards(2, 1, "PCE0".parse().unwrap()).unwrap();
+        let server = sharded(2, 1, "PCE0");
         server.register("flow", Arc::clone(&schema));
         let mut good = SourceValues::new();
         good.set(schema.lookup("s").unwrap(), 5i64);
@@ -1980,7 +2434,7 @@ mod tests {
         );
         b.mark_target(t);
         let schema = Arc::new(b.build().unwrap());
-        let server = EngineServer::new(2, "PCE0".parse().unwrap()).unwrap();
+        let server = server(2, "PCE0");
         server.register("gated", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
@@ -1991,7 +2445,7 @@ mod tests {
 
     #[test]
     fn unknown_schema_rejected() {
-        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
+        let server = server(1, "PCE0");
         assert_eq!(
             server
                 .submit(Request::named("ghost"))
@@ -2005,7 +2459,7 @@ mod tests {
     #[test]
     fn bad_sources_rejected() {
         let schema = slow_schema(1);
-        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
+        let server = server(1, "PCE0");
         server.register("flow", schema);
         let err = server
             .submit(Request::named("flow"))
@@ -2018,7 +2472,7 @@ mod tests {
     fn strategies_differ_but_agree_on_semantics() {
         let schema = slow_schema(10);
         for strat in ["PCE0", "NCE100", "PSC40"] {
-            let server = EngineServer::new(4, strat.parse().unwrap()).unwrap();
+            let server = server(4, strat);
             server.register("flow", Arc::clone(&schema));
             let mut sv = SourceValues::new();
             sv.set(schema.lookup("s").unwrap(), 10i64);
@@ -2036,7 +2490,7 @@ mod tests {
     fn recorded_server_run_replays_deterministically() {
         use crate::journal::ReplayEngine;
         let schema = slow_schema(20);
-        let server = EngineServer::new(4, "PSE100".parse().unwrap()).unwrap();
+        let server = server(4, "PSE100");
         server.register("flow", Arc::clone(&schema));
         for i in 0..6i64 {
             let mut sv = SourceValues::new();
@@ -2068,7 +2522,7 @@ mod tests {
         // A panicking task abandons its instance: the result can never
         // arrive, and the waiting caller must get an error, not hang.
         let (schema, s) = doomed_schema();
-        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
+        let server = server(1, "PCE0");
         server.register("doomed", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
@@ -2084,7 +2538,7 @@ mod tests {
         // later submission, so prove the shard keeps serving.
         let (doomed, s) = doomed_schema();
         let good = slow_schema(1);
-        let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
+        let server = sharded(1, 1, "PCE0");
         server.register("doomed", Arc::clone(&doomed));
         server.register("good", Arc::clone(&good));
         for round in 0..3 {
@@ -2112,7 +2566,7 @@ mod tests {
     fn try_wait_distinguishes_pending_from_server_gone() {
         // Pending: a live instance polls as Ok(None), never Err.
         let schema = slow_schema(200);
-        let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
+        let server = server(2, "PCE100");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -2133,7 +2587,7 @@ mod tests {
         // Abandoned instance: the poller gets Err(ServerGone), not an
         // indistinguishable "not ready yet".
         let (schema, s) = doomed_schema();
-        let server = EngineServer::new(1, "PCE0".parse().unwrap()).unwrap();
+        let server = self::server(1, "PCE0");
         server.register("doomed", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(s, 1i64);
@@ -2151,7 +2605,7 @@ mod tests {
     #[test]
     fn wait_timeout_and_deadline_report_pending_then_deliver() {
         let schema = slow_schema(500);
-        let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
+        let server = sharded(1, 1, "PCE0");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -2185,7 +2639,7 @@ mod tests {
     #[test]
     fn deadline_exceeded_flags_late_completions_only() {
         let schema = slow_schema(0);
-        let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+        let server = sharded(1, 1, "PCE100");
         server.register("flow", Arc::clone(&schema));
 
         // Generous budget: completes comfortably inside the deadline.
@@ -2226,7 +2680,7 @@ mod tests {
     #[test]
     fn dropped_ticket_does_not_wedge_server() {
         let schema = slow_schema(10);
-        let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
+        let server = server(2, "PCE100");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 10i64);
@@ -2240,20 +2694,34 @@ mod tests {
 
     #[test]
     fn routing_spreads_instances_over_shards() {
-        let server = EngineServer::with_shards(4, 1, "PCE0".parse().unwrap()).unwrap();
+        let server = sharded(4, 1, "PCE0");
         assert_eq!(server.shard_count(), 4);
         assert_eq!(server.worker_count(), 4);
-        let mut seen = std::collections::HashSet::new();
+        // Ids encode their owning shard: the k-th id minted by shard i
+        // is k·N + i, so ownership is recoverable as id mod N.
         for id in 0..64u64 {
-            seen.insert(server.shard_for(id).index);
+            assert_eq!(server.shard_for(id).index, (id % 4) as usize);
         }
-        assert_eq!(seen.len(), 4, "64 sequential ids must reach every shard");
+        // Submission routing is round-robin, so sequential submissions
+        // land on consecutive shards and the ids they mint cover all
+        // residues.
+        let schema = slow_schema(0);
+        server.register("flow", Arc::clone(&schema));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let mut sv = SourceValues::new();
+            sv.set(schema.lookup("s").unwrap(), 80i64);
+            let t = server.submit(("flow", sv)).unwrap();
+            seen.insert(t.shard());
+            t.wait().unwrap();
+        }
+        assert_eq!(seen.len(), 4, "8 sequential submissions hit every shard");
     }
 
     #[test]
     fn live_instances_report_id_shard_and_name() {
         let schema = slow_schema(20_000);
-        let server = EngineServer::with_shards(2, 1, "PCE0".parse().unwrap()).unwrap();
+        let server = sharded(2, 1, "PCE0");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -2280,7 +2748,7 @@ mod tests {
     fn events_track_submission_completion_and_abandonment() {
         let good = slow_schema(10);
         let (doomed, s) = doomed_schema();
-        let server = EngineServer::with_shards(2, 1, "PCE100".parse().unwrap()).unwrap();
+        let server = sharded(2, 1, "PCE100");
         server.register("good", Arc::clone(&good));
         server.register("doomed", Arc::clone(&doomed));
         let events = server.subscribe();
@@ -2298,25 +2766,62 @@ mod tests {
         t1.wait().unwrap();
         assert_eq!(t2.wait().map(|_| ()), Err(ServerGone));
 
+        // The merged stream interleaves per-shard lanes in arbitrary
+        // order; the contract is per-shard: clocks strictly increase
+        // within a lane, and an instance's Submitted precedes its
+        // terminal event on the same lane.
         let mut submitted = Vec::new();
         let mut completed = Vec::new();
         let mut abandoned = Vec::new();
-        let mut last_clock = None;
+        let mut last_clock: std::collections::HashMap<usize, u64> =
+            std::collections::HashMap::new();
+        let mut lane_seen: std::collections::HashMap<usize, Vec<u64>> =
+            std::collections::HashMap::new();
         while let Some(ev) = events.try_recv().unwrap() {
-            assert!(Some(ev.clock()) > last_clock, "clock strictly increases");
-            last_clock = Some(ev.clock());
+            if let Some(&prev) = last_clock.get(&ev.shard()) {
+                assert!(ev.clock() > prev, "per-shard clock strictly increases");
+            }
+            last_clock.insert(ev.shard(), ev.clock());
             match ev {
                 InstanceEvent::Submitted {
-                    instance_id, label, ..
-                } => submitted.push((instance_id, label)),
-                InstanceEvent::Completed { instance_id, .. } => completed.push(instance_id),
-                InstanceEvent::Abandoned { instance_id, .. } => abandoned.push(instance_id),
+                    instance_id,
+                    label,
+                    shard,
+                    ..
+                } => {
+                    lane_seen.entry(shard).or_default().push(instance_id);
+                    submitted.push((instance_id, label));
+                }
+                InstanceEvent::Completed {
+                    instance_id, shard, ..
+                } => {
+                    assert!(
+                        lane_seen
+                            .get(&shard)
+                            .is_some_and(|v| v.contains(&instance_id)),
+                        "Submitted precedes Completed on the same lane"
+                    );
+                    completed.push(instance_id);
+                }
+                InstanceEvent::Abandoned {
+                    instance_id, shard, ..
+                } => {
+                    assert!(
+                        lane_seen
+                            .get(&shard)
+                            .is_some_and(|v| v.contains(&instance_id)),
+                        "Submitted precedes Abandoned on the same lane"
+                    );
+                    abandoned.push(instance_id);
+                }
             }
         }
+        submitted.sort();
+        let mut expected = vec![(id1, Some("one".to_string())), (id2, None)];
+        expected.sort();
         assert_eq!(
-            submitted,
-            vec![(id1, Some("one".to_string())), (id2, None)],
-            "submissions in order, labels attached"
+            submitted, expected,
+            "both submissions seen, labels attached"
         );
         assert_eq!(completed, vec![id1]);
         assert_eq!(abandoned, vec![id2]);
@@ -2326,7 +2831,7 @@ mod tests {
     #[test]
     fn events_disconnect_when_server_drops() {
         let schema = slow_schema(1);
-        let server = EngineServer::with_shards(1, 1, "PCE0".parse().unwrap()).unwrap();
+        let server = sharded(1, 1, "PCE0");
         server.register("flow", Arc::clone(&schema));
         let mut events = server.subscribe();
         let mut sv = SourceValues::new();
@@ -2353,7 +2858,7 @@ mod tests {
         use crate::journal::{read_journal, MemorySink, ReplayEngine};
 
         let schema = slow_schema(5);
-        let server = EngineServer::with_shards(2, 1, "PSE100".parse().unwrap()).unwrap();
+        let server = sharded(2, 1, "PSE100");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -2401,7 +2906,7 @@ mod tests {
         }
 
         let schema = slow_schema(5);
-        let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+        let server = sharded(1, 1, "PCE100");
         server.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
         sv.set(schema.lookup("s").unwrap(), 80i64);
@@ -2432,6 +2937,61 @@ mod tests {
         assert_eq!(result.journal_error, None);
         let journal = read_journal(&buf.bytes()[..]).expect("sink was preserved and sealed");
         assert!(!journal.frames.is_empty());
+    }
+
+    /// The deprecated constructor quartet must stay behaviorally
+    /// equivalent to the builder for its one-release grace period.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        let old = EngineServer::new(4, "PCE0".parse().unwrap()).unwrap();
+        let new = server(4, "PCE0");
+        assert_eq!(old.shard_count(), new.shard_count());
+        assert_eq!(old.worker_count(), new.worker_count());
+        assert_eq!(old.default_strategy(), new.default_strategy());
+
+        let old = EngineServer::with_shards(3, 2, "PSE100".parse().unwrap()).unwrap();
+        let new = sharded(3, 2, "PSE100");
+        assert_eq!(old.shard_count(), 3);
+        assert_eq!(old.worker_count(), 6);
+        assert_eq!(old.shard_count(), new.shard_count());
+        assert_eq!(old.worker_count(), new.worker_count());
+        assert_eq!(old.default_strategy(), new.default_strategy());
+
+        // The shims still serve real work end to end.
+        let schema = slow_schema(1);
+        old.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 80i64);
+        assert!(old
+            .submit(("flow", sv))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .record
+            .outcome("t")
+            .is_some());
+
+        // Durable variants agree on layout and open a working store.
+        let dir =
+            std::env::temp_dir().join(format!("dflow-deprecated-equiv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let old =
+                EngineServer::open_with_shards(dir.join("old"), 2, 1, "PCE0".parse().unwrap())
+                    .unwrap();
+            let new = EngineServer::builder()
+                .shards(2)
+                .workers_per_shard(1)
+                .strategy("PCE0".parse().unwrap())
+                .durable(dir.join("new"))
+                .build()
+                .unwrap();
+            assert_eq!(old.shard_count(), new.shard_count());
+            assert_eq!(old.worker_count(), new.worker_count());
+            assert!(old.store().is_some() && new.store().is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -73,7 +73,11 @@ fn main() {
     let schema = routing_flow();
     // 4 worker threads = the external systems' multiprogramming level;
     // the server spreads them over up to 4 shards (hash-routed).
-    let server = EngineServer::new(4, "PSE100".parse().unwrap()).expect("spawn worker threads");
+    let server = EngineServer::builder()
+        .workers(4)
+        .strategy("PSE100".parse().unwrap())
+        .build()
+        .expect("spawn worker threads");
     server.register("routing", Arc::clone(&schema));
 
     let contacts: Vec<(i64, i64)> = (0..60).map(|i| (1000 + i * 7, (i * 13) % 420)).collect();

@@ -26,7 +26,12 @@ use dflowperf::{Arrival, LoadReport, OnServer, Workload};
 fn main() {
     // A small server: 2 shards × 2 workers, speculating eagerly.
     let strategy: Strategy = "PSE100".parse().unwrap();
-    let server = EngineServer::with_shards(2, 2, strategy).expect("server build");
+    let server = EngineServer::builder()
+        .shards(2)
+        .workers_per_shard(2)
+        .strategy(strategy)
+        .build()
+        .expect("server build");
     let telemetry = server.telemetry();
     let events = server.subscribe_with_capacity(8192);
 

@@ -129,8 +129,18 @@ fn recorded_server_submissions_are_deterministic_across_all_strategies() {
     ];
     for (name, schema, sv) in &fixtures {
         for strategy in Strategy::all_at(100) {
-            let server_a = EngineServer::with_shards(1, 1, strategy).unwrap();
-            let server_b = EngineServer::with_shards(1, 1, strategy).unwrap();
+            let server_a = EngineServer::builder()
+                .shards(1)
+                .workers_per_shard(1)
+                .strategy(strategy)
+                .build()
+                .unwrap();
+            let server_b = EngineServer::builder()
+                .shards(1)
+                .workers_per_shard(1)
+                .strategy(strategy)
+                .build()
+                .unwrap();
             server_a.register("f", Arc::clone(schema));
             server_b.register("f", Arc::clone(schema));
 
@@ -188,7 +198,12 @@ fn recorded_submissions_agree_with_oracle_on_fanout_flows() {
         }
     };
     for strategy in Strategy::all_at(100) {
-        let server = EngineServer::with_shards(1, 2, strategy).unwrap();
+        let server = EngineServer::builder()
+            .shards(1)
+            .workers_per_shard(2)
+            .strategy(strategy)
+            .build()
+            .unwrap();
         server.register("f", Arc::clone(&flow.schema));
 
         // Two concurrent-pool submissions: delivery order may differ,
@@ -227,8 +242,18 @@ fn recorded_batch_equals_recorded_singles() {
     let fanout = flow(41_003);
     let (schema, sv) = (Arc::clone(&fanout.schema), fanout.sources.clone());
     let strategy: Strategy = "PSE100".parse().unwrap();
-    let singles = EngineServer::with_shards(1, 1, strategy).unwrap();
-    let batched = EngineServer::with_shards(1, 1, strategy).unwrap();
+    let singles = EngineServer::builder()
+        .shards(1)
+        .workers_per_shard(1)
+        .strategy(strategy)
+        .build()
+        .unwrap();
+    let batched = EngineServer::builder()
+        .shards(1)
+        .workers_per_shard(1)
+        .strategy(strategy)
+        .build()
+        .unwrap();
     singles.register("flow0", Arc::clone(&schema));
     batched.register("flow0", Arc::clone(&schema));
     let request = |_i: usize| {
@@ -299,7 +324,12 @@ fn wait_timeout_under_saturated_pool() {
     );
     b.mark_target(t);
     let schema = Arc::new(b.build().unwrap());
-    let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(1)
+        .workers_per_shard(1)
+        .strategy("PCE100".parse().unwrap())
+        .build()
+        .unwrap();
     server.register("slow", Arc::clone(&schema));
 
     let mut sv = SourceValues::new();
@@ -342,8 +372,8 @@ fn wait_timeout_under_saturated_pool() {
 
 /// `ServerEvents` reconcile with `ServerStats` under a multi-shard
 /// load that includes abandoned instances: event counts equal gauge
-/// counters, clocks are strictly increasing, and every Submitted has
-/// a matching terminal event.
+/// counters, clocks are per-shard strictly increasing and unique
+/// server-wide, and every Submitted has a matching terminal event.
 #[test]
 fn events_reconcile_with_stats_under_multi_shard_load() {
     let flows: Vec<GeneratedFlow> = (0..4).map(|i| flow(41_200 + i)).collect();
@@ -358,7 +388,12 @@ fn events_reconcile_with_stats_under_multi_shard_load() {
     b.mark_target(t);
     let doomed = Arc::new(b.build().unwrap());
 
-    let server = EngineServer::with_shards(4, 1, "PSE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(4)
+        .workers_per_shard(1)
+        .strategy("PSE100".parse().unwrap())
+        .build()
+        .unwrap();
     for (i, f) in flows.iter().enumerate() {
         server.register(format!("flow{i}"), Arc::clone(&f.schema));
     }
@@ -392,10 +427,16 @@ fn events_reconcile_with_stats_under_multi_shard_load() {
     let (mut submitted, mut completed, mut abandoned) = (0u64, 0u64, 0u64);
     let mut submitted_ids = std::collections::HashSet::new();
     let mut terminal_ids = std::collections::HashSet::new();
-    let mut last_clock = None;
+    // Events merge per-shard lanes: clocks are strictly increasing
+    // within a lane and unique server-wide, with no cross-lane order.
+    let mut last_clock: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let mut all_clocks = std::collections::HashSet::new();
     while let Some(ev) = events.try_recv().unwrap() {
-        assert!(Some(ev.clock()) > last_clock, "clocks strictly increase");
-        last_clock = Some(ev.clock());
+        if let Some(&prev) = last_clock.get(&ev.shard()) {
+            assert!(ev.clock() > prev, "per-shard clocks strictly increase");
+        }
+        last_clock.insert(ev.shard(), ev.clock());
+        assert!(all_clocks.insert(ev.clock()), "clocks unique server-wide");
         match ev {
             InstanceEvent::Submitted { instance_id, .. } => {
                 submitted += 1;
@@ -444,7 +485,12 @@ fn live_instances_are_named_structs() {
     );
     b.mark_target(t);
     let schema = Arc::new(b.build().unwrap());
-    let server = EngineServer::with_shards(2, 1, "PCE0".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(2)
+        .workers_per_shard(1)
+        .strategy("PCE0".parse().unwrap())
+        .build()
+        .unwrap();
     server.register("slow", Arc::clone(&schema));
     let mut sv = SourceValues::new();
     sv.set(s, 7i64);

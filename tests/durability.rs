@@ -53,7 +53,13 @@ fn pattern(nodes: usize, pct: u32) -> PatternParams {
 /// single totally-ordered byte stream and "truncate at offset N" is
 /// unambiguous.
 fn open_server(dir: &Path) -> EngineServer {
-    EngineServer::open_with_shards(dir, 1, 2, "PSE100".parse().unwrap()).expect("open store")
+    EngineServer::builder()
+        .shards(1)
+        .workers_per_shard(2)
+        .strategy("PSE100".parse().unwrap())
+        .durable(dir)
+        .build()
+        .expect("open store")
 }
 
 /// Run `count` durable instances to completion, one at a time so the

@@ -38,7 +38,11 @@ fn check(record: &ExecutionRecord, schema: &Schema, snap: &CompleteSnapshot) {
 #[test]
 fn generated_flows_on_server_match_oracle() {
     for strat in ["PCE0", "PSE100", "NCC40"] {
-        let server = EngineServer::new(6, strat.parse().unwrap()).unwrap();
+        let server = EngineServer::builder()
+            .workers(6)
+            .strategy(strat.parse().unwrap())
+            .build()
+            .unwrap();
         let mut handles = Vec::new();
         let mut oracle = Vec::new();
         for seed in 0..12u64 {
@@ -63,7 +67,11 @@ fn generated_flows_on_server_match_oracle() {
 #[test]
 fn repeated_submissions_of_one_schema_are_independent() {
     let flow = generate(pattern(32, 60), 9_999).unwrap();
-    let server = EngineServer::new(4, "PSE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .workers(4)
+        .strategy("PSE100".parse().unwrap())
+        .build()
+        .unwrap();
     server.register("f", Arc::clone(&flow.schema));
     let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
     let handles: Vec<_> = (0..25)
@@ -96,7 +104,11 @@ fn server_handles_heavier_fanout_than_workers() {
     // bottleneck (finite external multiprogramming level); everything
     // still completes correctly.
     let flow = generate(pattern(48, 75), 4_242).unwrap();
-    let server = EngineServer::new(2, "PCE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .workers(2)
+        .strategy("PCE100".parse().unwrap())
+        .build()
+        .unwrap();
     server.register("f", Arc::clone(&flow.schema));
     let snap = complete_snapshot(&flow.schema, &flow.sources).unwrap();
     let handles: Vec<_> = (0..30)

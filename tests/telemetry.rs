@@ -104,7 +104,12 @@ fn workload_report_decomposes_latency_into_stages() {
 /// Prometheus text matches the JSON's numbers.
 #[test]
 fn prometheus_and_json_expose_the_same_numbers() {
-    let server = EngineServer::with_shards(2, 1, "PCE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(2)
+        .workers_per_shard(1)
+        .strategy("PCE100".parse().unwrap())
+        .build()
+        .unwrap();
     let schema = tiny_schema();
     let tickets: Vec<Ticket> = (0..40)
         .map(|_| server.submit(tiny_request(&schema)).unwrap())
@@ -138,7 +143,12 @@ fn prometheus_and_json_expose_the_same_numbers() {
 /// `ServerStats` (satellite: deadline-exceeded accounting).
 #[test]
 fn deadline_misses_are_counted_in_stats() {
-    let server = EngineServer::with_shards(1, 1, "PCE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(1)
+        .workers_per_shard(1)
+        .strategy("PCE100".parse().unwrap())
+        .build()
+        .unwrap();
     let schema = tiny_schema();
     // A zero budget is already blown when the instance completes.
     let tickets: Vec<Ticket> = (0..5)
@@ -174,7 +184,14 @@ fn deadline_misses_are_counted_in_stats() {
 /// race and assert the inequalities never break.
 #[test]
 fn stats_never_report_more_completed_than_submitted_under_race() {
-    let server = Arc::new(EngineServer::with_shards(2, 1, "PCE100".parse().unwrap()).unwrap());
+    let server = Arc::new(
+        EngineServer::builder()
+            .shards(2)
+            .workers_per_shard(1)
+            .strategy("PCE100".parse().unwrap())
+            .build()
+            .unwrap(),
+    );
     let schema = tiny_schema();
     let stop = Arc::new(AtomicBool::new(false));
     std::thread::scope(|scope| {
@@ -226,7 +243,12 @@ fn stats_never_report_more_completed_than_submitted_under_race() {
 /// drop-counted, and each span's timings are internally consistent.
 #[test]
 fn spans_record_completions_with_consistent_timings() {
-    let server = EngineServer::with_shards(2, 1, "PSE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(2)
+        .workers_per_shard(1)
+        .strategy("PSE100".parse().unwrap())
+        .build()
+        .unwrap();
     let schema = tiny_schema();
     let tickets: Vec<Ticket> = (0..30)
         .map(|i| {
@@ -266,7 +288,12 @@ fn spans_record_completions_with_consistent_timings() {
 /// same telemetry the caller's own handle sees.
 #[test]
 fn on_server_backend_feeds_the_callers_telemetry() {
-    let server = EngineServer::with_shards(2, 2, "PSE100".parse().unwrap()).unwrap();
+    let server = EngineServer::builder()
+        .shards(2)
+        .workers_per_shard(2)
+        .strategy("PSE100".parse().unwrap())
+        .build()
+        .unwrap();
     let telemetry = server.telemetry();
     let report = Workload::new(flows(2))
         .arrivals(Arrival::Closed {
