@@ -16,6 +16,7 @@
 //!                  --metric throughput/s [--tolerance 0.20]
 //! bench_gate scaling --current BENCH_shard_scaling.json \
 //!                  [--base-shards 1] [--target-shards 4] [--min-ratio 2.5]
+//! bench_gate delta --current BENCH_delta_speedup.json [--min-ratio 3.0]
 //! bench_gate bless --baseline results/BENCH_baseline_shard_scaling.json \
 //!                  --current BENCH_shard_scaling.json
 //! ```
@@ -25,7 +26,11 @@
 //! row: within one snapshot, every strategy's throughput at
 //! `--target-shards` must be at least `--min-ratio ×` its throughput
 //! at `--base-shards` — so "N shards ≈ 1 shard" fails CI even when no
-//! per-cell number regressed. `bless` copies the current snapshot
+//! per-cell number regressed. `delta` is the incremental-recomputation
+//! row over a `delta_speedup` snapshot: the `mode=warm` goodput must
+//! be at least `--min-ratio ×` (default 3) the `mode=cold` goodput, so
+//! a delta path that quietly recomputes everything fails CI even if
+//! absolute throughput held. `bless` copies the current snapshot
 //! over the baseline — run it locally and commit the refreshed file
 //! when a slowdown (or a benchmark change) is intentional.
 
@@ -101,6 +106,7 @@ fn usage(err: &str) -> ! {
          [--metric NAME] [--key COL,COL] [--tolerance FRACTION]\n       \
          bench_gate scaling --current PATH [--metric NAME] \
          [--base-shards N] [--target-shards N] [--min-ratio FLOAT]\n       \
+         bench_gate delta --current PATH [--metric NAME] [--min-ratio FLOAT]\n       \
          bench_gate bless --baseline PATH --current PATH"
     );
     std::process::exit(2);
@@ -312,6 +318,54 @@ fn scaling(args: &Args) -> Result<(), String> {
     }
 }
 
+/// The incremental-recomputation gate: in a `delta_speedup` snapshot
+/// (rows keyed by `mode`), warm resubmission goodput must beat cold
+/// full recomputation by `min_ratio ×`. A delta path that silently
+/// re-executes the whole flow still *completes* everything — only this
+/// ratio catches it.
+fn delta(args: &Args) -> Result<(), String> {
+    let key = vec!["mode".to_string()];
+    let rows = load_rows(&args.current, &args.metric, &key)?;
+    let need = |mode: &str| {
+        rows.get(&format!("mode={mode}")).copied().ok_or_else(|| {
+            format!(
+                "bench_gate delta: {} has no mode={mode} row",
+                args.current.display()
+            )
+        })
+    };
+    let cold = need("cold")?;
+    let warm = need("warm")?;
+    let ratio = if cold.abs() > f64::EPSILON {
+        warm / cold
+    } else {
+        0.0
+    };
+    println!(
+        "bench_gate: delta speedup of {} (warm must be ≥ {:.2}× cold, metric {:?})",
+        args.current.display(),
+        args.min_ratio,
+        args.metric,
+    );
+    let verdict = if ratio < args.min_ratio {
+        "RECOMPUTING"
+    } else {
+        "ok"
+    };
+    println!("  cold {cold:.1} -> warm {warm:.1} = {ratio:.2}x {verdict}");
+    if ratio < args.min_ratio {
+        Err(format!(
+            "bench_gate: FAIL (delta)\n  warm goodput is only {ratio:.2}× cold \
+             (required ≥ {:.2}×)\nthe delta path is re-executing retained work: check \
+             plan_delta cone computation and snapshot commits before touching the threshold.",
+            args.min_ratio,
+        ))
+    } else {
+        println!("bench_gate: PASS (delta)");
+        Ok(())
+    }
+}
+
 fn bless(args: &Args) -> Result<(), String> {
     // Validate the current snapshot parses before blessing it.
     let baseline = require_baseline(args)?;
@@ -348,6 +402,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "check" => check(&args),
         "scaling" => scaling(&args),
+        "delta" => delta(&args),
         "bless" => bless(&args),
         other => usage(&format!("unknown command {other:?}")),
     };

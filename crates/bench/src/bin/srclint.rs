@@ -4,9 +4,10 @@
 //! in CI instead:
 //!
 //! * **No bare `.unwrap()`** in hot-path files (`decisionflow`'s
-//!   `server.rs` and everything under `engine/` and `store/`): a
-//!   worker, shard, or WAL-appender thread panicking takes instances
-//!   with it, so every panic site must be a documented `.expect(..)`.
+//!   `server.rs` and everything under `engine/`, `store/`, and
+//!   `statestore/`): a worker, shard, or WAL-appender thread panicking
+//!   takes instances with it, so every panic site must be a documented
+//!   `.expect(..)`.
 //! * **Every `.expect(` in those files carries a `// invariant:`
 //!   comment** on the same or the previous line, naming why the value
 //!   is always there.
@@ -49,7 +50,7 @@ fn hot_path_files(root: &Path) -> Vec<PathBuf> {
     // api.rs carries the per-shard event-lane hot path (publish_batch
     // runs on every completion), so it lints at hot-path strictness.
     let mut files = vec![src.join("server.rs"), src.join("api.rs")];
-    for dir in ["engine", "store"] {
+    for dir in ["engine", "store", "statestore"] {
         let dir = src.join(dir);
         let entries =
             std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()));

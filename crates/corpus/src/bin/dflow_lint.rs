@@ -177,7 +177,11 @@ fn lint_matrix(seed: Option<u64>, kill: Option<&str>) -> Result<Vec<UnitReport>,
     let mut seen: Vec<String> = Vec::new();
     for spec in default_matrix() {
         // Entry names are `<shape>-<strategy>-s<seed>`; one lint per
-        // shape suffices — the strategy axis never changes the schema.
+        // shape suffices — the strategy axis never changes the schema,
+        // and delta-resubmission cells reuse a base shape's schema.
+        if spec.delta {
+            continue;
+        }
         let shape = spec.name.split('-').next().unwrap_or("shape").to_string();
         if seen.contains(&shape) {
             continue;

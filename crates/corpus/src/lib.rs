@@ -41,6 +41,7 @@ use std::sync::Arc;
 use decisionflow::api::Request;
 use decisionflow::engine::Strategy;
 use decisionflow::journal::{read_journal, schema_fingerprint, Frame, Journal, ReplayEngine};
+use decisionflow::statestore::InstanceSnapshot;
 use dflowgen::{generate, GeneratedFlow, PatternParams};
 use serde::{Deserialize, Serialize};
 
@@ -56,13 +57,23 @@ pub struct EntrySpec {
     pub seed: u64,
     /// Execution strategy.
     pub strategy: Strategy,
+    /// Capture as a **delta resubmission**: run the cell cold first,
+    /// snapshot its completion, then record a resubmission of the
+    /// identical sources against that snapshot. The blessed journal
+    /// then opens with the adopted `Retained` frames (a full-reuse
+    /// delta — generated flows are single-source, so any changed
+    /// binding would empty the retained set), pinning the byte format
+    /// of delta captures and the replay-side adoption path.
+    pub delta: bool,
 }
 
 /// The default corpus matrix: two flow shapes (a pure chain and the
 /// paper's 4-row fan-out grid) × all 8 strategy combinations ×
 /// `%Permitted` ∈ {40, 100} — 32 entries covering every optimization
 /// option (propagation, speculation, both heuristics) at partial and
-/// full parallelism.
+/// full parallelism — plus a **delta-resubmission dimension**: both
+/// shapes re-captured as full-reuse deltas under one conservative and
+/// one speculative strategy, whose journals are all `Retained` frames.
 pub fn default_matrix() -> Vec<EntrySpec> {
     let shapes = [
         (
@@ -95,8 +106,19 @@ pub fn default_matrix() -> Vec<EntrySpec> {
                     params,
                     seed,
                     strategy,
+                    delta: false,
                 });
             }
+        }
+        for strategy_name in ["PCE100", "NSE40"] {
+            let strategy: Strategy = strategy_name.parse().expect("known strategy");
+            out.push(EntrySpec {
+                name: format!("delta-{shape}-{strategy}-s{seed}"),
+                params,
+                seed,
+                strategy,
+                delta: true,
+            });
         }
     }
     out
@@ -147,14 +169,26 @@ const MANIFEST_FILE: &str = "manifest.json";
 const JOURNAL_FILE: &str = "journal.jsonl";
 
 /// Capture one matrix cell: generate the flow, run it recorded, and
-/// return the manifest plus the journal.
+/// return the manifest plus the journal. Delta cells run cold
+/// unrecorded first, then record the resubmission against the cold
+/// completion's snapshot.
 fn capture(spec: &EntrySpec) -> Result<(EntryManifest, Journal), CorpusError> {
     let flow: GeneratedFlow = generate(spec.params, spec.seed)
         .map_err(|e| err(format!("{}: generation failed: {e}", spec.name)))?;
-    let report = Request::with_schema(Arc::clone(&flow.schema))
+    let mut request = Request::with_schema(Arc::clone(&flow.schema))
         .sources(flow.sources.clone())
         .strategy(spec.strategy)
-        .record_journal(true)
+        .record_journal(true);
+    if spec.delta {
+        let cold = Request::with_schema(Arc::clone(&flow.schema))
+            .sources(flow.sources.clone())
+            .strategy(spec.strategy)
+            .run()
+            .map_err(|e| err(format!("{}: cold seeding run failed: {e}", spec.name)))?;
+        let prior = InstanceSnapshot::capture(&cold.outcome.runtime, spec.name.as_str());
+        request = request.delta(Arc::new(prior));
+    }
+    let report = request
         .run()
         .map_err(|e| err(format!("{}: execution failed: {e}", spec.name)))?;
     let journal = report.journal.expect("journal requested");
@@ -320,7 +354,14 @@ fn frame_json(frames: &[Frame], i: usize) -> Option<String> {
 
 /// Check one loaded entry against the current engine. Pushes findings;
 /// returns early once a phase fails (later phases would only echo it).
-fn check_entry(manifest: &EntryManifest, blessed: &Journal, findings: &mut Vec<Finding>) {
+/// `delta` comes from the matrix spec: the fresh rerun of a delta
+/// entry must rebuild the prior snapshot the same way [`capture`] did.
+fn check_entry(
+    manifest: &EntryManifest,
+    blessed: &Journal,
+    delta: bool,
+    findings: &mut Vec<Finding>,
+) {
     let finding = |phase: &str, clock: Option<u64>, detail: String| Finding {
         entry: manifest.name.clone(),
         phase: phase.into(),
@@ -397,12 +438,32 @@ fn check_entry(manifest: &EntryManifest, blessed: &Journal, findings: &mut Vec<F
             return;
         }
     };
-    let fresh = Request::with_schema(Arc::clone(&flow.schema))
+    let mut request = Request::with_schema(Arc::clone(&flow.schema))
         .sources(flow.sources.clone())
         .strategy(strategy)
-        .record_journal(true)
-        .run();
-    let fresh = match fresh {
+        .record_journal(true);
+    if delta {
+        let cold = Request::with_schema(Arc::clone(&flow.schema))
+            .sources(flow.sources.clone())
+            .strategy(strategy)
+            .run();
+        match cold {
+            Ok(report) => {
+                let prior =
+                    InstanceSnapshot::capture(&report.outcome.runtime, manifest.name.as_str());
+                request = request.delta(Arc::new(prior));
+            }
+            Err(e) => {
+                findings.push(finding(
+                    "rerun",
+                    None,
+                    format!("cold seeding run failed: {e}"),
+                ));
+                return;
+            }
+        }
+    }
+    let fresh = match request.run() {
         Ok(report) => report.journal.expect("journal requested"),
         Err(e) => {
             findings.push(finding("rerun", None, format!("live run failed: {e}")));
@@ -490,7 +551,14 @@ pub fn check(dir: &Path, specs: &[EntrySpec]) -> Result<CheckReport, CorpusError
                     });
                     continue;
                 }
-                check_entry(&manifest, &blessed, &mut findings);
+                // invariant: `name` passed the `expected.contains` guard
+                // above, so a matching spec exists.
+                let delta = specs
+                    .iter()
+                    .find(|s| s.name == *name)
+                    .expect("entry name verified against the matrix")
+                    .delta;
+                check_entry(&manifest, &blessed, delta, &mut findings);
             }
         }
     }

@@ -47,6 +47,7 @@ fn small_matrix() -> Vec<EntrySpec> {
                 params,
                 seed: 7,
                 strategy,
+                delta: false,
             }
         })
         .collect()
@@ -72,7 +73,11 @@ fn pristine_corpus_checks_green() {
 fn default_matrix_records_and_checks_green() {
     let dir = scratch("default-matrix");
     let matrix = default_matrix();
-    assert_eq!(matrix.len(), 32, "2 shapes × 8 strategies × 2 %Permitted");
+    assert_eq!(
+        matrix.len(),
+        36,
+        "2 shapes × (8 strategies × 2 %Permitted + 2 delta cells)"
+    );
     record(&dir, &matrix).unwrap();
     let report = check(&dir, &matrix).unwrap();
     assert!(report.passed(), "{}", report.to_text());
@@ -188,6 +193,7 @@ fn coverage_drift_is_flagged_both_ways() {
         params: matrix[0].params,
         seed: 7,
         strategy: extra_strategy,
+        delta: false,
     });
     let report = check(&dir, &matrix).unwrap();
     assert!(report
@@ -262,6 +268,55 @@ fn bless_reports_added_unchanged_updated_and_removed() {
         .iter()
         .any(|(n, s)| n == &dropped.name && *s == BlessStatus::Removed));
     assert!(!dir.join(&dropped.name).exists());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Delta cells capture deterministically: the blessed journal of a
+/// full-reuse resubmission is a strict prefix of `Retained` frames
+/// with no driver events, it replays green through the same
+/// `check` path as cold cells, and re-recording is byte-stable.
+#[test]
+fn delta_entries_capture_retained_frames_and_check_green() {
+    let dir = scratch("delta");
+    let strategy: Strategy = "PSE100".parse().unwrap();
+    let matrix = vec![EntrySpec {
+        name: format!("delta-fanout-{strategy}-s7"),
+        params: PatternParams {
+            nb_nodes: 12,
+            nb_rows: 4,
+            pct_enabled: 60,
+            ..Default::default()
+        },
+        seed: 7,
+        strategy,
+        delta: true,
+    }];
+    record(&dir, &matrix).unwrap();
+
+    let file = fs::File::open(dir.join(&matrix[0].name).join("journal.jsonl")).unwrap();
+    let journal = read_journal(BufReader::new(file)).unwrap();
+    assert!(!journal.frames.is_empty(), "full reuse still adopts values");
+    assert!(
+        matches!(journal.frames[0].event, Event::Retained { .. }),
+        "a delta journal opens with the adopted Retained prefix"
+    );
+    for frame in &journal.frames {
+        assert!(
+            !matches!(frame.event, Event::Round { .. } | Event::Complete { .. }),
+            "a full-reuse delta recomputes nothing, got driver event {:?}",
+            frame.event
+        );
+    }
+
+    assert!(check(&dir, &matrix).unwrap().passed());
+
+    // Re-recording the same cell is byte-stable (snapshot capture and
+    // adoption introduce no nondeterminism).
+    let summary = bless(&dir, &matrix).unwrap();
+    assert!(summary
+        .entries
+        .iter()
+        .all(|(_, s)| *s == BlessStatus::Unchanged));
     fs::remove_dir_all(&dir).ok();
 }
 

@@ -45,6 +45,40 @@ impl Reach {
     }
 }
 
+/// Forward closure of a source delta: every attribute that can observe
+/// (directly or transitively, through data *or* enabling edges) one of
+/// the `changed` attributes. `cone[a.index()]` is `true` for the
+/// changed attributes themselves and everything downstream of them.
+///
+/// This is the reuse boundary of a delta resubmission
+/// ([`Request::delta`](crate::api::Request::delta)): an attribute
+/// outside the cone has every input and every enabling reference
+/// outside the cone too (the cone is forward-closed), so its prior
+/// stabilized outcome is still valid and can be spliced in unchanged.
+pub fn delta_cone(schema: &Schema, changed: &[AttrId]) -> Vec<bool> {
+    let mut cone = vec![false; schema.len()];
+    let mut queue: VecDeque<AttrId> = VecDeque::new();
+    for &a in changed {
+        if !cone[a.index()] {
+            cone[a.index()] = true;
+            queue.push_back(a);
+        }
+    }
+    while let Some(a) = queue.pop_front() {
+        for &c in schema
+            .data_consumers(a)
+            .iter()
+            .chain(schema.enabling_consumers(a))
+        {
+            if !cone[c.index()] {
+                cone[c.index()] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    cone
+}
+
 /// Run both BFS sweeps and emit DF002/DF003/DF004.
 pub(super) fn analyze(schema: &Schema, findings: &mut Vec<Finding>) -> Reach {
     let n = schema.len();

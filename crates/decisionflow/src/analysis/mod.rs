@@ -55,6 +55,7 @@ use crate::schema::{AttrId, Module, Schema, SchemaError};
 use crate::task::Cost;
 
 pub use cost::TargetEnvelope;
+pub use graph::delta_cone;
 
 /// How bad a finding is. Ordered: `Info < Warn < Error`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -57,7 +57,21 @@ use crate::journal::Journal;
 use crate::schema::{AttrId, Schema};
 use crate::server::{InstanceResult, ServerGone};
 use crate::snapshot::SourceValues;
+use crate::statestore::{DeltaError, InstanceSnapshot};
 use crate::value::Value;
+
+/// How a delta resubmission identifies the prior snapshot to splice
+/// values from.
+#[derive(Clone, Debug)]
+pub(crate) enum DeltaSource {
+    /// The prior [`InstanceSnapshot`] travels on the request itself —
+    /// the only form in-process [`run`] accepts.
+    Prior(Arc<InstanceSnapshot>),
+    /// Resolve the prior by the request's label against the server's
+    /// state store; a miss falls back to a cold run (counted in the
+    /// store's `delta_lookup_misses`).
+    Label,
+}
 
 /// How a [`Request`] identifies the schema to execute.
 #[derive(Clone, Debug)]
@@ -151,6 +165,7 @@ pub struct Request {
     pub(crate) label: Option<String>,
     pub(crate) strict_analysis: bool,
     pub(crate) durable: bool,
+    pub(crate) delta: Option<DeltaSource>,
 }
 
 impl Request {
@@ -166,6 +181,7 @@ impl Request {
             label: None,
             strict_analysis: false,
             durable: false,
+            delta: None,
         }
     }
 
@@ -294,7 +310,7 @@ impl Request {
     /// Durable requests must target a **registered schema by name**
     /// ([`Request::named`]) — an inline `Arc<Schema>` carries task
     /// closures, which cannot be persisted — and the server must have
-    /// been opened with [`EngineServer::open`]; violating either
+    /// been built with [`ServerBuilder::durable`]; violating either
     /// rejects the submission up front. Only meaningful for server
     /// submission; in-process [`run`] ignores it.
     ///
@@ -313,9 +329,40 @@ impl Request {
     ///
     /// [`EventStore::fetch_journal`]: crate::store::EventStore::fetch_journal
     /// [`EventStore::sync`]: crate::store::EventStore::sync
-    /// [`EngineServer::open`]: crate::server::EngineServer::open
+    /// [`ServerBuilder::durable`]: crate::server::ServerBuilder::durable
     pub fn durable(mut self, durable: bool) -> Request {
         self.durable = durable;
+        self
+    }
+
+    /// Resubmit against a **prior instance snapshot**: only the
+    /// attributes downstream of sources whose bindings differ from the
+    /// snapshot re-execute; everything outside that cone adopts its
+    /// prior stabilized value at construction (journaled as `Retained`
+    /// frames). The outcome is identical to a cold run — out-of-cone
+    /// attributes depend only on unchanged sources, and the complete
+    /// snapshot is a function of the sources — it just skips the work
+    /// of re-deriving it.
+    ///
+    /// The snapshot must come from the same schema (checked by
+    /// fingerprint; mismatch rejects with [`RequestError::Delta`]).
+    /// Works both in-process ([`run`]) and on the server. See
+    /// [`crate::statestore`] for the snapshot lifecycle.
+    pub fn delta(mut self, prior: Arc<InstanceSnapshot>) -> Request {
+        self.delta = Some(DeltaSource::Prior(prior));
+        self
+    }
+
+    /// Delta resubmission by **label**: the server resolves the prior
+    /// snapshot from its state store under (schema fingerprint,
+    /// [`Request::label`]) — the snapshot a previous completion of the
+    /// same labeled request committed. A lookup miss (nothing
+    /// committed yet, or the entry was invalidated) falls back to a
+    /// cold run rather than failing, so the first submission of a
+    /// label works unchanged. Server-only: in-process [`run`] has no
+    /// store and rejects with [`RequestError::DeltaLabelInProcess`].
+    pub fn delta_by_label(mut self) -> Request {
+        self.delta = Some(DeltaSource::Label);
         self
     }
 
@@ -387,6 +434,13 @@ pub enum RequestError {
     /// [`Request::strict_analysis`] was set and the static analyzer
     /// found Error-level defects in the schema (the carried findings).
     Analysis(Vec<crate::analysis::Finding>),
+    /// A delta resubmission could not be planned against its prior
+    /// snapshot (e.g. the snapshot belongs to a different schema).
+    Delta(DeltaError),
+    /// [`Request::delta_by_label`] needs a server-side state store to
+    /// resolve the label; in-process runs must carry the snapshot via
+    /// [`Request::delta`].
+    DeltaLabelInProcess,
 }
 
 impl std::fmt::Display for RequestError {
@@ -417,6 +471,12 @@ impl std::fmt::Display for RequestError {
                 }
                 Ok(())
             }
+            RequestError::Delta(e) => write!(f, "delta resubmission rejected: {e}"),
+            RequestError::DeltaLabelInProcess => write!(
+                f,
+                "Request::delta_by_label resolves the prior snapshot against a server's \
+                 state store; in-process runs must carry it via Request::delta(prior)"
+            ),
         }
     }
 }
@@ -470,6 +530,19 @@ pub fn run(request: &Request) -> Result<RunReport, ExecError> {
         }
     }
     request.sources.validate(schema)?;
+    // Delta planning also precedes sink consumption: a rejected delta
+    // (schema mismatch, label mode) must leave the sink reusable.
+    let plan = match &request.delta {
+        None => None,
+        Some(DeltaSource::Label) => {
+            return Err(ExecError::Request(RequestError::DeltaLabelInProcess))
+        }
+        Some(DeltaSource::Prior(prior)) => Some(
+            crate::statestore::plan_delta(schema, prior, &request.sources)
+                .map_err(|e| ExecError::Request(RequestError::Delta(e)))?,
+        ),
+    };
+    let retained = plan.as_ref().map_or(&[][..], |p| p.retained.as_slice());
     let journal_mode = match &request.journal_stream {
         Some(stream) => unit_exec::JournalMode::Stream(
             stream
@@ -483,6 +556,7 @@ pub fn run(request: &Request) -> Result<RunReport, ExecError> {
         schema,
         strategy,
         &request.sources,
+        retained,
         request.options,
         journal_mode,
     )?;

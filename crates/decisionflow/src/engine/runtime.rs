@@ -135,6 +135,9 @@ pub struct InstanceRuntime {
 
     /// Newly stable attributes awaiting propagation.
     stable_queue: VecDeque<AttrId>,
+    /// Attributes adopted pre-stabilized from a prior snapshot
+    /// ([`InstanceRuntime::with_options_retained`]); 0 on cold runs.
+    retained: u32,
     metrics: InstanceMetrics,
     /// Flight recorder for the journal subsystem. `None` (the default)
     /// keeps the hot path at a single branch per event site.
@@ -196,6 +199,7 @@ impl InstanceRuntime {
             schema,
             strategy,
             sources,
+            &[],
             options,
             None,
             RuntimeScratch::default(),
@@ -212,7 +216,7 @@ impl InstanceRuntime {
         sources: &SourceValues,
         options: RuntimeOptions,
     ) -> Result<Self, SnapshotError> {
-        Self::build(schema, strategy, sources, options, None, scratch)
+        Self::build(schema, strategy, sources, &[], options, None, scratch)
     }
 
     /// Like [`InstanceRuntime::with_options`], additionally recording
@@ -230,6 +234,7 @@ impl InstanceRuntime {
             schema,
             strategy,
             sources,
+            &[],
             options,
             Some(sink),
             RuntimeScratch::default(),
@@ -246,13 +251,58 @@ impl InstanceRuntime {
         options: RuntimeOptions,
         sink: Box<dyn JournalSink>,
     ) -> Result<Self, SnapshotError> {
-        Self::build(schema, strategy, sources, options, Some(sink), scratch)
+        Self::build(schema, strategy, sources, &[], options, Some(sink), scratch)
+    }
+
+    /// Delta-resubmission construction: like
+    /// [`InstanceRuntime::with_options`], but every `(attr, state,
+    /// value)` entry of `retained` is **adopted** from a prior
+    /// instance's stabilized outcome instead of recomputed — the
+    /// attribute starts pre-stabilized (emitting an
+    /// [`Event::Retained`] frame when recording) and only the
+    /// downstream-of-delta cone executes. Callers guarantee the
+    /// entries are valid splice-ins: non-source attributes with a
+    /// stable state (`Value`/`Disabled`) whose every transitive
+    /// dependency is itself retained or an unchanged source — exactly
+    /// what [`plan_delta`](crate::statestore::plan_delta) produces.
+    pub fn with_options_retained(
+        schema: Arc<Schema>,
+        strategy: Strategy,
+        sources: &SourceValues,
+        retained: &[(AttrId, AttrState, Value)],
+        options: RuntimeOptions,
+        sink: Option<Box<dyn JournalSink>>,
+    ) -> Result<Self, SnapshotError> {
+        Self::build(
+            schema,
+            strategy,
+            sources,
+            retained,
+            options,
+            sink,
+            RuntimeScratch::default(),
+        )
+    }
+
+    /// Like [`InstanceRuntime::with_options_retained`], building into a
+    /// reclaimed [`RuntimeScratch`].
+    pub fn with_options_retained_in(
+        scratch: RuntimeScratch,
+        schema: Arc<Schema>,
+        strategy: Strategy,
+        sources: &SourceValues,
+        retained: &[(AttrId, AttrState, Value)],
+        options: RuntimeOptions,
+        sink: Option<Box<dyn JournalSink>>,
+    ) -> Result<Self, SnapshotError> {
+        Self::build(schema, strategy, sources, retained, options, sink, scratch)
     }
 
     fn build(
         schema: Arc<Schema>,
         strategy: Strategy,
         sources: &SourceValues,
+        retained: &[(AttrId, AttrState, Value)],
         options: RuntimeOptions,
         sink: Option<Box<dyn JournalSink>>,
         mut scratch: RuntimeScratch,
@@ -277,11 +327,12 @@ impl InstanceRuntime {
             pool: scratch.pool,
             in_pool: scratch.in_pool,
             stable_queue: scratch.stable_queue,
+            retained: 0,
             metrics: InstanceMetrics::new(),
             sink,
             schema,
         };
-        rt.initialize(sources);
+        rt.initialize(sources, retained);
         Ok(rt)
     }
 
@@ -310,7 +361,7 @@ impl InstanceRuntime {
         }
     }
 
-    fn initialize(&mut self, sources: &SourceValues) {
+    fn initialize(&mut self, sources: &SourceValues, retained: &[(AttrId, AttrState, Value)]) {
         let schema = Arc::clone(&self.schema);
         // Dependency counters.
         for a in schema.attr_ids() {
@@ -329,6 +380,50 @@ impl InstanceRuntime {
                 self.unstable_targets += 1;
             }
             self.need_count[a.index()] = count;
+        }
+        // Delta splice-in: adopt retained outcomes from a prior
+        // snapshot before anything else stabilizes, so `Retained`
+        // frames form a strict prefix of the tape. Phase 1 pins every
+        // terminal state first (no attribute is half-adopted when the
+        // edge kills below cascade through `dec_need`); phase 2 then
+        // retires the adopted attributes' in-edges through the normal
+        // exactly-once kill discipline, which re-derives unneededness
+        // for prior-unneeded attributes and feeds forward propagation
+        // into the re-executed cone via the stable queue.
+        for &(a, st, ref v) in retained {
+            let i = a.index();
+            debug_assert!(st.is_stable(), "retained {a:?} in unstable state {st:?}");
+            debug_assert!(!schema.is_source(a), "sources are rebound, never retained");
+            debug_assert!(
+                self.state[i].can_advance_to(st),
+                "illegal adoption {:?} -> {st:?} for {a:?}",
+                self.state[i]
+            );
+            if self.recording() {
+                self.emit(Event::Retained {
+                    attr: a,
+                    state: st,
+                    value: v.clone(),
+                });
+            }
+            self.state[i] = st;
+            self.values[i] = v.clone();
+            self.cond[i] = if st == AttrState::Disabled {
+                Tri::False
+            } else {
+                Tri::True
+            };
+            self.retained += 1;
+            if self.target_alive[i] {
+                self.target_alive[i] = false;
+                self.unstable_targets -= 1;
+                self.dec_need(a);
+            }
+            self.stable_queue.push_back(a);
+        }
+        for &(a, _, _) in retained {
+            self.kill_enabling_in_edges(a);
+            self.kill_data_in_edges(a);
         }
         // Attributes with no data inputs are READY from the start.
         for a in schema.attr_ids() {
@@ -437,6 +532,13 @@ impl InstanceRuntime {
     /// Execution counters.
     pub fn metrics(&self) -> &InstanceMetrics {
         &self.metrics
+    }
+
+    /// How many attributes were adopted pre-stabilized from a prior
+    /// snapshot ([`InstanceRuntime::with_options_retained`]). 0 on
+    /// cold (non-delta) runs.
+    pub fn retained_count(&self) -> u32 {
+        self.retained
     }
 
     /// Number of tasks currently in flight.

@@ -22,6 +22,7 @@ use crate::engine::strategy::Strategy;
 use crate::journal::{Event, Journal, JournalWriter, SharedJournalWriter};
 use crate::schema::{AttrId, Schema};
 use crate::snapshot::{SnapshotError, SourceValues};
+use crate::state::AttrState;
 use crate::value::Value;
 
 /// Result of a unit-time execution.
@@ -118,17 +119,28 @@ pub(crate) enum JournalMode {
 
 /// The one in-process execution path behind every public entry point:
 /// [`run_unit_time`] and [`crate::api::run`] both funnel through
-/// here, so journaling is a mode, not a parallel code path.
+/// here, so journaling is a mode, not a parallel code path. A
+/// non-empty `retained` slice (from
+/// [`plan_delta`](crate::statestore::plan_delta)) splices prior
+/// snapshot values in pre-stabilized — the delta-resubmission path.
 pub(crate) fn execute(
     schema: &Arc<Schema>,
     strategy: Strategy,
     sources: &SourceValues,
+    retained: &[(AttrId, AttrState, Value)],
     options: RuntimeOptions,
     journal: JournalMode,
 ) -> Result<(UnitOutcome, Option<Journal>), ExecError> {
     let recorder = match journal {
         JournalMode::Off => {
-            let rt = InstanceRuntime::with_options(Arc::clone(schema), strategy, sources, options)?;
+            let rt = InstanceRuntime::with_options_retained(
+                Arc::clone(schema),
+                strategy,
+                sources,
+                retained,
+                options,
+                None,
+            )?;
             return drive(schema, strategy, rt, None).map(|out| (out, None));
         }
         JournalMode::Memory => {
@@ -139,12 +151,13 @@ pub(crate) fn execute(
         }
     };
     recorder.set_disable_backward(options.disable_backward);
-    let rt = InstanceRuntime::with_options_recorded(
+    let rt = InstanceRuntime::with_options_retained(
         Arc::clone(schema),
         strategy,
         sources,
+        retained,
         options,
-        Box::new(recorder.clone()),
+        Some(Box::new(recorder.clone())),
     )?;
     let outcome = drive(schema, strategy, rt, Some(&recorder))?;
     // Streaming: seal the tape (header for empty instances, footer,
@@ -173,7 +186,7 @@ pub fn run_unit_time_with_options(
     sources: &SourceValues,
     options: RuntimeOptions,
 ) -> Result<UnitOutcome, ExecError> {
-    execute(schema, strategy, sources, options, JournalMode::Off).map(|(out, _)| out)
+    execute(schema, strategy, sources, &[], options, JournalMode::Off).map(|(out, _)| out)
 }
 
 /// The three-phase loop against the unit-time calendar, optionally

@@ -93,6 +93,20 @@ pub enum Event {
         /// Final value (⊥ for `Disabled`).
         value: Value,
     },
+    /// An attribute adopted its terminal state from a prior instance
+    /// snapshot during a delta resubmission
+    /// ([`Request::delta`](crate::api::Request::delta)) instead of
+    /// being computed. Retained frames form a strict prefix of the
+    /// tape: the engine splices them in at construction, before any
+    /// source stabilizes.
+    Retained {
+        /// The retained attribute.
+        attr: AttrId,
+        /// Terminal state carried over: `Value` or `Disabled`.
+        state: AttrState,
+        /// Carried-over value (⊥ for `Disabled`).
+        value: Value,
+    },
 }
 
 impl Event {
@@ -105,6 +119,7 @@ impl Event {
             Event::CondDecided { .. } => "cond",
             Event::Unneeded { .. } => "unneeded",
             Event::Stabilized { .. } => "stable",
+            Event::Retained { .. } => "retained",
         }
     }
 

@@ -25,8 +25,10 @@ use crate::journal::frame::{Clock, Event};
 use crate::journal::writer::{JournalWriter, SharedJournalWriter};
 use crate::journal::{schema_fingerprint, Journal, SCHEMA_VERSION};
 use crate::report::ExecutionRecord;
-use crate::schema::Schema;
+use crate::schema::{AttrId, Schema};
 use crate::snapshot::SourceValues;
+use crate::state::AttrState;
+use crate::value::Value;
 
 /// The result of a faithful (divergence-free) replay.
 pub struct ReplayOutcome {
@@ -174,12 +176,28 @@ impl ReplayEngine {
             disable_backward: self.journal.disable_backward,
         };
         recorder.set_disable_backward(self.journal.disable_backward);
-        let mut rt = InstanceRuntime::with_options_recorded(
+        // A delta capture opens with a strict prefix of `Retained`
+        // frames — the values the instance adopted from its prior
+        // snapshot at construction. Re-adopting the same slice makes
+        // the live engine re-emit identical frames, which the sync
+        // loop below then verifies like any others; a `Retained` frame
+        // anywhere past the prefix still fails as an unexpected frame.
+        let retained: Vec<(AttrId, AttrState, Value)> = self
+            .journal
+            .frames
+            .iter()
+            .map_while(|f| match &f.event {
+                Event::Retained { attr, state, value } => Some((*attr, *state, value.clone())),
+                _ => None,
+            })
+            .collect();
+        let mut rt = InstanceRuntime::with_options_retained(
             Arc::clone(&self.schema),
             self.strategy,
             &self.sources,
+            &retained,
             options,
-            Box::new(recorder.clone()),
+            Some(Box::new(recorder.clone())),
         )
         .map_err(|e| {
             Divergence::header(DivergenceKind::BadSources {

@@ -86,6 +86,7 @@
 //! | [`rules`] | business-rule synthesis framework |
 //! | [`report`] | execution audit trail → nested-relation export |
 //! | [`server`] | the sharded multi-threaded execution module of §3 (Figure 2) |
+//! | [`statestore`] | incremental recomputation: versioned instance snapshots, delta planning, cross-request memoization |
 //! | [`store`] | durable event store: segmented WAL, crash recovery, time-travel replay |
 //! | [`telemetry`] | per-stage latency histograms, span tracing, Prometheus/JSON exposition |
 //! | [`dsl`] | textual schema language (declarative-workflow lineage) |
@@ -104,6 +105,7 @@ pub mod schema;
 pub mod server;
 pub mod snapshot;
 pub mod state;
+pub mod statestore;
 pub mod store;
 pub mod task;
 pub mod telemetry;
@@ -137,6 +139,9 @@ pub mod prelude {
     };
     pub use crate::snapshot::{complete_snapshot, CompleteSnapshot, FinalState, SourceValues};
     pub use crate::state::AttrState;
+    pub use crate::statestore::{
+        plan_delta, DeltaError, DeltaPlan, InstanceSnapshot, MemoTable, StateStore,
+    };
     pub use crate::store::{
         EventStore, FsckReport, SealOutcome, SealedSummary, StoreConfig, StoreError, StoreEvent,
     };

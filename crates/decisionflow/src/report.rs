@@ -305,7 +305,7 @@ pub fn journal_audit(journal: &Journal) -> String {
             Event::Unneeded { attr } => {
                 let _ = write!(out, ", attr: {attr:?}");
             }
-            Event::Stabilized { attr, state, value } => {
+            Event::Stabilized { attr, state, value } | Event::Retained { attr, state, value } => {
                 let _ = write!(out, ", attr: {attr:?}, state: {state:?}, value: {value}");
             }
         }

@@ -94,7 +94,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::api::{
-    EventHub, InstanceEvent, LiveInstance, Request, ServerEvents, Ticket, TicketBatch,
+    DeltaSource, EventHub, InstanceEvent, LiveInstance, Request, ServerEvents, Ticket, TicketBatch,
 };
 use crate::engine::{
     scheduler, InstanceRuntime, RuntimeOptions, RuntimeScratch, ServerStats, ShardGauges, Strategy,
@@ -106,6 +106,7 @@ use crate::journal::{
 use crate::report::ExecutionRecord;
 use crate::schema::{AttrId, Schema};
 use crate::snapshot::{SnapshotError, SourceValues};
+use crate::statestore::{plan_delta, DeltaError, InstanceSnapshot, MemoTable, StateStore};
 use crate::store::WalRecorder;
 use crate::store::{
     EventStore, PersistedRequest, SealOutcome, StoreConfig, StoreError, StoreEvent,
@@ -344,6 +345,15 @@ struct Instance {
     /// The owning shard's runtime-construction arena; the runtime's
     /// buffers are reclaimed into it when the instance drops.
     scratch: Arc<ScratchPool>,
+    /// The server-wide snapshot store: labeled completions commit
+    /// their stabilized state here for future delta resubmissions.
+    state_store: Arc<StateStore>,
+    /// The cross-request memo table, when the server was built with
+    /// [`ServerBuilder::memoize`]; consulted before every task body.
+    memo: Option<Arc<MemoTable>>,
+    /// Structural fingerprint of the instance's schema — the key space
+    /// shared by the memo table and the snapshot store.
+    schema_fp: u64,
 }
 
 thread_local! {
@@ -372,6 +382,22 @@ impl Instance {
                 let mut sent = inst.finished.lock();
                 if !*sent {
                     *sent = true;
+                    // Commit the stabilized state as a versioned
+                    // snapshot for future delta resubmissions —
+                    // labeled requests only, since (schema
+                    // fingerprint, label) is the snapshot key. Runs
+                    // under the same runtime-lock hold that freezes
+                    // the journal, so the snapshot matches the
+                    // delivered record exactly.
+                    if let Some(label) = &inst.label {
+                        inst.state_store
+                            .commit(InstanceSnapshot::capture(&rt, label.clone()));
+                    }
+                    let retained = rt.retained_count();
+                    if retained > 0 {
+                        inst.state_store
+                            .note_delta(u64::from(retained), u64::from(rt.metrics().launched));
+                    }
                     // Journals are wall-clock free: time stays 0,
                     // matching the record built below. A streaming
                     // recorder has no frames to snapshot — seal the
@@ -506,11 +532,27 @@ impl Instance {
             let dispatched = inst.pool.spawn(Box::new(move || {
                 // Execute the (foreign or synthesis) task body on the
                 // worker thread — this is the "external system" call.
+                // With memoization on, an identical (task, inputs)
+                // computed by any earlier request short-circuits the
+                // body; everything around it — launch accounting,
+                // journal frames, completion delivery — is unchanged,
+                // which is what keeps recorded tapes byte-identical
+                // whether or not the cache hits.
                 let value = {
                     let rt = inst2.runtime.lock();
                     let schema = Arc::clone(rt.schema());
                     drop(rt);
-                    schema.attr(attr).task.compute(&inputs)
+                    match &inst2.memo {
+                        Some(memo) => match memo.lookup(inst2.schema_fp, attr, &inputs) {
+                            Some(v) => v,
+                            None => {
+                                let v = schema.attr(attr).task.compute(&inputs);
+                                memo.insert(inst2.schema_fp, attr, inputs, v.clone());
+                                v
+                            }
+                        },
+                        None => schema.attr(attr).task.compute(&inputs),
+                    }
                 };
                 {
                     let mut rt = inst2.runtime.lock();
@@ -618,6 +660,12 @@ struct Shard {
     spans: Arc<SpanRecorder>,
     /// Arena of reclaimed runtime-construction buffers.
     scratch: Arc<ScratchPool>,
+    /// The server-wide snapshot store (shared: commits are
+    /// one-per-labeled-completion rare; lookups hash to their own
+    /// internal shard).
+    state_store: Arc<StateStore>,
+    /// The server-wide memo table, when memoization is enabled.
+    memo: Option<Arc<MemoTable>>,
 }
 
 /// The shard-owned state a build job carries into the worker pool,
@@ -631,6 +679,8 @@ struct ShardHandles {
     tele: Arc<ShardTelemetry>,
     spans: Arc<SpanRecorder>,
     scratch: Arc<ScratchPool>,
+    state_store: Arc<StateStore>,
+    memo: Option<Arc<MemoTable>>,
 }
 
 /// A validated, accepted request waiting for its runtime to be built
@@ -655,6 +705,8 @@ impl Shard {
         workers: usize,
         events: Arc<EventHub>,
         spans: Arc<SpanRecorder>,
+        state_store: Arc<StateStore>,
+        memo: Option<Arc<MemoTable>>,
     ) -> Result<Shard, ServerBuildError> {
         let gauges = Arc::new(ShardGauges::new());
         let pool = WorkerPool::new(index, workers, Arc::clone(&gauges)).map_err(|source| {
@@ -675,6 +727,8 @@ impl Shard {
             tele: Arc::new(ShardTelemetry::new()),
             spans,
             scratch: Arc::new(ScratchPool::new()),
+            state_store,
+            memo,
         })
     }
 
@@ -708,6 +762,8 @@ impl Shard {
             tele: Arc::clone(&self.tele),
             spans: Arc::clone(&self.spans),
             scratch: Arc::clone(&self.scratch),
+            state_store: Arc::clone(&self.state_store),
+            memo: self.memo.clone(),
         }
     }
 
@@ -785,7 +841,15 @@ fn build_and_pump(id: u64, pending: PendingStart, h: &ShardHandles, enqueued_at:
         deadline,
         timings,
     } = pending;
-    let built = match build_runtime(h.scratch.take(), schema, strategy, &request, wal.clone()) {
+    let schema_fp = schema_fingerprint(&schema);
+    let built = match build_runtime(
+        h.scratch.take(),
+        schema,
+        strategy,
+        &request,
+        wal.clone(),
+        &h.state_store,
+    ) {
         Ok(ok) => ok,
         Err(_) => {
             // Validation already passed on the submitting thread, so
@@ -823,6 +887,9 @@ fn build_and_pump(id: u64, pending: PendingStart, h: &ShardHandles, enqueued_at:
         tele: Arc::clone(&h.tele),
         spans: Arc::clone(&h.spans),
         scratch: Arc::clone(&h.scratch),
+        state_store: Arc::clone(&h.state_store),
+        memo: h.memo.clone(),
+        schema_fp,
     });
     Instance::pump(&inst);
 }
@@ -836,13 +903,32 @@ fn build_and_pump(id: u64, pending: PendingStart, h: &ShardHandles, enqueued_at:
 /// their lifecycle record on disk (the build job is enqueued after the
 /// acceptance append, and the frames stream from the same shard, so
 /// the lane ordering holds).
+///
+/// A delta resubmission resolves its prior snapshot here — from the
+/// request itself ([`Request::delta`]) or from `state_store` by label
+/// ([`Request::delta_by_label`]) — and the retained slice of its plan
+/// is spliced into the runtime at construction. Any resolution miss
+/// (label not committed yet, snapshot from an older schema revision)
+/// degrades to a cold run: the outcome is identical either way, delta
+/// is purely a work-avoidance hint.
 fn build_runtime(
     scratch: RuntimeScratch,
     schema: Arc<Schema>,
     strategy: Strategy,
     request: &Request,
     wal: Option<Arc<WalRecorder>>,
+    state_store: &StateStore,
 ) -> Result<(InstanceRuntime, Option<SharedJournalWriter>), SubmitError> {
+    let plan = match &request.delta {
+        None => None,
+        Some(DeltaSource::Prior(prior)) => plan_delta(&schema, prior, &request.sources).ok(),
+        Some(DeltaSource::Label) => request
+            .label
+            .as_deref()
+            .and_then(|label| state_store.lookup(schema_fingerprint(&schema), label))
+            .and_then(|prior| plan_delta(&schema, &prior, &request.sources).ok()),
+    };
+    let retained = plan.as_ref().map_or(&[][..], |p| p.retained.as_slice());
     // Streaming takes precedence over buffered capture, mirroring the
     // in-process path: the journal lives on the sink and the result's
     // `journal` field stays `None`.
@@ -877,26 +963,16 @@ fn build_runtime(
         (Some(recorder), None) => Some(Box::new(recorder.clone())),
         (None, None) => None,
     };
-    let runtime = if let Some(sink) = sink {
-        InstanceRuntime::with_options_recorded_in(
-            scratch,
-            schema,
-            strategy,
-            &request.sources,
-            request.options,
-            sink,
-        )
-        .map_err(SubmitError::Sources)?
-    } else {
-        InstanceRuntime::with_options_in(
-            scratch,
-            schema,
-            strategy,
-            &request.sources,
-            request.options,
-        )
-        .map_err(SubmitError::Sources)?
-    };
+    let runtime = InstanceRuntime::with_options_retained_in(
+        scratch,
+        schema,
+        strategy,
+        &request.sources,
+        retained,
+        request.options,
+        sink,
+    )
+    .map_err(SubmitError::Sources)?;
     Ok((runtime, recorder))
 }
 
@@ -933,9 +1009,9 @@ struct SubmitTimings {
 
 /// The sharded multi-threaded decision-flow execution server.
 ///
-/// Built with [`EngineServer::builder`]; the former constructor matrix
-/// (`new`, `with_shards`, `open`, `open_with_shards`) survives one
-/// release as deprecated shims over the builder.
+/// Built with [`EngineServer::builder`] — the single construction
+/// surface: shard layout, durability, event capacity, and memoization
+/// are all [`ServerBuilder`] knobs.
 pub struct EngineServer {
     shards: Vec<Shard>,
     strategy: Strategy,
@@ -951,8 +1027,14 @@ pub struct EngineServer {
     events: Arc<EventHub>,
     /// Server-wide ring of recent completed-instance spans.
     spans: Arc<SpanRecorder>,
+    /// Versioned snapshots of sealed labeled instances, serving
+    /// [`Request::delta_by_label`] resubmissions.
+    state_store: Arc<StateStore>,
+    /// Cross-request memo table, present iff the server was built
+    /// with [`ServerBuilder::memoize`].
+    memo: Option<Arc<MemoTable>>,
     /// The durable event store, present iff the server was built with
-    /// [`EngineServer::open`] / [`EngineServer::open_with_shards`].
+    /// [`ServerBuilder::durable`].
     store: Option<Arc<EventStore>>,
     /// Latched by the first [`EngineServer::recover_pending`] call so
     /// recovery re-enqueues each crashed instance exactly once.
@@ -974,7 +1056,7 @@ impl Drop for EngineServer {
     }
 }
 
-/// Why [`EngineServer::open`] failed: either the worker pools could
+/// Why [`ServerBuilder::build`] failed: either the worker pools could
 /// not be built or the durable store refused to open (IO failure, or
 /// corruption that recovery cannot safely skip).
 #[derive(Debug)]
@@ -990,18 +1072,6 @@ impl std::fmt::Display for ServerOpenError {
         match self {
             ServerOpenError::Build(e) => write!(f, "{e}"),
             ServerOpenError::Store(e) => write!(f, "failed to open the event store: {e}"),
-        }
-    }
-}
-
-impl ServerOpenError {
-    /// Unwrap the build half for callers that configured no store
-    /// (the deprecated non-durable constructors).
-    fn into_build(self) -> ServerBuildError {
-        match self {
-            ServerOpenError::Build(e) => e,
-            // invariant: only reachable from builds without a durable dir.
-            ServerOpenError::Store(_) => unreachable!("no store was configured"),
         }
     }
 }
@@ -1022,8 +1092,8 @@ impl std::error::Error for ServerOpenError {
 /// rather than silently losing accepted work.
 #[derive(Debug)]
 pub enum RecoverError {
-    /// The server has no durable store (built with
-    /// [`EngineServer::new`] instead of [`EngineServer::open`]).
+    /// The server has no durable store (built without
+    /// [`ServerBuilder::durable`]).
     NoStore,
     /// A pending instance names a schema that is not registered on
     /// this server.
@@ -1070,7 +1140,7 @@ impl std::fmt::Display for RecoverError {
             RecoverError::NoStore => {
                 write!(
                     f,
-                    "server has no durable store; build it with EngineServer::open"
+                    "server has no durable store; build it with ServerBuilder::durable"
                 )
             }
             RecoverError::UnknownSchema {
@@ -1135,8 +1205,7 @@ pub enum SubmitError {
     /// static analyzer found Error-level defects in the schema.
     Analysis(Vec<crate::analysis::Finding>),
     /// The request set [`Request::durable`] but the server has no
-    /// event store (built with [`EngineServer::new`] instead of
-    /// [`EngineServer::open`]).
+    /// event store (built without [`ServerBuilder::durable`]).
     DurableWithoutStore,
     /// The request set [`Request::durable`] with an inline schema;
     /// durability requires a registered schema name (task closures
@@ -1146,6 +1215,11 @@ pub enum SubmitError {
     /// appender lane failed). Carries the store error's rendering —
     /// the request was *not* accepted.
     Store(String),
+    /// The request carries an explicit [`Request::delta`] prior that
+    /// can never apply — e.g. a snapshot captured under a different
+    /// schema. (Label-resolved deltas degrade to a cold run instead:
+    /// the label is a hint, the prior on the request is a claim.)
+    Delta(DeltaError),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -1172,7 +1246,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::DurableWithoutStore => write!(
                 f,
                 "durable request on a server without an event store; build the server with \
-                 EngineServer::open"
+                 ServerBuilder::durable"
             ),
             SubmitError::DurableInlineSchema => write!(
                 f,
@@ -1180,6 +1254,7 @@ impl std::fmt::Display for SubmitError {
                  schema name (Request::named)"
             ),
             SubmitError::Store(e) => write!(f, "write-ahead log rejected the request: {e}"),
+            SubmitError::Delta(e) => write!(f, "delta resubmission rejected: {e}"),
         }
     }
 }
@@ -1216,8 +1291,8 @@ const DEFAULT_EVENT_CAPACITY: usize = 1024;
 const DEFAULT_SPAN_CAPACITY: usize = 256;
 
 /// Configures and builds an [`EngineServer`] — the single construction
-/// surface replacing the former `new` / `with_shards` / `open` /
-/// `open_with_shards` matrix.
+/// surface for shard layout, strategy, durability, event capacity,
+/// and cross-request memoization.
 ///
 /// ```no_run
 /// # use decisionflow::server::EngineServer;
@@ -1237,6 +1312,7 @@ pub struct ServerBuilder {
     strategy: Option<Strategy>,
     durable: Option<PathBuf>,
     event_capacity: usize,
+    memoize: Option<usize>,
 }
 
 impl ServerBuilder {
@@ -1262,8 +1338,7 @@ impl ServerBuilder {
     /// Total worker threads, spread over the shards (each shard gets
     /// at least one; remainders go to the lowest-indexed shards).
     /// Without an explicit [`shards`](ServerBuilder::shards) the
-    /// thread count also caps the shard count, reproducing the former
-    /// `EngineServer::new(workers, …)` layout: the total external
+    /// thread count also caps the shard count, so the total external
     /// multiprogramming level — the aggregate number of concurrent
     /// "external system" calls — is exactly `workers`.
     ///
@@ -1309,6 +1384,22 @@ impl ServerBuilder {
         self
     }
 
+    /// Enable **cross-request memoization** with room for `capacity`
+    /// entries: every task execution first consults a server-wide
+    /// `(task, input values) → result` table, so identical work
+    /// submitted by different requests computes once. Off by default —
+    /// correct only when task bodies are deterministic functions of
+    /// their inputs, which journal replay already demands; opt in when
+    /// your tasks honor it. The table is capacity-bounded (FIFO
+    /// eviction per internal shard) and observable through
+    /// [`EngineServer::telemetry`] as `memo_hits` / `memo_misses` /
+    /// `memo_evictions`.
+    pub fn memoize(mut self, capacity: usize) -> ServerBuilder {
+        assert!(capacity > 0, "memo table needs room for at least one entry");
+        self.memoize = Some(capacity);
+        self
+    }
+
     /// Build the server: spawn the shard pools and, when
     /// [`durable`](ServerBuilder::durable) was set, open (and replay)
     /// the event store.
@@ -1341,8 +1432,9 @@ impl ServerBuilder {
             // invariant: "PSE100" is a valid strategy string by construction.
             None => "PSE100".parse().expect("default strategy parses"),
         };
-        let server = EngineServer::build_layout(layout, strategy, self.event_capacity)
-            .map_err(ServerOpenError::Build)?;
+        let server =
+            EngineServer::build_layout(layout, strategy, self.event_capacity, self.memoize)
+                .map_err(ServerOpenError::Build)?;
         match self.durable {
             Some(dir) => server.attach_store(&dir),
             None => Ok(server),
@@ -1352,7 +1444,7 @@ impl ServerBuilder {
 
 impl EngineServer {
     /// Default shard count: the machine's available parallelism
-    /// (`1` when it cannot be determined). [`EngineServer::new`] and
+    /// (`1` when it cannot be determined). [`ServerBuilder`] and
     /// `dflowperf`'s server-load driver both resolve their defaults
     /// through this.
     pub fn default_shard_count() -> usize {
@@ -1381,76 +1473,8 @@ impl EngineServer {
             strategy: None,
             durable: None,
             event_capacity: DEFAULT_EVENT_CAPACITY,
+            memoize: None,
         }
-    }
-
-    /// Start a server with `workers` task-execution threads in total.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use EngineServer::builder().workers(n).strategy(s).build()"
-    )]
-    pub fn new(workers: usize, strategy: Strategy) -> Result<EngineServer, ServerBuildError> {
-        EngineServer::builder()
-            .workers(workers)
-            .strategy(strategy)
-            .build()
-            .map_err(ServerOpenError::into_build)
-    }
-
-    /// Start a server with exactly `shards` shards of
-    /// `workers_per_shard` threads each.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use EngineServer::builder().shards(n).workers_per_shard(m).strategy(s).build()"
-    )]
-    pub fn with_shards(
-        shards: usize,
-        workers_per_shard: usize,
-        strategy: Strategy,
-    ) -> Result<EngineServer, ServerBuildError> {
-        EngineServer::builder()
-            .shards(shards)
-            .workers_per_shard(workers_per_shard)
-            .strategy(strategy)
-            .build()
-            .map_err(ServerOpenError::into_build)
-    }
-
-    /// Start a **durable** server over the event store at `path`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use EngineServer::builder().workers(n).strategy(s).durable(path).build()"
-    )]
-    pub fn open(
-        path: impl AsRef<Path>,
-        workers: usize,
-        strategy: Strategy,
-    ) -> Result<EngineServer, ServerOpenError> {
-        EngineServer::builder()
-            .workers(workers)
-            .strategy(strategy)
-            .durable(path.as_ref())
-            .build()
-    }
-
-    /// Durable server with an explicit shard layout.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use EngineServer::builder().shards(n).workers_per_shard(m).strategy(s)\
-                .durable(path).build()"
-    )]
-    pub fn open_with_shards(
-        path: impl AsRef<Path>,
-        shards: usize,
-        workers_per_shard: usize,
-        strategy: Strategy,
-    ) -> Result<EngineServer, ServerOpenError> {
-        EngineServer::builder()
-            .shards(shards)
-            .workers_per_shard(workers_per_shard)
-            .strategy(strategy)
-            .durable(path.as_ref())
-            .build()
     }
 
     /// Construct the server for an explicit per-shard worker layout.
@@ -1458,14 +1482,29 @@ impl EngineServer {
         layout: Vec<usize>,
         strategy: Strategy,
         event_capacity: usize,
+        memoize: Option<usize>,
     ) -> Result<EngineServer, ServerBuildError> {
         assert!(!layout.is_empty(), "server needs at least one shard");
         let events = Arc::new(EventHub::new(layout.len()));
         let spans = Arc::new(SpanRecorder::new(DEFAULT_SPAN_CAPACITY));
+        // Both incremental-recomputation structures are internally
+        // sharded to the server's shard count, so worker threads from
+        // different shards rarely contend on the same lock.
+        let state_store = Arc::new(StateStore::new(layout.len()));
+        let memo = memoize.map(|capacity| Arc::new(MemoTable::new(layout.len(), capacity)));
         let shards = layout
             .iter()
             .enumerate()
-            .map(|(i, &w)| Shard::new(i, w, Arc::clone(&events), Arc::clone(&spans)))
+            .map(|(i, &w)| {
+                Shard::new(
+                    i,
+                    w,
+                    Arc::clone(&events),
+                    Arc::clone(&spans),
+                    Arc::clone(&state_store),
+                    memo.clone(),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EngineServer {
             shards,
@@ -1474,6 +1513,8 @@ impl EngineServer {
             event_capacity,
             events,
             spans,
+            state_store,
+            memo,
             store: None,
             recovered_once: AtomicBool::new(false),
         })
@@ -1501,13 +1542,33 @@ impl EngineServer {
     }
 
     /// The durable event store, present iff the server was built with
-    /// [`EngineServer::open`]. Use it to inspect
+    /// [`ServerBuilder::durable`]. Use it to inspect
     /// [`recovered`](EventStore::recovered) state, force a group
     /// commit with [`sync`](EventStore::sync), or reconstruct any
     /// sealed instance's journal with
     /// [`fetch_journal`](EventStore::fetch_journal).
     pub fn store(&self) -> Option<&Arc<EventStore>> {
         self.store.as_ref()
+    }
+
+    /// The server's snapshot store: every **labeled** instance that
+    /// completes commits its stabilized state here as an immutable
+    /// [`InstanceSnapshot`] version, keyed by `(schema fingerprint,
+    /// label)`. [`Request::delta_by_label`] resubmissions resolve
+    /// their prior through this store; use the handle directly to
+    /// [`lookup`](StateStore::lookup) a snapshot for inspection or an
+    /// explicit [`Request::delta`], or to
+    /// [`invalidate`](StateStore::invalidate) one whose upstream world
+    /// changed out-of-band.
+    pub fn state_store(&self) -> &Arc<StateStore> {
+        &self.state_store
+    }
+
+    /// The cross-request memo table, present iff the server was built
+    /// with [`ServerBuilder::memoize`]. Exposes hit/miss/eviction
+    /// counters and occupancy for dashboards and tests.
+    pub fn memo(&self) -> Option<&Arc<MemoTable>> {
+        self.memo.as_ref()
     }
 
     /// Number of shards.
@@ -1600,6 +1661,8 @@ impl EngineServer {
                 .store
                 .iter()
                 .map(|s| Arc::clone(s.registry()))
+                .chain(std::iter::once(self.state_store.registry()))
+                .chain(self.memo.iter().flat_map(|m| m.registries()))
                 .collect(),
         }
     }
@@ -1711,6 +1774,19 @@ impl EngineServer {
             .sources
             .validate(schema)
             .map_err(SubmitError::Sources)?;
+        // An explicit prior snapshot that can never apply is a caller
+        // bug — reject it synchronously instead of silently running
+        // cold. (Label-resolved priors are checked at build time and
+        // degrade to cold on any miss.)
+        if let Some(DeltaSource::Prior(prior)) = &request.delta {
+            let expected = schema_fingerprint(schema);
+            if prior.schema_fingerprint() != expected {
+                return Err(SubmitError::Delta(DeltaError::SchemaMismatch {
+                    expected,
+                    got: prior.schema_fingerprint(),
+                }));
+            }
+        }
         // Peek, don't take: the caller owns the request, so a sink
         // present here is still present when `prepare` consumes it.
         if let Some(stream) = &request.journal_stream {
@@ -2939,59 +3015,240 @@ mod tests {
         assert!(!journal.frames.is_empty());
     }
 
-    /// The deprecated constructor quartet must stay behaviorally
-    /// equivalent to the builder for its one-release grace period.
+    /// Two independent arms into one target, with per-arm execution
+    /// counters so tests can assert exactly which task bodies ran.
+    fn counted_arm_schema() -> (Arc<Schema>, Arc<AtomicU32>, Arc<AtomicU32>) {
+        let mut b = SchemaBuilder::new();
+        let s = b.source("s");
+        let u = b.source("u");
+        let a_runs = Arc::new(AtomicU32::new(0));
+        let b_runs = Arc::new(AtomicU32::new(0));
+        let ac = Arc::clone(&a_runs);
+        let a = b.attr(
+            "a",
+            Task::query(1, move |ins: &[Value]| {
+                ac.fetch_add(1, Ordering::Relaxed);
+                Value::Int(ins[0].as_f64().unwrap_or(0.0) as i64 * 10)
+            }),
+            vec![s],
+            Expr::Lit(true),
+        );
+        let bc = Arc::clone(&b_runs);
+        let arm_b = b.attr(
+            "b",
+            Task::query(1, move |ins: &[Value]| {
+                bc.fetch_add(1, Ordering::Relaxed);
+                Value::Int(ins[0].as_f64().unwrap_or(0.0) as i64 + 1)
+            }),
+            vec![u],
+            Expr::Lit(true),
+        );
+        let t = b.synthesis("t", vec![a, arm_b], Expr::Lit(true), |ins| {
+            Value::Int(ins.iter().filter_map(Value::as_f64).map(|f| f as i64).sum())
+        });
+        b.mark_target(t);
+        (Arc::new(b.build().unwrap()), a_runs, b_runs)
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_match_builder() {
-        let old = EngineServer::new(4, "PCE0".parse().unwrap()).unwrap();
-        let new = server(4, "PCE0");
-        assert_eq!(old.shard_count(), new.shard_count());
-        assert_eq!(old.worker_count(), new.worker_count());
-        assert_eq!(old.default_strategy(), new.default_strategy());
+    fn labeled_completion_commits_snapshot_and_delta_reuses_unchanged_arm() {
+        let server = sharded(1, 1, "PSE100");
+        let (schema, a_runs, b_runs) = counted_arm_schema();
+        server.register("flow", Arc::clone(&schema));
+        let s = schema.lookup("s").unwrap();
+        let u = schema.lookup("u").unwrap();
 
-        let old = EngineServer::with_shards(3, 2, "PSE100".parse().unwrap()).unwrap();
-        let new = sharded(3, 2, "PSE100");
-        assert_eq!(old.shard_count(), 3);
-        assert_eq!(old.worker_count(), 6);
-        assert_eq!(old.shard_count(), new.shard_count());
-        assert_eq!(old.worker_count(), new.worker_count());
-        assert_eq!(old.default_strategy(), new.default_strategy());
-
-        // The shims still serve real work end to end.
-        let schema = slow_schema(1);
-        old.register("flow", Arc::clone(&schema));
         let mut sv = SourceValues::new();
-        sv.set(schema.lookup("s").unwrap(), 80i64);
-        assert!(old
-            .submit(("flow", sv))
+        sv.set(s, 4i64);
+        sv.set(u, 7i64);
+        let cold = server
+            .submit(Request::named("flow").sources(sv).label("cust-1"))
             .unwrap()
             .wait()
-            .unwrap()
-            .record
-            .outcome("t")
-            .is_some());
+            .unwrap();
+        assert_eq!(
+            cold.record.outcome("t").unwrap().value,
+            Some(Value::Int(48))
+        );
+        assert_eq!(server.state_store().len(), 1, "labeled completion commits");
+        assert_eq!(
+            (
+                a_runs.load(Ordering::Relaxed),
+                b_runs.load(Ordering::Relaxed)
+            ),
+            (1, 1)
+        );
 
-        // Durable variants agree on layout and open a working store.
-        let dir =
-            std::env::temp_dir().join(format!("dflow-deprecated-equiv-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        {
-            let old =
-                EngineServer::open_with_shards(dir.join("old"), 2, 1, "PCE0".parse().unwrap())
-                    .unwrap();
-            let new = EngineServer::builder()
-                .shards(2)
-                .workers_per_shard(1)
-                .strategy("PCE0".parse().unwrap())
-                .durable(dir.join("new"))
-                .build()
-                .unwrap();
-            assert_eq!(old.shard_count(), new.shard_count());
-            assert_eq!(old.worker_count(), new.worker_count());
-            assert!(old.store().is_some() && new.store().is_some());
-        }
-        let _ = std::fs::remove_dir_all(&dir);
+        // Change only `u`: the `a` arm is outside the delta cone and is
+        // spliced from the snapshot instead of re-executed.
+        let mut sv = SourceValues::new();
+        sv.set(s, 4i64);
+        sv.set(u, 9i64);
+        let warm = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv)
+                    .label("cust-1")
+                    .delta_by_label(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            warm.record.outcome("t").unwrap().value,
+            Some(Value::Int(50))
+        );
+        assert_eq!(
+            (
+                a_runs.load(Ordering::Relaxed),
+                b_runs.load(Ordering::Relaxed)
+            ),
+            (1, 2),
+            "only the changed arm re-executes"
+        );
+        let tele = server.telemetry().snapshot();
+        assert_eq!(tele.counter("delta_lookup_hits"), Some(1));
+        assert!(tele.counter("delta_reused").unwrap_or(0) > 0);
+        assert_eq!(
+            server.state_store().len(),
+            1,
+            "recommit under the same label replaces, not accumulates"
+        );
+    }
+
+    #[test]
+    fn explicit_delta_prior_is_validated_at_submit() {
+        let server = server(2, "PSE100");
+        let (schema, ..) = counted_arm_schema();
+        server.register("flow", Arc::clone(&schema));
+        let s = schema.lookup("s").unwrap();
+        let u = schema.lookup("u").unwrap();
+        let mut sv = SourceValues::new();
+        sv.set(s, 1i64);
+        sv.set(u, 2i64);
+        server
+            .submit(Request::named("flow").sources(sv).label("x"))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let prior = server
+            .state_store()
+            .lookup(schema_fingerprint(&schema), "x")
+            .expect("labeled completion commits");
+
+        // The snapshot rides the request itself: same outcome as cold.
+        let mut sv2 = SourceValues::new();
+        sv2.set(s, 3i64);
+        sv2.set(u, 2i64);
+        let warm = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv2)
+                    .delta(Arc::clone(&prior)),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            warm.record.outcome("t").unwrap().value,
+            Some(Value::Int(33))
+        );
+
+        // A prior from a structurally different schema is a caller
+        // bug: rejected synchronously, not silently run cold.
+        let other = slow_schema(0);
+        server.register("other", Arc::clone(&other));
+        let mut osv = SourceValues::new();
+        osv.set(other.lookup("s").unwrap(), 1i64);
+        let err = server
+            .submit(Request::named("other").sources(osv).delta(prior))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SubmitError::Delta(DeltaError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_label_miss_degrades_to_cold_run() {
+        let server = server(1, "PSE100");
+        let (schema, a_runs, b_runs) = counted_arm_schema();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 2i64);
+        sv.set(schema.lookup("u").unwrap(), 5i64);
+        let out = server
+            .submit(
+                Request::named("flow")
+                    .sources(sv)
+                    .label("never-seen")
+                    .delta_by_label(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out.record.outcome("t").unwrap().value, Some(Value::Int(26)));
+        assert_eq!(
+            (
+                a_runs.load(Ordering::Relaxed),
+                b_runs.load(Ordering::Relaxed)
+            ),
+            (1, 1),
+            "a miss is a plain cold run"
+        );
+        assert_eq!(
+            server.telemetry().snapshot().counter("delta_lookup_misses"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn memoized_server_computes_identical_work_once() {
+        let server = EngineServer::builder()
+            .shards(1)
+            .workers_per_shard(1)
+            .strategy("PSE100".parse().unwrap())
+            .memoize(64)
+            .build()
+            .unwrap();
+        let (schema, a_runs, b_runs) = counted_arm_schema();
+        server.register("flow", Arc::clone(&schema));
+        let mut sv = SourceValues::new();
+        sv.set(schema.lookup("s").unwrap(), 4i64);
+        sv.set(schema.lookup("u").unwrap(), 7i64);
+        let first = server
+            .submit(Request::named("flow").sources(sv.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let second = server
+            .submit(Request::named("flow").sources(sv))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            first.record.outcome("t").unwrap().value,
+            second.record.outcome("t").unwrap().value
+        );
+        assert_eq!(
+            (
+                a_runs.load(Ordering::Relaxed),
+                b_runs.load(Ordering::Relaxed)
+            ),
+            (1, 1),
+            "the second request's arms are served from the memo table"
+        );
+        let memo = server.memo().expect("built with memoize");
+        assert!(memo.hits() >= 2, "hits {}", memo.hits());
+        assert!(
+            server
+                .telemetry()
+                .snapshot()
+                .counter("memo_hits")
+                .unwrap_or(0)
+                >= 2
+        );
     }
 
     #[test]

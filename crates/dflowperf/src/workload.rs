@@ -60,7 +60,7 @@ use decisionflow::value::Value;
 use desim::{exp_time, Model, Scheduler, SimTime, Simulation, Tally};
 use dflowgen::{generate, GeneratedFlow, PatternParams};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use simdb::{DbConfig, DbEvent, QueryJob, SimDb as SimDbServer};
 
 use crate::guideline::StrategyPoint;
@@ -91,6 +91,33 @@ pub enum Arrival {
     Poisson {
         /// Mean arrival rate, instances per second.
         rate: f64,
+    },
+    /// Closed-loop **resubmission** traffic — the incremental-
+    /// recomputation axis. Wave 0 submits every client's instance cold
+    /// under a stable per-client label (seeding the server's snapshot
+    /// store); each later wave resubmits the same labels with `churn`
+    /// source attributes rebound (numeric values perturbed
+    /// deterministically per wave). A resubmission is a **delta**
+    /// ([`Request::delta_by_label`]) with probability `delta_rate`,
+    /// otherwise an identical full cold rerun — so sweeping
+    /// `delta_rate` from 0 to 1 on the same workload measures the
+    /// delta win directly. Server backends only ([`Server`] /
+    /// [`OnServer`]): [`UnitTime`] and [`SimDb`] have no snapshot
+    /// store to resubmit against.
+    Resubmission {
+        /// Returning clients; each keeps one label (and one flow
+        /// replica) for the whole run.
+        clients: usize,
+        /// Total waves, the cold seeding wave included.
+        waves: usize,
+        /// Probability that a resubmission rides the delta path
+        /// instead of rerunning cold. Must be in `[0, 1]`.
+        delta_rate: f64,
+        /// Source attributes rebound per resubmission (clamped to the
+        /// flow's source count; generated patterns have exactly one
+        /// source, so `0` means "nothing changed" and `1` invalidates
+        /// the full cone below the source).
+        churn: usize,
     },
 }
 
@@ -236,6 +263,7 @@ impl Workload {
         let total = match (self.instances, self.arrival) {
             (Some(n), _) => n,
             (None, Arrival::Closed { clients, waves }) => clients * waves,
+            (None, Arrival::Resubmission { clients, waves, .. }) => clients * waves,
             (None, Arrival::Poisson { .. }) => {
                 return Err(LoadError::config(
                     "open (Poisson) arrivals need an explicit Workload::instances total",
@@ -256,6 +284,14 @@ impl Workload {
             }
             Arrival::Poisson { rate } if rate <= 0.0 => {
                 return Err(LoadError::config("arrival rate must be positive"))
+            }
+            Arrival::Resubmission { clients: 0, .. } => {
+                return Err(LoadError::config(
+                    "resubmission arrivals need at least one client",
+                ))
+            }
+            Arrival::Resubmission { delta_rate, .. } if !(0.0..=1.0).contains(&delta_rate) => {
+                return Err(LoadError::config("delta_rate must be within [0, 1]"))
             }
             _ => {}
         }
@@ -536,6 +572,34 @@ impl LoadReport {
             && self.completed == self.phases.warmup_completed + self.phases.measured_completed
             && self.late_dropped == self.phases.warmup_late + self.phases.measured_late
     }
+
+    /// Memo-table hit rate the server observed over the run
+    /// (`hits / (hits + misses)`). `None` off the server backend or
+    /// when the server was built without [`Server::memoize`] /
+    /// `ServerBuilder::memoize`.
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let tele = &self.server.as_ref()?.telemetry;
+        let hits = tele.counter("memo_hits")?;
+        let misses = tele.counter("memo_misses").unwrap_or(0);
+        let lookups = hits + misses;
+        if lookups == 0 {
+            return None;
+        }
+        Some(hits as f64 / lookups as f64)
+    }
+
+    /// `(reused, reexecuted)` attribute totals across every delta
+    /// resubmission the server executed during the run — the measured
+    /// size of the retained set vs the recomputed cone. `None` off the
+    /// server backend or when no delta resubmission ran.
+    pub fn delta_counts(&self) -> Option<(u64, u64)> {
+        let tele = &self.server.as_ref()?.telemetry;
+        let reused = tele.counter("delta_reused")?;
+        if reused == 0 {
+            return None;
+        }
+        Some((reused, tele.counter("delta_reexecuted").unwrap_or(0)))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -740,6 +804,11 @@ impl Backend for UnitTime {
 
     fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
         let Resolved { strategy, total } = workload.resolve()?;
+        if matches!(workload.arrival, Arrival::Resubmission { .. }) {
+            return Err(LoadError::config(
+                "resubmission arrivals need a server backend (no snapshot store here)",
+            ));
+        }
         let mut acc = Accounting::new(workload.warmup, false);
         for i in 0..total {
             let flow = &workload.flows[i % workload.flows.len()];
@@ -982,6 +1051,11 @@ impl Model for SimDriver<'_> {
                     self.spawning = false;
                     self.maybe_next_wave(sched);
                 }
+                // invariant: SimDb::run rejects resubmission workloads
+                // before the simulation is primed.
+                Arrival::Resubmission { .. } => {
+                    unreachable!("resubmission arrivals rejected before simulation start")
+                }
             },
             Ev::Db(dbev) => {
                 if let Some(c) = self.db.handle(dbev, sched, &Ev::Db) {
@@ -1005,6 +1079,11 @@ impl Backend for SimDb {
 
     fn run(&self, workload: &Workload) -> Result<LoadReport, LoadError> {
         let Resolved { strategy, total } = workload.resolve()?;
+        if matches!(workload.arrival, Arrival::Resubmission { .. }) {
+            return Err(LoadError::config(
+                "resubmission arrivals need a server backend (no snapshot store here)",
+            ));
+        }
         let driver = SimDriver {
             workload,
             strategy,
@@ -1081,12 +1160,18 @@ pub struct Server {
     /// Worker threads per shard.
     pub workers_per_shard: usize,
     /// When set, the server is opened **durable** over the event store
-    /// at this path ([`EngineServer::open_with_shards`]) and every
+    /// at this path (`ServerBuilder::durable`) and every
     /// request is submitted with [`Request::durable`] — the load run
     /// then measures the write-ahead-logged hot path, and the
     /// resulting `wal_*` metrics ride along in the report's telemetry
     /// snapshot.
     pub durable_dir: Option<std::path::PathBuf>,
+    /// When nonzero, the server is built with cross-request
+    /// memoization of this capacity (`ServerBuilder::memoize`) —
+    /// identical task executions across requests compute once, and the
+    /// report's [`memo_hit_rate`](LoadReport::memo_hit_rate) becomes
+    /// meaningful.
+    pub memoize: usize,
 }
 
 impl Default for Server {
@@ -1095,6 +1180,7 @@ impl Default for Server {
             shards: 0,
             workers_per_shard: 1,
             durable_dir: None,
+            memoize: 0,
         }
     }
 }
@@ -1115,6 +1201,9 @@ impl Server {
             .strategy(strategy);
         if let Some(dir) = &self.durable_dir {
             builder = builder.durable(dir.clone());
+        }
+        if self.memoize > 0 {
+            builder = builder.memoize(self.memoize);
         }
         let server = builder
             .build()
@@ -1197,6 +1286,126 @@ fn run_closed_on(
     });
     // A durable run quiesces the WAL before the snapshot, so the
     // report's `wal_*` metrics cover every append the run enqueued.
+    if let Some(store) = server.store() {
+        let _ = store.sync();
+    }
+    report.server = Some(ServerSideStats {
+        stats: server.stats(),
+        shards_used: shards_seen.len(),
+        telemetry: server.telemetry().snapshot(),
+        pacer: None,
+    });
+    Ok(report)
+}
+
+/// Deterministic per-wave source perturbation for resubmission churn:
+/// numeric values shift by the wave number (so every wave's binding
+/// differs from the last snapshot's), non-numeric values are left
+/// alone (an unchanged binding simply stays out of the delta cone).
+fn perturb(v: Value, wave: usize) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i.wrapping_add(wave as i64)),
+        Value::Float(f) => Value::Float(f + wave as f64),
+        other => other,
+    }
+}
+
+/// The request client `c` submits in `wave` of a resubmission run:
+/// wave 0 is the cold labeled seeding run; later waves rebind `churn`
+/// sources (rotating which ones, so the cone moves around the schema)
+/// and ride the delta path when `delta` is set.
+fn resub_request(
+    workload: &Workload,
+    strategy: Strategy,
+    c: usize,
+    wave: usize,
+    churn: usize,
+    delta: bool,
+    durable: bool,
+) -> Request {
+    let fidx = c % workload.flows.len();
+    let flow = &workload.flows[fidx];
+    let mut sources = flow.sources.clone();
+    if wave > 0 && churn > 0 {
+        let srcs = flow.schema.sources();
+        for k in 0..churn.min(srcs.len()) {
+            let a = srcs[(wave * churn + k) % srcs.len()];
+            if let Some(v) = sources.get(a).cloned() {
+                sources.set(a, perturb(v, wave));
+            }
+        }
+    }
+    let mut req = Request::named(format!("flow{fidx}"))
+        .sources(sources)
+        .options(workload.options)
+        .strategy(strategy)
+        .durable(durable)
+        .label(format!("client{c}"));
+    if wave > 0 && delta {
+        req = req.delta_by_label();
+    }
+    if let Some(budget) = workload.deadline {
+        req = req.deadline(budget);
+    }
+    req
+}
+
+/// Closed resubmission waves against an already-built server: wave 0
+/// seeds every client's snapshot cold, later waves resubmit the same
+/// labels — each as a delta with probability `delta_rate` (seeded by
+/// [`Workload::seed`], so two runs offer the identical request
+/// sequence). Waves are awaited like [`run_closed_on`]'s, which also
+/// guarantees every delta resubmission finds its client's previous
+/// completion already committed.
+#[allow(clippy::too_many_arguments)]
+fn run_resub_on(
+    server: &EngineServer,
+    backend: &'static str,
+    workload: &Workload,
+    strategy: Strategy,
+    total: usize,
+    clients: usize,
+    delta_rate: f64,
+    churn: usize,
+    durable: bool,
+) -> Result<LoadReport, LoadError> {
+    let mut acc = Accounting::new(workload.warmup, workload.deadline.is_some());
+    let mut shards_seen = std::collections::HashSet::new();
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let t0 = Instant::now();
+    let mut measure_t0: Option<Instant> = None;
+    let mut next = 0usize;
+    while next < total {
+        let wave_n = clients.min(total - next);
+        let wave = next / clients;
+        if measure_t0.is_none() && next + wave_n > workload.warmup {
+            measure_t0 = Some(Instant::now());
+        }
+        let requests: Vec<Request> = (0..wave_n)
+            .map(|c| {
+                let delta = rng.gen_bool(delta_rate);
+                resub_request(workload, strategy, c, wave, churn, delta, durable)
+            })
+            .collect();
+        let tickets = server
+            .submit_many(requests)
+            .map_err(|e| LoadError::Exec(e.to_string()))?;
+        for (k, t) in tickets.into_iter().enumerate() {
+            acc.settle_ticket(next + k, t, &mut shards_seen);
+        }
+        next += wave_n;
+    }
+    let wall = t0.elapsed();
+    let measured_wall = measure_t0.map(|t| t.elapsed()).unwrap_or(wall);
+    let mut report = acc.into_report(ReportFrame {
+        backend,
+        workload,
+        strategy,
+        submitted: total,
+        window_secs: measured_wall.as_secs_f64().max(1e-9),
+        wall,
+        latency_unit: LatencyUnit::Millis,
+    });
     if let Some(store) = server.store() {
         let _ = store.sync();
     }
@@ -1464,6 +1673,22 @@ impl Backend for Server {
                 rate,
                 durable,
             ),
+            Arrival::Resubmission {
+                clients,
+                delta_rate,
+                churn,
+                ..
+            } => run_resub_on(
+                &server,
+                self.name(),
+                workload,
+                strategy,
+                total,
+                clients,
+                delta_rate,
+                churn,
+                durable,
+            ),
         }
     }
 }
@@ -1502,8 +1727,8 @@ impl<'a> OnServer<'a> {
     }
 
     /// Submit every request with [`Request::durable`]. The borrowed
-    /// server must have been built with `EngineServer::open` (it needs
-    /// an event store), or every submission fails.
+    /// server must have been built with `ServerBuilder::durable` (it
+    /// needs an event store), or every submission fails.
     pub fn durable(mut self, durable: bool) -> OnServer<'a> {
         self.durable = durable;
         self
@@ -1535,6 +1760,22 @@ impl Backend for OnServer<'_> {
                 strategy,
                 total,
                 rate,
+                self.durable,
+            ),
+            Arrival::Resubmission {
+                clients,
+                delta_rate,
+                churn,
+                ..
+            } => run_resub_on(
+                self.server,
+                self.name(),
+                workload,
+                strategy,
+                total,
+                clients,
+                delta_rate,
+                churn,
                 self.durable,
             ),
         }
@@ -1744,6 +1985,7 @@ mod tests {
                 shards: 2,
                 workers_per_shard: 1,
                 durable_dir: Some(dir.clone()),
+                ..Server::default()
             })
             .unwrap();
         assert_eq!(r.completed, 12);
@@ -1872,10 +2114,128 @@ mod tests {
             .arrivals(Arrival::Poisson { rate: -1.0 })
             .instances(5))
         .contains("rate must be positive"));
-        assert!(
-            err(Workload::new(fl).strategy(strat).instances(5).warmup(5))
-                .contains("warmup must leave")
+        assert!(err(Workload::new(fl.clone())
+            .strategy(strat)
+            .instances(5)
+            .warmup(5))
+        .contains("warmup must leave"));
+        assert!(err(Workload::new(fl.clone())
+            .strategy(strat)
+            .instances(6)
+            .arrivals(Arrival::Resubmission {
+                clients: 0,
+                waves: 3,
+                delta_rate: 1.0,
+                churn: 0,
+            }))
+        .contains("at least one client"));
+        assert!(err(Workload::new(fl)
+            .strategy(strat)
+            .arrivals(Arrival::Resubmission {
+                clients: 2,
+                waves: 3,
+                delta_rate: 1.5,
+                churn: 0,
+            }))
+        .contains("delta_rate"));
+    }
+
+    /// Resubmission waves on the server backend: wave 0 seeds every
+    /// client's snapshot, later waves ride the delta path half the
+    /// time. With zero churn the resubmitted sources equal the
+    /// snapshot exactly, so every delta reuses the whole flow and
+    /// re-executes nothing, while every cold resubmission replays
+    /// identical inputs and hits the memo table populated by earlier
+    /// waves (waves are awaited, so those entries are committed).
+    #[test]
+    fn resubmission_mode_reuses_snapshots_and_hits_memo() {
+        let w = Workload::new(flows(2, small()))
+            .arrivals(Arrival::Resubmission {
+                clients: 4,
+                waves: 5,
+                delta_rate: 0.5,
+                churn: 0,
+            })
+            .warmup(4)
+            .seed(21)
+            .strategy("PCE100".parse().unwrap());
+        let r = w
+            .run(&Server {
+                shards: 2,
+                workers_per_shard: 1,
+                memoize: 256,
+                ..Server::default()
+            })
+            .unwrap();
+        assert_eq!(r.submitted, 20);
+        assert_eq!(r.completed, 20);
+        assert!(r.accounts_exactly());
+        let (reused, reexecuted) = r.delta_counts().expect("deltas ran");
+        assert!(reused > 0, "zero-churn deltas must retain values");
+        assert_eq!(
+            reexecuted, 0,
+            "zero-churn deltas re-execute nothing: {reexecuted}"
         );
+        let hit_rate = r.memo_hit_rate().expect("memo enabled");
+        assert!(
+            hit_rate > 0.0,
+            "clients sharing a flow must hit the memo: {hit_rate}"
+        );
+    }
+
+    /// Churned resubmissions rebind a source each wave, so the delta
+    /// cone is non-empty and the engine relaunches downstream work.
+    /// The run still completes and accounts exactly — and the request
+    /// sequence is seed-deterministic, so two runs agree on counts.
+    #[test]
+    fn resubmission_churn_reexecutes_and_is_seed_deterministic() {
+        let w = Workload::new(flows(1, small()))
+            .arrivals(Arrival::Resubmission {
+                clients: 2,
+                waves: 4,
+                delta_rate: 0.5,
+                churn: 1,
+            })
+            .seed(13)
+            .strategy("PCE100".parse().unwrap());
+        let backend = Server {
+            shards: 1,
+            workers_per_shard: 2,
+            ..Server::default()
+        };
+        let a = w.run(&backend).unwrap();
+        let b = w.run(&backend).unwrap();
+        for r in [&a, &b] {
+            assert_eq!(r.submitted, 8);
+            assert_eq!(r.completed, 8);
+            assert!(r.accounts_exactly());
+            assert!(r.memo_hit_rate().is_none(), "memoization off by default");
+        }
+        let tel = |r: &LoadReport| {
+            let t = &r.server.as_ref().unwrap().telemetry;
+            (t.counter("delta_reused"), t.counter("delta_reexecuted"))
+        };
+        assert_eq!(tel(&a), tel(&b), "same seed, same delta traffic");
+    }
+
+    /// Resubmission needs a completion-snapshot store, which only the
+    /// server backend has — the closed-world backends refuse upfront.
+    #[test]
+    fn resubmission_rejected_off_server() {
+        let w = Workload::new(flows(1, small()))
+            .arrivals(Arrival::Resubmission {
+                clients: 2,
+                waves: 2,
+                delta_rate: 1.0,
+                churn: 0,
+            })
+            .strategy("PCE0".parse().unwrap());
+        for msg in [
+            w.run(&UnitTime::unchecked()).unwrap_err().to_string(),
+            w.run(&SimDb::default()).unwrap_err().to_string(),
+        ] {
+            assert!(msg.contains("server backend"), "{msg}");
+        }
     }
 
     #[test]

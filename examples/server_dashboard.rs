@@ -24,12 +24,15 @@ use dflowgen::{generate, GeneratedFlow, PatternParams};
 use dflowperf::{Arrival, LoadReport, OnServer, Workload};
 
 fn main() {
-    // A small server: 2 shards × 2 workers, speculating eagerly.
+    // A small server: 2 shards × 2 workers, speculating eagerly, with
+    // cross-request memoization on (the workload resubmits the same
+    // three flows over and over, so most task computations are repeats).
     let strategy: Strategy = "PSE100".parse().unwrap();
     let server = EngineServer::builder()
         .shards(2)
         .workers_per_shard(2)
         .strategy(strategy)
+        .memoize(4096)
         .build()
         .expect("server build");
     let telemetry = server.telemetry();
@@ -106,6 +109,15 @@ fn main() {
             h.p50_ms(),
             h.p90_ms(),
             h.p99_ms()
+        );
+    }
+    let hits = snap.counter("memo_hits").unwrap_or(0);
+    let misses = snap.counter("memo_misses").unwrap_or(0);
+    if hits + misses > 0 {
+        println!(
+            "\nmemo: {:.1}% hit rate ({hits} hits / {misses} misses, {} evictions)",
+            100.0 * hits as f64 / (hits + misses) as f64,
+            snap.counter("memo_evictions").unwrap_or(0),
         );
     }
     println!(

@@ -1,5 +1,5 @@
 //! Durable event store: crash recovery and time-travel replay,
-//! end-to-end through `EngineServer::open`.
+//! end-to-end through `EngineServer::builder().durable(dir)`.
 //!
 //! The crash model is **prefix truncation**: a kill can only lose a
 //! suffix of the write-ahead log (fsync-ordered appends never leave
